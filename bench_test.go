@@ -1,0 +1,282 @@
+// Package repro's root benchmarks map one-to-one onto the paper's tables,
+// figures and claims (see DESIGN.md §3 and EXPERIMENTS.md):
+//
+//	BenchmarkTable1Compat        — Table 1 (classical compatibility check)
+//	BenchmarkModeCheck*          — §5.1 claim: method-mode check ≈ R/W check
+//	BenchmarkVector*             — definitions 4–5 primitives
+//	BenchmarkCompileFigure1      — Figures 1–2, Table 2, §4.3 pipeline
+//	BenchmarkCompileTAV/*        — §4.3 linearity sweep
+//	BenchmarkSend/*              — §3 locking overhead per top message
+//	BenchmarkScenario52          — §5.2 scenario analysis
+//	BenchmarkEscalation/*        — §3 System R escalation shape
+//	BenchmarkPseudo/*            — §3 pseudo-conflict shape
+//	BenchmarkThroughput/*        — §§1/7 parallelism claim
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/lock"
+	"repro/internal/paperex"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+func compileFig1(b *testing.B) *core.Compiled {
+	b.Helper()
+	c, err := core.CompileSource(paperex.Figure1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// Table 1: the classical compatibility relation.
+func BenchmarkTable1Compat(b *testing.B) {
+	acc := false
+	for i := 0; i < b.N; i++ {
+		acc = acc != core.Read.Compatible(core.Write)
+	}
+	_ = acc
+}
+
+// §5.1: a method-mode commutativity check is one table lookup…
+func BenchmarkModeCheckMethodTable(b *testing.B) {
+	c := compileFig1(b)
+	tbl := c.Class("c2").Table
+	i, j := tbl.ModeIndex("m2"), tbl.ModeIndex("m4")
+	b.ResetTimer()
+	acc := false
+	for k := 0; k < b.N; k++ {
+		acc = acc != tbl.CommutesIdx(i, j)
+	}
+	_ = acc
+}
+
+// …as cheap as a classical read/write compatibility check…
+func BenchmarkModeCheckRW(b *testing.B) {
+	acc := false
+	for k := 0; k < b.N; k++ {
+		acc = acc != lock.S.Compatible(lock.X)
+	}
+	_ = acc
+}
+
+// …while checking raw access vectors would cost a merge scan.
+func BenchmarkVectorCommute(b *testing.B) {
+	c := compileFig1(b)
+	v1 := c.Class("c2").TAV["m1"]
+	v2 := c.Class("c2").TAV["m2"]
+	b.ResetTimer()
+	acc := false
+	for k := 0; k < b.N; k++ {
+		acc = acc != v1.Commutes(v2)
+	}
+	_ = acc
+}
+
+// Definition 4: the join operator.
+func BenchmarkVectorJoin(b *testing.B) {
+	c := compileFig1(b)
+	v1 := c.Class("c2").TAV["m1"]
+	v2 := c.Class("c2").TAV["m4"]
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		_ = v1.Join(v2)
+	}
+}
+
+// Figures 1–2, Table 2, §4.3: the whole pipeline on the paper's example.
+func BenchmarkCompileFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompileSource(paperex.Figure1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §4.3 linearity: compile time per schema size (analysis only; the
+// parse/build front end is excluded so the Tarjan pass dominates).
+func BenchmarkCompileTAV(b *testing.B) {
+	for _, classes := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("classes-%d", classes), func(b *testing.B) {
+			p := workload.SchemaParams{
+				Classes: classes, MaxParents: 2, FieldsPerClass: 4,
+				MethodsPerClass: 6, SelfCallsPerM: 3,
+				OverrideProb: 0.3, PrefixedProb: 0.5, AllowCycles: true, Seed: 42,
+			}
+			s, err := core.CompileSource(workload.GenSchema(p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			methods := 0
+			for _, cls := range s.Schema.Order {
+				methods += len(cls.MethodList)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(s.Schema); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*methods), "ns/method")
+		})
+	}
+}
+
+// §3 locking overhead: one top-level m1 send (which self-sends m2 and
+// m3) per strategy — the fine protocol pays two lock requests, the
+// baselines one control per message plus escalations.
+func BenchmarkSend(b *testing.B) {
+	for _, s := range bench.AllScenarioStrategies() {
+		b.Run(s.Name(), func(b *testing.B) {
+			db := engine.Open(compileFig1(b), s)
+			var oid storage.OID
+			err := db.RunWithRetry(func(tx *txn.Txn) error {
+				in, err := db.NewInstance(tx, "c2", storage.IntV(1), storage.BoolV(false))
+				oid = in.OID
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := db.RunWithRetry(func(tx *txn.Txn) error {
+					_, err := db.Send(tx, oid, "m1", storage.IntV(int64(i)))
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := db.Locks().Snapshot()
+			b.ReportMetric(float64(st.Requests)/float64(st.Releases), "locks/txn")
+		})
+	}
+}
+
+// §5.2: the full scenario analysis (record four transactions under one
+// strategy and compute the maximal concurrent sets).
+func BenchmarkScenario52(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunScenario(engine.FineCC{}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §3 System R shape: contended check-then-revise sessions.
+func BenchmarkEscalation(b *testing.B) {
+	for _, s := range []engine.Strategy{engine.RWCC{}, engine.RWAnnounceCC{}, engine.FineCC{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			deadlocks := int64(0)
+			for i := 0; i < b.N; i++ {
+				row, err := bench.RunEscalationWorkload(s, 4, 5, 200)
+				if err != nil {
+					b.Fatal(err)
+				}
+				deadlocks += row.Deadlocks
+			}
+			b.ReportMetric(float64(deadlocks)/float64(b.N), "deadlocks/run")
+		})
+	}
+}
+
+// §3 pseudo-conflicts: the m2/m4 mix on one instance.
+func BenchmarkPseudo(b *testing.B) {
+	for _, s := range []engine.Strategy{engine.FineCC{}, engine.RWCC{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			blocks := int64(0)
+			for i := 0; i < b.N; i++ {
+				row, err := bench.RunPseudoWorkload(s, 2, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocks += row.Blocks
+			}
+			b.ReportMetric(float64(blocks)/float64(b.N), "blocks/run")
+		})
+	}
+}
+
+// §§1/7: committed-transaction throughput, on the profile where the
+// fine modes pay off (hot instances, mostly-commuting methods) and on a
+// random mixed workload.
+func BenchmarkThroughput(b *testing.B) {
+	for _, profile := range []bench.ThroughputProfile{bench.ProfileHotDisjoint, bench.ProfileRandom} {
+		for _, s := range bench.AllScenarioStrategies() {
+			b.Run(string(profile)+"/"+s.Name(), func(b *testing.B) {
+				blocks := int64(0)
+				for i := 0; i < b.N; i++ {
+					row, err := bench.RunThroughputWorkload(s, profile, 4, 25)
+					if err != nil {
+						b.Fatal(err)
+					}
+					blocks += row.Blocks
+				}
+				b.ReportMetric(float64(blocks)/float64(b.N), "blocks/run")
+			})
+		}
+	}
+}
+
+// Lock-manager hot path: uncontended acquire + release.
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	m := lock.NewManager()
+	res := lock.InstanceRes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := lock.TxnID(i + 1)
+		if err := m.Acquire(txn, res, lock.X); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(txn)
+	}
+}
+
+// Interpreter hot path: arithmetic-heavy method execution.
+func BenchmarkInterpreter(b *testing.B) {
+	const src = `
+class k is
+    instance variables are
+        n : integer
+    method busy(p) is
+        var i := 0
+        while i < p do
+            i := i + 1
+            n := n + i
+        end
+        return n
+    end
+end`
+	c, err := core.CompileSource(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.Open(c, engine.FineCC{})
+	var oid storage.OID
+	err = db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "k")
+		oid = in.OID
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := db.RunWithRetry(func(tx *txn.Txn) error {
+			_, err := db.Send(tx, oid, "busy", storage.IntV(100))
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

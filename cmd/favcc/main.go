@@ -1,0 +1,152 @@
+// Command favcc is the fine-access-vector concurrency-control compiler:
+// it parses an mdl schema and reports everything the paper's pipeline
+// derives from it — direct access vectors, self-call sets, late-binding
+// resolution graphs, transitive access vectors and per-class
+// commutativity tables.
+//
+// Usage:
+//
+//	favcc [-class NAME] [-dot] [-davs] <schema.mdl>
+//	favcc -example            # run on the paper's Figure 1
+//
+// With -dot the late-binding resolution graphs are printed in Graphviz
+// syntax (the paper's Figure 2 for class c2 of the example).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+	"repro/internal/schema"
+)
+
+// config carries the parsed command line.
+type config struct {
+	className string
+	dot       bool
+	davs      bool
+	example   bool
+	args      []string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.className, "class", "", "restrict the report to one class")
+	flag.BoolVar(&cfg.dot, "dot", false, "print late-binding resolution graphs in Graphviz syntax")
+	flag.BoolVar(&cfg.davs, "davs", false, "print per-definition DAV/DSC/PSC extraction too")
+	flag.BoolVar(&cfg.example, "example", false, "compile the paper's Figure 1 instead of a file")
+	flag.Parse()
+	cfg.args = flag.Args()
+
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "favcc:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against w; separated from main for testing.
+func run(w io.Writer, cfg config) error {
+	src, err := loadSource(cfg.example, cfg.args)
+	if err != nil {
+		return err
+	}
+	compiled, err := core.CompileSource(src)
+	if err != nil {
+		return err
+	}
+	if cfg.className != "" && compiled.Schema.Class(cfg.className) == nil {
+		return fmt.Errorf("no class %q in schema", cfg.className)
+	}
+	for _, cls := range compiled.Schema.Order {
+		if cfg.className != "" && cls.Name != cfg.className {
+			continue
+		}
+		report(w, compiled, cls, cfg.dot, cfg.davs)
+	}
+	return nil
+}
+
+func loadSource(example bool, args []string) (string, error) {
+	if example {
+		return paperex.Figure1, nil
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: favcc [-class NAME] [-dot] [-davs] <schema.mdl> (or -example)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func report(w io.Writer, compiled *core.Compiled, cls *schema.Class, dot, davs bool) {
+	cc := compiled.Class(cls.Name)
+	fmt.Fprintf(w, "class %s", cls.Name)
+	if len(cls.Parents) > 0 {
+		fmt.Fprint(w, " inherits ")
+		for i, p := range cls.Parents {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprint(w, p.Name)
+		}
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprint(w, "  FIELDS: ")
+	for i, f := range cls.Fields {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%s (%s)", f.Name, f.Owner.Name)
+	}
+	fmt.Fprintln(w)
+
+	if davs {
+		for _, name := range cls.MethodList {
+			m := cls.Resolve(name)
+			info := compiled.Infos[m]
+			fmt.Fprintf(w, "  %s defined in %s\n", name, m.Definer.Name)
+			fmt.Fprintf(w, "    DAV = %s\n", info.DAV.FormatFull(compiled.Schema, m.Definer.Fields))
+			fmt.Fprintf(w, "    DSC = %v\n", info.DSC)
+			fmt.Fprintf(w, "    PSC = %v\n", info.PSC)
+		}
+	}
+
+	fmt.Fprintln(w, "  transitive access vectors:")
+	for _, name := range cls.MethodList {
+		fmt.Fprintf(w, "    TAV(%s,%s) = %s\n", cls.Name, name,
+			cc.TAV[name].FormatFull(compiled.Schema, cls.Fields))
+	}
+
+	fmt.Fprintln(w, "  commutativity relation:")
+	fmt.Fprint(w, indent(cc.Table.String(), "    "))
+
+	if dot {
+		fmt.Fprintln(w, "  late-binding resolution graph:")
+		fmt.Fprint(w, indent(cc.Graph.Dot(), "    "))
+	}
+	fmt.Fprintln(w)
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	line := ""
+	for _, r := range s {
+		if r == '\n' {
+			out += prefix + line + "\n"
+			line = ""
+			continue
+		}
+		line += string(r)
+	}
+	if line != "" {
+		out += prefix + line + "\n"
+	}
+	return out
+}

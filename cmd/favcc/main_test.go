@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExample(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{example: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"class c1",
+		"class c2 inherits c1",
+		"TAV(c2,m1) = (Write f1, Read f2, Read f3, Write f4, Read f5, Null f6)",
+		"commutativity relation:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunClassFilterAndFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, config{example: true, className: "c2", dot: true, davs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "class c3") {
+		t.Error("filter must hide other classes")
+	}
+	for _, want := range []string{
+		"DSC = [m2 m3]",
+		"PSC = [(c1,m2)]",
+		"digraph lbr_c2",
+		"c2_m2 -> c1_m2;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownClass(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{example: true, className: "zz"}); err == nil {
+		t.Fatal("unknown class must fail")
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.mdl")
+	src := "class k is\n    instance variables are\n        n : integer\n    method bump is\n        n := n + 1\n    end\nend\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, config{args: []string{path}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TAV(k,bump) = (Write n)") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, config{}); err == nil {
+		t.Error("missing file must fail with usage")
+	}
+	if err := run(&buf, config{args: []string{"/nonexistent/schema.mdl"}}); err == nil {
+		t.Error("unreadable file must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.mdl")
+	if err := os.WriteFile(bad, []byte("class k is method m is x := 1 end end"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, config{args: []string{bad}}); err == nil {
+		t.Error("compile error must propagate")
+	}
+}

@@ -1,0 +1,139 @@
+// Evolution: section 6 of the paper frames the choice between its
+// compile-time scheme and run-time field locking as "choosing between an
+// interpreter (e.g., ORION and Lisp) and a compiler (e.g., O2 and C)":
+// when methods change, the access vectors must be recompiled. This
+// example plays a schema change end to end — measure, edit a method,
+// recompile, measure again — showing that recompilation is cheap and
+// that commutativity follows the code: an update that makes a method
+// touch one more field silently revokes parallelism that used to be
+// safe, with zero programmer-declared conflict information (problem 1
+// of section 3 solved).
+//
+// Run with: go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/oodb"
+)
+
+const v1 = `
+class article is
+    instance variables are
+        title : string
+        body  : string
+        views : integer
+    method read is
+        views := views + 1
+        return views
+    end
+    method retitle(t) is
+        title := t
+    end
+    method edit(b) is
+        body := b
+    end
+end`
+
+// v2: editorial decides retitling must stamp the body with a marker —
+// retitle now writes body too.
+const v2 = `
+class article is
+    instance variables are
+        title : string
+        body  : string
+        views : integer
+    method read is
+        views := views + 1
+        return views
+    end
+    method retitle(t) is
+        title := t
+        body := concat(body, " [retitled]")
+    end
+    method edit(b) is
+        body := b
+    end
+end`
+
+func describe(label, src string) *oodb.Schema {
+	start := time.Now()
+	schema, err := oodb.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("== %s (compiled in %s) ==\n", label, elapsed.Round(time.Microsecond))
+	for _, m := range schema.Methods("article") {
+		av, _ := schema.AccessVector("article", m)
+		fmt.Printf("  TAV(article,%s) = %s\n", m, av)
+	}
+	for _, pair := range [][2]string{{"retitle", "edit"}, {"retitle", "read"}, {"edit", "read"}} {
+		ok, _ := schema.Commute("article", pair[0], pair[1])
+		rel := "conflicts with"
+		if ok {
+			rel = "commutes with"
+		}
+		fmt.Printf("  %s %s %s\n", pair[0], rel, pair[1])
+	}
+	fmt.Println()
+	return schema
+}
+
+func main() {
+	s1 := describe("version 1", v1)
+	s2 := describe("version 2 (retitle also stamps the body)", v2)
+
+	// The consequence at run time: under v1 a retitler and an editor on
+	// the same article never wait; under v2 they serialize — no
+	// programmer declared anything, the compiler derived it.
+	for i, schema := range []*oodb.Schema{s1, s2} {
+		db, err := oodb.Open(schema, oodb.Fine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var art oodb.OID
+		if err := db.Update(func(tx *oodb.Txn) error {
+			art, err = tx.New("article", "v0", "lorem", 0)
+			return err
+		}); err != nil {
+			log.Fatal(err)
+		}
+		done := make(chan error, 2)
+		go func() {
+			done <- db.Update(func(tx *oodb.Txn) error {
+				for k := 0; k < 100; k++ {
+					if _, err := tx.Send(art, "retitle", fmt.Sprintf("v%d", k)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}()
+		go func() {
+			done <- db.Update(func(tx *oodb.Txn) error {
+				for k := 0; k < 100; k++ {
+					if _, err := tx.Send(art, "edit", "fresh body"); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}()
+		for j := 0; j < 2; j++ {
+			if err := <-done; err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := db.Stats()
+		fmt.Printf("v%d concurrent retitle/edit: waits=%d (committed=%d)\n",
+			i+1, st.Blocks, st.Committed)
+	}
+	fmt.Println()
+	fmt.Println("the v2 recompilation turned a commuting pair into a conflicting one;")
+	fmt.Println("per the paper, this is the whole point of automating the analysis —")
+	fmt.Println("'methods are expected to be regularly created, deleted, or updated'.")
+}

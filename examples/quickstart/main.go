@@ -1,0 +1,138 @@
+// Quickstart: compile the paper's Figure 1 example, inspect what the
+// compiler derived (transitive access vectors, the commutativity
+// relation of Table 2), and demonstrate the headline behaviour — two
+// writers on the *same instance* that do not block each other because
+// their access vectors are disjoint (the "pseudo-conflict" of section 3
+// eliminated).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+
+	"repro/oodb"
+)
+
+// figure1 is the example hierarchy from the paper (Figure 1).
+const figure1 = `
+class c1 is
+    instance variables are
+        f1 : integer
+        f2 : boolean
+        f3 : c3
+    method m1(p1) is
+        send m2(p1) to self
+        send m3 to self
+    end
+    method m2(p1) is
+        f1 := expr(f1, f2, p1)
+    end
+    method m3 is
+        if f2 then
+            send m to f3
+        end
+    end
+end
+
+class c2 inherits c1 is
+    instance variables are
+        f4 : integer
+        f5 : integer
+        f6 : string
+    method m2(p1) is redefined as
+        send c1.m2(p1) to self
+        f4 := expr(f5, p1)
+    end
+    method m4(p1, p2) is
+        if cond(f5, p1) then
+            f6 := expr(f6, p2)
+        end
+    end
+end
+
+class c3 is
+    instance variables are
+        g1 : integer
+    method m is
+        g1 := g1 + 1
+    end
+end
+`
+
+func main() {
+	schema, err := oodb.Compile(figure1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== what the compiler derived ==")
+	for _, m := range schema.Methods("c2") {
+		av, err := schema.AccessVector("c2", m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("TAV(c2,%s) = %s\n", m, av)
+	}
+	tbl, err := schema.CommutativityTable("c2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncommutativity relation of c2 (the paper's Table 2):")
+	fmt.Println(tbl)
+
+	db, err := oodb.Open(schema, oodb.Fine)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One shared c2 instance.
+	var obj oodb.OID
+	err = db.Update(func(tx *oodb.Txn) error {
+		obj, err = tx.New("c2", 10, false)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// m2 writes f1/f4; m4 writes f6 reading f5 — disjoint fields. Under
+	// the paper's protocol the two transactions run concurrently on the
+	// same object; under read/write locking they would serialize.
+	fmt.Println("== concurrent m2 and m4 on one instance ==")
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := db.Update(func(tx *oodb.Txn) error {
+					if g == 0 {
+						_, err := tx.Send(obj, "m2", i)
+						return err
+					}
+					_, err := tx.Send(obj, "m4", i, g)
+					return err
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := db.Stats()
+	fmt.Printf("committed: %d, lock waits: %d, deadlocks: %d\n",
+		st.Committed, st.Blocks, st.Deadlocks)
+	fmt.Print("final state: ")
+	if err := db.DumpObject(os.Stdout, obj); err != nil {
+		log.Fatal(err)
+	}
+	if st.Blocks == 0 {
+		fmt.Println("m2 and m4 never waited for each other — the pseudo-conflict is gone.")
+	}
+}

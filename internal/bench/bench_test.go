@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestScenario52 asserts the paper's headline result: the maximal
+// concurrent transaction sets of section 5.2, per strategy.
+func TestScenario52(t *testing.T) {
+	want := map[string][]string{
+		// "either T1∥T3∥T4, or T2∥T3∥T4 are allowed"
+		"fine": {"T1,T3,T4", "T2,T3,T4"},
+		// "either T1∥T3 would have been allowed …, or T1∥T4"
+		"rw":          {"T1,T3", "T1,T4", "T2"},
+		"rw-implicit": {"T1,T3", "T1,T4", "T2"},
+		"rw-announce": {"T1,T3", "T1,T4", "T2"},
+		// field locking at run time still scans at class granularity
+		"field": {"T1,T3", "T1,T4", "T2"},
+		// "Consequently, either T1∥T3, or T3∥T4 are allowed."
+		"relational": {"T1,T3", "T2", "T3,T4"},
+	}
+	for _, s := range AllScenarioStrategies() {
+		res, err := RunScenario(s, false)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !reflect.DeepEqual(res.MaximalSets, want[s.Name()]) {
+			t.Errorf("%s: maximal sets = %v, want %v", s.Name(), res.MaximalSets, want[s.Name()])
+		}
+	}
+}
+
+// The closing remark of section 5.2: relationally, T1∥T3∥T4 would have
+// been allowed if m2 did not modify the key field — but not T2∥T3∥T4.
+func TestScenario52NoKeyVariant(t *testing.T) {
+	res, err := RunScenario(engine.RelCC{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found134, found234 := false, false
+	for _, set := range res.MaximalSets {
+		if set == "T1,T3,T4" {
+			found134 = true
+		}
+		if set == "T2,T3,T4" {
+			found234 = true
+		}
+	}
+	if !found134 {
+		t.Errorf("relational no-key variant: T1,T3,T4 missing from %v", res.MaximalSets)
+	}
+	if found234 {
+		t.Errorf("relational no-key variant must NOT allow T2,T3,T4: %v", res.MaximalSets)
+	}
+
+	// Fine CC is key-agnostic: same sets as the base scenario.
+	fres, err := RunScenario(engine.FineCC{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fres.MaximalSets, []string{"T1,T3,T4", "T2,T3,T4"}) {
+		t.Errorf("fine variant sets = %v", fres.MaximalSets)
+	}
+}
+
+// The paper's prose about the fine-CC lock sets of section 5.2.
+func TestScenario52FineLockSets(t *testing.T) {
+	res, err := RunScenario(engine.FineCC{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(i int, s string) bool {
+		for _, l := range res.LockSets[i] {
+			if l == s {
+				return true
+			}
+		}
+		return false
+	}
+	// T1: "the lock m1 is acquired on i, and the lock (m1,false) on c1"
+	if !has(0, "class:c1:(m1,int)") || len(res.LockSets[0]) != 2 {
+		t.Errorf("T1 locks = %v", res.LockSets[0])
+	}
+	// T2: "the lock (m1,true) is requested on c1 and c2"
+	if !has(1, "class:c1:(m1,hier)") || !has(1, "class:c2:(m1,hier)") {
+		t.Errorf("T2 locks = %v", res.LockSets[1])
+	}
+	for _, l := range res.LockSets[1] {
+		if strings.HasPrefix(l, "inst:") {
+			t.Errorf("T2 must lock no instances: %v", res.LockSets[1])
+		}
+	}
+	// T3: "classes c1, c2 … locked with (m3,false); each actually used
+	// instance will be locked with m3"
+	if !has(2, "class:c1:(m3,int)") || !has(2, "class:c2:(m3,int)") {
+		t.Errorf("T3 locks = %v", res.LockSets[2])
+	}
+	instLocks := 0
+	for _, l := range res.LockSets[2] {
+		if strings.HasPrefix(l, "inst:") {
+			instLocks++
+			if !strings.HasSuffix(l, ":m3") {
+				t.Errorf("T3 instance lock %s not in mode m3", l)
+			}
+		}
+	}
+	if instLocks == 0 {
+		t.Error("T3 must lock the instances it actually uses")
+	}
+	// T4: "(m4,true) on every classes of domain c2"
+	if !has(3, "class:c2:(m4,hier)") || len(res.LockSets[3]) != 1 {
+		t.Errorf("T4 locks = %v", res.LockSets[3])
+	}
+}
+
+// Pairwise conclusions from the prose: T1∦T2, T2∥T3, T2∥T4, T3∥T4.
+func TestScenario52FineConflictMatrix(t *testing.T) {
+	res, err := RunScenario(engine.FineCC{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conflict[0][1] {
+		t.Error("T1 and T2 must conflict (intentional vs hierarchical m1)")
+	}
+	for _, pair := range [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}} {
+		if res.Conflict[pair[0]][pair[1]] {
+			t.Errorf("%s and %s must be compatible under fine CC",
+				TxnNames[pair[0]], TxnNames[pair[1]])
+		}
+	}
+}
+
+func TestEscalationShape(t *testing.T) {
+	rw, err := RunEscalationWorkload(engine.RWCC{}, 8, 30, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := RunEscalationWorkload(engine.FineCC{}, 8, 30, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := RunEscalationWorkload(engine.RWAnnounceCC{}, 8, 30, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rw.Committed != 240 || fine.Committed != 240 || ann.Committed != 240 {
+		t.Fatalf("all workloads must commit 240 txns: rw=%d fine=%d ann=%d",
+			rw.Committed, fine.Committed, ann.Committed)
+	}
+	if rw.Deadlocks == 0 {
+		t.Error("rw must deadlock on the update hot spot")
+	}
+	if rw.EscalationDeadlocks != rw.Deadlocks {
+		t.Errorf("every rw deadlock here is an escalation: %d of %d",
+			rw.EscalationDeadlocks, rw.Deadlocks)
+	}
+	if fine.Deadlocks != 0 {
+		t.Errorf("fine CC deadlocked %d times", fine.Deadlocks)
+	}
+	if ann.Deadlocks != 0 {
+		t.Errorf("announce deadlocked %d times", ann.Deadlocks)
+	}
+	if rw.Upgrades == 0 || fine.Upgrades != 0 {
+		t.Errorf("upgrades: rw=%d fine=%d", rw.Upgrades, fine.Upgrades)
+	}
+}
+
+func TestPseudoShape(t *testing.T) {
+	fine, err := RunPseudoWorkload(engine.FineCC{}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := RunPseudoWorkload(engine.RWCC{}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Blocks != 0 {
+		t.Errorf("fine CC blocked %d times on disjoint methods", fine.Blocks)
+	}
+	if rw.Blocks == 0 {
+		t.Error("rw must block m2 against m4")
+	}
+	if fine.Committed != 200 || rw.Committed != 200 {
+		t.Errorf("commits: fine=%d rw=%d", fine.Committed, rw.Committed)
+	}
+}
+
+func TestThroughputRuns(t *testing.T) {
+	for _, s := range AllScenarioStrategies() {
+		for _, profile := range []ThroughputProfile{ProfileRandom, ProfileHotDisjoint} {
+			row, err := RunThroughputWorkload(s, profile, 4, 25)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", s.Name(), profile, err)
+			}
+			if row.Committed != 100 {
+				t.Errorf("%s/%s: committed %d, want 100", s.Name(), profile, row.Committed)
+			}
+		}
+	}
+	if _, err := RunThroughputWorkload(engine.FineCC{}, ThroughputProfile("zz"), 1, 1); err == nil {
+		t.Error("unknown profile must fail")
+	}
+}
+
+// On the hot-disjoint profile the fine protocol must block dramatically
+// less than read/write locking — the paper's parallelism claim.
+func TestThroughputHotShape(t *testing.T) {
+	fine, err := RunThroughputWorkload(engine.FineCC{}, ProfileHotDisjoint, 6, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := RunThroughputWorkload(engine.RWCC{}, ProfileHotDisjoint, 6, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Blocks >= rw.Blocks {
+		t.Errorf("fine blocks (%d) must be below rw blocks (%d)", fine.Blocks, rw.Blocks)
+	}
+	if rw.Blocks == 0 {
+		t.Error("rw must block on the hot mix")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := map[string]bool{
+		"table1": true, "figure1": true, "figure2": true, "tav43": true,
+		"table2": true, "scenario52": true, "overhead": true,
+		"escalation": true, "pseudo": true, "compile": true,
+		"runtime": true, "throughput": true, "conservative": true,
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(got), len(want))
+	}
+	for _, e := range got {
+		if !want[e.ID] {
+			t.Errorf("unexpected experiment %s", e.ID)
+		}
+		if e.Paper == "" || e.Title == "" {
+			t.Errorf("experiment %s lacks metadata", e.ID)
+		}
+	}
+	if Lookup("nosuch") != nil {
+		t.Error("Lookup of unknown ID must be nil")
+	}
+}
+
+// Every static experiment runs cleanly and produces output; the heavy
+// dynamic ones are covered by their dedicated shape tests above.
+func TestStaticExperimentsRun(t *testing.T) {
+	for _, id := range []string{"table1", "figure1", "figure2", "tav43", "table2", "scenario52", "overhead"} {
+		var buf bytes.Buffer
+		if err := RunByID(&buf, id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RunByID(&buf, "nosuch"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	tbl := NewTable("a", "bb")
+	tbl.Add("x")
+	tbl.AddF(12, "yy")
+	tbl.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "a   bb") || !strings.Contains(out, "12  yy") {
+		t.Errorf("table output:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// The section 4.4 ablation: the compiler's conservatism is real and
+// measurable — fine CC blocks on the dead branch, field CC does not.
+func TestConservativeShape(t *testing.T) {
+	fine, err := RunConservativeWorkload(engine.FineCC{}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field, err := RunConservativeWorkload(engine.FieldCC{}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fine.ReaderIsWriter {
+		t.Error("the TAV of reader must conservatively include Write audit")
+	}
+	if fine.Blocks == 0 {
+		t.Error("fine CC must serialize reader vs auditwrite (impossible-execution conflict)")
+	}
+	if field.Blocks != 0 {
+		t.Errorf("field CC blocked %d times although the branch never runs", field.Blocks)
+	}
+	if fine.Committed != 80 || field.Committed != 80 {
+		t.Errorf("commits: fine=%d field=%d, want 80", fine.Committed, field.Committed)
+	}
+}
+
+func TestConservativeExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunByID(&buf, "conservative"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}

@@ -1,0 +1,131 @@
+// Package bench regenerates every table, figure and quantified claim of
+// the paper: the compatibility and commutativity tables (Tables 1–2),
+// the example program and its late-binding resolution graph (Figures
+// 1–2), the worked transitive access vectors of section 4.3, the
+// transaction scenario of section 5.2 under the paper's protocol and
+// every baseline, and the measurable claims — locking overhead,
+// escalation deadlocks, pseudo-conflicts, compile-time linearity,
+// run-time mode-check cost and throughput. See EXPERIMENTS.md for the
+// paper-vs-measured record.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // what the paper states or implies
+	Run   func(w io.Writer) error
+}
+
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// Experiments returns every registered experiment in registration order.
+func Experiments() []*Experiment {
+	return append([]*Experiment(nil), registry...)
+}
+
+// Lookup returns the experiment with the given ID, or nil.
+func Lookup(id string) *Experiment {
+	for _, e := range registry {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// RunByID runs one experiment, writing its report to w.
+func RunByID(w io.Writer, id string) error {
+	e := Lookup(id)
+	if e == nil {
+		return fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	return runOne(w, e)
+}
+
+// RunAll runs every experiment in order.
+func RunAll(w io.Writer) error {
+	for _, e := range registry {
+		if err := runOne(w, e); err != nil {
+			return fmt.Errorf("bench: %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+func runOne(w io.Writer, e *Experiment) error {
+	fmt.Fprintf(w, "\n=== %s — %s ===\n", e.ID, e.Title)
+	fmt.Fprintf(w, "paper: %s\n\n", e.Paper)
+	return e.Run(w)
+}
+
+// Table renders aligned text tables for experiment reports.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(headers ...string) *Table { return &Table{Headers: headers} }
+
+// Add appends a row; missing cells are blank.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddF appends a row of formatted cells.
+func (t *Table) AddF(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(t.Headers))
+		for i := range t.Headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

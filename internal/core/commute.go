@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Table is the commutativity relation of one class (section 5.1,
+// Table 2): one access mode per method of METHODS(C), with an n×n
+// boolean matrix telling which modes commute. "From the principle of
+// construction of access modes, the parallelism which is allowed by
+// access modes is exactly the one which is permitted by access vectors."
+type Table struct {
+	Class   *schema.Class
+	Methods []string // sorted; the mode index of a method is its position
+	ok      []bool   // row-major n×n
+	idx     map[string]int
+}
+
+// NewTable builds the commutativity table of class c from the transitive
+// access vectors tav (indexed by method name). Overrides, if non-nil,
+// can force pairs commutative (ad hoc commutativity for predefined
+// classes, section 3) — they can only add parallelism, never remove it.
+func NewTable(c *schema.Class, tav map[string]Vector, ov *Overrides) *Table {
+	n := len(c.MethodList)
+	t := &Table{
+		Class:   c,
+		Methods: c.MethodList,
+		ok:      make([]bool, n*n),
+		idx:     make(map[string]int, n),
+	}
+	for i, name := range t.Methods {
+		t.idx[name] = i
+	}
+	for i, mi := range t.Methods {
+		for j, mj := range t.Methods {
+			commutes := tav[mi].Commutes(tav[mj])
+			if !commutes && ov != nil && ov.Allowed(c, mi, mj) {
+				commutes = true
+			}
+			t.ok[i*n+j] = commutes
+		}
+	}
+	return t
+}
+
+// ModeIndex returns the access-mode index of a method (its position in
+// the sorted method list), or -1 if the method is not in METHODS(C).
+func (t *Table) ModeIndex(method string) int {
+	if i, ok := t.idx[method]; ok {
+		return i
+	}
+	return -1
+}
+
+// Commutes reports whether the access modes of two methods commute.
+// Unknown methods never commute with anything (defensive default).
+func (t *Table) Commutes(a, b string) bool {
+	i, oki := t.idx[a]
+	j, okj := t.idx[b]
+	if !oki || !okj {
+		return false
+	}
+	return t.ok[i*len(t.Methods)+j]
+}
+
+// CommutesIdx is the run-time form: a single slice lookup, which is the
+// paper's claim that "run-time checking of commutativity is as efficient
+// as for compatibility" (abstract, point 2).
+func (t *Table) CommutesIdx(i, j int) bool { return t.ok[i*len(t.Methods)+j] }
+
+// NumModes returns the number of access modes (methods) of the class.
+func (t *Table) NumModes() int { return len(t.Methods) }
+
+// String renders the relation in the paper's Table 2 layout:
+//
+//	     m1   m2   m3   m4
+//	m1   no   no   yes  yes
+//	...
+func (t *Table) String() string {
+	var sb strings.Builder
+	w := 0
+	for _, m := range t.Methods {
+		if len(m) > w {
+			w = len(m)
+		}
+	}
+	if w < 3 {
+		w = 3
+	}
+	fmt.Fprintf(&sb, "%*s", w+1, "")
+	for _, m := range t.Methods {
+		fmt.Fprintf(&sb, " %*s", w, m)
+	}
+	sb.WriteByte('\n')
+	for i, mi := range t.Methods {
+		fmt.Fprintf(&sb, "%*s", w+1, mi)
+		for j := range t.Methods {
+			v := "no"
+			if t.ok[i*len(t.Methods)+j] {
+				v = "yes"
+			}
+			fmt.Fprintf(&sb, " %*s", w, v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Restrict returns the sub-table over the methods also present in other
+// class names — used to check the paper's remark that the commutativity
+// relation of c1 is the restriction of Table 2 to m1, m2, m3.
+func (t *Table) Restrict(methods []string) map[[2]string]bool {
+	out := make(map[[2]string]bool)
+	for _, a := range methods {
+		for _, b := range methods {
+			out[[2]string{a, b}] = t.Commutes(a, b)
+		}
+	}
+	return out
+}
+
+// Overrides records ad hoc commutativity declarations for predefined
+// classes (section 3: "It is of interest for predefined types or
+// classes, as the Integer type or the Collection class, to be delivered
+// with high commutativity performances", citing O'Neil's Escrow method
+// [20]). A declaration on class C applies to C and to any subclass in
+// which both methods still resolve to the same definitions (an override
+// in a subclass voids the ad hoc knowledge).
+type Overrides struct {
+	pairs map[string][][2]string // class name → symmetric method pairs
+}
+
+// NewOverrides returns an empty override set.
+func NewOverrides() *Overrides {
+	return &Overrides{pairs: make(map[string][][2]string)}
+}
+
+// Declare marks methods a and b of class cls as commuting (symmetric;
+// a may equal b, e.g. increment commutes with increment).
+func (o *Overrides) Declare(cls, a, b string) {
+	o.pairs[cls] = append(o.pairs[cls], [2]string{a, b})
+}
+
+// Allowed reports whether an override declared on c or one of its
+// ancestors covers the pair (a, b) in class c.
+func (o *Overrides) Allowed(c *schema.Class, a, b string) bool {
+	for _, cls := range c.Lin {
+		for _, p := range o.pairs[cls.Name] {
+			if !(p[0] == a && p[1] == b) && !(p[0] == b && p[1] == a) {
+				continue
+			}
+			// The declaration is trustworthy only if c still binds both
+			// methods to definitions visible from the declaring class.
+			ma, mb := c.Resolve(a), c.Resolve(b)
+			if ma == nil || mb == nil {
+				continue
+			}
+			if definedAtOrAbove(cls, ma) && definedAtOrAbove(cls, mb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func definedAtOrAbove(cls *schema.Class, m *schema.Method) bool {
+	if m.Definer == cls {
+		return true
+	}
+	return cls.HasAncestor(m.Definer)
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/schema"
+)
+
+// Structural property: the TAV of a method always dominates its DAV and
+// the TAVs of everything it can reach (definition 10 is a join over the
+// reachable set, and join is the lattice order's least upper bound).
+func TestTAVDominatesDAVEverywhere(t *testing.T) {
+	sources := []string{paperex.Figure1, miSchema, chainSchema}
+	for _, src := range sources {
+		c, err := CompileSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cls := range c.Schema.Order {
+			cc := c.Class(cls.Name)
+			for _, m := range cls.MethodList {
+				dav, _ := c.DAV(cls, m)
+				tav := cc.TAV[m]
+				if !tav.Join(dav).Equal(tav) {
+					t.Errorf("%s.%s: TAV %s does not dominate DAV %s",
+						cls.Name, m, tav.Format(c.Schema), dav.Format(c.Schema))
+				}
+			}
+			// Along every edge of the resolution graph, the source TAV
+			// dominates the target TAV.
+			g := cc.Graph
+			tavs := TAVs(g, c.Infos)
+			for vi, succ := range g.Succ {
+				for _, wi := range succ {
+					if !tavs[vi].Join(tavs[wi]).Equal(tavs[vi]) {
+						t.Errorf("%s: TAV of %s does not dominate successor %s",
+							cls.Name, g.Verts[vi], g.Verts[wi])
+					}
+				}
+			}
+		}
+	}
+}
+
+const miSchema = `
+class storable is
+    instance variables are
+        id : integer
+    method store is
+        id := id + 1
+    end
+end
+class printable is
+    instance variables are
+        copies : integer
+    method print is
+        copies := copies + 1
+    end
+end
+class report inherits storable, printable is
+    instance variables are
+        pages : integer
+    method publish is
+        send store to self
+        send print to self
+        pages := pages + 1
+    end
+end
+`
+
+const chainSchema = `
+class a is
+    instance variables are
+        x : integer
+    method m is
+        x := 1
+    end
+end
+class b inherits a is
+    instance variables are
+        y : integer
+    method m is redefined as
+        send a.m to self
+        y := 2
+    end
+end
+class c inherits b is
+    instance variables are
+        z : integer
+    method m is redefined as
+        send b.m to self
+        z := 3
+    end
+    method top is
+        send m to self
+    end
+end
+`
+
+// Multiple inheritance: publish on report reaches methods from both
+// parents; its TAV joins fields of three classes.
+func TestMultipleInheritanceTAV(t *testing.T) {
+	c, err := CompileSource(miSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Schema.Class("report")
+	tav, _ := c.TAV(rep, "publish")
+	for _, fname := range []string{"id", "copies", "pages"} {
+		f := rep.FieldByName(fname)
+		if tav.Get(f.ID) != Write {
+			t.Errorf("publish TAV: %s = %s, want Write", fname, tav.Get(f.ID))
+		}
+	}
+	// store and print commute (disjoint parent fields); both conflict
+	// with publish.
+	tbl := c.Class("report").Table
+	if !tbl.Commutes("store", "print") {
+		t.Error("store and print touch disjoint fields and must commute")
+	}
+	if tbl.Commutes("store", "publish") || tbl.Commutes("print", "publish") {
+		t.Error("publish overlaps both and must conflict")
+	}
+}
+
+// A three-level super-call chain accumulates every level's writes.
+func TestPrefixedChainTAV(t *testing.T) {
+	c, err := CompileSource(chainSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := c.Schema.Class("c")
+	tav, _ := c.TAV(cc, "top")
+	for _, fname := range []string{"x", "y", "z"} {
+		f := cc.FieldByName(fname)
+		if tav.Get(f.ID) != Write {
+			t.Errorf("top TAV: %s = %s, want Write", fname, tav.Get(f.ID))
+		}
+	}
+	// In class b, m writes x and y but not z.
+	b := c.Schema.Class("b")
+	tavB, _ := c.TAV(b, "m")
+	if tavB.Get(cc.FieldByName("z").ID) != Null {
+		t.Error("TAV(b,m) must not mention z")
+	}
+}
+
+// Schema evolution, the section 6 trade-off: "for applications which do
+// not change perpetually but solely at regular intervals of time, ours
+// is to be chosen" — updating a method means recompiling; the new tables
+// must reflect the new source while the old Compiled is untouched.
+func TestRecompileAfterMethodUpdate(t *testing.T) {
+	const v1 = `
+class doc is
+    instance variables are
+        body  : integer
+        meta  : integer
+    method edit(n) is
+        body := body + n
+    end
+    method tag(n) is
+        meta := meta + n
+    end
+end`
+	// v2 changes tag to also touch body — it must stop commuting with edit.
+	const v2 = `
+class doc is
+    instance variables are
+        body  : integer
+        meta  : integer
+    method edit(n) is
+        body := body + n
+    end
+    method tag(n) is
+        meta := meta + n
+        body := body + 1
+    end
+end`
+	c1, err := CompileSource(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.Class("doc").Table.Commutes("edit", "tag") {
+		t.Fatal("v1: edit and tag must commute")
+	}
+	c2, err := CompileSource(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Class("doc").Table.Commutes("edit", "tag") {
+		t.Error("v2: edit and tag must conflict after the update")
+	}
+	// The old compilation is immutable — a running system drains old
+	// transactions on c1's tables while new ones use c2's.
+	if !c1.Class("doc").Table.Commutes("edit", "tag") {
+		t.Error("recompilation must not mutate the previous Compiled")
+	}
+}
+
+// Modifying a method in a given class "may modify several of its
+// subclasses" (section 3): the inherited caller's TAV changes in every
+// subclass without touching subclass code.
+func TestUpdatePropagatesToSubclasses(t *testing.T) {
+	mk := func(helperBody string) *Compiled {
+		src := `
+class base is
+    instance variables are
+        a : integer
+        b : integer
+    method driver is
+        send helper to self
+    end
+    method helper is
+        ` + helperBody + `
+    end
+end
+class sub1 inherits base is
+    instance variables are
+        s1 : integer
+end
+class sub2 inherits sub1 is
+    instance variables are
+        s2 : integer
+end`
+		c, err := CompileSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	before := mk("a := 1")
+	after := mk("b := 1")
+	for _, cls := range []string{"base", "sub1", "sub2"} {
+		cb := before.Schema.Class(cls)
+		ca := after.Schema.Class(cls)
+		tavB, _ := before.TAV(cb, "driver")
+		tavA, _ := after.TAV(ca, "driver")
+		aID := cb.FieldByName("a").ID
+		bID := cb.FieldByName("b").ID
+		if tavB.Get(aID) != Write || tavB.Get(bID) != Null {
+			t.Errorf("%s before: %s", cls, tavB.Format(before.Schema))
+		}
+		if tavA.Get(ca.FieldByName("a").ID) != Null || tavA.Get(ca.FieldByName("b").ID) != Write {
+			t.Errorf("%s after: %s", cls, tavA.Format(after.Schema))
+		}
+	}
+}
+
+// The compiled artefact knows every class, even ones without methods.
+func TestCompileEmptyAndMethodlessClasses(t *testing.T) {
+	c, err := CompileSource(`
+class empty is end
+class dataonly is
+    instance variables are
+        v : integer
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"empty", "dataonly"} {
+		cc := c.Class(name)
+		if cc == nil {
+			t.Fatalf("class %s missing from compilation", name)
+		}
+		if cc.Table.NumModes() != 0 {
+			t.Errorf("%s: %d modes, want 0", name, cc.Table.NumModes())
+		}
+		if len(cc.Graph.Verts) != 0 {
+			t.Errorf("%s: graph must be empty", name)
+		}
+	}
+	if c.Class("nosuch") != nil {
+		t.Error("unknown class must be nil")
+	}
+}
+
+// DAV/TAV lookups on unknown names fail softly.
+func TestLookupMisses(t *testing.T) {
+	c, err := CompileSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := c.Schema.Class("c1")
+	if _, ok := c.DAV(c1, "nosuch"); ok {
+		t.Error("DAV of unknown method")
+	}
+	if _, ok := c.TAV(c1, "nosuch"); ok {
+		t.Error("TAV of unknown method")
+	}
+	ghost := &schema.Class{Name: "ghost"}
+	if _, ok := c.TAV(ghost, "m1"); ok {
+		t.Error("TAV of unknown class")
+	}
+}

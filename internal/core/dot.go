@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the late-binding resolution graph in Graphviz DOT syntax,
+// one node per (class,method) vertex, matching the paper's Figure 2.
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph lbr_%s {\n", g.Class.Name)
+	sb.WriteString("    rankdir=TB;\n    node [shape=box, fontname=\"monospace\"];\n")
+
+	labels := make([]string, len(g.Verts))
+	for i, v := range g.Verts {
+		labels[i] = fmt.Sprintf("%s_%s", v.Class.Name, v.Name)
+	}
+	order := make([]int, len(g.Verts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return labels[order[a]] < labels[order[b]] })
+
+	for _, i := range order {
+		fmt.Fprintf(&sb, "    %s [label=\"%s\"];\n", labels[i], g.Verts[i])
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "    %s -> %s;\n", dotID(e[0]), dotID(e[1]))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// dotID turns "(c2,m1)" into "c2_m1".
+func dotID(label string) string {
+	label = strings.TrimPrefix(label, "(")
+	label = strings.TrimSuffix(label, ")")
+	return strings.ReplaceAll(label, ",", "_")
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mdl"
+	"repro/internal/schema"
+)
+
+// QM is a qualified method reference (C', M') as written in prefixed
+// self-calls "send C'.M' to self" (definition 8).
+type QM struct {
+	Class  string
+	Method string
+}
+
+// String renders the paper's (class,method) notation.
+func (q QM) String() string { return "(" + q.Class + "," + q.Method + ")" }
+
+// MethodInfo is the compile-time information extracted from one method
+// *definition* (definitions 6–8). A class inheriting the method shares
+// this value — the paper's inheritance clauses (i) of definitions 6–8
+// state that DAV, DSC and PSC of inherited methods equal the definer's
+// (DAV padded with Nulls, which the sparse representation makes a no-op).
+type MethodInfo struct {
+	Method *schema.Method
+	DAV    Vector   // direct access vector over FIELDS(definer)
+	DSC    []string // direct self-calls, sorted method names
+	PSC    []QM     // prefixed self-calls, sorted
+}
+
+// extractor walks one method body resolving names against the defining
+// class and collecting DAV/DSC/PSC.
+type extractor struct {
+	s      *schema.Schema
+	class  *schema.Class // the defining class D
+	method *schema.Method
+	scope  map[string]bool // params and locals in scope
+	dav    *VectorBuilder
+	dsc    map[string]bool
+	psc    map[QM]bool
+	err    error
+}
+
+// Extract computes the MethodInfo of a method defined in class d.
+// It also validates the body: every plain identifier must be a field of
+// FIELDS(d), a parameter or a declared local; self-calls must name
+// methods of METHODS(d); prefixed calls must name an ancestor of d and a
+// method visible there; sends to a reference field must name a method
+// visible in the field's domain class.
+func Extract(s *schema.Schema, m *schema.Method) (*MethodInfo, error) {
+	d := m.Definer
+	ex := &extractor{
+		s:      s,
+		class:  d,
+		method: m,
+		scope:  make(map[string]bool),
+		dav:    NewVectorBuilder(),
+		dsc:    make(map[string]bool),
+		psc:    make(map[QM]bool),
+	}
+	for _, p := range m.Params {
+		ex.scope[p] = true
+	}
+	ex.stmts(m.Body)
+	if ex.err != nil {
+		return nil, ex.err
+	}
+	info := &MethodInfo{Method: m, DAV: ex.dav.Vector()}
+	for name := range ex.dsc {
+		info.DSC = append(info.DSC, name)
+	}
+	sort.Strings(info.DSC)
+	for qm := range ex.psc {
+		info.PSC = append(info.PSC, qm)
+	}
+	sort.Slice(info.PSC, func(i, j int) bool {
+		if info.PSC[i].Class != info.PSC[j].Class {
+			return info.PSC[i].Class < info.PSC[j].Class
+		}
+		return info.PSC[i].Method < info.PSC[j].Method
+	})
+	return info, nil
+}
+
+func (ex *extractor) fail(pos mdl.Pos, format string, args ...any) {
+	if ex.err == nil {
+		ex.err = fmt.Errorf("core: %s.%s: %s: %s",
+			ex.class.Name, ex.method.Name, pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (ex *extractor) stmts(ss []mdl.Stmt) {
+	for _, s := range ss {
+		if ex.err != nil {
+			return
+		}
+		ex.stmt(s)
+	}
+}
+
+func (ex *extractor) stmt(s mdl.Stmt) {
+	switch s := s.(type) {
+	case *mdl.Assign:
+		ex.expr(s.Value, Read)
+		if ex.scope[s.Target] {
+			return // assignment to a param or local: no field access
+		}
+		if f := ex.class.FieldByName(s.Target); f != nil {
+			// Definition 6: an assignment "f := …" puts Write_f in the DAV.
+			ex.dav.Add(f.ID, Write)
+			return
+		}
+		ex.fail(s.Pos(), "assignment to undeclared name %q", s.Target)
+	case *mdl.VarDecl:
+		ex.expr(s.Value, Read)
+		ex.scope[s.Name] = true
+	case *mdl.ExprStmt:
+		ex.expr(s.X, Read)
+	case *mdl.If:
+		ex.expr(s.Cond, Read)
+		ex.stmts(s.Then)
+		ex.stmts(s.Else)
+	case *mdl.While:
+		ex.expr(s.Cond, Read)
+		ex.stmts(s.Body)
+	case *mdl.Return:
+		if s.Value != nil {
+			ex.expr(s.Value, Read)
+		}
+	}
+}
+
+// expr records field accesses appearing in an expression. Per
+// definition 6, a field occurring in any expression — including message
+// arguments and message receivers like "send m to f3" — is Read unless
+// some assignment elsewhere promotes it to Write (the builder joins).
+func (ex *extractor) expr(e mdl.Expr, m Mode) {
+	if ex.err != nil || e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *mdl.IntLit, *mdl.BoolLit, *mdl.StrLit, *mdl.SelfExpr:
+	case *mdl.Ident:
+		if ex.scope[e.Name] {
+			return
+		}
+		if f := ex.class.FieldByName(e.Name); f != nil {
+			ex.dav.Add(f.ID, m)
+			return
+		}
+		ex.fail(e.Pos(), "unknown name %q (not a field, parameter or local)", e.Name)
+	case *mdl.Binary:
+		ex.expr(e.L, Read)
+		ex.expr(e.R, Read)
+	case *mdl.Unary:
+		ex.expr(e.X, Read)
+	case *mdl.Call:
+		for _, a := range e.Args {
+			ex.expr(a, Read)
+		}
+	case *mdl.New:
+		if ex.s.Class(e.Class) == nil {
+			ex.fail(e.Pos(), "new of unknown class %q", e.Class)
+			return
+		}
+		for _, a := range e.Args {
+			ex.expr(a, Read)
+		}
+	case *mdl.Send:
+		ex.send(e)
+	default:
+		ex.fail(e.Pos(), "unsupported expression %T", e)
+	}
+}
+
+func (ex *extractor) send(e *mdl.Send) {
+	for _, a := range e.Args {
+		ex.expr(a, Read)
+	}
+	if !e.ToSelf() {
+		// A message to another instance contributes only the Read of the
+		// receiver expression to this method's vector; the target method's
+		// accesses belong to the target's own top-level control (this is why
+		// TAV(c2,m3) contains only Read f2, Read f3 in the paper's example).
+		ex.expr(e.Target, Read)
+		ex.checkRemote(e)
+		return
+	}
+	if e.Class == "" {
+		// Definition 7: "send M' to self" joins DSC. The name must be
+		// visible in the defining class for definition 7's METHODS(C)
+		// membership to hold.
+		if ex.class.Resolve(e.Method) == nil {
+			ex.fail(e.Pos(), "self-call to %q which is not in METHODS(%s)", e.Method, ex.class.Name)
+			return
+		}
+		ex.dsc[e.Method] = true
+		return
+	}
+	// Definition 8: "send C'.M' to self" with C' ∈ ANCESTORS(C).
+	anc := ex.s.Class(e.Class)
+	if anc == nil {
+		ex.fail(e.Pos(), "prefixed call to unknown class %q", e.Class)
+		return
+	}
+	if !ex.class.HasAncestor(anc) {
+		ex.fail(e.Pos(), "prefixed call %s.%s: %s is not an ancestor of %s",
+			e.Class, e.Method, e.Class, ex.class.Name)
+		return
+	}
+	if anc.Resolve(e.Method) == nil {
+		ex.fail(e.Pos(), "prefixed call %s.%s: no such method in METHODS(%s)",
+			e.Class, e.Method, e.Class)
+		return
+	}
+	ex.psc[QM{Class: e.Class, Method: e.Method}] = true
+}
+
+// checkRemote validates a send to a non-self target when the receiver's
+// class is statically known (a reference field).
+func (ex *extractor) checkRemote(e *mdl.Send) {
+	id, ok := e.Target.(*mdl.Ident)
+	if !ok || ex.scope[id.Name] {
+		return // dynamic receiver: checked at run time
+	}
+	f := ex.class.FieldByName(id.Name)
+	if f == nil || f.Type != schema.TRef {
+		if f != nil {
+			ex.fail(e.Pos(), "send to field %q of non-reference type %s", id.Name, f.Type)
+		}
+		return
+	}
+	dom := ex.s.Class(f.Domain)
+	if dom != nil && dom.Resolve(e.Method) == nil {
+		ex.fail(e.Pos(), "send %s to %s: no such method in METHODS(%s)", e.Method, id.Name, dom.Name)
+	}
+}

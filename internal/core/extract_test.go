@@ -1,0 +1,311 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/schema"
+)
+
+func buildFigure1(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.FromSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// avFromNames converts a paperex.AV (field name → mode name) into a
+// Vector using the schema's field table.
+func avFromNames(t *testing.T, s *schema.Schema, av paperex.AV) Vector {
+	t.Helper()
+	modes := map[string]Mode{"Null": Null, "Read": Read, "Write": Write}
+	b := NewVectorBuilder()
+	for fname, mname := range av {
+		var fld *schema.Field
+		for _, f := range s.Fields {
+			if f.Name == fname {
+				fld = f
+				break
+			}
+		}
+		if fld == nil {
+			t.Fatalf("no field named %s in schema", fname)
+		}
+		m, ok := modes[mname]
+		if !ok {
+			t.Fatalf("bad mode name %s", mname)
+		}
+		b.Add(fld.ID, m)
+	}
+	return b.Vector()
+}
+
+func extractOf(t *testing.T, s *schema.Schema, cls, method string) *MethodInfo {
+	t.Helper()
+	c := s.Class(cls)
+	m := c.Resolve(method)
+	if m == nil {
+		t.Fatalf("%s.%s not found", cls, method)
+	}
+	info, err := Extract(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestExtractFigure1DAVs(t *testing.T) {
+	s := buildFigure1(t)
+	cases := []struct {
+		class, method, definer string
+	}{
+		{"c1", "m1", "(c1,m1)"},
+		{"c1", "m2", "(c1,m2)"},
+		{"c1", "m3", "(c1,m3)"},
+		{"c2", "m2", "(c2,m2)"},
+		{"c2", "m4", "(c2,m4)"},
+	}
+	for _, tc := range cases {
+		info := extractOf(t, s, tc.class, tc.method)
+		want := avFromNames(t, s, paperex.DAVs[tc.definer])
+		if !info.DAV.Equal(want) {
+			t.Errorf("DAV%s = %s, want %s", tc.definer, info.DAV.Format(s), want.Format(s))
+		}
+	}
+}
+
+// The paper spells out the direct access vector of m2 in c1:
+// (Write f1, Read f2, Null f3) — section 4.1 after definition 3.
+func TestExtractDAVc1m2Spelled(t *testing.T) {
+	s := buildFigure1(t)
+	info := extractOf(t, s, "c1", "m2")
+	c1 := s.Class("c1")
+	if got := info.DAV.FormatFull(s, c1.Fields); got != "(Write f1, Read f2, Null f3)" {
+		t.Errorf("DAV(c1,m2) = %s", got)
+	}
+}
+
+func TestExtractFigure1SelfCallSets(t *testing.T) {
+	s := buildFigure1(t)
+
+	m1 := extractOf(t, s, "c1", "m1")
+	if got := strings.Join(m1.DSC, ","); got != "m2,m3" {
+		t.Errorf("DSC(c1,m1) = %v", m1.DSC)
+	}
+	if len(m1.PSC) != 0 {
+		t.Errorf("PSC(c1,m1) = %v, want empty", m1.PSC)
+	}
+
+	m2c1 := extractOf(t, s, "c1", "m2")
+	if len(m2c1.DSC) != 0 || len(m2c1.PSC) != 0 {
+		t.Errorf("(c1,m2) self-call sets must be empty: %v %v", m2c1.DSC, m2c1.PSC)
+	}
+
+	// m3 sends m to f3 — a message to *another* instance: not a self-call.
+	m3 := extractOf(t, s, "c1", "m3")
+	if len(m3.DSC) != 0 || len(m3.PSC) != 0 {
+		t.Errorf("(c1,m3) self-call sets must be empty: %v %v", m3.DSC, m3.PSC)
+	}
+
+	m2c2 := extractOf(t, s, "c2", "m2")
+	if len(m2c2.PSC) != 1 || m2c2.PSC[0] != (QM{Class: "c1", Method: "m2"}) {
+		t.Errorf("PSC(c2,m2) = %v, want [(c1,m2)]", m2c2.PSC)
+	}
+	if len(m2c2.DSC) != 0 {
+		t.Errorf("DSC(c2,m2) = %v, want empty", m2c2.DSC)
+	}
+
+	m4 := extractOf(t, s, "c2", "m4")
+	if len(m4.DSC) != 0 || len(m4.PSC) != 0 {
+		t.Errorf("(c2,m4) self-call sets must be empty")
+	}
+}
+
+// Inherited methods share the definer's extraction (definitions 6–8,
+// clauses (i)): resolving m1 in c2 yields the same *Method and hence the
+// same info.
+func TestExtractInheritanceSharing(t *testing.T) {
+	s := buildFigure1(t)
+	c1, c2 := s.Class("c1"), s.Class("c2")
+	if c1.Resolve("m1") != c2.Resolve("m1") {
+		t.Fatal("m1 must resolve to the same definition in c1 and c2")
+	}
+}
+
+func TestExtractReadThenWriteIsWrite(t *testing.T) {
+	s, err := schema.FromSource(`
+class k is
+    instance variables are
+        a : integer
+    method m is
+        a := a + 1
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := extractOf(t, s, "k", "m")
+	a := s.Class("k").FieldByName("a")
+	if info.DAV.Get(a.ID) != Write {
+		t.Errorf("a read and assigned must be Write, got %s", info.DAV.Get(a.ID))
+	}
+}
+
+func TestExtractParamsAndLocalsShadowNothing(t *testing.T) {
+	s, err := schema.FromSource(`
+class k is
+    instance variables are
+        a : integer
+        b : integer
+    method m(p) is
+        var x := p + 1
+        x := x + b
+        p := 0
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := extractOf(t, s, "k", "m")
+	k := s.Class("k")
+	if got := info.DAV.Get(k.FieldByName("a").ID); got != Null {
+		t.Errorf("a untouched, got %s", got)
+	}
+	if got := info.DAV.Get(k.FieldByName("b").ID); got != Read {
+		t.Errorf("b read, got %s", got)
+	}
+}
+
+func TestExtractControlFlowBranchesJoined(t *testing.T) {
+	// TAVs are conservative: both branches contribute (section 4.4
+	// discussion — vectors "even represent impossible executions").
+	s, err := schema.FromSource(`
+class k is
+    instance variables are
+        a : integer
+        b : integer
+        c : boolean
+    method m is
+        if c then
+            a := 1
+        else
+            b := 2
+        end
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := extractOf(t, s, "k", "m")
+	k := s.Class("k")
+	if info.DAV.Get(k.FieldByName("a").ID) != Write ||
+		info.DAV.Get(k.FieldByName("b").ID) != Write ||
+		info.DAV.Get(k.FieldByName("c").ID) != Read {
+		t.Errorf("DAV = %s", info.DAV.Format(s))
+	}
+}
+
+func TestExtractWhileAndReturn(t *testing.T) {
+	s, err := schema.FromSource(`
+class k is
+    instance variables are
+        n : integer
+    method m(p) is
+        var i := 0
+        while i < p do
+            i := i + 1
+            n := n + i
+        end
+        return n
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := extractOf(t, s, "k", "m")
+	if got := info.DAV.Get(s.Class("k").FieldByName("n").ID); got != Write {
+		t.Errorf("n = %s, want Write", got)
+	}
+}
+
+func TestExtractSendArgumentsAreReads(t *testing.T) {
+	s, err := schema.FromSource(`
+class k is
+    instance variables are
+        a : integer
+        o : k
+    method callee(p) is
+        return p
+    end
+    method m is
+        send callee(a) to o
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := extractOf(t, s, "k", "m")
+	k := s.Class("k")
+	if info.DAV.Get(k.FieldByName("a").ID) != Read {
+		t.Error("argument field a must be Read")
+	}
+	if info.DAV.Get(k.FieldByName("o").ID) != Read {
+		t.Error("receiver field o must be Read")
+	}
+	if len(info.DSC) != 0 {
+		t.Error("send to o is not a self-call")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"unknown name", `class k is method m is x := 1 end end`, "undeclared name"},
+		{"unknown read", `class k is method m is return y end end`, "unknown name"},
+		{"self call unknown", `class k is method m is send nope to self end end`, "not in METHODS(k)"},
+		{"prefixed unknown class", `class k is method m is send z.m to self end end`, "unknown class"},
+		{"prefixed non ancestor", `class a is method m is return end end
+		                           class k is method m is send a.m to self end end`, "not an ancestor"},
+		{"prefixed unknown method", `class a is method p is return end end
+		                             class k inherits a is method m is send a.q to self end end`, "no such method"},
+		{"new unknown class", `class k is method m is var x := new zz end end`, "unknown class"},
+		{"send to non-ref field", `class k is
+		    instance variables are
+		        a : integer
+		    method m is
+		        send foo to a
+		    end
+		end`, "non-reference type"},
+		{"send unknown to ref", `class t is method ok is return end end
+		   class k is
+		       instance variables are
+		           r : t
+		       method m is
+		           send nosuch to r
+		       end
+		   end`, "no such method in METHODS(t)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := schema.FromSource(tc.src)
+			if err != nil {
+				t.Fatalf("schema error (want extract error): %v", err)
+			}
+			_, cerr := Compile(s)
+			if cerr == nil {
+				t.Fatalf("want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(cerr.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", cerr, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestQMString(t *testing.T) {
+	if got := (QM{Class: "c1", Method: "m2"}).String(); got != "(c1,m2)" {
+		t.Errorf("got %s", got)
+	}
+}

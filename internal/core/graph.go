@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// Vertex is a node (C', M') of a late-binding resolution graph: the
+// method named M', as visible in class C' (definition 9). Resolved is
+// the method definition METHODS(C') binds the name to.
+type Vertex struct {
+	Class    *schema.Class
+	Name     string
+	Resolved *schema.Method
+}
+
+// String renders the paper's "(class,method)" vertex label.
+func (v Vertex) String() string { return "(" + v.Class.Name + "," + v.Name + ")" }
+
+// Graph is the late-binding resolution graph G_C(V, Γ) of a class C
+// (definition 9). It is applicable to any proper instance of C:
+//
+//   - V contains (C, M) for every M ∈ METHODS(C), plus the
+//     reflexo-transitive closure of prefixed self-calls;
+//   - Γ(C',M') contains (C, M”) for every direct self-call M” of
+//     (C',M') — self-calls re-dispatch in the *instance's* class C, which
+//     is how late binding is resolved at compile time — plus the prefixed
+//     self-calls (C”,M”) of (C',M') verbatim.
+type Graph struct {
+	Class *schema.Class
+	Verts []Vertex
+	Succ  [][]int // adjacency: Succ[i] lists vertex indices, sorted
+
+	index map[vkey]int
+}
+
+type vkey struct {
+	class *schema.Class
+	name  string
+}
+
+// BuildGraph constructs G_C from per-definition extraction results.
+// infos must contain a MethodInfo for every method definition reachable
+// from C (Compile guarantees this).
+func BuildGraph(c *schema.Class, infos map[*schema.Method]*MethodInfo) (*Graph, error) {
+	g := &Graph{Class: c, index: make(map[vkey]int)}
+
+	add := func(cls *schema.Class, name string) (int, error) {
+		k := vkey{cls, name}
+		if i, ok := g.index[k]; ok {
+			return i, nil
+		}
+		m := cls.Resolve(name)
+		if m == nil {
+			return 0, fmt.Errorf("core: class %s: no method %q visible in %s", c.Name, name, cls.Name)
+		}
+		g.index[k] = len(g.Verts)
+		g.Verts = append(g.Verts, Vertex{Class: cls, Name: name, Resolved: m})
+		g.Succ = append(g.Succ, nil)
+		return len(g.Verts) - 1, nil
+	}
+
+	// Seed with {C} × METHODS(C), in sorted name order for determinism.
+	work := make([]int, 0, len(c.MethodList))
+	for _, name := range c.MethodList {
+		i, err := add(c, name)
+		if err != nil {
+			return nil, err
+		}
+		work = append(work, i)
+	}
+
+	// Worklist closure: each vertex contributes DSC edges back into C and
+	// PSC edges (possibly discovering new ancestor vertices).
+	for len(work) > 0 {
+		vi := work[0]
+		work = work[1:]
+		if g.Succ[vi] != nil {
+			continue // already expanded
+		}
+		v := g.Verts[vi]
+		info := infos[v.Resolved]
+		if info == nil {
+			return nil, fmt.Errorf("core: missing extraction for %s", v.Resolved.QualifiedName())
+		}
+		succ := make([]int, 0, len(info.DSC)+len(info.PSC))
+		for _, name := range info.DSC {
+			ti, err := add(c, name) // late binding: resolve in C
+			if err != nil {
+				return nil, err
+			}
+			succ = append(succ, ti)
+			work = append(work, ti)
+		}
+		for _, qm := range info.PSC {
+			anc := findClass(c, qm.Class)
+			if anc == nil {
+				return nil, fmt.Errorf("core: class %s: prefixed call names %s which is not an ancestor",
+					c.Name, qm.Class)
+			}
+			ti, err := add(anc, qm.Method)
+			if err != nil {
+				return nil, err
+			}
+			succ = append(succ, ti)
+			work = append(work, ti)
+		}
+		sort.Ints(succ)
+		succ = dedupInts(succ)
+		if len(succ) == 0 {
+			succ = []int{} // mark expanded
+		}
+		g.Succ[vi] = succ
+	}
+	return g, nil
+}
+
+// findClass returns the class named name among c and its ancestors.
+// Prefixed calls always name ancestors of the defining class, which are
+// ancestors of (or equal to) c — but c itself never appears in a PSC.
+func findClass(c *schema.Class, name string) *schema.Class {
+	for _, a := range c.Lin {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// VertexOf returns the index of vertex (cls, name), or -1.
+func (g *Graph) VertexOf(cls *schema.Class, name string) int {
+	if i, ok := g.index[vkey{cls, name}]; ok {
+		return i
+	}
+	return -1
+}
+
+// Edges returns the edge list as vertex-label pairs, sorted, for tests
+// and printing.
+func (g *Graph) Edges() [][2]string {
+	var out [][2]string
+	for i, succ := range g.Succ {
+		for _, j := range succ {
+			out = append(out, [2]string{g.Verts[i].String(), g.Verts[j].String()})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// VertexLabels returns all vertex labels, sorted.
+func (g *Graph) VertexLabels() []string {
+	out := make([]string, len(g.Verts))
+	for i, v := range g.Verts {
+		out[i] = v.String()
+	}
+	sort.Strings(out)
+	return out
+}

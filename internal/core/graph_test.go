@@ -1,0 +1,210 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+func compileFigure1(t *testing.T) *Compiled {
+	t.Helper()
+	c, err := CompileSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFigure2Graph checks the late-binding resolution graph of class c2
+// against Figure 2 of the paper, vertex by vertex and edge by edge.
+func TestFigure2Graph(t *testing.T) {
+	c := compileFigure1(t)
+	g := c.Class("c2").Graph
+
+	if got := g.VertexLabels(); !reflect.DeepEqual(got, paperex.Figure2Vertices) {
+		t.Errorf("V = %v\nwant %v", got, paperex.Figure2Vertices)
+	}
+	gotEdges := g.Edges()
+	if len(gotEdges) != len(paperex.Figure2Edges) {
+		t.Fatalf("Γ has %d edges %v, want %d", len(gotEdges), gotEdges, len(paperex.Figure2Edges))
+	}
+	for i, want := range paperex.Figure2Edges {
+		if gotEdges[i] != want {
+			t.Errorf("edge %d = %v, want %v", i, gotEdges[i], want)
+		}
+	}
+}
+
+// The vertex (c2,m4) of Figure 2 is isolated (no self-calls).
+func TestFigure2IsolatedVertex(t *testing.T) {
+	c := compileFigure1(t)
+	g := c.Class("c2").Graph
+	vi := g.VertexOf(g.Class, "m4")
+	if vi < 0 {
+		t.Fatal("(c2,m4) missing")
+	}
+	if len(g.Succ[vi]) != 0 {
+		t.Errorf("(c2,m4) has successors %v", g.Succ[vi])
+	}
+}
+
+// G_c1 contains only c1's own methods; the paper notes the commutativity
+// relation of c1 is the restriction of c2's, so its graph is the same
+// shape minus (c2,·) and (c2,m4).
+func TestGraphOfC1(t *testing.T) {
+	c := compileFigure1(t)
+	g := c.Class("c1").Graph
+	want := []string{"(c1,m1)", "(c1,m2)", "(c1,m3)"}
+	if got := g.VertexLabels(); !reflect.DeepEqual(got, want) {
+		t.Errorf("V(c1) = %v", got)
+	}
+	wantEdges := [][2]string{
+		{"(c1,m1)", "(c1,m2)"},
+		{"(c1,m1)", "(c1,m3)"},
+	}
+	if got := g.Edges(); !reflect.DeepEqual(got, wantEdges) {
+		t.Errorf("Γ(c1) = %v", got)
+	}
+}
+
+// Self-calls from an inherited method re-dispatch in the instance's
+// class — the core of definition 9. Here base.run self-calls step; sub
+// overrides step; in G_sub the edge must be (sub,run) → (sub,step).
+func TestGraphLateBindingResolution(t *testing.T) {
+	c, err := CompileSource(`
+class base is
+    instance variables are
+        a : integer
+    method run is
+        send step to self
+    end
+    method step is
+        a := 1
+    end
+end
+class sub inherits base is
+    instance variables are
+        b : integer
+    method step is redefined as
+        b := 2
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Class("sub").Graph
+	edges := g.Edges()
+	want := [2]string{"(sub,run)", "(sub,step)"}
+	found := false
+	for _, e := range edges {
+		if e == want {
+			found = true
+		}
+		if e[1] == "(base,step)" {
+			t.Errorf("stale edge to (base,step): self-call must re-dispatch in sub")
+		}
+	}
+	if !found {
+		t.Errorf("missing edge %v in %v", want, edges)
+	}
+}
+
+// A prefixed-call chain grows PSC* transitively: c3.m super-calls c2.m
+// which super-calls c1.m; G_c3 must contain all three vertices.
+func TestGraphPrefixedClosure(t *testing.T) {
+	c, err := CompileSource(`
+class k1 is
+    instance variables are
+        a : integer
+    method m is
+        a := 1
+    end
+end
+class k2 inherits k1 is
+    instance variables are
+        b : integer
+    method m is redefined as
+        send k1.m to self
+        b := 2
+    end
+end
+class k3 inherits k2 is
+    instance variables are
+        c : integer
+    method m is redefined as
+        send k2.m to self
+        c := 3
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Class("k3").Graph
+	want := []string{"(k1,m)", "(k2,m)", "(k3,m)"}
+	if got := g.VertexLabels(); !reflect.DeepEqual(got, want) {
+		t.Errorf("V = %v, want %v", got, want)
+	}
+	wantEdges := [][2]string{
+		{"(k2,m)", "(k1,m)"},
+		{"(k3,m)", "(k2,m)"},
+	}
+	if got := g.Edges(); !reflect.DeepEqual(got, wantEdges) {
+		t.Errorf("Γ = %v", got)
+	}
+}
+
+// Mutual recursion through self-calls creates a directed cycle in the
+// graph (the case section 4.3 handles with strong components).
+func TestGraphCycle(t *testing.T) {
+	c, err := CompileSource(`
+class k is
+    instance variables are
+        a : integer
+        b : integer
+    method ping is
+        a := a + 1
+        send pong to self
+    end
+    method pong is
+        b := b + 1
+        send ping to self
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Class("k").Graph
+	wantEdges := [][2]string{
+		{"(k,ping)", "(k,pong)"},
+		{"(k,pong)", "(k,ping)"},
+	}
+	if got := g.Edges(); !reflect.DeepEqual(got, wantEdges) {
+		t.Errorf("Γ = %v", got)
+	}
+}
+
+func TestGraphDot(t *testing.T) {
+	c := compileFigure1(t)
+	dot := c.Class("c2").Graph.Dot()
+	for _, want := range []string{
+		"digraph lbr_c2",
+		`c2_m1 [label="(c2,m1)"]`,
+		"c2_m1 -> c2_m2;",
+		"c2_m1 -> c2_m3;",
+		"c2_m2 -> c1_m2;",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestVertexOfMissing(t *testing.T) {
+	c := compileFigure1(t)
+	g := c.Class("c1").Graph
+	if got := g.VertexOf(g.Class, "nosuch"); got != -1 {
+		t.Errorf("got %d, want -1", got)
+	}
+}

@@ -1,0 +1,63 @@
+// Package core implements the compile-time concurrency-control analysis
+// that is the contribution of Malta & Martinez (ICDE'93): access modes and
+// their lattice (definition 2, Table 1), access vectors with the join
+// operator and the commutativity relation (definitions 3–5), extraction of
+// direct access vectors and self-call sets from method source code
+// (definitions 6–8), the per-class late-binding resolution graph
+// (definition 9), transitive access vectors computed with a single Tarjan
+// strong-components pass (definition 10, reference [24]), and the
+// translation of transitive access vectors into per-class access modes
+// with a commutativity table (section 5.1, Table 2).
+package core
+
+// Mode is an access mode on a single field: MODES = {Null, Read, Write}
+// with Null < Read < Write (definition 2).
+type Mode uint8
+
+// The three access modes, ordered.
+const (
+	Null Mode = iota
+	Read
+	Write
+)
+
+// String returns the paper's spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Null:
+		return "Null"
+	case Read:
+		return "Read"
+	case Write:
+		return "Write"
+	}
+	return "Mode(?)"
+}
+
+// Compatible implements cMODES, the classical compatibility relation of
+// Table 1: Null is compatible with everything, Read with Read, and Write
+// only with Null.
+func (m Mode) Compatible(n Mode) bool {
+	return m == Null || n == Null || (m == Read && n == Read)
+}
+
+// Join is the lattice join on MODES. On the total order Null < Read <
+// Write, join is max (definition 2).
+func (m Mode) Join(n Mode) Mode {
+	if n > m {
+		return n
+	}
+	return m
+}
+
+// Table1 renders the classical compatibility relation exactly as printed
+// in the paper (Table 1), for the table-reproduction experiment.
+func Table1() [3][3]bool {
+	var t [3][3]bool
+	for _, a := range []Mode{Null, Read, Write} {
+		for _, b := range []Mode{Null, Read, Write} {
+			t[a][b] = a.Compatible(b)
+		}
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/paperex"
+)
+
+func TestTable1(t *testing.T) {
+	got := Table1()
+	want := paperex.Table1
+	for a := Null; a <= Write; a++ {
+		for b := Null; b <= Write; b++ {
+			if got[a][b] != want[a][b] {
+				t.Errorf("compat(%s, %s) = %v, want %v", a, b, got[a][b], want[a][b])
+			}
+		}
+	}
+}
+
+func TestModeCompatibleSymmetric(t *testing.T) {
+	for a := Null; a <= Write; a++ {
+		for b := Null; b <= Write; b++ {
+			if a.Compatible(b) != b.Compatible(a) {
+				t.Errorf("compat(%s,%s) not symmetric", a, b)
+			}
+		}
+	}
+}
+
+func TestModeJoinIsMax(t *testing.T) {
+	cases := []struct{ a, b, want Mode }{
+		{Null, Null, Null},
+		{Null, Read, Read},
+		{Read, Null, Read},
+		{Read, Write, Write},
+		{Write, Read, Write},
+		{Write, Write, Write},
+		{Null, Write, Write},
+	}
+	for _, c := range cases {
+		if got := c.a.Join(c.b); got != c.want {
+			t.Errorf("%s ⊔ %s = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// The order on MODES is deduced from the compatibility relation by
+// inclusion of rows (definition 2 / Korth [13]): m ≤ n iff every mode
+// compatible with n is compatible with m.
+func TestModeOrderDeducedFromCompatibility(t *testing.T) {
+	leq := func(m, n Mode) bool {
+		for x := Null; x <= Write; x++ {
+			if n.Compatible(x) && !m.Compatible(x) {
+				return false
+			}
+		}
+		return true
+	}
+	for m := Null; m <= Write; m++ {
+		for n := Null; n <= Write; n++ {
+			if got, want := leq(m, n), m <= n; got != want {
+				t.Errorf("row-inclusion order (%s ≤ %s) = %v, want %v", m, n, got, want)
+			}
+		}
+	}
+}
+
+func TestModeJoinLatticeLaws(t *testing.T) {
+	mode := func(x uint8) Mode { return Mode(x % 3) }
+	idem := func(x uint8) bool { m := mode(x); return m.Join(m) == m }
+	comm := func(x, y uint8) bool { return mode(x).Join(mode(y)) == mode(y).Join(mode(x)) }
+	assoc := func(x, y, z uint8) bool {
+		a, b, c := mode(x), mode(y), mode(z)
+		return a.Join(b).Join(c) == a.Join(b.Join(c))
+	}
+	for name, fn := range map[string]any{"idempotent": idem, "commutative": comm, "associative": assoc} {
+		if err := quick.Check(fn, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Null.String() != "Null" || Read.String() != "Read" || Write.String() != "Write" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(?)" {
+		t.Error("unknown mode must not panic")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+// Tarjan's strong-components algorithm (the paper's reference [24]:
+// Tarjan, "Depth-first search and linear graph algorithms", SIAM J.
+// Computing 1972). StrongComponents returns the components in *reverse
+// topological order* of the condensation: every successor of a component
+// appears before it in the result — exactly the order in which
+// transitive access vectors must be accumulated ("calculated from the
+// sinks … up to the sources", section 4.3).
+//
+// The implementation is iterative so that very deep call graphs produced
+// by the workload generator cannot overflow a goroutine stack.
+func StrongComponents(succ [][]int) [][]int {
+	n := len(succ)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int // Tarjan stack
+		comps   [][]int
+		counter int
+	)
+
+	type frame struct {
+		v  int
+		ei int // next successor edge to explore
+	}
+	var call []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: root})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < len(succ[v]) {
+				w := succ[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// All successors explored: pop.
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

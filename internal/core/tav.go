@@ -1,0 +1,53 @@
+package core
+
+import (
+	"repro/internal/schema"
+)
+
+// TAVs computes the transitive access vector of every vertex of a
+// late-binding resolution graph (definition 10):
+//
+//	TAV(C,M) = ⊔ { DAV(C',M') | (C',M') ∈ Γ*(C,M) }
+//
+// i.e. the join of the direct access vectors of every method that may
+// execute when M is sent to a proper instance of C. Vertices of a common
+// strong component necessarily share a TAV (their Γ* sets coincide,
+// section 4.3), so one Tarjan pass plus an accumulation over the
+// condensation — which StrongComponents already emits in dependency
+// order (sinks first) — computes all TAVs in O(|V| + |Γ|) vector joins,
+// the linearity claimed in section 4.3. Property 1 (idempotence,
+// commutativity, associativity of join) is what makes the per-component
+// accumulation order irrelevant.
+//
+// The result is indexed like g.Verts.
+func TAVs(g *Graph, infos map[*schema.Method]*MethodInfo) []Vector {
+	comps := StrongComponents(g.Succ)
+	compOf := make([]int, len(g.Verts))
+	for ci, comp := range comps {
+		for _, v := range comp {
+			compOf[v] = ci
+		}
+	}
+
+	compTAV := make([]Vector, len(comps))
+	out := make([]Vector, len(g.Verts))
+	// comps is in reverse topological order: successors of a component
+	// have smaller indices, so a single forward pass suffices.
+	for ci, comp := range comps {
+		var acc Vector
+		for _, v := range comp {
+			acc = acc.Join(infos[g.Verts[v].Resolved].DAV)
+			for _, w := range g.Succ[v] {
+				wc := compOf[w]
+				if wc != ci {
+					acc = acc.Join(compTAV[wc])
+				}
+			}
+		}
+		compTAV[ci] = acc
+		for _, v := range comp {
+			out[v] = acc
+		}
+	}
+	return out
+}

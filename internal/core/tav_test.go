@@ -1,0 +1,261 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/paperex"
+)
+
+// TestSection43TAVs verifies every transitive access vector worked
+// through in section 4.3 of the paper, for both c2 and c1.
+func TestSection43TAVs(t *testing.T) {
+	c := compileFigure1(t)
+	s := c.Schema
+
+	for method, av := range paperex.TAVsC2 {
+		want := avFromNames(t, s, av)
+		got, ok := c.TAV(s.Class("c2"), method)
+		if !ok {
+			t.Fatalf("no TAV for (c2,%s)", method)
+		}
+		if !got.Equal(want) {
+			t.Errorf("TAV(c2,%s) = %s, want %s", method, got.Format(s), want.Format(s))
+		}
+	}
+	for method, av := range paperex.TAVsC1 {
+		want := avFromNames(t, s, av)
+		got, ok := c.TAV(s.Class("c1"), method)
+		if !ok {
+			t.Fatalf("no TAV for (c1,%s)", method)
+		}
+		if !got.Equal(want) {
+			t.Errorf("TAV(c1,%s) = %s, want %s", method, got.Format(s), want.Format(s))
+		}
+	}
+}
+
+// The paper's spelled-out values, full width: TAV(c2,m2) =
+// (Write f1, Read f2, Null f3, Write f4, Read f5, Null f6) and
+// TAV(c2,m1) = (Write f1, Read f2, Read f3, Write f4, Read f5, Null f6).
+func TestSection43TAVsSpelled(t *testing.T) {
+	c := compileFigure1(t)
+	s := c.Schema
+	c2 := s.Class("c2")
+
+	m2, _ := c.TAV(c2, "m2")
+	if got := m2.FormatFull(s, c2.Fields); got != "(Write f1, Read f2, Null f3, Write f4, Read f5, Null f6)" {
+		t.Errorf("TAV(c2,m2) = %s", got)
+	}
+	m1, _ := c.TAV(c2, "m1")
+	if got := m1.FormatFull(s, c2.Fields); got != "(Write f1, Read f2, Read f3, Write f4, Read f5, Null f6)" {
+		t.Errorf("TAV(c2,m1) = %s", got)
+	}
+}
+
+// Sinks have TAV = DAV (the obvious equality of section 4.3).
+func TestTAVEqualsDAVAtSinks(t *testing.T) {
+	c := compileFigure1(t)
+	s := c.Schema
+	c2 := s.Class("c2")
+	for _, sink := range []string{"m3", "m4"} {
+		tav, _ := c.TAV(c2, sink)
+		dav, _ := c.DAV(c2, sink)
+		if !tav.Equal(dav) {
+			t.Errorf("TAV(c2,%s) = %s != DAV = %s", sink, tav.Format(s), dav.Format(s))
+		}
+	}
+}
+
+// Vertices of a common strong component share their TAV (section 4.3's
+// observation about directed cycles).
+func TestTAVCycleShared(t *testing.T) {
+	c, err := CompileSource(`
+class k is
+    instance variables are
+        a : integer
+        b : integer
+        c : boolean
+    method ping is
+        a := a + 1
+        send pong to self
+    end
+    method pong is
+        b := b + 1
+        send ping to self
+    end
+    method watch is
+        return c
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := c.Schema.Class("k")
+	ping, _ := c.TAV(k, "ping")
+	pong, _ := c.TAV(k, "pong")
+	if !ping.Equal(pong) {
+		t.Errorf("cycle members differ: %s vs %s",
+			ping.Format(c.Schema), pong.Format(c.Schema))
+	}
+	if ping.Get(k.FieldByName("a").ID) != Write || ping.Get(k.FieldByName("b").ID) != Write {
+		t.Errorf("cycle TAV = %s, want Write a, Write b", ping.Format(c.Schema))
+	}
+	watch, _ := c.TAV(k, "watch")
+	if watch.HasWrite() {
+		t.Error("watch must stay a reader")
+	}
+}
+
+// Direct recursion (a method sending its own name to self) is the
+// 1-vertex-cycle case; idempotence of join keeps it well defined.
+func TestTAVSelfRecursion(t *testing.T) {
+	c, err := CompileSource(`
+class k is
+    instance variables are
+        n : integer
+    method down(p) is
+        if p > 0 then
+            n := n - 1
+            send down(p - 1) to self
+        end
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := c.Schema.Class("k")
+	tav, _ := c.TAV(k, "down")
+	dav, _ := c.DAV(k, "down")
+	if !tav.Equal(dav) {
+		t.Errorf("self-recursive TAV %s != DAV %s", tav.Format(c.Schema), dav.Format(c.Schema))
+	}
+}
+
+// A diamond where both branches reach a common helper: the helper's DAV
+// must be joined once (idempotence), and the top method sees the union.
+func TestTAVDiamondCallGraph(t *testing.T) {
+	c, err := CompileSource(`
+class k is
+    instance variables are
+        x : integer
+        y : integer
+        z : integer
+    method top is
+        send left to self
+        send right to self
+    end
+    method left is
+        x := z
+    end
+    method right is
+        y := z
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := c.Schema.Class("k")
+	top, _ := c.TAV(k, "top")
+	if top.Get(k.FieldByName("x").ID) != Write ||
+		top.Get(k.FieldByName("y").ID) != Write ||
+		top.Get(k.FieldByName("z").ID) != Read {
+		t.Errorf("TAV(top) = %s", top.Format(c.Schema))
+	}
+}
+
+// Overriding changes the TAV of untouched, *inherited* callers — the
+// reason TAVs are per (class, method) pairs, not per method.
+func TestTAVInheritedCallerSeesOverride(t *testing.T) {
+	c, err := CompileSource(`
+class base is
+    instance variables are
+        a : integer
+    method run is
+        send step to self
+    end
+    method step is
+        a := 1
+    end
+end
+class sub inherits base is
+    instance variables are
+        b : integer
+    method step is redefined as
+        b := 2
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Schema
+	base, sub := s.Class("base"), s.Class("sub")
+	runBase, _ := c.TAV(base, "run")
+	runSub, _ := c.TAV(sub, "run")
+	a, b := base.FieldByName("a").ID, sub.FieldByName("b").ID
+
+	if runBase.Get(a) != Write || runBase.Get(b) != Null {
+		t.Errorf("TAV(base,run) = %s", runBase.Format(s))
+	}
+	// In sub, run executes the overriding step: writes b, not a.
+	if runSub.Get(b) != Write || runSub.Get(a) != Null {
+		t.Errorf("TAV(sub,run) = %s", runSub.Format(s))
+	}
+}
+
+func TestStrongComponentsOrder(t *testing.T) {
+	// 0 → 1 → 2, 2 → 1 (cycle {1,2}), 3 isolated.
+	succ := [][]int{{1}, {2}, {1}, {}}
+	comps := StrongComponents(succ)
+	if len(comps) != 3 {
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+	pos := make(map[int]int)
+	for ci, comp := range comps {
+		for _, v := range comp {
+			pos[v] = ci
+		}
+	}
+	if pos[1] != pos[2] {
+		t.Errorf("1 and 2 must share a component: %v", comps)
+	}
+	// Reverse topological: the {1,2} component must precede {0}.
+	if pos[1] > pos[0] {
+		t.Errorf("successors must come first: %v", comps)
+	}
+}
+
+func TestStrongComponentsBig(t *testing.T) {
+	// A long chain with a back edge forming one big cycle, plus a tail.
+	const n = 10000
+	succ := make([][]int, n+1)
+	for i := 0; i < n-1; i++ {
+		succ[i] = []int{i + 1}
+	}
+	succ[n-1] = []int{0, n} // close the cycle, plus edge to sink n
+	comps := StrongComponents(succ)
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	if len(comps[0]) != 1 || comps[0][0] != n {
+		t.Errorf("first (sink-most) component = %v, want [%d]", comps[0], n)
+	}
+	if len(comps[1]) != n {
+		t.Errorf("cycle component has %d members, want %d", len(comps[1]), n)
+	}
+}
+
+func TestStrongComponentsDisconnected(t *testing.T) {
+	succ := [][]int{{}, {}, {}}
+	comps := StrongComponents(succ)
+	if len(comps) != 3 {
+		t.Errorf("got %v", comps)
+	}
+	var seen []int
+	for _, c := range comps {
+		seen = append(seen, c...)
+	}
+	if !reflect.DeepEqual(seen, []int{0, 1, 2}) {
+		t.Errorf("vertices covered: %v", seen)
+	}
+}

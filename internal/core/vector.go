@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Vector is an access vector (definition 3): a bag of modes indexed by
+// fields. The representation is sparse — fields not present are
+// Null-locked — and kept sorted by FieldID, so joins and commutativity
+// checks are linear merges and the zero Vector is the all-Null vector.
+//
+// Vectors are immutable; all operations return new values.
+type Vector struct {
+	entries []entry // sorted by Field, Mode != Null
+}
+
+type entry struct {
+	Field schema.FieldID
+	Mode  Mode
+}
+
+// FM is a (field, mode) pair for constructing vectors literally.
+type FM struct {
+	Field schema.FieldID
+	Mode  Mode
+}
+
+// VectorOf builds a vector from (field, mode) pairs; Null pairs are
+// dropped, duplicate fields are joined.
+func VectorOf(pairs ...FM) Vector {
+	b := NewVectorBuilder()
+	for _, p := range pairs {
+		b.Add(p.Field, p.Mode)
+	}
+	return b.Vector()
+}
+
+// VectorBuilder accumulates field accesses; Add joins modes, so
+// recording Read after Write keeps Write (definition 6's "most
+// restrictive access mode used by the method").
+type VectorBuilder struct {
+	modes map[schema.FieldID]Mode
+}
+
+// NewVectorBuilder returns an empty builder.
+func NewVectorBuilder() *VectorBuilder {
+	return &VectorBuilder{modes: make(map[schema.FieldID]Mode)}
+}
+
+// Add joins mode into the entry for field f.
+func (b *VectorBuilder) Add(f schema.FieldID, m Mode) {
+	if m == Null {
+		return
+	}
+	b.modes[f] = b.modes[f].Join(m)
+}
+
+// Vector freezes the builder into an immutable Vector.
+func (b *VectorBuilder) Vector() Vector {
+	es := make([]entry, 0, len(b.modes))
+	for f, m := range b.modes {
+		es = append(es, entry{f, m})
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Field < es[j].Field })
+	return Vector{entries: es}
+}
+
+// Get returns the mode for field f (Null when absent).
+func (v Vector) Get(f schema.FieldID) Mode {
+	i := sort.Search(len(v.entries), func(i int) bool { return v.entries[i].Field >= f })
+	if i < len(v.entries) && v.entries[i].Field == f {
+		return v.entries[i].Mode
+	}
+	return Null
+}
+
+// Len returns the number of non-Null entries.
+func (v Vector) Len() int { return len(v.entries) }
+
+// IsZero reports whether every field is Null-locked.
+func (v Vector) IsZero() bool { return len(v.entries) == 0 }
+
+// Fields returns the FieldIDs with non-Null modes, ascending.
+func (v Vector) Fields() []schema.FieldID {
+	out := make([]schema.FieldID, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = e.Field
+	}
+	return out
+}
+
+// Each calls fn for every non-Null entry in ascending field order.
+func (v Vector) Each(fn func(schema.FieldID, Mode)) {
+	for _, e := range v.entries {
+		fn(e.Field, e.Mode)
+	}
+}
+
+// Join implements definition 4: collect all the fields of both vectors
+// and take the most restrictive mode for common fields. It is
+// idempotent, commutative and associative (property 1) — tested with
+// testing/quick — which is what makes transitive access vectors of
+// mutually recursive methods well defined.
+func (v Vector) Join(w Vector) Vector {
+	out := make([]entry, 0, len(v.entries)+len(w.entries))
+	i, j := 0, 0
+	for i < len(v.entries) && j < len(w.entries) {
+		a, b := v.entries[i], w.entries[j]
+		switch {
+		case a.Field < b.Field:
+			out = append(out, a)
+			i++
+		case a.Field > b.Field:
+			out = append(out, b)
+			j++
+		default:
+			out = append(out, entry{a.Field, a.Mode.Join(b.Mode)})
+			i++
+			j++
+		}
+	}
+	out = append(out, v.entries[i:]...)
+	out = append(out, w.entries[j:]...)
+	return Vector{entries: out}
+}
+
+// Commutes implements definition 5: two access vectors commute iff, for
+// every field in both index sets, the modes are compatible. Fields
+// present in only one vector are Null in the other and Null is
+// compatible with everything, so only common entries need checking.
+func (v Vector) Commutes(w Vector) bool {
+	i, j := 0, 0
+	for i < len(v.entries) && j < len(w.entries) {
+		a, b := v.entries[i], w.entries[j]
+		switch {
+		case a.Field < b.Field:
+			i++
+		case a.Field > b.Field:
+			j++
+		default:
+			if !a.Mode.Compatible(b.Mode) {
+				return false
+			}
+			i++
+			j++
+		}
+	}
+	return true
+}
+
+// Equal reports entry-wise equality.
+func (v Vector) Equal(w Vector) bool {
+	if len(v.entries) != len(w.entries) {
+		return false
+	}
+	for i := range v.entries {
+		if v.entries[i] != w.entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasWrite reports whether any field is Write-locked — the reader/writer
+// dichotomy the paper's baselines reduce methods to (section 3).
+func (v Vector) HasWrite() bool {
+	for _, e := range v.entries {
+		if e.Mode == Write {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteSet returns the FieldIDs with Write mode — the projection pattern
+// recovery uses to extract the modified parts of instances (section 3).
+func (v Vector) WriteSet() []schema.FieldID {
+	var out []schema.FieldID
+	for _, e := range v.entries {
+		if e.Mode == Write {
+			out = append(out, e.Field)
+		}
+	}
+	return out
+}
+
+// Restrict returns the vector restricted to the fields of class c —
+// used when projecting a hierarchy-wide vector onto one relation of the
+// 1NF decomposition (section 3).
+func (v Vector) Restrict(fields []schema.FieldID) Vector {
+	keep := make(map[schema.FieldID]bool, len(fields))
+	for _, f := range fields {
+		keep[f] = true
+	}
+	out := make([]entry, 0, len(v.entries))
+	for _, e := range v.entries {
+		if keep[e.Field] {
+			out = append(out, e)
+		}
+	}
+	return Vector{entries: out}
+}
+
+// Format renders the vector in the paper's notation using field names
+// from the schema, e.g. "(Write f1, Read f2)". The all-Null vector
+// renders as "()". Fields are listed in FieldID order.
+func (v Vector) Format(s *schema.Schema) string {
+	if len(v.entries) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(v.entries))
+	for i, e := range v.entries {
+		parts[i] = e.Mode.String() + " " + s.Field(e.Field).Name
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// FormatFull renders the vector over an explicit field list, showing
+// Null entries too — the paper's full-width notation, e.g.
+// "(Write f1, Read f2, Null f3)".
+func (v Vector) FormatFull(s *schema.Schema, fields []*schema.Field) string {
+	parts := make([]string, len(fields))
+	for i, f := range fields {
+		parts[i] = v.Get(f.ID).String() + " " + f.Name
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+// genVector draws a random sparse vector over field IDs 0..11.
+func genVector(r *rand.Rand) Vector {
+	b := NewVectorBuilder()
+	n := r.Intn(6)
+	for i := 0; i < n; i++ {
+		b.Add(schema.FieldID(r.Intn(12)), Mode(r.Intn(3)))
+	}
+	return b.Vector()
+}
+
+// quickVec adapts genVector to testing/quick via a wrapper type.
+type quickVec struct{ V Vector }
+
+// Generate implements quick.Generator.
+func (quickVec) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickVec{V: genVector(r)})
+}
+
+func TestVectorBuilderJoinsModes(t *testing.T) {
+	b := NewVectorBuilder()
+	b.Add(1, Read)
+	b.Add(1, Write)
+	b.Add(1, Read) // Read after Write must not demote
+	b.Add(2, Null) // Null adds nothing
+	v := b.Vector()
+	if v.Get(1) != Write {
+		t.Errorf("Get(1) = %s, want Write", v.Get(1))
+	}
+	if v.Get(2) != Null || v.Len() != 1 {
+		t.Errorf("vector = %v entries, Get(2)=%s", v.Len(), v.Get(2))
+	}
+}
+
+func TestVectorJoinPaperExample(t *testing.T) {
+	// (Write X, Read Y, Read Z) ⊔ (Read X, Null Y, Read T)
+	//   = (Write X, Read Y, Read Z, Read T)   — section 4.1.
+	const X, Y, Z, T = 0, 1, 2, 3
+	a := VectorOf(FM{X, Write}, FM{Y, Read}, FM{Z, Read})
+	b := VectorOf(FM{X, Read}, FM{T, Read})
+	j := a.Join(b)
+	want := map[schema.FieldID]Mode{X: Write, Y: Read, Z: Read, T: Read}
+	for f, m := range want {
+		if j.Get(f) != m {
+			t.Errorf("join.Get(%d) = %s, want %s", f, j.Get(f), m)
+		}
+	}
+	if j.Len() != 4 {
+		t.Errorf("join has %d entries, want 4", j.Len())
+	}
+}
+
+// Property 1 of the paper: the join on access vectors is idempotent,
+// commutative and associative.
+func TestVectorJoinProperty1(t *testing.T) {
+	idem := func(a quickVec) bool { return a.V.Join(a.V).Equal(a.V) }
+	comm := func(a, b quickVec) bool { return a.V.Join(b.V).Equal(b.V.Join(a.V)) }
+	assoc := func(a, b, c quickVec) bool {
+		return a.V.Join(b.V).Join(c.V).Equal(a.V.Join(b.V.Join(c.V)))
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(idem, cfg); err != nil {
+		t.Errorf("idempotence: %v", err)
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+}
+
+// The zero vector is the identity of join.
+func TestVectorJoinIdentity(t *testing.T) {
+	f := func(a quickVec) bool {
+		return a.V.Join(Vector{}).Equal(a.V) && Vector{}.Join(a.V).Equal(a.V)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Commutativity of vectors is symmetric, and joining can only destroy
+// commutativity, never create it (the join is more restrictive).
+func TestVectorCommutesProperties(t *testing.T) {
+	sym := func(a, b quickVec) bool { return a.V.Commutes(b.V) == b.V.Commutes(a.V) }
+	monotone := func(a, b, c quickVec) bool {
+		// if a ⊔ c commutes with b then a commutes with b
+		if a.V.Join(c.V).Commutes(b.V) && !a.V.Commutes(b.V) {
+			return false
+		}
+		return true
+	}
+	zero := func(a quickVec) bool { return a.V.Commutes(Vector{}) }
+	cfg := &quick.Config{MaxCount: 500}
+	for name, fn := range map[string]any{"symmetric": sym, "monotone": monotone, "zero": zero} {
+		if err := quick.Check(fn, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Definition 5 pointwise: vectors commute iff every common field's modes
+// are compatible. Cross-check Commutes against a naive implementation.
+func TestVectorCommutesAgainstNaive(t *testing.T) {
+	naive := func(a, b Vector) bool {
+		for _, f := range a.Fields() {
+			if !a.Get(f).Compatible(b.Get(f)) {
+				return false
+			}
+		}
+		for _, f := range b.Fields() {
+			if !a.Get(f).Compatible(b.Get(f)) {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(a, b quickVec) bool { return a.V.Commutes(b.V) == naive(a.V, b.V) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorSelfCommutesIffNoWrite(t *testing.T) {
+	f := func(a quickVec) bool { return a.V.Commutes(a.V) == !a.V.HasWrite() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorWriteSetAndRestrict(t *testing.T) {
+	b := NewVectorBuilder()
+	b.Add(3, Write)
+	b.Add(1, Read)
+	b.Add(7, Write)
+	b.Add(5, Read)
+	v := b.Vector()
+
+	ws := v.WriteSet()
+	if len(ws) != 2 || ws[0] != 3 || ws[1] != 7 {
+		t.Errorf("WriteSet = %v", ws)
+	}
+	r := v.Restrict([]schema.FieldID{1, 3})
+	if r.Len() != 2 || r.Get(1) != Read || r.Get(3) != Write || r.Get(7) != Null {
+		t.Errorf("Restrict = %+v", r)
+	}
+	if got := v.Fields(); len(got) != 4 || got[0] != 1 || got[3] != 7 {
+		t.Errorf("Fields = %v", got)
+	}
+}
+
+func TestVectorEach(t *testing.T) {
+	b := NewVectorBuilder()
+	b.Add(2, Read)
+	b.Add(0, Write)
+	var got []schema.FieldID
+	b.Vector().Each(func(f schema.FieldID, m Mode) { got = append(got, f) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Each order = %v", got)
+	}
+}
+
+func TestVectorFormat(t *testing.T) {
+	s, err := schema.FromSource(`
+class k is
+    instance variables are
+        a : integer
+        b : integer
+        c : integer
+    method m is
+        a := b
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := s.Class("k")
+	b := NewVectorBuilder()
+	b.Add(k.FieldByName("a").ID, Write)
+	b.Add(k.FieldByName("b").ID, Read)
+	v := b.Vector()
+	if got := v.Format(s); got != "(Write a, Read b)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := v.FormatFull(s, k.Fields); got != "(Write a, Read b, Null c)" {
+		t.Errorf("FormatFull = %q", got)
+	}
+	if got := (Vector{}).Format(s); got != "()" {
+		t.Errorf("zero Format = %q", got)
+	}
+}
+
+func TestVectorIsZeroAndEqual(t *testing.T) {
+	if !(Vector{}).IsZero() {
+		t.Error("zero vector must be zero")
+	}
+	b := NewVectorBuilder()
+	b.Add(0, Read)
+	v := b.Vector()
+	if v.IsZero() {
+		t.Error("non-empty vector is not zero")
+	}
+	if v.Equal(Vector{}) {
+		t.Error("non-empty != zero")
+	}
+	b2 := NewVectorBuilder()
+	b2.Add(0, Read)
+	if !v.Equal(b2.Vector()) {
+		t.Error("equal vectors must be Equal")
+	}
+	b3 := NewVectorBuilder()
+	b3.Add(0, Write)
+	if v.Equal(b3.Vector()) {
+		t.Error("different modes must differ")
+	}
+}

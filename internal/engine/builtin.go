@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/mdl"
+	"repro/internal/storage"
+)
+
+// callBuiltin evaluates the builtin function applications of the
+// language. The paper writes method bodies against two opaque functions,
+// expr(…) and cond(…), standing for "some expression over these inputs";
+// we give them deterministic hash-based semantics so the paper's code
+// runs and produces observable, repeatable values:
+//
+//	expr(a, …)   — a value of the same type as its first argument,
+//	               mixed from all arguments (integer 0 if no arguments);
+//	cond(a, …)   — a boolean derived from the argument hash.
+//
+// The concrete builtins abs, min, max, len, concat and hash support the
+// examples and the workload generator.
+func callBuiltin(e *mdl.Call, args []Value) (Value, error) {
+	switch e.Func {
+	case "expr":
+		h := hashValues(args)
+		if len(args) == 0 {
+			return storage.IntV(int64(h & 0x7fffffff)), nil
+		}
+		switch args[0].Kind {
+		case storage.KInt:
+			return storage.IntV(int64(h & 0x7fffffff)), nil
+		case storage.KBool:
+			return storage.BoolV(h&1 == 1), nil
+		case storage.KString:
+			return storage.StrV(fmt.Sprintf("s%06x", h&0xffffff)), nil
+		default:
+			return storage.IntV(int64(h & 0x7fffffff)), nil
+		}
+	case "cond":
+		return storage.BoolV(hashValues(args)&1 == 1), nil
+	case "hash":
+		return storage.IntV(int64(hashValues(args) & 0x7fffffffffffffff)), nil
+	case "abs":
+		if err := wantArgs(e, args, 1, storage.KInt); err != nil {
+			return Value{}, err
+		}
+		if args[0].I < 0 {
+			return storage.IntV(-args[0].I), nil
+		}
+		return args[0], nil
+	case "min", "max":
+		if err := wantArgs(e, args, 2, storage.KInt); err != nil {
+			return Value{}, err
+		}
+		a, b := args[0].I, args[1].I
+		if (e.Func == "min") == (a < b) {
+			return storage.IntV(a), nil
+		}
+		return storage.IntV(b), nil
+	case "len":
+		if err := wantArgs(e, args, 1, storage.KString); err != nil {
+			return Value{}, err
+		}
+		return storage.IntV(int64(len(args[0].S))), nil
+	case "concat":
+		out := ""
+		for _, a := range args {
+			if a.Kind != storage.KString {
+				return Value{}, fmt.Errorf("engine: %s: concat argument %s is not a string", e.Pos(), a)
+			}
+			out += a.S
+		}
+		return storage.StrV(out), nil
+	}
+	return Value{}, fmt.Errorf("engine: %s: unknown builtin %q", e.Pos(), e.Func)
+}
+
+func wantArgs(e *mdl.Call, args []Value, n int, kind storage.ValueKind) error {
+	if len(args) != n {
+		return fmt.Errorf("engine: %s: %s expects %d arguments, got %d", e.Pos(), e.Func, n, len(args))
+	}
+	for _, a := range args {
+		if a.Kind != kind {
+			return fmt.Errorf("engine: %s: %s argument %s has wrong type", e.Pos(), e.Func, a)
+		}
+	}
+	return nil
+}
+
+// hashValues is FNV-1a over a canonical rendering of the values.
+func hashValues(args []Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(bs ...byte) {
+		for _, b := range bs {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	for _, a := range args {
+		mix(byte(a.Kind))
+		switch a.Kind {
+		case storage.KInt:
+			v := uint64(a.I)
+			mix(byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		case storage.KBool:
+			if a.B {
+				mix(1)
+			} else {
+				mix(0)
+			}
+		case storage.KString:
+			mix([]byte(a.S)...)
+		case storage.KRef:
+			v := uint64(a.R)
+			mix(byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	}
+	return h
+}

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// opsSchema exercises every operator and builtin the interpreter offers.
+const opsSchema = `
+class ops is
+    instance variables are
+        s : string
+        b : boolean
+    method strops(x, y) is
+        s := concat(x, "-", y)
+        if x < y and not (x = y) then
+            return s + "!"
+        end
+        return s
+    end
+    method strcmp(x, y) is
+        if x <= y or x >= y then
+            return x <> y
+        end
+        return false
+    end
+    method boolops(p) is
+        b := p
+        return b = true
+    end
+    method exprkinds is
+        var i := expr(1, 2)
+        var t := expr(true)
+        var z := expr("seed")
+        var c := cond(i)
+        var zero := expr()
+        if c then
+            return len(z)
+        end
+        return i % 97 + zero % 3
+    end
+    method badconcat is
+        return concat(1)
+    end
+    method badabs is
+        return abs("x")
+    end
+    method badarity is
+        return min(1)
+    end
+    method nobuiltin is
+        return frobnicate(1)
+    end
+    method badnot is
+        return not 3
+    end
+    method badneg is
+        return -"x"
+    end
+    method badcond is
+        if 42 then
+            return 1
+        end
+    end
+    method refeq(o) is
+        return o = o
+    end
+end
+`
+
+func opsDB(t *testing.T) (*DB, storage.OID) {
+	t.Helper()
+	c, err := core.CompileSource(opsSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(c, FineCC{})
+	var oid storage.OID
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "ops")
+		oid = in.OID
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db, oid
+}
+
+func TestStringOperators(t *testing.T) {
+	db, oid := opsDB(t)
+	v, err := send1(t, db, oid, "strops", storage.StrV("aa"), storage.StrV("bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != storage.StrV("aa-bb!") {
+		t.Errorf("strops = %v", v)
+	}
+	v, err = send1(t, db, oid, "strcmp", storage.StrV("x"), storage.StrV("x"))
+	if err != nil || v != storage.BoolV(false) {
+		t.Errorf("strcmp = %v, %v", v, err)
+	}
+}
+
+func TestBoolOperators(t *testing.T) {
+	db, oid := opsDB(t)
+	v, err := send1(t, db, oid, "boolops", storage.BoolV(true))
+	if err != nil || v != storage.BoolV(true) {
+		t.Errorf("boolops = %v, %v", v, err)
+	}
+}
+
+func TestExprBuiltinKinds(t *testing.T) {
+	db, oid := opsDB(t)
+	v1, err := send1(t, db, oid, "exprkinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := send1(t, db, oid, "exprkinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Error("expr/cond builtins must be deterministic")
+	}
+	if v1.Kind != storage.KInt {
+		t.Errorf("exprkinds result = %v", v1)
+	}
+}
+
+func TestRefEquality(t *testing.T) {
+	db, oid := opsDB(t)
+	v, err := send1(t, db, oid, "refeq", storage.RefV(oid))
+	if err != nil || v != storage.BoolV(true) {
+		t.Errorf("refeq = %v, %v", v, err)
+	}
+}
+
+func TestBuiltinErrors(t *testing.T) {
+	db, oid := opsDB(t)
+	cases := map[string]string{
+		"badconcat": "not a string",
+		"badabs":    "wrong type",
+		"badarity":  "expects 2 arguments",
+		"nobuiltin": "unknown builtin",
+		"badnot":    "not applied to",
+		"badneg":    "negation applied to",
+		"badcond":   "not boolean",
+	}
+	for method, wantSub := range cases {
+		_, err := send1(t, db, oid, method)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", method, err, wantSub)
+		}
+	}
+}
+
+func TestModuloByZero(t *testing.T) {
+	c, err := core.CompileSource(`
+class k is
+    method m(p) is
+        return 5 % p
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(c, FineCC{})
+	var oid storage.OID
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "k")
+		oid = in.OID
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := send1(t, db, oid, "m", storage.IntV(0)); err == nil ||
+		!strings.Contains(err.Error(), "modulo by zero") {
+		t.Errorf("err = %v", err)
+	}
+	if v, err := send1(t, db, oid, "m", storage.IntV(3)); err != nil || v != storage.IntV(2) {
+		t.Errorf("5 %% 3 = %v, %v", v, err)
+	}
+}
+
+func TestHashValuesStable(t *testing.T) {
+	a := []Value{storage.IntV(5), storage.StrV("x"), storage.BoolV(true), storage.RefV(9)}
+	if hashValues(a) != hashValues(a) {
+		t.Error("hash must be deterministic")
+	}
+	b := []Value{storage.IntV(6), storage.StrV("x"), storage.BoolV(true), storage.RefV(9)}
+	if hashValues(a) == hashValues(b) {
+		t.Error("different inputs should hash differently")
+	}
+}

@@ -1,0 +1,106 @@
+// Package engine executes methods against the object store under a
+// pluggable concurrency-control strategy. The interpreter implements the
+// calling mechanism of section 2.2 — late binding for self-directed
+// messages, prefixed (super) calls, messages to referenced instances —
+// and delegates every locking decision to a Strategy, so the paper's
+// protocol (section 5.2) and the baselines it argues against (sections 3
+// and 6) run the same workloads on the same substrate.
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/schema"
+)
+
+// Acquirer abstracts lock acquisition so a strategy can either lock for
+// real (live transaction) or record the lock set it would take (the
+// section 5.2 scenario analysis in internal/bench).
+type Acquirer interface {
+	Acquire(res lock.ResourceID, mode lock.Mode) error
+}
+
+// Strategy decides which locks each execution event takes. Engine hooks:
+//
+//	TopSend      — a message arrives at an instance from outside
+//	               (a transaction boundary crossing, the paper's "top
+//	               message"), including messages sent to *other*
+//	               instances from inside a method;
+//	NestedSend   — a self-directed message during execution (plain or
+//	               prefixed);
+//	FieldAccess  — one field read or write at run time;
+//	Scan         — a class-extension or domain access (section 5.2
+//	               accesses (ii)–(iv)); classes lists every class of the
+//	               scanned domain, hier tells whether instances are
+//	               locked implicitly;
+//	ScanInstance — one instance visited by a non-hierarchical scan;
+//	Create       — instance creation in a class;
+//	Delete       — instance deletion (conflicts with any access to the
+//	               instance under every protocol).
+type Strategy interface {
+	Name() string
+	TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error
+	NestedSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error
+	FieldAccess(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, f *schema.Field, write bool) error
+	Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error
+	ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error
+	Create(a Acquirer, cc *core.Compiled, cls *schema.Class) error
+	Delete(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class) error
+}
+
+// liveAcquirer locks through the lock manager on behalf of one txn.
+type liveAcquirer struct {
+	locks *lock.Manager
+	txn   lock.TxnID
+}
+
+// Acquire implements Acquirer.
+func (l liveAcquirer) Acquire(res lock.ResourceID, mode lock.Mode) error {
+	return l.locks.Acquire(l.txn, res, mode)
+}
+
+// Recorder collects the lock set a strategy would take, deduplicated,
+// in request order. It never blocks.
+type Recorder struct {
+	Requests []RecordedLock
+	seen     map[RecordedLock]bool
+}
+
+// RecordedLock is one (resource, mode) pair.
+type RecordedLock struct {
+	Res  lock.ResourceID
+	Mode lock.Mode
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{seen: make(map[RecordedLock]bool)}
+}
+
+// Acquire implements Acquirer.
+func (r *Recorder) Acquire(res lock.ResourceID, mode lock.Mode) error {
+	rl := RecordedLock{Res: res, Mode: mode}
+	if !r.seen[rl] {
+		r.seen[rl] = true
+		r.Requests = append(r.Requests, rl)
+	}
+	return nil
+}
+
+// Conflicts reports whether any lock recorded by r conflicts with any
+// lock recorded by other on the same resource — i.e. whether the two
+// transactions could NOT run concurrently under strict 2PL.
+func (r *Recorder) Conflicts(other *Recorder) bool {
+	byRes := make(map[lock.ResourceID][]lock.Mode, len(r.Requests))
+	for _, rl := range r.Requests {
+		byRes[rl.Res] = append(byRes[rl.Res], rl.Mode)
+	}
+	for _, rl := range other.Requests {
+		for _, m := range byRes[rl.Res] {
+			if !m.Compatible(rl.Mode) {
+				return true
+			}
+		}
+	}
+	return false
+}

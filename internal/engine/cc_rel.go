@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/schema"
+)
+
+// RelCC models the relational comparison of sections 3 and 5.2: the
+// hierarchy is decomposed into first normal form, one relation per class
+// holding the fields that class declares, the OID playing the role of
+// the primary key of the root relation and of a foreign key everywhere
+// else. An instance of class C is the join of its tuples in the
+// relations of C's linearization.
+//
+// Locking follows the paper's relational analysis:
+//
+//   - a method execution tuple-locks (S or X) exactly the relations whose
+//     fields its transitive access vector touches, with IS/IX intention
+//     locks on those relations — "first normal form decomposition looks
+//     like coarse access vectors" (section 6);
+//   - writing the key field (the first field of the root class, the
+//     paper's f1) cascades a write lock onto the associated tuples of
+//     every subclass relation — why T1 "locks one tuple of r1 in write
+//     mode and the associated tuple of r2 in write mode too";
+//   - whole-extent accesses lock the relations themselves (S or X), which
+//     is how T2 "locks both relations in write mode" (m1 writes the key
+//     of every instance) while T4 locks only r2.
+type RelCC struct{}
+
+// Name implements Strategy.
+func (RelCC) Name() string { return "relational" }
+
+// relLocksForTAV computes, for a method execution on one instance, the
+// per-relation modes implied by the TAV: owner-class name → write?.
+func relLocksForTAV(cc *core.Compiled, cls *schema.Class, method string) (map[string]bool, bool, error) {
+	tav, ok := cc.TAV(cls, method)
+	if !ok {
+		return nil, false, fmt.Errorf("engine: no TAV for %s.%s", cls.Name, method)
+	}
+	rels := make(map[string]bool)
+	s := cc.Schema
+	tav.Each(func(f schema.FieldID, m core.Mode) {
+		owner := s.Field(f).Owner.Name
+		if m == core.Write {
+			rels[owner] = true
+		} else if _, seen := rels[owner]; !seen {
+			rels[owner] = false
+		}
+	})
+	return rels, keyWritten(cc, cls, tav), nil
+}
+
+// keyWritten reports whether the TAV writes the key field — the first
+// field of the root-most class of cls's linearization.
+func keyWritten(cc *core.Compiled, cls *schema.Class, tav core.Vector) bool {
+	root := cls.Lin[len(cls.Lin)-1]
+	if len(root.OwnFields) == 0 {
+		return false
+	}
+	return tav.Get(root.OwnFields[0].ID) == core.Write
+}
+
+// TopSend implements Strategy.
+func (RelCC) TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
+	rels, keyWrite, err := relLocksForTAV(cc, cls, method)
+	if err != nil {
+		return err
+	}
+	// Key modification cascades to the subclass relations referencing it
+	// (referential maintenance of the foreign key).
+	if keyWrite {
+		root := cls.Lin[len(cls.Lin)-1]
+		for _, sub := range root.Domain() {
+			if sub != root {
+				rels[sub.Name] = true
+			}
+		}
+	}
+	for _, cn := range sortedKeys(rels) {
+		write := rels[cn]
+		if err := a.Acquire(lock.RelationRes(cn), rwIntentMode(write)); err != nil {
+			return err
+		}
+		if err := a.Acquire(lock.TupleRes(cn, oid), rwInstanceMode(write)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NestedSend implements Strategy: the relational engine locked the whole
+// statement's access set up front.
+func (RelCC) NestedSend(Acquirer, *core.Compiled, uint64, *schema.Class, string) error {
+	return nil
+}
+
+// FieldAccess implements Strategy.
+func (RelCC) FieldAccess(Acquirer, *core.Compiled, uint64, *schema.Class, *schema.Field, bool) error {
+	return nil
+}
+
+// Scan implements Strategy.
+func (RelCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error {
+	for _, cls := range classes {
+		rels, keyWrite, err := relLocksForTAV(cc, cls, method)
+		if err != nil {
+			return err
+		}
+		if keyWrite {
+			root := cls.Lin[len(cls.Lin)-1]
+			for _, sub := range root.Domain() {
+				if sub != root {
+					rels[sub.Name] = true
+				}
+			}
+		}
+		for _, cn := range sortedKeys(rels) {
+			write := rels[cn]
+			mode := rwIntentMode(write)
+			if hier {
+				mode = rwInstanceMode(write)
+			}
+			if err := a.Acquire(lock.RelationRes(cn), mode); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ScanInstance implements Strategy.
+func (RelCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
+	rels, keyWrite, err := relLocksForTAV(cc, cls, method)
+	if err != nil {
+		return err
+	}
+	if keyWrite {
+		root := cls.Lin[len(cls.Lin)-1]
+		for _, sub := range root.Domain() {
+			if sub != root {
+				rels[sub.Name] = true
+			}
+		}
+	}
+	for _, cn := range sortedKeys(rels) {
+		if err := a.Acquire(lock.TupleRes(cn, oid), rwInstanceMode(rels[cn])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create implements Strategy: insert into the relations of the class's
+// linearization.
+func (RelCC) Create(a Acquirer, _ *core.Compiled, cls *schema.Class) error {
+	for _, anc := range cls.Lin {
+		if err := a.Acquire(lock.RelationRes(anc.Name), lock.IX); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete implements Strategy: delete the instance's tuple from every
+// relation of its linearization.
+func (RelCC) Delete(a Acquirer, _ *core.Compiled, oid uint64, cls *schema.Class) error {
+	for _, anc := range cls.Lin {
+		if err := a.Acquire(lock.RelationRes(anc.Name), lock.IX); err != nil {
+			return err
+		}
+		if err := a.Acquire(lock.TupleRes(anc.Name, oid), lock.X); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Value is re-exported for API convenience.
+type Value = storage.Value
+
+// Stats counts execution events, complementing lock.Stats for the
+// overhead experiments.
+type Stats struct {
+	TopSends         int64
+	NestedSends      int64
+	RemoteSends      int64
+	FieldReads       int64
+	FieldWrites      int64
+	Scans            int64
+	InstancesVisited int64
+	InstancesCreated int64
+}
+
+// DB is an object database: a compiled schema, a store, a lock manager,
+// a transaction manager and one concurrency-control strategy.
+type DB struct {
+	Compiled *core.Compiled
+	Store    *storage.Store
+	Txns     *txn.Manager
+	CC       Strategy
+
+	// MaxSteps bounds interpreter work per top-level send (default 1e6).
+	MaxSteps int
+	// MaxDepth bounds send nesting (default 256).
+	MaxDepth int
+
+	topSends         atomic.Int64
+	nestedSends      atomic.Int64
+	remoteSends      atomic.Int64
+	fieldReads       atomic.Int64
+	fieldWrites      atomic.Int64
+	scans            atomic.Int64
+	instancesVisited atomic.Int64
+	instancesCreated atomic.Int64
+}
+
+// Open builds a database around a compiled schema with fresh store, lock
+// and transaction managers.
+func Open(c *core.Compiled, strategy Strategy) *DB {
+	lm := lock.NewManager()
+	return &DB{
+		Compiled: c,
+		Store:    storage.NewStore(),
+		Txns:     txn.NewManager(lm),
+		CC:       strategy,
+		MaxSteps: 1_000_000,
+		MaxDepth: 256,
+	}
+}
+
+// Locks returns the lock manager.
+func (db *DB) Locks() *lock.Manager { return db.Txns.Locks() }
+
+// Begin starts a transaction.
+func (db *DB) Begin() *txn.Txn { return db.Txns.Begin() }
+
+// RunWithRetry executes fn transactionally, retrying deadlock victims.
+func (db *DB) RunWithRetry(fn func(*txn.Txn) error) error {
+	return db.Txns.RunWithRetry(fn)
+}
+
+// Snapshot returns the engine counters.
+func (db *DB) Snapshot() Stats {
+	return Stats{
+		TopSends:         db.topSends.Load(),
+		NestedSends:      db.nestedSends.Load(),
+		RemoteSends:      db.remoteSends.Load(),
+		FieldReads:       db.fieldReads.Load(),
+		FieldWrites:      db.fieldWrites.Load(),
+		Scans:            db.scans.Load(),
+		InstancesVisited: db.instancesVisited.Load(),
+		InstancesCreated: db.instancesCreated.Load(),
+	}
+}
+
+// NewInstance creates an instance of the named class inside tx.
+func (db *DB) NewInstance(tx *txn.Txn, class string, vals ...Value) (*storage.Instance, error) {
+	cls := db.Compiled.Schema.Class(class)
+	if cls == nil {
+		return nil, fmt.Errorf("engine: unknown class %q", class)
+	}
+	ec := &execCtx{db: db, tx: tx, acq: liveAcquirer{locks: db.Locks(), txn: tx.ID}, steps: db.MaxSteps}
+	return ec.create(cls, vals)
+}
+
+// Send delivers a top-level message: the paper's access (i). The method
+// is resolved by late binding against the instance's proper class; the
+// strategy locks before the first instruction executes.
+func (db *DB) Send(tx *txn.Txn, oid storage.OID, method string, args ...Value) (Value, error) {
+	runtime.Gosched() // message boundary: let concurrent sessions interleave
+	ec := &execCtx{db: db, tx: tx, acq: liveAcquirer{locks: db.Locks(), txn: tx.ID}, steps: db.MaxSteps}
+	return ec.topSend(oid, method, args)
+}
+
+// DeleteInstance removes an object inside tx. Deletion conflicts with
+// every concurrent access to the instance and with whole-extent scans;
+// an abort re-inserts the object with its slots intact.
+func (db *DB) DeleteInstance(tx *txn.Txn, oid storage.OID) error {
+	in, ok := db.Store.Get(oid)
+	if !ok {
+		return fmt.Errorf("engine: no instance with OID %d", oid)
+	}
+	acq := liveAcquirer{locks: db.Locks(), txn: tx.ID}
+	if err := db.CC.Delete(acq, db.Compiled, uint64(oid), in.Class); err != nil {
+		return err
+	}
+	deleted, err := db.Store.Delete(oid)
+	if err != nil {
+		return err
+	}
+	store := db.Store
+	tx.LogCompensation(func() { store.Restore(deleted) })
+	return nil
+}
+
+// DomainScan delivers a message to instances of the domain rooted at
+// class (accesses (ii)–(iv) of section 5.2). With hier=true every class
+// of the domain is locked hierarchically and no instance locks are
+// taken; with hier=false the classes are locked intentionally and each
+// visited instance is locked individually. filter, when non-nil, selects
+// the instances to visit (hier scans always visit all). It returns the
+// number of instances the method ran on.
+func (db *DB) DomainScan(tx *txn.Txn, class, method string, hier bool,
+	filter func(*storage.Instance) bool, args ...Value) (int, error) {
+	ec := &execCtx{db: db, tx: tx, acq: liveAcquirer{locks: db.Locks(), txn: tx.ID}, steps: db.MaxSteps}
+	return ec.domainScan(class, method, hier, filter, args)
+}
+
+// RecordingSession executes transactions against a Recorder instead of
+// the lock manager: every lock the strategy would request is captured
+// and nothing ever blocks. Store mutations do happen — use a scratch
+// database. This powers the section 5.2 scenario analysis.
+type RecordingSession struct {
+	db  *DB
+	rec *Recorder
+}
+
+// NewRecordingSession returns a session recording into rec.
+func (db *DB) NewRecordingSession(rec *Recorder) *RecordingSession {
+	return &RecordingSession{db: db, rec: rec}
+}
+
+// Send mirrors DB.Send.
+func (rs *RecordingSession) Send(oid storage.OID, method string, args ...Value) (Value, error) {
+	ec := &execCtx{db: rs.db, acq: rs.rec, steps: rs.db.MaxSteps}
+	return ec.topSend(oid, method, args)
+}
+
+// DomainScan mirrors DB.DomainScan.
+func (rs *RecordingSession) DomainScan(class, method string, hier bool,
+	filter func(*storage.Instance) bool, args ...Value) (int, error) {
+	ec := &execCtx{db: rs.db, acq: rs.rec, steps: rs.db.MaxSteps}
+	return ec.domainScan(class, method, hier, filter, args)
+}
+
+// NewInstance mirrors DB.NewInstance.
+func (rs *RecordingSession) NewInstance(class string, vals ...Value) (*storage.Instance, error) {
+	cls := rs.db.Compiled.Schema.Class(class)
+	if cls == nil {
+		return nil, fmt.Errorf("engine: unknown class %q", class)
+	}
+	ec := &execCtx{db: rs.db, acq: rs.rec, steps: rs.db.MaxSteps}
+	return ec.create(cls, vals)
+}
+
+// --- execution context ---
+
+type execCtx struct {
+	db    *DB
+	tx    *txn.Txn // nil in recording mode
+	acq   Acquirer
+	steps int
+	ticks int
+	depth int
+}
+
+// yieldEvery makes the interpreter hand the processor over periodically,
+// so concurrent transactions interleave even on GOMAXPROCS=1 — the
+// fairness a real engine gets from I/O and buffer-pool waits. Every
+// top-level message boundary yields too (see DB.Send).
+const yieldEvery = 64
+
+func (ec *execCtx) step(pos interface{ String() string }) error {
+	ec.steps--
+	if ec.steps < 0 {
+		return fmt.Errorf("engine: %s: execution exceeded step budget", pos)
+	}
+	ec.ticks++
+	if ec.ticks%yieldEvery == 0 {
+		runtime.Gosched()
+	}
+	return nil
+}
+
+func (ec *execCtx) create(cls *schema.Class, vals []Value) (*storage.Instance, error) {
+	if err := ec.db.CC.Create(ec.acq, ec.db.Compiled, cls); err != nil {
+		return nil, err
+	}
+	in, err := ec.db.Store.NewInstance(cls, vals...)
+	if err != nil {
+		return nil, err
+	}
+	ec.db.instancesCreated.Add(1)
+	if ec.tx != nil {
+		// An aborting creator removes its instance again.
+		store := ec.db.Store
+		ec.tx.LogCompensation(func() { store.Delete(in.OID) }) //nolint:errcheck
+	}
+	return in, nil
+}
+
+func (ec *execCtx) topSend(oid storage.OID, method string, args []Value) (Value, error) {
+	in, ok := ec.db.Store.Get(oid)
+	if !ok {
+		return Value{}, fmt.Errorf("engine: no instance with OID %d", oid)
+	}
+	m := in.Class.Resolve(method)
+	if m == nil {
+		return Value{}, fmt.Errorf("engine: class %s has no method %q", in.Class.Name, method)
+	}
+	if err := ec.db.CC.TopSend(ec.acq, ec.db.Compiled, uint64(oid), in.Class, method); err != nil {
+		return Value{}, err
+	}
+	ec.db.topSends.Add(1)
+	return ec.invoke(in, m, args)
+}
+
+func (ec *execCtx) domainScan(class, method string, hier bool,
+	filter func(*storage.Instance) bool, args []Value) (int, error) {
+	root := ec.db.Compiled.Schema.Class(class)
+	if root == nil {
+		return 0, fmt.Errorf("engine: unknown class %q", class)
+	}
+	if root.Resolve(method) == nil {
+		return 0, fmt.Errorf("engine: class %s has no method %q", class, method)
+	}
+	classes := root.Domain()
+	if err := ec.db.CC.Scan(ec.acq, ec.db.Compiled, classes, method, hier); err != nil {
+		return 0, err
+	}
+	ec.db.scans.Add(1)
+
+	count := 0
+	for _, oid := range ec.db.Store.DomainExtent(root) {
+		in, ok := ec.db.Store.Get(oid)
+		if !ok {
+			continue
+		}
+		if !hier {
+			if filter != nil && !filter(in) {
+				continue
+			}
+			if err := ec.db.CC.ScanInstance(ec.acq, ec.db.Compiled, uint64(oid), in.Class, method); err != nil {
+				return count, err
+			}
+		}
+		m := in.Class.Resolve(method)
+		if _, err := ec.invoke(in, m, args); err != nil {
+			return count, err
+		}
+		ec.db.instancesVisited.Add(1)
+		count++
+	}
+	return count, nil
+}

@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/mdl"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// frame is one method activation: the receiver and the environment of
+// parameters and locals. Parameters and locals shadow nothing — the
+// extractor rejects name collisions with fields implicitly by scope
+// rules identical to these.
+type frame struct {
+	self *storage.Instance
+	env  map[string]Value
+}
+
+// invoke runs method m on instance in. The caller has already performed
+// the strategy's lock acquisition for this activation.
+func (ec *execCtx) invoke(in *storage.Instance, m *schema.Method, args []Value) (Value, error) {
+	if len(args) != len(m.Params) {
+		return Value{}, fmt.Errorf("engine: %s expects %d arguments, got %d",
+			m.QualifiedName(), len(m.Params), len(args))
+	}
+	ec.depth++
+	defer func() { ec.depth-- }()
+	if ec.depth > ec.db.MaxDepth {
+		return Value{}, fmt.Errorf("engine: %s: send nesting exceeds %d", m.QualifiedName(), ec.db.MaxDepth)
+	}
+	f := &frame{self: in, env: make(map[string]Value, len(m.Params)+4)}
+	for i, p := range m.Params {
+		f.env[p] = args[i]
+	}
+	_, val, err := ec.execStmts(f, m.Body)
+	return val, err
+}
+
+// execStmts executes a statement list; returned reports an executed
+// return statement (which stops enclosing blocks too).
+func (ec *execCtx) execStmts(f *frame, stmts []mdl.Stmt) (returned bool, val Value, err error) {
+	for _, s := range stmts {
+		returned, val, err = ec.execStmt(f, s)
+		if err != nil || returned {
+			return returned, val, err
+		}
+	}
+	return false, Value{}, nil
+}
+
+func (ec *execCtx) execStmt(f *frame, s mdl.Stmt) (bool, Value, error) {
+	if err := ec.step(s.Pos()); err != nil {
+		return false, Value{}, err
+	}
+	switch s := s.(type) {
+	case *mdl.Assign:
+		v, err := ec.eval(f, s.Value)
+		if err != nil {
+			return false, Value{}, err
+		}
+		return false, Value{}, ec.assign(f, s, v)
+
+	case *mdl.VarDecl:
+		v, err := ec.eval(f, s.Value)
+		if err != nil {
+			return false, Value{}, err
+		}
+		f.env[s.Name] = v
+		return false, Value{}, nil
+
+	case *mdl.ExprStmt:
+		_, err := ec.eval(f, s.X)
+		return false, Value{}, err
+
+	case *mdl.If:
+		c, err := ec.evalBool(f, s.Cond)
+		if err != nil {
+			return false, Value{}, err
+		}
+		if c {
+			return ec.execStmts(f, s.Then)
+		}
+		return ec.execStmts(f, s.Else)
+
+	case *mdl.While:
+		for {
+			c, err := ec.evalBool(f, s.Cond)
+			if err != nil {
+				return false, Value{}, err
+			}
+			if !c {
+				return false, Value{}, nil
+			}
+			ret, v, err := ec.execStmts(f, s.Body)
+			if err != nil || ret {
+				return ret, v, err
+			}
+			if err := ec.step(s.Pos()); err != nil {
+				return false, Value{}, err
+			}
+		}
+
+	case *mdl.Return:
+		if s.Value == nil {
+			return true, Value{}, nil
+		}
+		v, err := ec.eval(f, s.Value)
+		return true, v, err
+	}
+	return false, Value{}, fmt.Errorf("engine: unknown statement %T", s)
+}
+
+// assign writes a local, parameter or field.
+func (ec *execCtx) assign(f *frame, s *mdl.Assign, v Value) error {
+	if _, ok := f.env[s.Target]; ok {
+		f.env[s.Target] = v
+		return nil
+	}
+	fld := f.self.Class.FieldByName(s.Target)
+	if fld == nil {
+		return fmt.Errorf("engine: %s: assignment to unknown name %q", s.Pos(), s.Target)
+	}
+	if err := checkAssignable(fld, v); err != nil {
+		return fmt.Errorf("engine: %s: %w", s.Pos(), err)
+	}
+	if err := ec.db.CC.FieldAccess(ec.acq, ec.db.Compiled, uint64(f.self.OID), f.self.Class, fld, true); err != nil {
+		return err
+	}
+	slot := f.self.Class.Slot(fld.ID)
+	old := f.self.Set(slot, v)
+	if ec.tx != nil {
+		ec.tx.LogUndo(f.self, slot, old)
+	}
+	ec.db.fieldWrites.Add(1)
+	return nil
+}
+
+func checkAssignable(fld *schema.Field, v Value) error {
+	ok := false
+	switch fld.Type {
+	case schema.TInt:
+		ok = v.Kind == storage.KInt
+	case schema.TBool:
+		ok = v.Kind == storage.KBool
+	case schema.TString:
+		ok = v.Kind == storage.KString
+	case schema.TRef:
+		ok = v.Kind == storage.KRef
+	}
+	if !ok {
+		return fmt.Errorf("cannot assign %s to field %s of type %s", v, fld.Name, fld.Type)
+	}
+	return nil
+}
+
+func (ec *execCtx) evalBool(f *frame, e mdl.Expr) (bool, error) {
+	v, err := ec.eval(f, e)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind != storage.KBool {
+		return false, fmt.Errorf("engine: %s: condition is %s, not boolean", e.Pos(), v)
+	}
+	return v.B, nil
+}
+
+func (ec *execCtx) eval(f *frame, e mdl.Expr) (Value, error) {
+	if err := ec.step(e.Pos()); err != nil {
+		return Value{}, err
+	}
+	switch e := e.(type) {
+	case *mdl.IntLit:
+		return storage.IntV(e.Val), nil
+	case *mdl.BoolLit:
+		return storage.BoolV(e.Val), nil
+	case *mdl.StrLit:
+		return storage.StrV(e.Val), nil
+	case *mdl.SelfExpr:
+		return storage.RefV(f.self.OID), nil
+
+	case *mdl.Ident:
+		if v, ok := f.env[e.Name]; ok {
+			return v, nil
+		}
+		fld := f.self.Class.FieldByName(e.Name)
+		if fld == nil {
+			return Value{}, fmt.Errorf("engine: %s: unknown name %q", e.Pos(), e.Name)
+		}
+		if err := ec.db.CC.FieldAccess(ec.acq, ec.db.Compiled, uint64(f.self.OID), f.self.Class, fld, false); err != nil {
+			return Value{}, err
+		}
+		ec.db.fieldReads.Add(1)
+		return f.self.Get(f.self.Class.Slot(fld.ID)), nil
+
+	case *mdl.Binary:
+		return ec.evalBinary(f, e)
+
+	case *mdl.Unary:
+		v, err := ec.eval(f, e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case "not":
+			if v.Kind != storage.KBool {
+				return Value{}, fmt.Errorf("engine: %s: not applied to %s", e.Pos(), v)
+			}
+			return storage.BoolV(!v.B), nil
+		case "-":
+			if v.Kind != storage.KInt {
+				return Value{}, fmt.Errorf("engine: %s: negation applied to %s", e.Pos(), v)
+			}
+			return storage.IntV(-v.I), nil
+		}
+		return Value{}, fmt.Errorf("engine: %s: unknown unary %q", e.Pos(), e.Op)
+
+	case *mdl.Call:
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ec.eval(f, a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		return callBuiltin(e, args)
+
+	case *mdl.New:
+		cls := ec.db.Compiled.Schema.Class(e.Class)
+		if cls == nil {
+			return Value{}, fmt.Errorf("engine: %s: new of unknown class %q", e.Pos(), e.Class)
+		}
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ec.eval(f, a)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v
+		}
+		in, err := ec.create(cls, args)
+		if err != nil {
+			return Value{}, err
+		}
+		return storage.RefV(in.OID), nil
+
+	case *mdl.Send:
+		return ec.evalSend(f, e)
+	}
+	return Value{}, fmt.Errorf("engine: unknown expression %T", e)
+}
+
+// evalSend implements the three message forms of section 2.2.
+func (ec *execCtx) evalSend(f *frame, e *mdl.Send) (Value, error) {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := ec.eval(f, a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+
+	if e.ToSelf() {
+		cls := f.self.Class
+		var m *schema.Method
+		if e.Class != "" {
+			// Prefixed: take the method from the named ancestor's view.
+			anc := ec.db.Compiled.Schema.Class(e.Class)
+			if anc == nil {
+				return Value{}, fmt.Errorf("engine: %s: unknown class %q", e.Pos(), e.Class)
+			}
+			m = anc.Resolve(e.Method)
+		} else {
+			// Late binding: resolve in the proper class of the receiver.
+			m = cls.Resolve(e.Method)
+		}
+		if m == nil {
+			return Value{}, fmt.Errorf("engine: %s: no method %q", e.Pos(), e.Method)
+		}
+		if err := ec.db.CC.NestedSend(ec.acq, ec.db.Compiled, uint64(f.self.OID), cls, e.Method); err != nil {
+			return Value{}, err
+		}
+		ec.db.nestedSends.Add(1)
+		return ec.invoke(f.self, m, args)
+	}
+
+	// Message to another instance: evaluate the receiver, then a fresh
+	// top-level control on that instance (its own class, its own table).
+	tv, err := ec.eval(f, e.Target)
+	if err != nil {
+		return Value{}, err
+	}
+	if tv.Kind != storage.KRef {
+		return Value{}, fmt.Errorf("engine: %s: send target is %s, not a reference", e.Pos(), tv)
+	}
+	if tv.R == 0 {
+		return Value{}, fmt.Errorf("engine: %s: send %s to nil reference", e.Pos(), e.Method)
+	}
+	ec.db.remoteSends.Add(1)
+	return ec.topSend(tv.R, e.Method, args)
+}
+
+func (ec *execCtx) evalBinary(f *frame, e *mdl.Binary) (Value, error) {
+	// and/or short-circuit.
+	if e.Op == mdl.OpAnd || e.Op == mdl.OpOr {
+		l, err := ec.evalBool(f, e.L)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == mdl.OpAnd && !l {
+			return storage.BoolV(false), nil
+		}
+		if e.Op == mdl.OpOr && l {
+			return storage.BoolV(true), nil
+		}
+		r, err := ec.evalBool(f, e.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return storage.BoolV(r), nil
+	}
+
+	l, err := ec.eval(f, e.L)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ec.eval(f, e.R)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.Kind != r.Kind {
+		return Value{}, fmt.Errorf("engine: %s: operands of %s have different types (%s, %s)",
+			e.Pos(), e.Op, l, r)
+	}
+
+	switch e.Op {
+	case mdl.OpEq:
+		return storage.BoolV(l == r), nil
+	case mdl.OpNeq:
+		return storage.BoolV(l != r), nil
+	}
+
+	switch l.Kind {
+	case storage.KInt:
+		switch e.Op {
+		case mdl.OpAdd:
+			return storage.IntV(l.I + r.I), nil
+		case mdl.OpSub:
+			return storage.IntV(l.I - r.I), nil
+		case mdl.OpMul:
+			return storage.IntV(l.I * r.I), nil
+		case mdl.OpDiv:
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("engine: %s: division by zero", e.Pos())
+			}
+			return storage.IntV(l.I / r.I), nil
+		case mdl.OpMod:
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("engine: %s: modulo by zero", e.Pos())
+			}
+			return storage.IntV(l.I % r.I), nil
+		case mdl.OpLt:
+			return storage.BoolV(l.I < r.I), nil
+		case mdl.OpLeq:
+			return storage.BoolV(l.I <= r.I), nil
+		case mdl.OpGt:
+			return storage.BoolV(l.I > r.I), nil
+		case mdl.OpGeq:
+			return storage.BoolV(l.I >= r.I), nil
+		}
+	case storage.KString:
+		switch e.Op {
+		case mdl.OpAdd:
+			return storage.StrV(l.S + r.S), nil
+		case mdl.OpLt:
+			return storage.BoolV(l.S < r.S), nil
+		case mdl.OpLeq:
+			return storage.BoolV(l.S <= r.S), nil
+		case mdl.OpGt:
+			return storage.BoolV(l.S > r.S), nil
+		case mdl.OpGeq:
+			return storage.BoolV(l.S >= r.S), nil
+		}
+	}
+	return Value{}, fmt.Errorf("engine: %s: operator %s not defined on %s", e.Pos(), e.Op, l)
+}

@@ -1,0 +1,403 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TxnID identifies a transaction to the lock manager. IDs are assigned
+// monotonically by the transaction manager, so a smaller ID is an older
+// transaction.
+type TxnID uint64
+
+// DeadlockError is returned by Acquire when granting the request would
+// close a cycle in the waits-for graph. The requester is the victim (it
+// has acquired nothing new, so aborting it is always safe and the cycle
+// is broken before anyone sleeps on it).
+type DeadlockError struct {
+	Txn        TxnID
+	Cycle      []TxnID
+	Escalation bool // some request in the cycle was a lock conversion
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("lock: deadlock detected for txn %d (cycle %v, escalation=%v)",
+		e.Txn, e.Cycle, e.Escalation)
+}
+
+// IsDeadlock reports whether err is (or wraps) a deadlock abort.
+func IsDeadlock(err error) bool {
+	var d *DeadlockError
+	return errors.As(err, &d)
+}
+
+// ErrTimeout is returned when a configured wait timeout elapses.
+var ErrTimeout = errors.New("lock: wait timeout")
+
+// Stats are cumulative lock-manager counters. They feed the paper-shape
+// experiments: Requests and Blocks quantify the locking-overhead problem
+// (section 3, problem "locking overhead"), Upgrades and
+// EscalationDeadlocks the System R escalation problem, Deadlocks the
+// overall effect.
+type Stats struct {
+	Requests            int64 // Acquire calls
+	Reentrant           int64 // already held in the same mode
+	ImmediateGrants     int64
+	Blocks              int64 // had to queue
+	Upgrades            int64 // conversion requests (held ≠ requested on same resource)
+	Deadlocks           int64
+	EscalationDeadlocks int64
+	Timeouts            int64
+	Releases            int64 // ReleaseAll calls
+}
+
+// Manager is the lock table. The zero value is not usable; construct
+// with NewManager.
+type Manager struct {
+	mu      sync.Mutex
+	entries map[ResourceID]*entry
+	held    map[TxnID]map[ResourceID][]Mode
+	waiting map[TxnID]*waiter
+	stats   Stats
+
+	// WaitTimeout, when positive, bounds every blocking Acquire. Deadlock
+	// detection makes it unnecessary for correctness; it is a test guard.
+	WaitTimeout time.Duration
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		entries: make(map[ResourceID]*entry),
+		held:    make(map[TxnID]map[ResourceID][]Mode),
+		waiting: make(map[TxnID]*waiter),
+	}
+}
+
+type entry struct {
+	granted map[TxnID][]Mode
+	queue   []*waiter
+}
+
+type waiter struct {
+	txn     TxnID
+	res     ResourceID
+	mode    Mode
+	upgrade bool
+	ready   chan error // buffered(1); receives nil on grant
+}
+
+// Acquire blocks until txn holds mode on res, following strict 2PL:
+// locks accumulate until ReleaseAll. Re-acquiring an identical mode is a
+// no-op. Requesting a second, different mode on a resource the
+// transaction already locks is a conversion: it bypasses the FIFO queue
+// (classical upgrade priority) but still waits for incompatible holders.
+// If waiting would close a waits-for cycle, Acquire aborts the request
+// with *DeadlockError instead of sleeping.
+func (m *Manager) Acquire(txn TxnID, res ResourceID, mode Mode) error {
+	m.mu.Lock()
+	m.stats.Requests++
+	e := m.entries[res]
+	if e == nil {
+		e = &entry{granted: make(map[TxnID][]Mode)}
+		m.entries[res] = e
+	}
+	mine := e.granted[txn]
+	for _, h := range mine {
+		if h == mode || covers(h, mode) {
+			m.stats.Reentrant++
+			m.mu.Unlock()
+			return nil
+		}
+	}
+	upgrade := len(mine) > 0
+	if upgrade {
+		m.stats.Upgrades++
+	}
+
+	if m.compatibleWithOthers(e, txn, mode) && (len(e.queue) == 0 || upgrade) {
+		m.grantLocked(e, txn, res, mode)
+		m.stats.ImmediateGrants++
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Must wait. Conversions go to the front of the queue, after any
+	// conversions already waiting; plain requests are FIFO.
+	w := &waiter{txn: txn, res: res, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
+	if upgrade {
+		i := 0
+		for i < len(e.queue) && e.queue[i].upgrade {
+			i++
+		}
+		e.queue = append(e.queue, nil)
+		copy(e.queue[i+1:], e.queue[i:])
+		e.queue[i] = w
+	} else {
+		e.queue = append(e.queue, w)
+	}
+	m.stats.Blocks++
+	m.waiting[txn] = w
+
+	if cycle := m.findCycle(txn); cycle != nil {
+		m.removeWaiter(e, w)
+		delete(m.waiting, txn)
+		m.stats.Deadlocks++
+		esc := m.cycleHasUpgrade(cycle)
+		if esc {
+			m.stats.EscalationDeadlocks++
+		}
+		m.promote(e)
+		m.mu.Unlock()
+		return &DeadlockError{Txn: txn, Cycle: cycle, Escalation: esc}
+	}
+	m.mu.Unlock()
+
+	if m.WaitTimeout <= 0 {
+		return <-w.ready
+	}
+	timer := time.NewTimer(m.WaitTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.ready:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		if m.waiting[txn] == w {
+			m.removeWaiter(m.entries[res], w)
+			delete(m.waiting, txn)
+			m.stats.Timeouts++
+			m.promote(m.entries[res])
+			m.mu.Unlock()
+			return ErrTimeout
+		}
+		// Granted between timeout and lock: consume the grant.
+		m.mu.Unlock()
+		return <-w.ready
+	}
+}
+
+// Holds reports whether txn currently holds mode on res.
+func (m *Manager) Holds(txn TxnID, res ResourceID, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[res]
+	if e == nil {
+		return false
+	}
+	for _, h := range e.granted[txn] {
+		if h == mode {
+			return true
+		}
+	}
+	return false
+}
+
+// HeldModes returns the modes txn holds on res (nil if none).
+func (m *Manager) HeldModes(txn TxnID, res ResourceID) []Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[res]
+	if e == nil {
+		return nil
+	}
+	return append([]Mode(nil), e.granted[txn]...)
+}
+
+// LocksHeld returns the number of (resource, mode) locks txn holds.
+func (m *Manager) LocksHeld(txn TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, modes := range m.held[txn] {
+		n += len(modes)
+	}
+	return n
+}
+
+// ReleaseAll drops every lock of txn — the single release point of
+// strict two-phase locking — and wakes whatever the FIFO discipline now
+// admits.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Releases++
+	for res := range m.held[txn] {
+		e := m.entries[res]
+		if e == nil {
+			continue
+		}
+		delete(e.granted, txn)
+		m.promote(e)
+		if len(e.granted) == 0 && len(e.queue) == 0 {
+			delete(m.entries, res)
+		}
+	}
+	delete(m.held, txn)
+}
+
+// Snapshot returns a copy of the counters.
+func (m *Manager) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
+
+// Coverer is an optional Mode extension: h.Covers(req) reports that
+// holding h makes acquiring req redundant (e.g. X covers S). Without it,
+// only identical modes are treated as re-entrant.
+type Coverer interface {
+	Covers(req Mode) bool
+}
+
+func covers(h, req Mode) bool {
+	if c, ok := h.(Coverer); ok {
+		return c.Covers(req)
+	}
+	return false
+}
+
+// --- internals (all require m.mu held) ---
+
+func (m *Manager) grantLocked(e *entry, txn TxnID, res ResourceID, mode Mode) {
+	e.granted[txn] = append(e.granted[txn], mode)
+	hm := m.held[txn]
+	if hm == nil {
+		hm = make(map[ResourceID][]Mode)
+		m.held[txn] = hm
+	}
+	hm[res] = append(hm[res], mode)
+}
+
+// compatibleWithOthers reports whether mode is compatible with every
+// mode granted to *other* transactions (self-held modes never block a
+// conversion).
+func (m *Manager) compatibleWithOthers(e *entry, txn TxnID, mode Mode) bool {
+	for other, modes := range e.granted {
+		if other == txn {
+			continue
+		}
+		for _, h := range modes {
+			if !mode.Compatible(h) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *Manager) removeWaiter(e *entry, w *waiter) {
+	for i, x := range e.queue {
+		if x == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// promote grants queued requests in FIFO order, stopping at the first
+// waiter that still conflicts — strict FIFO prevents starvation and
+// makes the waits-for edges below exact.
+func (m *Manager) promote(e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if !m.compatibleWithOthers(e, w.txn, w.mode) {
+			return
+		}
+		e.queue = e.queue[1:]
+		m.grantLocked(e, w.txn, w.res, w.mode)
+		delete(m.waiting, w.txn)
+		w.ready <- nil
+	}
+}
+
+// blockers returns the transactions w waits for: incompatible holders of
+// the resource plus every waiter queued ahead of it (FIFO admission
+// means they must leave first).
+func (m *Manager) blockers(w *waiter) []TxnID {
+	e := m.entries[w.res]
+	if e == nil {
+		return nil
+	}
+	var out []TxnID
+	for other, modes := range e.granted {
+		if other == w.txn {
+			continue
+		}
+		for _, h := range modes {
+			if !w.mode.Compatible(h) {
+				out = append(out, other)
+				break
+			}
+		}
+	}
+	for _, q := range e.queue {
+		if q == w {
+			break
+		}
+		if q.txn != w.txn {
+			out = append(out, q.txn)
+		}
+	}
+	return out
+}
+
+// findCycle runs a DFS over the waits-for graph from start and returns a
+// cycle through start, or nil. Only waiting transactions have outgoing
+// edges, so the graph is tiny compared to the lock table.
+func (m *Manager) findCycle(start TxnID) []TxnID {
+	var (
+		stack   []TxnID
+		visited = make(map[TxnID]bool)
+		found   []TxnID
+	)
+	var dfs func(t TxnID) bool
+	dfs = func(t TxnID) bool {
+		w := m.waiting[t]
+		if w == nil {
+			return false
+		}
+		for _, next := range m.blockers(w) {
+			if next == start {
+				found = append(append([]TxnID{}, stack...), t)
+				return true
+			}
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			stack = append(stack, t)
+			if dfs(next) {
+				return true
+			}
+			stack = stack[:len(stack)-1]
+		}
+		return false
+	}
+	visited[start] = true
+	if dfs(start) {
+		return found
+	}
+	return nil
+}
+
+// cycleHasUpgrade reports whether any member of the cycle is waiting on
+// a lock conversion — the System R signature of escalation deadlocks.
+func (m *Manager) cycleHasUpgrade(cycle []TxnID) bool {
+	for _, t := range cycle {
+		if w := m.waiting[t]; w != nil && w.upgrade {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+)
+
+// modePool builds a representative pool of every mode kind over the
+// Figure 1 tables, for property testing.
+func modePool(t testing.TB) []Mode {
+	t.Helper()
+	c, err := core.CompileSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pool []Mode
+	for _, cls := range []string{"c1", "c2", "c3"} {
+		tbl := c.Class(cls).Table
+		for i := 0; i < tbl.NumModes(); i++ {
+			pool = append(pool, MethodMode{Table: tbl, Idx: i})
+			pool = append(pool, ClassMode{Table: tbl, Idx: i, Hier: false})
+			pool = append(pool, ClassMode{Table: tbl, Idx: i, Hier: true})
+		}
+	}
+	for _, m := range []RWMode{IS, IX, S, SIX, X} {
+		pool = append(pool, m)
+	}
+	pool = append(pool, ExtendMode{}, PurgeMode{})
+	return pool
+}
+
+// Compatibility must be symmetric across every mode kind — the lock
+// manager's correctness silently depends on it.
+func TestModeCompatibilitySymmetric(t *testing.T) {
+	pool := modePool(t)
+	for _, a := range pool {
+		for _, b := range pool {
+			if a.Compatible(b) != b.Compatible(a) {
+				t.Errorf("asymmetric: %s vs %s (%v / %v)", a, b, a.Compatible(b), b.Compatible(a))
+			}
+		}
+	}
+}
+
+// Covers must imply compatibility-subsumption for RW modes: if h covers
+// r, then anything compatible with h is compatible with r.
+func TestRWCoversImpliesSubsumption(t *testing.T) {
+	all := []RWMode{IS, IX, S, SIX, X}
+	for _, h := range all {
+		for _, r := range all {
+			if !h.Covers(r) {
+				continue
+			}
+			for _, x := range all {
+				if x.Compatible(h) && !x.Compatible(r) {
+					t.Errorf("%s covers %s but %s compatible with %s only", h, r, x, h)
+				}
+			}
+		}
+	}
+}
+
+// Covers is reflexive and antisymmetric on RW modes (a partial order).
+func TestRWCoversPartialOrder(t *testing.T) {
+	all := []RWMode{IS, IX, S, SIX, X}
+	for _, a := range all {
+		if !a.Covers(a) {
+			t.Errorf("%s must cover itself", a)
+		}
+		for _, b := range all {
+			if a != b && a.Covers(b) && b.Covers(a) {
+				t.Errorf("%s and %s cover each other", a, b)
+			}
+		}
+	}
+	if S.Covers(MethodMode{}) {
+		t.Error("RW modes never cover foreign kinds")
+	}
+}
+
+// Random pairs drawn from the pool keep the manager's invariants: a
+// granted pair is either compatible or held by one transaction.
+func TestRandomModePairsThroughManager(t *testing.T) {
+	pool := modePool(t)
+	rng := rand.New(rand.NewSource(11))
+	f := func(ai, bi uint8) bool {
+		a := pool[int(ai)%len(pool)]
+		b := pool[int(bi)%len(pool)]
+		m := NewManager()
+		res := InstanceRes(1)
+		if err := m.Acquire(1, res, a); err != nil {
+			return false
+		}
+		if a.Compatible(b) {
+			// Must grant immediately.
+			return m.Acquire(2, res, b) == nil
+		}
+		// Must block: use the timeout to observe it.
+		m.WaitTimeout = 5 * 1e6 // 5ms
+		err := m.Acquire(2, res, b)
+		return err == ErrTimeout
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package lock
+
+import "fmt"
+
+// ResourceKind distinguishes the granules the different protocols lock.
+type ResourceKind uint8
+
+// Resource kinds. Instances and classes are the paper's granules;
+// relations and tuples belong to the relational comparator of section 3;
+// fields belong to the Agrawal–El Abbadi comparator of section 6.
+const (
+	KindInstance ResourceKind = iota
+	KindClass
+	KindRelation
+	KindTuple
+	KindField
+)
+
+func (k ResourceKind) String() string {
+	switch k {
+	case KindInstance:
+		return "instance"
+	case KindClass:
+		return "class"
+	case KindRelation:
+		return "relation"
+	case KindTuple:
+		return "tuple"
+	case KindField:
+		return "field"
+	}
+	return "kind(?)"
+}
+
+// ResourceID names one lockable resource. It is a comparable value type
+// so it can key the lock table directly.
+type ResourceID struct {
+	Kind  ResourceKind
+	Name  string // class or relation name (class/relation/tuple kinds)
+	OID   uint64 // instance, tuple or field-owner identity
+	Field int32  // field index for KindField; -1 otherwise
+}
+
+// InstanceRes names an instance granule.
+func InstanceRes(oid uint64) ResourceID {
+	return ResourceID{Kind: KindInstance, OID: oid, Field: -1}
+}
+
+// ClassRes names a class granule.
+func ClassRes(class string) ResourceID {
+	return ResourceID{Kind: KindClass, Name: class, Field: -1}
+}
+
+// RelationRes names a whole relation of the 1NF decomposition.
+func RelationRes(rel string) ResourceID {
+	return ResourceID{Kind: KindRelation, Name: rel, Field: -1}
+}
+
+// TupleRes names one tuple of one relation of the 1NF decomposition.
+func TupleRes(rel string, oid uint64) ResourceID {
+	return ResourceID{Kind: KindTuple, Name: rel, OID: oid, Field: -1}
+}
+
+// FieldRes names one field of one instance (run-time field locking).
+func FieldRes(oid uint64, field int32) ResourceID {
+	return ResourceID{Kind: KindField, OID: oid, Field: field}
+}
+
+// String renders a compact human-readable name.
+func (r ResourceID) String() string {
+	switch r.Kind {
+	case KindInstance:
+		return fmt.Sprintf("inst:%d", r.OID)
+	case KindClass:
+		return "class:" + r.Name
+	case KindRelation:
+		return "rel:" + r.Name
+	case KindTuple:
+		return fmt.Sprintf("tuple:%s/%d", r.Name, r.OID)
+	case KindField:
+		return fmt.Sprintf("field:%d.%d", r.OID, r.Field)
+	}
+	return "res(?)"
+}

@@ -1,0 +1,87 @@
+package lock
+
+// RWMode is a classical granular-locking mode (Gray's hierarchy [10]):
+// IS and IX are intention modes, S and X shared/exclusive, SIX the usual
+// combination. The read/write baselines of section 3 lock instances with
+// S/X and classes with the full hierarchy; the relational comparator
+// locks tuples with S/X and relations with IS/IX/S/SIX/X.
+type RWMode uint8
+
+// The classical modes.
+const (
+	IS RWMode = iota
+	IX
+	S
+	SIX
+	X
+)
+
+// rwCompat is Gray's compatibility matrix.
+var rwCompat = [5][5]bool{
+	//        IS     IX     S      SIX    X
+	IS:  {true, true, true, true, false},
+	IX:  {true, true, false, false, false},
+	S:   {true, false, true, false, false},
+	SIX: {true, false, false, false, false},
+	X:   {false, false, false, false, false},
+}
+
+// Compatible implements Mode.
+func (m RWMode) Compatible(other Mode) bool {
+	switch o := other.(type) {
+	case RWMode:
+		return rwCompat[m][o]
+	case ExtendMode:
+		return m == IS || m == IX
+	}
+	return false
+}
+
+// String implements Mode.
+func (m RWMode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case X:
+		return "X"
+	}
+	return "RW(?)"
+}
+
+// StrongerRW reports whether a is strictly stronger than b in the
+// classical lattice (used to detect upgrades: S→X, IS→IX, IS→S, …).
+func StrongerRW(a, b RWMode) bool {
+	if a == b {
+		return false
+	}
+	// Partial order: IS < IX < SIX < X, IS < S < SIX < X. IX and S are
+	// incomparable; treat either direction as a conversion.
+	rank := map[RWMode]int{IS: 0, IX: 1, S: 1, SIX: 2, X: 3}
+	return rank[a] > rank[b]
+}
+
+// rwCovers[h][req]: holding h makes req redundant. This is the classical
+// strength lattice: IS ≤ {IX, S} ≤ SIX ≤ X (IX and S incomparable).
+var rwCovers = [5][5]bool{
+	//        IS     IX     S      SIX    X
+	IS:  {true, false, false, false, false},
+	IX:  {true, true, false, false, false},
+	S:   {true, false, true, false, false},
+	SIX: {true, true, true, true, false},
+	X:   {true, true, true, true, true},
+}
+
+// Covers implements the lock manager's Coverer extension.
+func (m RWMode) Covers(req Mode) bool {
+	o, ok := req.(RWMode)
+	if !ok {
+		return false
+	}
+	return rwCovers[m][o]
+}

@@ -1,0 +1,305 @@
+package mdl
+
+// This file defines the abstract syntax tree produced by the parser.
+// Identifiers are left unresolved: whether a name denotes a field, a
+// parameter or a local variable is decided later, by the access-vector
+// compiler (internal/core) and the interpreter (internal/engine), which
+// both have the class context the parser lacks.
+
+// File is a parsed source file: an ordered list of class declarations.
+type File struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl is one "class C [inherits P1, P2] is … end" declaration.
+type ClassDecl struct {
+	Pos     Pos
+	Name    string
+	Parents []string
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+}
+
+// FieldDecl is one "name : type" instance-variable declaration.
+// Type is one of "integer", "boolean", "string", or a class name
+// (a reference field, e.g. "f3 : c3" in the paper's Figure 1).
+type FieldDecl struct {
+	Pos  Pos
+	Name string
+	Type string
+}
+
+// MethodDecl is one "method M(p, …) is [redefined as] body end"
+// declaration. Redefined records the optional "redefined as" marker the
+// paper uses for overriding methods; it is purely documentary — whether a
+// method overrides an inherited one is determined by the schema.
+type MethodDecl struct {
+	Pos       Pos
+	Name      string
+	Params    []string
+	Redefined bool
+	Body      []Stmt
+	Source    string // original source text of the declaration, for printing
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Pos() Pos
+	stmtNode()
+}
+
+// Assign is "target := value". Target may name a field or a local.
+type Assign struct {
+	At     Pos
+	Target string
+	Value  Expr
+}
+
+// VarDecl is "var name := value", declaring a method-local variable.
+type VarDecl struct {
+	At    Pos
+	Name  string
+	Value Expr
+}
+
+// ExprStmt is an expression evaluated for effect — in practice always a
+// send, e.g. "send m2(p1) to self".
+type ExprStmt struct {
+	At Pos
+	X  Expr
+}
+
+// If is "if cond then … [else …] end".
+type If struct {
+	At   Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is "while cond do … end".
+type While struct {
+	At   Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// Return is "return [expr]".
+type Return struct {
+	At    Pos
+	Value Expr // nil for bare return
+}
+
+func (s *Assign) Pos() Pos   { return s.At }
+func (s *VarDecl) Pos() Pos  { return s.At }
+func (s *ExprStmt) Pos() Pos { return s.At }
+func (s *If) Pos() Pos       { return s.At }
+func (s *While) Pos() Pos    { return s.At }
+func (s *Return) Pos() Pos   { return s.At }
+
+func (*Assign) stmtNode()   {}
+func (*VarDecl) stmtNode()  {}
+func (*ExprStmt) stmtNode() {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*Return) stmtNode()   {}
+
+// Expr is an expression node.
+type Expr interface {
+	Pos() Pos
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	At  Pos
+	Val int64
+}
+
+// BoolLit is "true" or "false".
+type BoolLit struct {
+	At  Pos
+	Val bool
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	At  Pos
+	Val string
+}
+
+// Ident is an unresolved name: a field, parameter or local variable.
+type Ident struct {
+	At   Pos
+	Name string
+}
+
+// SelfExpr is the receiver, "self".
+type SelfExpr struct {
+	At Pos
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators in increasing precedence groups.
+const (
+	OpOr BinOp = iota
+	OpAnd
+	OpEq
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+var binOpNames = [...]string{
+	OpOr: "or", OpAnd: "and",
+	OpEq: "=", OpNeq: "<>", OpLt: "<", OpLeq: "<=", OpGt: ">", OpGeq: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+}
+
+// String returns the operator's source spelling.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary is "l op r".
+type Binary struct {
+	At   Pos
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary is "not x" or "-x".
+type Unary struct {
+	At Pos
+	Op string // "not" or "-"
+	X  Expr
+}
+
+// Call is a builtin function application, e.g. the paper's opaque
+// "expr(f1, f2, p1)" and "cond(f5, p1)", or concrete builtins such as
+// min, max, abs, len, concat. The callee is a plain name, never a method:
+// methods are invoked with send.
+type Call struct {
+	At   Pos
+	Func string
+	Args []Expr
+}
+
+// Send is a message send, usable as a statement or an expression:
+//
+//	send M(args) to self        — self-directed (late-bound)
+//	send C.M(args) to self      — prefixed (super-call into ancestor C)
+//	send M(args) to <expr>      — message to another instance
+//
+// Class is non-empty only for the prefixed form, which the grammar
+// restricts to self targets (as in the paper).
+type Send struct {
+	At     Pos
+	Class  string // "" unless prefixed form "send C.M … to self"
+	Method string
+	Args   []Expr
+	Target Expr // *SelfExpr for self-directed sends
+}
+
+// ToSelf reports whether the send targets the current instance.
+func (s *Send) ToSelf() bool {
+	_, ok := s.Target.(*SelfExpr)
+	return ok
+}
+
+// New is "new C(arg, …)", creating an instance of class C with its
+// fields initialised positionally (missing trailing fields get zero
+// values).
+type New struct {
+	At    Pos
+	Class string
+	Args  []Expr
+}
+
+func (e *IntLit) Pos() Pos   { return e.At }
+func (e *BoolLit) Pos() Pos  { return e.At }
+func (e *StrLit) Pos() Pos   { return e.At }
+func (e *Ident) Pos() Pos    { return e.At }
+func (e *SelfExpr) Pos() Pos { return e.At }
+func (e *Binary) Pos() Pos   { return e.At }
+func (e *Unary) Pos() Pos    { return e.At }
+func (e *Call) Pos() Pos     { return e.At }
+func (e *Send) Pos() Pos     { return e.At }
+func (e *New) Pos() Pos      { return e.At }
+
+func (*IntLit) exprNode()   {}
+func (*BoolLit) exprNode()  {}
+func (*StrLit) exprNode()   {}
+func (*Ident) exprNode()    {}
+func (*SelfExpr) exprNode() {}
+func (*Binary) exprNode()   {}
+func (*Unary) exprNode()    {}
+func (*Call) exprNode()     {}
+func (*Send) exprNode()     {}
+func (*New) exprNode()      {}
+
+// WalkExprs calls fn for every expression appearing in the statement
+// list, in source order, recursing into nested statements and
+// sub-expressions. It is the traversal primitive the access-vector
+// extractor is built on.
+func WalkExprs(stmts []Stmt, fn func(Expr)) {
+	for _, s := range stmts {
+		walkStmtExprs(s, fn)
+	}
+}
+
+func walkStmtExprs(s Stmt, fn func(Expr)) {
+	switch s := s.(type) {
+	case *Assign:
+		walkExpr(s.Value, fn)
+	case *VarDecl:
+		walkExpr(s.Value, fn)
+	case *ExprStmt:
+		walkExpr(s.X, fn)
+	case *If:
+		walkExpr(s.Cond, fn)
+		WalkExprs(s.Then, fn)
+		WalkExprs(s.Else, fn)
+	case *While:
+		walkExpr(s.Cond, fn)
+		WalkExprs(s.Body, fn)
+	case *Return:
+		if s.Value != nil {
+			walkExpr(s.Value, fn)
+		}
+	}
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *Binary:
+		walkExpr(e.L, fn)
+		walkExpr(e.R, fn)
+	case *Unary:
+		walkExpr(e.X, fn)
+	case *Call:
+		for _, a := range e.Args {
+			walkExpr(a, fn)
+		}
+	case *Send:
+		for _, a := range e.Args {
+			walkExpr(a, fn)
+		}
+		walkExpr(e.Target, fn)
+	case *New:
+		for _, a := range e.Args {
+			walkExpr(a, fn)
+		}
+	}
+}

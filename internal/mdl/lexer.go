@@ -1,0 +1,203 @@
+package mdl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns mdl source text into a stream of tokens.
+// Comments run from "--" to end of line. Whitespace is insignificant.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) next() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	r := l.peek()
+	switch {
+	case r < 0:
+		return Token{Kind: TokEOF, Pos: start}, nil
+	case isIdentStart(r):
+		return l.scanIdent(start), nil
+	case unicode.IsDigit(r):
+		return l.scanInt(start), nil
+	case r == '"':
+		return l.scanString(start)
+	}
+	l.next()
+	switch r {
+	case ':':
+		if l.peek() == '=' {
+			l.next()
+			return Token{Kind: TokAssign, Pos: start}, nil
+		}
+		return Token{Kind: TokColon, Pos: start}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: start}, nil
+	case '.':
+		return Token{Kind: TokDot, Pos: start}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: start}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: start}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: start}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: start}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: start}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: start}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: start}, nil
+	case '=':
+		return Token{Kind: TokEq, Pos: start}, nil
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.next()
+			return Token{Kind: TokLeq, Pos: start}, nil
+		case '>':
+			l.next()
+			return Token{Kind: TokNeq, Pos: start}, nil
+		}
+		return Token{Kind: TokLt, Pos: start}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.next()
+			return Token{Kind: TokGeq, Pos: start}, nil
+		}
+		return Token{Kind: TokGt, Pos: start}, nil
+	}
+	return Token{}, errorf(start, "unexpected character %q", r)
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.next()
+		case r == '-' && strings.HasPrefix(l.src[l.off:], "--"):
+			for {
+				r := l.next()
+				if r < 0 || r == '\n' {
+					break
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) scanIdent(start Pos) Token {
+	begin := l.off
+	for isIdentCont(l.peek()) {
+		l.next()
+	}
+	text := l.src[begin:l.off]
+	if kw, ok := keywords[strings.ToLower(text)]; ok {
+		return Token{Kind: kw, Text: text, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+func (l *Lexer) scanInt(start Pos) Token {
+	begin := l.off
+	for unicode.IsDigit(l.peek()) {
+		l.next()
+	}
+	return Token{Kind: TokInt, Text: l.src[begin:l.off], Pos: start}
+}
+
+func (l *Lexer) scanString(start Pos) (Token, error) {
+	l.next() // opening quote
+	var sb strings.Builder
+	for {
+		r := l.next()
+		switch r {
+		case -1, '\n':
+			return Token{}, errorf(start, "unterminated string literal")
+		case '"':
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		case '\\':
+			esc := l.next()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return Token{}, errorf(start, "unknown escape sequence \\%c", esc)
+			}
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+// Tokenize scans the whole input and returns all tokens including the
+// trailing EOF token. Mostly a convenience for tests.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package mdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`f1 := expr(f1, f2, p1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokIdent, TokAssign, TokIdent, TokLParen, TokIdent,
+		TokComma, TokIdent, TokComma, TokIdent, TokRParen, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("SEND m TO Self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokSend, TokIdent, TokTo, TokSelf, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("< <= > >= = <> + - * / % : :=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokLt, TokLeq, TokGt, TokGeq, TokEq, TokNeq, TokPlus,
+		TokMinus, TokStar, TokSlash, TokPercent, TokColon, TokAssign, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("a -- this is a comment := b\nb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokIdent, TokIdent, TokEOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), kinds(toks), len(want))
+	}
+}
+
+func TestTokenizeString(t *testing.T) {
+	toks, err := Tokenize(`s := "hello \"world\"\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokString {
+		t.Fatalf("got kind %s, want string", toks[2].Kind)
+	}
+	if want := "hello \"world\"\n"; toks[2].Text != want {
+		t.Errorf("got %q, want %q", toks[2].Text, want)
+	}
+}
+
+func TestTokenizeUnterminatedString(t *testing.T) {
+	if _, err := Tokenize(`"abc`); err == nil {
+		t.Fatal("want error for unterminated string")
+	}
+}
+
+func TestTokenizeBadEscape(t *testing.T) {
+	if _, err := Tokenize(`"ab\q"`); err == nil {
+		t.Fatal("want error for bad escape")
+	}
+}
+
+func TestTokenizeUnexpectedRune(t *testing.T) {
+	_, err := Tokenize("a # b")
+	if err == nil {
+		t.Fatal("want error for '#'")
+	}
+	if !strings.Contains(err.Error(), "unexpected character") {
+		t.Errorf("unexpected message: %v", err)
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  bc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("bc at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	if TokAssign.String() != "':='" {
+		t.Errorf("got %s", TokAssign)
+	}
+	if TokenKind(9999).String() == "" {
+		t.Error("unknown kind must not be empty")
+	}
+}

@@ -1,0 +1,731 @@
+package mdl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for mdl with two-token lookahead.
+type Parser struct {
+	lex *Lexer
+	buf []Token // lookahead buffer
+	src string
+}
+
+// NewParser returns a parser over src.
+func NewParser(src string) *Parser {
+	return &Parser{lex: NewLexer(src), src: src}
+}
+
+// ParseFile parses a whole source file of class declarations.
+func ParseFile(src string) (*File, error) {
+	p := NewParser(src)
+	return p.File()
+}
+
+// ParseBody parses a bare statement sequence (no class wrapper), as found
+// inside a method body. Used by tests and by programmatic schema builders
+// that supply method bodies as strings.
+func ParseBody(src string) ([]Stmt, error) {
+	p := NewParser(src)
+	stmts, err := p.stmtsUntil(TokEOF)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEOF); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+func (p *Parser) fill(n int) error {
+	for len(p.buf) < n {
+		t, err := p.lex.Next()
+		if err != nil {
+			return err
+		}
+		p.buf = append(p.buf, t)
+	}
+	return nil
+}
+
+func (p *Parser) peek() (Token, error) {
+	if err := p.fill(1); err != nil {
+		return Token{}, err
+	}
+	return p.buf[0], nil
+}
+
+func (p *Parser) peek2() (Token, error) {
+	if err := p.fill(2); err != nil {
+		return Token{}, err
+	}
+	return p.buf[1], nil
+}
+
+func (p *Parser) next() (Token, error) {
+	if err := p.fill(1); err != nil {
+		return Token{}, err
+	}
+	t := p.buf[0]
+	p.buf = p.buf[1:]
+	return t, nil
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	t, err := p.next()
+	if err != nil {
+		return Token{}, err
+	}
+	if t.Kind != k {
+		return Token{}, errorf(t.Pos, "expected %s, found %s", k, describe(t))
+	}
+	return t, nil
+}
+
+func (p *Parser) accept(k TokenKind) (Token, bool, error) {
+	t, err := p.peek()
+	if err != nil {
+		return Token{}, false, err
+	}
+	if t.Kind != k {
+		return Token{}, false, nil
+	}
+	t, err = p.next()
+	return t, true, err
+}
+
+func describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokInt:
+		return fmt.Sprintf("integer %s", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// File parses: classdecl* EOF.
+func (p *Parser) File() (*File, error) {
+	f := &File{}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return f, nil
+		}
+		cd, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, cd)
+	}
+}
+
+// classDecl parses: "class" IDENT ["inherits" IDENT{,IDENT}] "is" body "end".
+func (p *Parser) classDecl() (*ClassDecl, error) {
+	kw, err := p.expect(TokClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	cd := &ClassDecl{Pos: kw.Pos, Name: name.Text}
+	if _, ok, err := p.accept(TokInherits); err != nil {
+		return nil, err
+	} else if ok {
+		for {
+			par, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			cd.Parents = append(cd.Parents, par.Text)
+			if _, ok, err := p.accept(TokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokIs); err != nil {
+		return nil, err
+	}
+
+	// Optional "instance variables are" field block.
+	if t, err := p.peek(); err != nil {
+		return nil, err
+	} else if t.Kind == TokInstance {
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokVariables); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAre); err != nil {
+			return nil, err
+		}
+		// Field declarations: IDENT ":" typename, until "method" or "end".
+		for {
+			t, err := p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind != TokIdent {
+				break
+			}
+			fname, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			ftype, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			cd.Fields = append(cd.Fields, &FieldDecl{Pos: fname.Pos, Name: fname.Text, Type: ftype.Text})
+		}
+	}
+
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case TokMethod:
+			md, err := p.methodDecl()
+			if err != nil {
+				return nil, err
+			}
+			cd.Methods = append(cd.Methods, md)
+		case TokEnd:
+			_, err := p.next()
+			return cd, err
+		default:
+			return nil, errorf(t.Pos, "expected 'method' or 'end' in class %s, found %s", cd.Name, describe(t))
+		}
+	}
+}
+
+// methodDecl parses: "method" IDENT ["(" params ")"] "is" ["redefined" "as"] stmt* "end".
+func (p *Parser) methodDecl() (*MethodDecl, error) {
+	kw, err := p.expect(TokMethod)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	md := &MethodDecl{Pos: kw.Pos, Name: name.Text}
+	if _, ok, err := p.accept(TokLParen); err != nil {
+		return nil, err
+	} else if ok {
+		if t, err := p.peek(); err != nil {
+			return nil, err
+		} else if t.Kind != TokRParen {
+			for {
+				param, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				md.Params = append(md.Params, param.Text)
+				if _, ok, err := p.accept(TokComma); err != nil {
+					return nil, err
+				} else if !ok {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokIs); err != nil {
+		return nil, err
+	}
+	if _, ok, err := p.accept(TokRedefined); err != nil {
+		return nil, err
+	} else if ok {
+		if _, err := p.expect(TokAs); err != nil {
+			return nil, err
+		}
+		md.Redefined = true
+	}
+	body, err := p.stmtsUntil(TokEnd)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEnd); err != nil {
+		return nil, err
+	}
+	md.Body = body
+	return md, nil
+}
+
+// stmtsUntil parses statements until the given terminator (or 'else' when
+// the terminator is TokEnd, so if-arms stop correctly) without consuming
+// the terminator.
+func (p *Parser) stmtsUntil(terms ...TokenKind) ([]Stmt, error) {
+	var stmts []Stmt
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		for _, term := range terms {
+			if t.Kind == term {
+				return stmts, nil
+			}
+		}
+		if t.Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case TokVar:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &VarDecl{At: t.Pos, Name: name.Text, Value: val}, nil
+
+	case TokIf:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokThen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmtsUntil(TokElse, TokEnd)
+		if err != nil {
+			return nil, err
+		}
+		var elseStmts []Stmt
+		if _, ok, err := p.accept(TokElse); err != nil {
+			return nil, err
+		} else if ok {
+			elseStmts, err = p.stmtsUntil(TokEnd)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokEnd); err != nil {
+			return nil, err
+		}
+		return &If{At: t.Pos, Cond: cond, Then: then, Else: elseStmts}, nil
+
+	case TokWhile:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDo); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtsUntil(TokEnd)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEnd); err != nil {
+			return nil, err
+		}
+		return &While{At: t.Pos, Cond: cond, Body: body}, nil
+
+	case TokReturn:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		nt, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if startsExpr(nt.Kind) {
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Return{At: t.Pos, Value: val}, nil
+		}
+		return &Return{At: t.Pos}, nil
+
+	case TokSend:
+		send, err := p.sendExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprStmt{At: t.Pos, X: send}, nil
+
+	case TokIdent:
+		t2, err := p.peek2()
+		if err != nil {
+			return nil, err
+		}
+		if t2.Kind == TokAssign {
+			name, _ := p.next()
+			p.next() // :=
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{At: name.Pos, Target: name.Text, Value: val}, nil
+		}
+		return nil, errorf(t.Pos, "expected ':=' after %q (only assignments and sends may stand alone)", t.Text)
+	}
+	return nil, errorf(t.Pos, "expected statement, found %s", describe(t))
+}
+
+func startsExpr(k TokenKind) bool {
+	switch k {
+	case TokInt, TokString, TokIdent, TokTrue, TokFalse, TokNot, TokMinus,
+		TokLParen, TokSend, TokNew, TokSelf:
+		return true
+	}
+	return false
+}
+
+// Expression grammar, by precedence:
+//
+//	expr   := and ("or" and)*
+//	and    := cmp ("and" cmp)*
+//	cmp    := add [relop add]
+//	add    := mul (("+"|"-") mul)*
+//	mul    := unary (("*"|"/"|"%") unary)*
+//	unary  := ("not"|"-") unary | primary
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok, err := p.accept(TokOr)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return l, nil
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{At: t.Pos, Op: OpOr, L: l, R: r}
+	}
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok, err := p.accept(TokAnd)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return l, nil
+		}
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{At: t.Pos, Op: OpAnd, L: l, R: r}
+	}
+}
+
+var relOps = map[TokenKind]BinOp{
+	TokEq: OpEq, TokNeq: OpNeq,
+	TokLt: OpLt, TokLeq: OpLeq, TokGt: OpGt, TokGeq: OpGeq,
+}
+
+func (p *Parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := relOps[t.Kind]
+	if !ok {
+		return l, nil
+	}
+	if _, err := p.next(); err != nil {
+		return nil, err
+	}
+	r, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{At: t.Pos, Op: op, L: l, R: r}, nil
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		var op BinOp
+		switch t.Kind {
+		case TokPlus:
+			op = OpAdd
+		case TokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{At: t.Pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		var op BinOp
+		switch t.Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		case TokPercent:
+			op = OpMod
+		default:
+			return l, nil
+		}
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{At: t.Pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case TokNot:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{At: t.Pos, Op: "not", X: x}, nil
+	case TokMinus:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{At: t.Pos, Op: "-", X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case TokInt:
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errorf(t.Pos, "invalid integer literal %q", t.Text)
+		}
+		return &IntLit{At: t.Pos, Val: v}, nil
+	case TokString:
+		return &StrLit{At: t.Pos, Val: t.Text}, nil
+	case TokTrue:
+		return &BoolLit{At: t.Pos, Val: true}, nil
+	case TokFalse:
+		return &BoolLit{At: t.Pos, Val: false}, nil
+	case TokSelf:
+		return &SelfExpr{At: t.Pos}, nil
+	case TokLParen:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TokNew:
+		cls, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		n := &New{At: t.Pos, Class: cls.Text}
+		if _, ok, err := p.accept(TokLParen); err != nil {
+			return nil, err
+		} else if ok {
+			n.Args, err = p.argsUntilRParen()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	case TokSend:
+		p.buf = append([]Token{t}, p.buf...) // push back
+		return p.sendExpr()
+	case TokIdent:
+		if nt, err := p.peek(); err != nil {
+			return nil, err
+		} else if nt.Kind == TokLParen {
+			p.next()
+			args, err := p.argsUntilRParen()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{At: t.Pos, Func: t.Text, Args: args}, nil
+		}
+		return &Ident{At: t.Pos, Name: t.Text}, nil
+	}
+	return nil, errorf(t.Pos, "expected expression, found %s", describe(t))
+}
+
+func (p *Parser) argsUntilRParen() ([]Expr, error) {
+	var args []Expr
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind == TokRParen {
+		_, err := p.next()
+		return nil, err
+	}
+	for {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if _, ok, err := p.accept(TokComma); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// sendExpr parses: "send" [C "."] M ["(" args ")"] "to" (self | expr).
+func (p *Parser) sendExpr() (Expr, error) {
+	kw, err := p.expect(TokSend)
+	if err != nil {
+		return nil, err
+	}
+	first, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	s := &Send{At: kw.Pos, Method: first.Text}
+	if _, ok, err := p.accept(TokDot); err != nil {
+		return nil, err
+	} else if ok {
+		m, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		s.Class = first.Text
+		s.Method = m.Text
+	}
+	if _, ok, err := p.accept(TokLParen); err != nil {
+		return nil, err
+	} else if ok {
+		s.Args, err = p.argsUntilRParen()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokTo); err != nil {
+		return nil, err
+	}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind == TokSelf {
+		p.next()
+		s.Target = &SelfExpr{At: t.Pos}
+	} else {
+		s.Target, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if s.Class != "" {
+			return nil, errorf(kw.Pos, "prefixed send %s.%s must target self", s.Class, s.Method)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,349 @@
+package mdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1Source is the paper's Figure 1 hierarchy written in mdl.
+// It is duplicated in internal/paperex (which owns the canonical copy)
+// so the parser tests stay dependency-free.
+const figure1Source = `
+class c1 is
+    instance variables are
+        f1 : integer
+        f2 : boolean
+        f3 : c3
+    method m1(p1) is
+        send m2(p1) to self
+        send m3 to self
+    end
+    method m2(p1) is
+        f1 := expr(f1, f2, p1)
+    end
+    method m3 is
+        if f2 then
+            send m to f3
+        end
+    end
+end
+
+class c2 inherits c1 is
+    instance variables are
+        f4 : integer
+        f5 : integer
+        f6 : string
+    method m2(p1) is redefined as
+        send c1.m2(p1) to self
+        f4 := expr(f5, p1)
+    end
+    method m4(p1, p2) is
+        if cond(f5, p1) then
+            f6 := expr(f6, p2)
+        end
+    end
+end
+
+class c3 is
+    method m is
+        return
+    end
+end
+`
+
+func TestParseFigure1(t *testing.T) {
+	f, err := ParseFile(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Classes) != 3 {
+		t.Fatalf("got %d classes, want 3", len(f.Classes))
+	}
+	c1, c2, c3 := f.Classes[0], f.Classes[1], f.Classes[2]
+	if c1.Name != "c1" || c2.Name != "c2" || c3.Name != "c3" {
+		t.Fatalf("class names: %s %s %s", c1.Name, c2.Name, c3.Name)
+	}
+	if len(c1.Fields) != 3 || len(c1.Methods) != 3 {
+		t.Errorf("c1: %d fields, %d methods; want 3, 3", len(c1.Fields), len(c1.Methods))
+	}
+	if len(c2.Parents) != 1 || c2.Parents[0] != "c1" {
+		t.Errorf("c2 parents = %v, want [c1]", c2.Parents)
+	}
+	if len(c2.Fields) != 3 || len(c2.Methods) != 2 {
+		t.Errorf("c2: %d fields, %d methods; want 3, 2", len(c2.Fields), len(c2.Methods))
+	}
+	if !c2.Methods[0].Redefined {
+		t.Error("c2.m2 must carry the 'redefined as' marker")
+	}
+	if c3.Fields != nil || len(c3.Methods) != 1 {
+		t.Errorf("c3: fields=%v methods=%d", c3.Fields, len(c3.Methods))
+	}
+	if c1.Fields[2].Type != "c3" {
+		t.Errorf("f3 type = %s, want c3", c1.Fields[2].Type)
+	}
+}
+
+func TestParseFigure1MethodBodies(t *testing.T) {
+	f, err := ParseFile(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := f.Classes[0]
+
+	// m1: two self-directed sends.
+	m1 := c1.Methods[0]
+	if len(m1.Body) != 2 {
+		t.Fatalf("m1 body: %d stmts", len(m1.Body))
+	}
+	for i, s := range m1.Body {
+		es, ok := s.(*ExprStmt)
+		if !ok {
+			t.Fatalf("m1 stmt %d: %T", i, s)
+		}
+		send, ok := es.X.(*Send)
+		if !ok || !send.ToSelf() {
+			t.Fatalf("m1 stmt %d not a self send", i)
+		}
+	}
+
+	// m2: assignment to f1 with call expr.
+	m2 := c1.Methods[1]
+	as, ok := m2.Body[0].(*Assign)
+	if !ok || as.Target != "f1" {
+		t.Fatalf("m2 body[0] = %#v", m2.Body[0])
+	}
+	call, ok := as.Value.(*Call)
+	if !ok || call.Func != "expr" || len(call.Args) != 3 {
+		t.Fatalf("m2 rhs = %#v", as.Value)
+	}
+
+	// m3: if f2 then send m to f3.
+	m3 := c1.Methods[2]
+	iff, ok := m3.Body[0].(*If)
+	if !ok {
+		t.Fatalf("m3 body[0] = %T", m3.Body[0])
+	}
+	send := iff.Then[0].(*ExprStmt).X.(*Send)
+	if send.Method != "m" || send.ToSelf() {
+		t.Fatalf("m3 inner send = %#v", send)
+	}
+	if tgt, ok := send.Target.(*Ident); !ok || tgt.Name != "f3" {
+		t.Fatalf("m3 send target = %#v", send.Target)
+	}
+
+	// c2.m2: prefixed send.
+	c2m2 := f.Classes[1].Methods[0]
+	psend := c2m2.Body[0].(*ExprStmt).X.(*Send)
+	if psend.Class != "c1" || psend.Method != "m2" || !psend.ToSelf() {
+		t.Fatalf("c2.m2 prefixed send = %#v", psend)
+	}
+}
+
+func TestParseBodyStatements(t *testing.T) {
+	stmts, err := ParseBody(`
+		var x := 1 + 2 * 3
+		while x < 10 do
+			x := x + 1
+		end
+		if x = 10 then
+			return x
+		else
+			return 0
+		end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d stmts", len(stmts))
+	}
+	vd := stmts[0].(*VarDecl)
+	b := vd.Value.(*Binary)
+	if b.Op != OpAdd {
+		t.Errorf("precedence: top op = %s, want +", b.Op)
+	}
+	if inner := b.R.(*Binary); inner.Op != OpMul {
+		t.Errorf("precedence: right op = %s, want *", inner.Op)
+	}
+	w := stmts[1].(*While)
+	if w.Cond.(*Binary).Op != OpLt {
+		t.Error("while cond must be <")
+	}
+	iff := stmts[2].(*If)
+	if len(iff.Then) != 1 || len(iff.Else) != 1 {
+		t.Errorf("if arms: %d/%d", len(iff.Then), len(iff.Else))
+	}
+}
+
+func TestParsePrecedenceAndAssoc(t *testing.T) {
+	stmts, err := ParseBody("x := a or b and c = d + e * -f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ExprString(stmts[0].(*Assign).Value)
+	want := "(a or (b and (c = (d + (e * (-f))))))"
+	if got != want {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestParseSendExpression(t *testing.T) {
+	stmts, err := ParseBody("x := send getBalance to self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, ok := stmts[0].(*Assign).Value.(*Send)
+	if !ok || send.Method != "getBalance" || !send.ToSelf() {
+		t.Fatalf("got %#v", stmts[0].(*Assign).Value)
+	}
+}
+
+func TestParseNewExpression(t *testing.T) {
+	stmts, err := ParseBody(`x := new c3
+y := new point(1, 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := stmts[0].(*Assign).Value.(*New)
+	if n1.Class != "c3" || len(n1.Args) != 0 {
+		t.Errorf("new c3 = %#v", n1)
+	}
+	n2 := stmts[1].(*Assign).Value.(*New)
+	if n2.Class != "point" || len(n2.Args) != 2 {
+		t.Errorf("new point = %#v", n2)
+	}
+}
+
+func TestParseEmptyParamList(t *testing.T) {
+	f, err := ParseFile("class a is method m() is return end end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Classes[0].Methods[0].Params) != 0 {
+		t.Error("want no params")
+	}
+}
+
+func TestParseMultipleInheritance(t *testing.T) {
+	f, err := ParseFile(`
+class a is end
+class b is end
+class c inherits a, b is end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Classes[2]
+	if len(c.Parents) != 2 || c.Parents[0] != "a" || c.Parents[1] != "b" {
+		t.Errorf("parents = %v", c.Parents)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing is", "class a method m is end end", "expected 'is'"},
+		{"bad stmt", "class a is method m is 42 end end", "expected statement"},
+		{"bare ident", "class a is method m is x end end", "expected ':='"},
+		{"prefixed to non-self", "class a is method m is send b.m to f end end", "must target self"},
+		{"missing to", "class a is method m is send m2 self end end", "expected 'to'"},
+		{"trailing junk", "class a is end 42", "expected"},
+		{"unclosed paren", "class a is method m is x := (1 + 2 end end", "expected ')'"},
+		{"bad field decl", "class a is instance variables are f1 integer end", "expected ':'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseFile(tc.src)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := ParseFile("class a is\nmethod m is\nx\nend end")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error should point at line 3: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f1, err := ParseFile(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f1)
+	f2, err := ParseFile(printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed source failed: %v\nsource:\n%s", err, printed)
+	}
+	if !EqualFiles(f1, f2) {
+		t.Errorf("round trip not stable:\nfirst:\n%s\nsecond:\n%s", printed, Print(f2))
+	}
+}
+
+func TestRoundTripControlFlow(t *testing.T) {
+	src := `
+class k is
+    instance variables are
+        n : integer
+        s : string
+    method busy(p) is
+        var i := 0
+        while i < p do
+            i := i + 1
+            if (i % 2) = 0 then
+                n := n + i
+            else
+                s := concat(s, "x")
+            end
+        end
+        return n
+    end
+end`
+	f1, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ParseFile(Print(f1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualFiles(f1, f2) {
+		t.Error("control-flow round trip unstable")
+	}
+}
+
+func TestWalkExprs(t *testing.T) {
+	stmts, err := ParseBody(`
+		x := f1 + f2
+		if cond(f5) then
+			send m(f6) to self
+		end
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents []string
+	WalkExprs(stmts, func(e Expr) {
+		if id, ok := e.(*Ident); ok {
+			idents = append(idents, id.Name)
+		}
+	})
+	want := []string{"f1", "f2", "f5", "f6"}
+	if len(idents) != len(want) {
+		t.Fatalf("idents = %v, want %v", idents, want)
+	}
+	for i := range want {
+		if idents[i] != want[i] {
+			t.Errorf("ident %d = %s, want %s", i, idents[i], want[i])
+		}
+	}
+}

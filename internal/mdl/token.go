@@ -1,0 +1,196 @@
+// Package mdl implements the method-definition language used throughout
+// the reproduction of Malta & Martinez, "Automating Fine Concurrency
+// Control in Object-Oriented Databases" (ICDE 1993).
+//
+// The paper abstracts the source code of a method as "a sequence of
+// assignments, expressions and messages" (section 2.2) and writes method
+// bodies in a small Pascal-like notation, e.g.
+//
+//	method m2(p1) is
+//	    f1 := expr(f1, f2, p1)
+//	end
+//
+// mdl makes that notation concrete: a lexer, a recursive-descent parser
+// and an AST covering exactly the constructs the paper's compiler must
+// analyse — field assignments, expressions, self-directed messages
+// ("send m2(p1) to self"), prefixed messages to an ancestor's version of
+// an overridden method ("send c1.m2(p1) to self"), and messages to other
+// instances ("send m to f3") — plus enough control flow (if, while,
+// return, local variables) for realistic examples to execute.
+package mdl
+
+import "fmt"
+
+// TokenKind enumerates the lexical token classes of the language.
+type TokenKind int
+
+// Token kinds. Keyword kinds follow KeywordBase.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokString
+
+	// Punctuation and operators.
+	TokAssign  // :=
+	TokColon   // :
+	TokComma   // ,
+	TokDot     // .
+	TokLParen  // (
+	TokRParen  // )
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokEq      // =
+	TokNeq     // <>
+	TokLt      // <
+	TokLeq     // <=
+	TokGt      // >
+	TokGeq     // >=
+
+	// Keywords.
+	TokClass
+	TokInherits
+	TokIs
+	TokEnd
+	TokInstance
+	TokVariables
+	TokAre
+	TokMethod
+	TokRedefined
+	TokAs
+	TokSend
+	TokTo
+	TokSelf
+	TokIf
+	TokThen
+	TokElse
+	TokWhile
+	TokDo
+	TokReturn
+	TokVar
+	TokNew
+	TokTrue
+	TokFalse
+	TokAnd
+	TokOr
+	TokNot
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF:       "end of input",
+	TokIdent:     "identifier",
+	TokInt:       "integer literal",
+	TokString:    "string literal",
+	TokAssign:    "':='",
+	TokColon:     "':'",
+	TokComma:     "','",
+	TokDot:       "'.'",
+	TokLParen:    "'('",
+	TokRParen:    "')'",
+	TokPlus:      "'+'",
+	TokMinus:     "'-'",
+	TokStar:      "'*'",
+	TokSlash:     "'/'",
+	TokPercent:   "'%'",
+	TokEq:        "'='",
+	TokNeq:       "'<>'",
+	TokLt:        "'<'",
+	TokLeq:       "'<='",
+	TokGt:        "'>'",
+	TokGeq:       "'>='",
+	TokClass:     "'class'",
+	TokInherits:  "'inherits'",
+	TokIs:        "'is'",
+	TokEnd:       "'end'",
+	TokInstance:  "'instance'",
+	TokVariables: "'variables'",
+	TokAre:       "'are'",
+	TokMethod:    "'method'",
+	TokRedefined: "'redefined'",
+	TokAs:        "'as'",
+	TokSend:      "'send'",
+	TokTo:        "'to'",
+	TokSelf:      "'self'",
+	TokIf:        "'if'",
+	TokThen:      "'then'",
+	TokElse:      "'else'",
+	TokWhile:     "'while'",
+	TokDo:        "'do'",
+	TokReturn:    "'return'",
+	TokVar:       "'var'",
+	TokNew:       "'new'",
+	TokTrue:      "'true'",
+	TokFalse:     "'false'",
+	TokAnd:       "'and'",
+	TokOr:        "'or'",
+	TokNot:       "'not'",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"class":     TokClass,
+	"inherits":  TokInherits,
+	"is":        TokIs,
+	"end":       TokEnd,
+	"instance":  TokInstance,
+	"variables": TokVariables,
+	"are":       TokAre,
+	"method":    TokMethod,
+	"redefined": TokRedefined,
+	"as":        TokAs,
+	"send":      TokSend,
+	"to":        TokTo,
+	"self":      TokSelf,
+	"if":        TokIf,
+	"then":      TokThen,
+	"else":      TokElse,
+	"while":     TokWhile,
+	"do":        TokDo,
+	"return":    TokReturn,
+	"var":       TokVar,
+	"new":       TokNew,
+	"true":      TokTrue,
+	"false":     TokFalse,
+	"and":       TokAnd,
+	"or":        TokOr,
+	"not":       TokNot,
+}
+
+// Pos is a position in a source file, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text for identifiers, integers, strings (unquoted)
+	Pos  Pos
+}
+
+// Error is a lexical or syntactic error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("mdl: %s: %s", e.Pos, e.Msg) }
+
+func errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,134 @@
+// Package paperex holds the paper's running example (Figure 1 of Malta &
+// Martinez, ICDE'93) written in mdl, together with every value the paper
+// derives from it: the late-binding resolution graph of c2 (Figure 2),
+// the direct and transitive access vectors worked through section 4.3,
+// and the commutativity relation of class c2 (Table 2). Tests, benches,
+// the CLI and the examples all share this single source of truth.
+package paperex
+
+// Figure1 is the paper's example hierarchy, transcribed:
+//
+//   - class c1 with fields f1:integer, f2:boolean, f3:c3 and methods
+//     m1 (sends m2 and m3 to self), m2 (writes f1 reading f1,f2),
+//     m3 (reads f2 and sends m to the instance referenced by f3);
+//   - class c2 inheriting c1, adding f4,f5:integer, f6:string,
+//     overriding m2 as an extension (prefixed call to c1.m2, then writes
+//     f4 reading f5) and adding m4 (reads f5, writes f6 reading f6);
+//   - class c3 with method m (a no-op here; its body is irrelevant to
+//     the analysis of c1/c2 because messages to other instances are
+//     controlled at their own top level).
+const Figure1 = `
+-- Figure 1 of Malta & Martinez (ICDE'93): an example of object-oriented
+-- programming.  Comments and layout follow the paper.
+
+class c1 is
+    instance variables are
+        f1 : integer
+        f2 : boolean
+        f3 : c3
+    method m1(p1) is
+        send m2(p1) to self
+        send m3 to self
+    end
+    method m2(p1) is
+        f1 := expr(f1, f2, p1)
+    end
+    method m3 is
+        if f2 then
+            send m to f3
+        end
+    end
+end
+
+class c2 inherits c1 is
+    instance variables are
+        f4 : integer
+        f5 : integer
+        f6 : string
+    method m2(p1) is redefined as
+        send c1.m2(p1) to self
+        f4 := expr(f5, p1)
+    end
+    method m4(p1, p2) is
+        if cond(f5, p1) then
+            f6 := expr(f6, p2)
+        end
+    end
+end
+
+class c3 is
+    instance variables are
+        g1 : integer
+    method m is
+        g1 := g1 + 1
+    end
+end
+`
+
+// Figure2Vertices is the vertex set of the late-binding resolution graph
+// of class c2 (Figure 2), in the paper's (class,method) notation.
+var Figure2Vertices = []string{
+	"(c1,m2)",
+	"(c2,m1)",
+	"(c2,m2)",
+	"(c2,m3)",
+	"(c2,m4)",
+}
+
+// Figure2Edges is the edge set of Figure 2: m1 self-calls m2 and m3
+// (late-bound in c2), and the overriding m2 prefix-calls c1.m2.
+var Figure2Edges = [][2]string{
+	{"(c2,m1)", "(c2,m2)"},
+	{"(c2,m1)", "(c2,m3)"},
+	{"(c2,m2)", "(c1,m2)"},
+}
+
+// AV is a field-name → mode-name map used to state expected vectors
+// readably; tests convert it through the schema to a core.Vector.
+type AV map[string]string
+
+// DAVs are the direct access vectors of every method definition, as
+// derivable from definition 6 (the paper spells out DAV(c1,m2) in
+// section 4.1 and the rest in section 4.3).
+var DAVs = map[string]AV{
+	"(c1,m1)": {},
+	"(c1,m2)": {"f1": "Write", "f2": "Read"},
+	"(c1,m3)": {"f2": "Read", "f3": "Read"},
+	"(c2,m2)": {"f4": "Write", "f5": "Read"},
+	"(c2,m4)": {"f5": "Read", "f6": "Write"},
+}
+
+// TAVsC2 are the transitive access vectors of METHODS(c2) on proper
+// instances of c2, exactly as worked in section 4.3.
+var TAVsC2 = map[string]AV{
+	"m1": {"f1": "Write", "f2": "Read", "f3": "Read", "f4": "Write", "f5": "Read"},
+	"m2": {"f1": "Write", "f2": "Read", "f4": "Write", "f5": "Read"},
+	"m3": {"f2": "Read", "f3": "Read"},
+	"m4": {"f5": "Read", "f6": "Write"},
+}
+
+// TAVsC1 are the transitive access vectors of METHODS(c1) on proper
+// instances of c1 (not spelled out in the paper but fully determined by
+// definition 10: in G_c1, m1 → m2, m1 → m3 and no prefixed calls).
+var TAVsC1 = map[string]AV{
+	"m1": {"f1": "Write", "f2": "Read", "f3": "Read"},
+	"m2": {"f1": "Write", "f2": "Read"},
+	"m3": {"f2": "Read", "f3": "Read"},
+}
+
+// Table2 is the commutativity relation of class c2 exactly as printed in
+// the paper (rows and columns in m1..m4 order; true = "yes").
+var Table2 = map[string]map[string]bool{
+	"m1": {"m1": false, "m2": false, "m3": true, "m4": true},
+	"m2": {"m1": false, "m2": false, "m3": true, "m4": true},
+	"m3": {"m1": true, "m2": true, "m3": true, "m4": true},
+	"m4": {"m1": true, "m2": true, "m3": true, "m4": false},
+}
+
+// Table1 is the classical compatibility relation (Table 1) with rows and
+// columns in Null, Read, Write order.
+var Table1 = [3][3]bool{
+	{true, true, true},   // Null
+	{true, true, false},  // Read
+	{true, false, false}, // Write
+}

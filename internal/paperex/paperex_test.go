@@ -1,0 +1,85 @@
+package paperex
+
+import "testing"
+
+// The expected-value tables shipped for the tests must themselves be
+// internally consistent with the paper's definitions.
+func TestTable2Symmetric(t *testing.T) {
+	for a, row := range Table2 {
+		for b, v := range row {
+			if Table2[b][a] != v {
+				t.Errorf("Table2 asymmetric at (%s,%s)", a, b)
+			}
+		}
+	}
+}
+
+func TestTable2Complete(t *testing.T) {
+	methods := []string{"m1", "m2", "m3", "m4"}
+	for _, a := range methods {
+		row, ok := Table2[a]
+		if !ok {
+			t.Fatalf("missing row %s", a)
+		}
+		for _, b := range methods {
+			if _, ok := row[b]; !ok {
+				t.Errorf("missing cell (%s,%s)", a, b)
+			}
+		}
+	}
+}
+
+func TestTable1Symmetric(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if Table1[i][j] != Table1[j][i] {
+				t.Errorf("Table1 asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFigure2EdgesUseDeclaredVertices(t *testing.T) {
+	verts := make(map[string]bool)
+	for _, v := range Figure2Vertices {
+		verts[v] = true
+	}
+	for _, e := range Figure2Edges {
+		if !verts[e[0]] || !verts[e[1]] {
+			t.Errorf("edge %v references undeclared vertex", e)
+		}
+	}
+}
+
+func TestAVModeNames(t *testing.T) {
+	valid := map[string]bool{"Null": true, "Read": true, "Write": true}
+	check := func(name string, avs map[string]AV) {
+		for key, av := range avs {
+			for f, m := range av {
+				if !valid[m] {
+					t.Errorf("%s[%s]: field %s has bad mode %q", name, key, f, m)
+				}
+			}
+		}
+	}
+	check("DAVs", DAVs)
+	check("TAVsC1", TAVsC1)
+	check("TAVsC2", TAVsC2)
+}
+
+// The paper's invariant: TAVs of c1 methods are the c2 TAVs restricted
+// to c1's fields — for inherited, non-overridden call patterns (m3), and
+// m1/m2 agree on the shared fields.
+func TestTAVConsistencyAcrossClasses(t *testing.T) {
+	for m, c1av := range TAVsC1 {
+		c2av, ok := TAVsC2[m]
+		if !ok {
+			t.Fatalf("method %s missing from c2 TAVs", m)
+		}
+		for f, mode := range c1av {
+			if c2av[f] != mode {
+				t.Errorf("%s: field %s is %s in c1 but %s in c2", m, f, mode, c2av[f])
+			}
+		}
+	}
+}

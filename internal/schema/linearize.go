@@ -1,0 +1,107 @@
+package schema
+
+import "fmt"
+
+// linearize computes the C3 linearization of class c:
+//
+//	L(C) = C · merge(L(P1), …, L(Pn), [P1 … Pn])
+//
+// C3 gives a deterministic method-resolution order that respects local
+// precedence (parents in declaration order) and monotonicity, and fails
+// on genuinely ambiguous multiple-inheritance hierarchies — which the
+// paper leaves unspecified ("the nearest ancestor class", section 2.2).
+// Results are memoised in c.Lin.
+func linearize(c *Class) ([]*Class, error) {
+	if c.Lin != nil {
+		return c.Lin, nil
+	}
+	seqs := make([][]*Class, 0, len(c.Parents)+1)
+	for _, p := range c.Parents {
+		pl, err := linearize(p)
+		if err != nil {
+			return nil, err
+		}
+		seqs = append(seqs, pl)
+	}
+	if len(c.Parents) > 0 {
+		seqs = append(seqs, append([]*Class(nil), c.Parents...))
+	}
+	merged, err := c3merge(seqs)
+	if err != nil {
+		return nil, fmt.Errorf("class %s: %w", c.Name, err)
+	}
+	c.Lin = append([]*Class{c}, merged...)
+	return c.Lin, nil
+}
+
+// c3merge merges linearizations: repeatedly take the head of some
+// sequence that appears in no other sequence's tail.
+func c3merge(seqs [][]*Class) ([]*Class, error) {
+	work := make([][]*Class, 0, len(seqs))
+	for _, s := range seqs {
+		if len(s) > 0 {
+			work = append(work, append([]*Class(nil), s...))
+		}
+	}
+	var out []*Class
+	for len(work) > 0 {
+		var head *Class
+		for _, s := range work {
+			cand := s[0]
+			if inAnyTail(cand, work) {
+				continue
+			}
+			head = cand
+			break
+		}
+		if head == nil {
+			return nil, fmt.Errorf("inconsistent multiple inheritance (no C3 linearization)")
+		}
+		out = append(out, head)
+		next := work[:0]
+		for _, s := range work {
+			if s[0] == head {
+				s = s[1:]
+			}
+			if len(s) > 0 {
+				next = append(next, s)
+			}
+		}
+		work = next
+	}
+	return out, nil
+}
+
+func inAnyTail(c *Class, seqs [][]*Class) bool {
+	for _, s := range seqs {
+		for _, x := range s[1:] {
+			if x == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// detectCycle returns an error if the parent relation contains a cycle
+// reachable from c.
+func detectCycle(c *Class, state map[*Class]int) error {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	switch state[c] {
+	case visiting:
+		return fmt.Errorf("inheritance cycle through class %s", c.Name)
+	case done:
+		return nil
+	}
+	state[c] = visiting
+	for _, p := range c.Parents {
+		if err := detectCycle(p, state); err != nil {
+			return err
+		}
+	}
+	state[c] = done
+	return nil
+}

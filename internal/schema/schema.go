@@ -1,0 +1,189 @@
+// Package schema implements the object-oriented data model of section 2
+// of Malta & Martinez (ICDE'93): classes composed of typed instance
+// variables (fields) and methods, related by simple or multiple
+// inheritance, with overriding. Instances pertain to exactly one class;
+// a class together with its transitive subclasses forms a *domain*.
+//
+// The package turns parsed mdl class declarations into a validated
+// Schema: inheritance is linearized (C3), FIELDS(C) and METHODS(C) of
+// definition 1 are materialised per class, and every field receives a
+// global FieldID so access vectors (internal/core) can be joined across
+// the classes of a hierarchy.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mdl"
+)
+
+// FieldType is the type of an instance variable.
+type FieldType int
+
+// Field types. The paper distinguishes base-typed fields (integer,
+// boolean, …) from fields referencing other instances (section 2.1).
+const (
+	TInt FieldType = iota
+	TBool
+	TString
+	TRef
+)
+
+// String returns the mdl spelling of the type.
+func (t FieldType) String() string {
+	switch t {
+	case TInt:
+		return "integer"
+	case TBool:
+		return "boolean"
+	case TString:
+		return "string"
+	case TRef:
+		return "reference"
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// FieldID identifies a field uniquely within a Schema. Fields inherited
+// through a diamond keep a single ID, so access vectors of diamond
+// hierarchies join correctly.
+type FieldID int
+
+// Field is an instance variable, owned by the class that declares it and
+// visible in every subclass.
+type Field struct {
+	ID     FieldID
+	Name   string
+	Type   FieldType
+	Domain string // referenced class name when Type == TRef
+	Owner  *Class // declaring class
+}
+
+// QualifiedName returns "owner.name", unique within a schema.
+func (f *Field) QualifiedName() string { return f.Owner.Name + "." + f.Name }
+
+// Method is a method body defined (or redefined) in a particular class.
+// A subclass that inherits a method shares the *Method value of the
+// definer — the identity (Definer, Name) is what the paper writes (C',M').
+type Method struct {
+	Name      string
+	Params    []string
+	Body      []mdl.Stmt
+	Definer   *Class
+	Redefined bool // declared with "is redefined as"
+}
+
+// QualifiedName returns "(definer,name)" in the paper's notation.
+func (m *Method) QualifiedName() string { return "(" + m.Definer.Name + "," + m.Name + ")" }
+
+// Class is a class of the schema with its computed inheritance context.
+type Class struct {
+	Name    string
+	Parents []*Class
+
+	// Declared members, in declaration order.
+	OwnFields  []*Field
+	OwnMethods []*Method
+
+	// Computed by Build.
+	Lin        []*Class           // C3 linearization; Lin[0] == the class itself
+	Fields     []*Field           // FIELDS(C): root-most first, then locals
+	Methods    map[string]*Method // METHODS(C): name → resolved definition
+	MethodList []string           // names of Methods, sorted
+	Subclasses []*Class           // direct subclasses, declaration order
+
+	ownByName map[string]*Method
+	slotOf    map[FieldID]int
+	declIndex int
+}
+
+// Ancestors returns ANCESTORS(C) of definition 1: every class C inherits
+// from, directly or transitively, in linearization order (nearest first).
+func (c *Class) Ancestors() []*Class { return c.Lin[1:] }
+
+// HasAncestor reports whether a is an ancestor of c (strictly above it).
+func (c *Class) HasAncestor(a *Class) bool {
+	for _, x := range c.Lin[1:] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolve returns the method bound to name for a proper instance of c —
+// the late-binding table entry — or nil if METHODS(C) has no such name.
+func (c *Class) Resolve(name string) *Method { return c.Methods[name] }
+
+// FieldByName returns the visible field with the given name, or nil.
+func (c *Class) FieldByName(name string) *Field {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Slot returns the storage slot of field id in instances of c, or -1 if
+// the field is not part of FIELDS(C).
+func (c *Class) Slot(id FieldID) int {
+	if s, ok := c.slotOf[id]; ok {
+		return s
+	}
+	return -1
+}
+
+// NumSlots returns the number of storage slots of an instance of c.
+func (c *Class) NumSlots() int { return len(c.Fields) }
+
+// Domain returns the set of classes rooted at c — c itself plus every
+// transitive subclass — in deterministic (declaration) order. This is the
+// paper's "domain C" (section 5.2 accesses iii and iv).
+func (c *Class) Domain() []*Class {
+	seen := map[*Class]bool{c: true}
+	out := []*Class{c}
+	var walk func(*Class)
+	walk = func(x *Class) {
+		for _, sub := range x.Subclasses {
+			if !seen[sub] {
+				seen[sub] = true
+				out = append(out, sub)
+				walk(sub)
+			}
+		}
+	}
+	walk(c)
+	sort.SliceStable(out[1:], func(i, j int) bool {
+		return out[i+1].declIndex < out[j+1].declIndex
+	})
+	return out
+}
+
+// Schema is a validated set of classes.
+type Schema struct {
+	Classes map[string]*Class
+	Order   []*Class // declaration order
+	Fields  []*Field // indexed by FieldID
+}
+
+// Class returns the class with the given name, or nil.
+func (s *Schema) Class(name string) *Class { return s.Classes[name] }
+
+// Field returns the field with the given ID.
+func (s *Schema) Field(id FieldID) *Field { return s.Fields[id] }
+
+// NumFields returns the number of distinct fields in the schema.
+func (s *Schema) NumFields() int { return len(s.Fields) }
+
+// Roots returns the classes without parents, in declaration order.
+func (s *Schema) Roots() []*Class {
+	var out []*Class
+	for _, c := range s.Order {
+		if len(c.Parents) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+const figure1 = `
+class c1 is
+    instance variables are
+        f1 : integer
+        f2 : boolean
+        f3 : c3
+    method m1(p1) is
+        send m2(p1) to self
+        send m3 to self
+    end
+    method m2(p1) is
+        f1 := expr(f1, f2, p1)
+    end
+    method m3 is
+        if f2 then
+            send m to f3
+        end
+    end
+end
+
+class c2 inherits c1 is
+    instance variables are
+        f4 : integer
+        f5 : integer
+        f6 : string
+    method m2(p1) is redefined as
+        send c1.m2(p1) to self
+        f4 := expr(f5, p1)
+    end
+    method m4(p1, p2) is
+        if cond(f5, p1) then
+            f6 := expr(f6, p2)
+        end
+    end
+end
+
+class c3 is
+    method m is
+        return
+    end
+end
+`
+
+func mustBuild(t *testing.T, src string) *Schema {
+	t.Helper()
+	s, err := FromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFigure1Fields(t *testing.T) {
+	s := mustBuild(t, figure1)
+	c1, c2 := s.Class("c1"), s.Class("c2")
+	if c1 == nil || c2 == nil {
+		t.Fatal("classes missing")
+	}
+
+	wantC1 := []string{"f1", "f2", "f3"}
+	if got := fieldNames(c1.Fields); !equalStrings(got, wantC1) {
+		t.Errorf("FIELDS(c1) = %v, want %v", got, wantC1)
+	}
+	// FIELDS(c2) must list inherited fields first, in the paper's order.
+	wantC2 := []string{"f1", "f2", "f3", "f4", "f5", "f6"}
+	if got := fieldNames(c2.Fields); !equalStrings(got, wantC2) {
+		t.Errorf("FIELDS(c2) = %v, want %v", got, wantC2)
+	}
+
+	// Inherited fields are the same Field values (same global ID).
+	if c1.FieldByName("f1") != c2.FieldByName("f1") {
+		t.Error("f1 must be one field shared by c1 and c2")
+	}
+	if c2.FieldByName("f4").Owner != c2 {
+		t.Error("f4 must be owned by c2")
+	}
+	if f3 := c1.FieldByName("f3"); f3.Type != TRef || f3.Domain != "c3" {
+		t.Errorf("f3 = %v %q, want reference to c3", f3.Type, f3.Domain)
+	}
+}
+
+func TestFigure1Methods(t *testing.T) {
+	s := mustBuild(t, figure1)
+	c1, c2 := s.Class("c1"), s.Class("c2")
+
+	if got := c1.MethodList; !equalStrings(got, []string{"m1", "m2", "m3"}) {
+		t.Errorf("METHODS(c1) = %v", got)
+	}
+	if got := c2.MethodList; !equalStrings(got, []string{"m1", "m2", "m3", "m4"}) {
+		t.Errorf("METHODS(c2) = %v", got)
+	}
+
+	// Late binding table: c2 inherits m1 and m3 from c1, overrides m2.
+	if m := c2.Resolve("m1"); m.Definer != c1 {
+		t.Errorf("c2.m1 defined in %s, want c1", m.Definer.Name)
+	}
+	if m := c2.Resolve("m2"); m.Definer != c2 || !m.Redefined {
+		t.Errorf("c2.m2 = %v", m.QualifiedName())
+	}
+	if m := c2.Resolve("m3"); m != c1.Resolve("m3") {
+		t.Error("c2.m3 must be the same Method value as c1.m3")
+	}
+	if m := c1.Resolve("m4"); m != nil {
+		t.Error("m4 must not be visible in c1")
+	}
+}
+
+func TestFigure1Hierarchy(t *testing.T) {
+	s := mustBuild(t, figure1)
+	c1, c2, c3 := s.Class("c1"), s.Class("c2"), s.Class("c3")
+
+	if !c2.HasAncestor(c1) {
+		t.Error("c1 must be an ancestor of c2")
+	}
+	if c1.HasAncestor(c2) || c1.HasAncestor(c3) {
+		t.Error("c1 has no ancestors")
+	}
+	if got := classNames(c1.Domain()); !equalStrings(got, []string{"c1", "c2"}) {
+		t.Errorf("domain(c1) = %v", got)
+	}
+	if got := classNames(c2.Domain()); !equalStrings(got, []string{"c2"}) {
+		t.Errorf("domain(c2) = %v", got)
+	}
+	roots := classNames(s.Roots())
+	if !equalStrings(roots, []string{"c1", "c3"}) {
+		t.Errorf("roots = %v", roots)
+	}
+}
+
+func TestSlots(t *testing.T) {
+	s := mustBuild(t, figure1)
+	c1, c2 := s.Class("c1"), s.Class("c2")
+	f1 := c1.FieldByName("f1")
+	if c1.Slot(f1.ID) != 0 || c2.Slot(f1.ID) != 0 {
+		t.Errorf("f1 slots: c1=%d c2=%d", c1.Slot(f1.ID), c2.Slot(f1.ID))
+	}
+	f6 := c2.FieldByName("f6")
+	if c2.Slot(f6.ID) != 5 {
+		t.Errorf("f6 slot = %d, want 5", c2.Slot(f6.ID))
+	}
+	if c1.Slot(f6.ID) != -1 {
+		t.Error("f6 must have no slot in c1")
+	}
+	if c1.NumSlots() != 3 || c2.NumSlots() != 6 {
+		t.Errorf("slot counts: %d, %d", c1.NumSlots(), c2.NumSlots())
+	}
+}
+
+func TestGlobalFieldIDs(t *testing.T) {
+	s := mustBuild(t, figure1)
+	if s.NumFields() != 6 {
+		t.Fatalf("NumFields = %d, want 6", s.NumFields())
+	}
+	for i, f := range s.Fields {
+		if int(f.ID) != i {
+			t.Errorf("field %s has ID %d at index %d", f.Name, f.ID, i)
+		}
+		if s.Field(f.ID) != f {
+			t.Errorf("Field(%d) mismatch", f.ID)
+		}
+	}
+}
+
+func TestDiamondInheritance(t *testing.T) {
+	s := mustBuild(t, `
+class top is
+    instance variables are
+        v : integer
+    method get is return v end
+end
+class left inherits top is
+    instance variables are
+        l : integer
+end
+class right inherits top is
+    instance variables are
+        r : integer
+end
+class bottom inherits left, right is
+    method both is
+        v := l + r
+    end
+end
+`)
+	b := s.Class("bottom")
+	// v appears once although inherited via two paths.
+	if got := fieldNames(b.Fields); !equalStrings(got, []string{"v", "l", "r"}) {
+		t.Errorf("FIELDS(bottom) = %v", got)
+	}
+	// C3: bottom, left, right, top.
+	if got := classNames(b.Lin); !equalStrings(got, []string{"bottom", "left", "right", "top"}) {
+		t.Errorf("linearization = %v", got)
+	}
+	if got := classNames(s.Class("top").Domain()); !equalStrings(got, []string{"top", "left", "right", "bottom"}) {
+		t.Errorf("domain(top) = %v", got)
+	}
+}
+
+func TestMultipleInheritanceMethodPrecedence(t *testing.T) {
+	s := mustBuild(t, `
+class a is
+    method m is return 1 end
+end
+class b is
+    method m is return 2 end
+end
+class c inherits a, b is end
+`)
+	c := s.Class("c")
+	if m := c.Resolve("m"); m.Definer.Name != "a" {
+		t.Errorf("c.m resolved to %s, want a (first parent wins)", m.Definer.Name)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"dup class", "class a is end class a is end", "duplicate class"},
+		{"unknown parent", "class a inherits b is end", "unknown class"},
+		{"self parent", "class a inherits a is end", "inherits itself"},
+		{"cycle", "class a inherits b is end class b inherits a is end", "inheritance cycle"},
+		{"unknown type", "class a is instance variables are f : nosuch end", "unknown type"},
+		{"dup field", "class a is instance variables are f : integer f : integer end", "conflicting fields"},
+		{"shadow field", `class a is instance variables are f : integer end
+		                  class b inherits a is instance variables are f : integer end`, "conflicting fields"},
+		{"dup method", "class a is method m is return end method m is return end end", "twice"},
+		{"override arity", `class a is method m(p) is return end end
+		                    class b inherits a is method m(p, q) is return end end`, "different arity"},
+		{"bogus redefined", "class a is method m is redefined as return end end", "overrides nothing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromSource(tc.src)
+			if err == nil {
+				t.Fatalf("want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestInconsistentC3(t *testing.T) {
+	// Classic C3 failure: d inherits (b, c) but b and c disagree on the
+	// relative order of a and the other parent.
+	_, err := FromSource(`
+class a is end
+class b inherits a is end
+class c inherits a is end
+class d inherits b, c is end
+class e inherits c, b is end
+class f inherits d, e is end
+`)
+	if err == nil || !strings.Contains(err.Error(), "C3") {
+		t.Fatalf("want C3 linearization failure, got %v", err)
+	}
+}
+
+func TestFieldConflictAcrossUnrelatedParents(t *testing.T) {
+	_, err := FromSource(`
+class a is
+    instance variables are
+        x : integer
+end
+class b is
+    instance variables are
+        x : integer
+end
+class c inherits a, b is end
+`)
+	if err == nil || !strings.Contains(err.Error(), "conflicting fields") {
+		t.Fatalf("want conflicting-fields error, got %v", err)
+	}
+}
+
+func TestDeepChainLinearization(t *testing.T) {
+	s := mustBuild(t, `
+class l0 is
+    instance variables are
+        a0 : integer
+end
+class l1 inherits l0 is
+    instance variables are
+        a1 : integer
+end
+class l2 inherits l1 is
+    instance variables are
+        a2 : integer
+end
+class l3 inherits l2 is
+    instance variables are
+        a3 : integer
+end
+`)
+	l3 := s.Class("l3")
+	if got := classNames(l3.Lin); !equalStrings(got, []string{"l3", "l2", "l1", "l0"}) {
+		t.Errorf("lin = %v", got)
+	}
+	if got := fieldNames(l3.Fields); !equalStrings(got, []string{"a0", "a1", "a2", "a3"}) {
+		t.Errorf("fields = %v", got)
+	}
+	if got := classNames(s.Class("l0").Domain()); !equalStrings(got, []string{"l0", "l1", "l2", "l3"}) {
+		t.Errorf("domain(l0) = %v", got)
+	}
+}
+
+func TestQualifiedNames(t *testing.T) {
+	s := mustBuild(t, figure1)
+	c2 := s.Class("c2")
+	if got := c2.Resolve("m2").QualifiedName(); got != "(c2,m2)" {
+		t.Errorf("got %s", got)
+	}
+	if got := c2.FieldByName("f1").QualifiedName(); got != "c1.f1" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func fieldNames(fs []*Field) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func classNames(cs []*Class) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+// Package storage is the in-memory object store underneath the engine:
+// instances with OIDs and typed slots, class extents, and the domain
+// extents (class + subclasses) the hierarchical locking protocol of
+// section 5.2 scans. It performs no concurrency control of its own
+// beyond short internal latches — isolation is entirely the lock
+// manager's job, which is what the paper's protocol controls.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/schema"
+)
+
+// OID identifies an instance. Object identifiers "play the role of
+// primary and foreign keys" (section 5.2's closing remark).
+type OID uint64
+
+// ValueKind tags a Value.
+type ValueKind uint8
+
+// Value kinds: the base types of section 2.1 plus references.
+const (
+	KInt ValueKind = iota
+	KBool
+	KString
+	KRef
+)
+
+// Value is a field value: integer, boolean, string, or a reference to
+// another instance (OID 0 is the nil reference).
+type Value struct {
+	Kind ValueKind
+	I    int64
+	B    bool
+	S    string
+	R    OID
+}
+
+// IntV returns an integer value.
+func IntV(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// BoolV returns a boolean value.
+func BoolV(b bool) Value { return Value{Kind: KBool, B: b} }
+
+// StrV returns a string value.
+func StrV(s string) Value { return Value{Kind: KString, S: s} }
+
+// RefV returns a reference value.
+func RefV(oid OID) Value { return Value{Kind: KRef, R: oid} }
+
+// Zero returns the zero value for a field type.
+func Zero(t schema.FieldType) Value {
+	switch t {
+	case schema.TInt:
+		return IntV(0)
+	case schema.TBool:
+		return BoolV(false)
+	case schema.TString:
+		return StrV("")
+	default:
+		return RefV(0)
+	}
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KBool:
+		return fmt.Sprintf("%t", v.B)
+	case KString:
+		return fmt.Sprintf("%q", v.S)
+	case KRef:
+		if v.R == 0 {
+			return "nil"
+		}
+		return fmt.Sprintf("ref(%d)", v.R)
+	}
+	return "value(?)"
+}
+
+// Instance is one stored object. Slots follow cls.Fields order; access
+// goes through Get/Set which take a short latch (physical consistency
+// only — transactional isolation comes from the lock manager).
+type Instance struct {
+	OID   OID
+	Class *schema.Class
+
+	mu    sync.Mutex
+	slots []Value
+}
+
+// Get returns the value in slot i.
+func (in *Instance) Get(i int) Value {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.slots[i]
+}
+
+// Set stores v into slot i and returns the previous value.
+func (in *Instance) Set(i int, v Value) Value {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	old := in.slots[i]
+	in.slots[i] = v
+	return old
+}
+
+// GetField returns the value of a field by global ID.
+func (in *Instance) GetField(id schema.FieldID) (Value, error) {
+	s := in.Class.Slot(id)
+	if s < 0 {
+		return Value{}, fmt.Errorf("storage: instance %d of %s has no field %d",
+			in.OID, in.Class.Name, id)
+	}
+	return in.Get(s), nil
+}
+
+// Snapshot copies all slots (for undo capture and assertions).
+func (in *Instance) Snapshot() []Value {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Value(nil), in.slots...)
+}
+
+// Store holds every instance and per-class extents.
+type Store struct {
+	mu      sync.RWMutex
+	byOID   map[OID]*Instance
+	extents map[string][]OID
+	nextOID OID
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		byOID:   make(map[OID]*Instance),
+		extents: make(map[string][]OID),
+	}
+}
+
+// NewInstance allocates an instance of cls, filling slots positionally
+// from vals and zero-filling the rest. The value kinds must match the
+// field types.
+func (s *Store) NewInstance(cls *schema.Class, vals ...Value) (*Instance, error) {
+	if len(vals) > cls.NumSlots() {
+		return nil, fmt.Errorf("storage: class %s has %d fields, got %d values",
+			cls.Name, cls.NumSlots(), len(vals))
+	}
+	slots := make([]Value, cls.NumSlots())
+	for i, f := range cls.Fields {
+		if i < len(vals) {
+			if err := checkKind(f, vals[i]); err != nil {
+				return nil, err
+			}
+			slots[i] = vals[i]
+		} else {
+			slots[i] = Zero(f.Type)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextOID++
+	in := &Instance{OID: s.nextOID, Class: cls, slots: slots}
+	s.byOID[in.OID] = in
+	s.extents[cls.Name] = append(s.extents[cls.Name], in.OID)
+	return in, nil
+}
+
+func checkKind(f *schema.Field, v Value) error {
+	ok := false
+	switch f.Type {
+	case schema.TInt:
+		ok = v.Kind == KInt
+	case schema.TBool:
+		ok = v.Kind == KBool
+	case schema.TString:
+		ok = v.Kind == KString
+	case schema.TRef:
+		ok = v.Kind == KRef
+	}
+	if !ok {
+		return fmt.Errorf("storage: field %s expects %s, got %s", f.QualifiedName(), f.Type, v)
+	}
+	return nil
+}
+
+// Get returns the instance with the given OID.
+func (s *Store) Get(oid OID) (*Instance, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	in, ok := s.byOID[oid]
+	return in, ok
+}
+
+// Delete removes the instance from the store and its class extent and
+// returns it (so an aborting transaction can Restore it).
+func (s *Store) Delete(oid OID) (*Instance, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in, ok := s.byOID[oid]
+	if !ok {
+		return nil, fmt.Errorf("storage: no instance with OID %d", oid)
+	}
+	delete(s.byOID, oid)
+	ext := s.extents[in.Class.Name]
+	for i, x := range ext {
+		if x == oid {
+			s.extents[in.Class.Name] = append(ext[:i], ext[i+1:]...)
+			break
+		}
+	}
+	return in, nil
+}
+
+// Restore re-inserts a previously deleted instance (transaction abort
+// compensation). Restoring a live OID is a no-op.
+func (s *Store) Restore(in *Instance) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.byOID[in.OID]; exists {
+		return
+	}
+	s.byOID[in.OID] = in
+	s.extents[in.Class.Name] = append(s.extents[in.Class.Name], in.OID)
+}
+
+// Extent returns the OIDs of the *proper* instances of one class
+// (section 5.2 access (ii): "a majority of instances, if not all, of one
+// class").
+func (s *Store) Extent(class string) []OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]OID(nil), s.extents[class]...)
+}
+
+// DomainExtent returns the OIDs of every instance whose class belongs to
+// the domain rooted at cls (section 5.2 accesses (iii) and (iv)).
+func (s *Store) DomainExtent(cls *schema.Class) []OID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []OID
+	for _, c := range cls.Domain() {
+		out = append(out, s.extents[c.Name]...)
+	}
+	return out
+}
+
+// Count returns the total number of instances.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byOID)
+}

@@ -1,0 +1,226 @@
+package storage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/schema"
+)
+
+func fig1(t *testing.T) *schema.Schema {
+	t.Helper()
+	s, err := schema.FromSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewInstanceZeroFill(t *testing.T) {
+	s := fig1(t)
+	st := NewStore()
+	in, err := st.NewInstance(s.Class("c2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.OID == 0 {
+		t.Error("OID must be non-zero")
+	}
+	snap := in.Snapshot()
+	if len(snap) != 6 {
+		t.Fatalf("c2 instance has %d slots", len(snap))
+	}
+	if snap[0] != IntV(0) || snap[1] != BoolV(false) || snap[2] != RefV(0) {
+		t.Errorf("zero fill wrong: %v", snap)
+	}
+	if snap[5] != StrV("") {
+		t.Errorf("f6 zero = %v", snap[5])
+	}
+}
+
+func TestNewInstancePositionalValues(t *testing.T) {
+	s := fig1(t)
+	st := NewStore()
+	in, err := st.NewInstance(s.Class("c1"), IntV(42), BoolV(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Get(0) != IntV(42) || in.Get(1) != BoolV(true) {
+		t.Errorf("positional init wrong: %v", in.Snapshot())
+	}
+}
+
+func TestNewInstanceTypeChecks(t *testing.T) {
+	s := fig1(t)
+	st := NewStore()
+	if _, err := st.NewInstance(s.Class("c1"), BoolV(true)); err == nil {
+		t.Error("want kind mismatch error for f1")
+	} else if !strings.Contains(err.Error(), "expects integer") {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := st.NewInstance(s.Class("c1"), IntV(1), BoolV(true), RefV(0), IntV(9)); err == nil {
+		t.Error("want too-many-values error")
+	}
+}
+
+func TestGetSetField(t *testing.T) {
+	s := fig1(t)
+	st := NewStore()
+	c2 := s.Class("c2")
+	in, err := st.NewInstance(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5 := c2.FieldByName("f5")
+	old := in.Set(c2.Slot(f5.ID), IntV(7))
+	if old != IntV(0) {
+		t.Errorf("old = %v", old)
+	}
+	got, err := in.GetField(f5.ID)
+	if err != nil || got != IntV(7) {
+		t.Errorf("GetField = %v, %v", got, err)
+	}
+	// A field not in FIELDS(c1) fails on a c1 instance.
+	in1, _ := st.NewInstance(s.Class("c1"))
+	if _, err := in1.GetField(f5.ID); err == nil {
+		t.Error("f5 must not exist on a c1 instance")
+	}
+}
+
+func TestExtents(t *testing.T) {
+	s := fig1(t)
+	st := NewStore()
+	c1, c2 := s.Class("c1"), s.Class("c2")
+	var c1OIDs, c2OIDs []OID
+	for i := 0; i < 3; i++ {
+		in, _ := st.NewInstance(c1)
+		c1OIDs = append(c1OIDs, in.OID)
+	}
+	for i := 0; i < 2; i++ {
+		in, _ := st.NewInstance(c2)
+		c2OIDs = append(c2OIDs, in.OID)
+	}
+
+	if got := st.Extent("c1"); len(got) != 3 {
+		t.Errorf("extent(c1) = %v", got)
+	}
+	if got := st.Extent("c2"); len(got) != 2 {
+		t.Errorf("extent(c2) = %v", got)
+	}
+	// Domain extent of c1 covers c1 and c2 instances.
+	dom := st.DomainExtent(c1)
+	if len(dom) != 5 {
+		t.Errorf("domain extent = %v", dom)
+	}
+	if got := st.DomainExtent(c2); len(got) != 2 {
+		t.Errorf("domain extent(c2) = %v", got)
+	}
+	if st.Count() != 5 {
+		t.Errorf("count = %d", st.Count())
+	}
+	_ = c1OIDs
+	_ = c2OIDs
+}
+
+func TestGetMissing(t *testing.T) {
+	st := NewStore()
+	if _, ok := st.Get(99); ok {
+		t.Error("missing OID must not be found")
+	}
+}
+
+func TestDeleteAndRestore(t *testing.T) {
+	s := fig1(t)
+	st := NewStore()
+	c1 := s.Class("c1")
+	a, _ := st.NewInstance(c1, IntV(1))
+	b, _ := st.NewInstance(c1, IntV(2))
+
+	del, err := st.Delete(a.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del != a {
+		t.Error("Delete must return the removed instance")
+	}
+	if _, ok := st.Get(a.OID); ok {
+		t.Error("deleted instance still present")
+	}
+	if got := st.Extent("c1"); len(got) != 1 || got[0] != b.OID {
+		t.Errorf("extent = %v", got)
+	}
+	if _, err := st.Delete(a.OID); err == nil {
+		t.Error("double delete must fail")
+	}
+
+	st.Restore(del)
+	if in, ok := st.Get(a.OID); !ok || in.Get(0) != IntV(1) {
+		t.Error("restore must bring the instance back intact")
+	}
+	if len(st.Extent("c1")) != 2 {
+		t.Error("extent not restored")
+	}
+	st.Restore(del) // idempotent
+	if len(st.Extent("c1")) != 2 {
+		t.Error("double restore must be a no-op")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := map[string]Value{
+		"42":     IntV(42),
+		"true":   BoolV(true),
+		`"hi"`:   StrV("hi"),
+		"nil":    RefV(0),
+		"ref(3)": RefV(3),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v String = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestZeroValues(t *testing.T) {
+	if Zero(schema.TInt) != IntV(0) || Zero(schema.TBool) != BoolV(false) ||
+		Zero(schema.TString) != StrV("") || Zero(schema.TRef) != RefV(0) {
+		t.Error("zero values wrong")
+	}
+}
+
+func TestConcurrentCreation(t *testing.T) {
+	s := fig1(t)
+	st := NewStore()
+	c1 := s.Class("c1")
+	const n = 50
+	var wg sync.WaitGroup
+	oids := make(chan OID, 4*n)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				in, err := st.NewInstance(c1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				oids <- in.OID
+			}
+		}()
+	}
+	wg.Wait()
+	close(oids)
+	seen := make(map[OID]bool)
+	for oid := range oids {
+		if seen[oid] {
+			t.Fatalf("duplicate OID %d", oid)
+		}
+		seen[oid] = true
+	}
+	if len(seen) != 4*n || st.Count() != 4*n {
+		t.Errorf("created %d, store has %d", len(seen), st.Count())
+	}
+}

@@ -1,0 +1,263 @@
+// Package txn provides strict two-phase-locking transactions over the
+// lock manager and the object store: begin/commit/abort, undo-based
+// recovery, and a deadlock-retry loop.
+//
+// Recovery follows the paper's remark in section 3: "Recovery uses
+// access vectors as projection patterns for extracting the modified
+// parts of instances." The engine captures a before-image of exactly the
+// fields in the Write set of the executed method's transitive access
+// vector (once per transaction and instance slot); Abort plays the
+// images back in reverse order.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+)
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	}
+	return "state(?)"
+}
+
+// ErrNotActive is returned when operating on a finished transaction.
+var ErrNotActive = errors.New("txn: transaction is not active")
+
+// undoEntry is one rollback step: either a slot before-image or an
+// arbitrary compensation action (creation removal, deletion re-insert).
+// Entries run in reverse chronological order on Abort.
+type undoEntry struct {
+	inst   *storage.Instance
+	slot   int
+	old    storage.Value
+	action func() // non-nil for compensation entries
+}
+
+type undoKey struct {
+	oid  storage.OID
+	slot int
+}
+
+// Txn is one transaction. It is not safe for concurrent use by multiple
+// goroutines (like database sessions, one goroutine drives one txn).
+type Txn struct {
+	ID    lock.TxnID
+	mgr   *Manager
+	state State
+
+	mu      sync.Mutex
+	undo    []undoEntry
+	undoSet map[undoKey]bool
+}
+
+// State returns the lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// Locks returns the lock manager (for protocol implementations).
+func (t *Txn) Locks() *lock.Manager { return t.mgr.locks }
+
+// LogUndo captures the before-image of one slot, once per (instance,
+// slot) pair per transaction — later images would overwrite earlier
+// writes of the same transaction and must not be kept.
+func (t *Txn) LogUndo(in *storage.Instance, slot int, old storage.Value) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := undoKey{oid: in.OID, slot: slot}
+	if t.undoSet[k] {
+		return
+	}
+	t.undoSet[k] = true
+	t.undo = append(t.undo, undoEntry{inst: in, slot: slot, old: old})
+}
+
+// LogCompensation records an action run on Abort, in reverse order with
+// the slot restores — e.g. removing an instance this transaction
+// created, or re-inserting one it deleted.
+func (t *Txn) LogCompensation(action func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.undo = append(t.undo, undoEntry{action: action})
+}
+
+// UndoDepth returns the number of captured before-images.
+func (t *Txn) UndoDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.undo)
+}
+
+// Commit makes the transaction's effects durable (in-memory: simply
+// drops the undo log) and releases every lock — the strictness of
+// strict 2PL.
+func (t *Txn) Commit() error {
+	if t.state != Active {
+		return ErrNotActive
+	}
+	t.state = Committed
+	t.undo = nil
+	t.undoSet = nil
+	t.mgr.locks.ReleaseAll(t.ID)
+	t.mgr.noteDone(true)
+	return nil
+}
+
+// Abort rolls back every write (reverse order) and releases all locks.
+// Aborting a finished transaction is a no-op.
+func (t *Txn) Abort() {
+	if t.state != Active {
+		return
+	}
+	t.state = Aborted
+	t.mu.Lock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		r := t.undo[i]
+		if r.action != nil {
+			r.action()
+			continue
+		}
+		r.inst.Set(r.slot, r.old)
+	}
+	t.undo = nil
+	t.undoSet = nil
+	t.mu.Unlock()
+	t.mgr.locks.ReleaseAll(t.ID)
+	t.mgr.noteDone(false)
+}
+
+// Stats counts transaction outcomes.
+type Stats struct {
+	Begun     int64
+	Committed int64
+	Aborted   int64
+	Retries   int64
+}
+
+// Manager hands out transactions with monotonically increasing IDs.
+type Manager struct {
+	locks *lock.Manager
+
+	mu    sync.Mutex
+	next  lock.TxnID
+	stats Stats
+
+	// MaxRetries bounds RunWithRetry (default 100).
+	MaxRetries int
+	// RetryBackoff is the base backoff between deadlock retries
+	// (default 100µs, with ±50% jitter, doubling per attempt up to 64×).
+	RetryBackoff time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewManager returns a transaction manager over the given lock table.
+func NewManager(locks *lock.Manager) *Manager {
+	return &Manager{
+		locks:        locks,
+		MaxRetries:   100,
+		RetryBackoff: 100 * time.Microsecond,
+		rng:          rand.New(rand.NewSource(1)),
+	}
+}
+
+// Locks returns the underlying lock manager.
+func (m *Manager) Locks() *lock.Manager { return m.locks }
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	m.next++
+	id := m.next
+	m.stats.Begun++
+	m.mu.Unlock()
+	return &Txn{ID: id, mgr: m, state: Active, undoSet: make(map[undoKey]bool)}
+}
+
+func (m *Manager) noteDone(committed bool) {
+	m.mu.Lock()
+	if committed {
+		m.stats.Committed++
+	} else {
+		m.stats.Aborted++
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot returns a copy of the outcome counters.
+func (m *Manager) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ResetStats zeroes the outcome counters (between experiment phases;
+// transaction IDs keep increasing).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
+
+// RunWithRetry executes fn inside a fresh transaction, committing on
+// success. A deadlock abort rolls back, backs off with jitter, and
+// retries with a new (younger) transaction — the standard user-level
+// reaction to a deadlock victim notice. Any other error aborts and is
+// returned.
+func (m *Manager) RunWithRetry(fn func(*Txn) error) error {
+	for attempt := 0; ; attempt++ {
+		t := m.Begin()
+		err := fn(t)
+		if err == nil {
+			return t.Commit()
+		}
+		t.Abort()
+		if !lock.IsDeadlock(err) {
+			return err
+		}
+		if attempt+1 >= m.MaxRetries {
+			return fmt.Errorf("txn: giving up after %d deadlock retries: %w", attempt+1, err)
+		}
+		m.mu.Lock()
+		m.stats.Retries++
+		m.mu.Unlock()
+		m.backoff(attempt)
+	}
+}
+
+func (m *Manager) backoff(attempt int) {
+	if m.RetryBackoff <= 0 {
+		return
+	}
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	base := m.RetryBackoff << uint(shift)
+	m.rngMu.Lock()
+	jitter := time.Duration(m.rng.Int63n(int64(base) + 1))
+	m.rngMu.Unlock()
+	time.Sleep(base/2 + jitter)
+}

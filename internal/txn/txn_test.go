@@ -1,0 +1,228 @@
+package txn
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lock"
+	"repro/internal/paperex"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+func setup(t *testing.T) (*Manager, *storage.Store, *schema.Schema) {
+	t.Helper()
+	s, err := schema.FromSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(lock.NewManager()), storage.NewStore(), s
+}
+
+func TestCommitReleasesLocks(t *testing.T) {
+	m, _, _ := setup(t)
+	tx := m.Begin()
+	res := lock.InstanceRes(1)
+	if err := m.Locks().Acquire(tx.ID, res, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction gets the lock immediately.
+	tx2 := m.Begin()
+	if err := m.Locks().Acquire(tx2.ID, res, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+	if tx.State() != Committed || tx2.State() != Aborted {
+		t.Errorf("states: %v, %v", tx.State(), tx2.State())
+	}
+}
+
+func TestAbortRollsBackInReverse(t *testing.T) {
+	m, st, s := setup(t)
+	c1 := s.Class("c1")
+	in, err := st.NewInstance(c1, storage.IntV(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	// Two writes to the same slot: only the first before-image counts.
+	tx.LogUndo(in, 0, in.Set(0, storage.IntV(20)))
+	tx.LogUndo(in, 0, in.Set(0, storage.IntV(30)))
+	// And one write to another slot.
+	tx.LogUndo(in, 1, in.Set(1, storage.BoolV(true)))
+	if tx.UndoDepth() != 2 {
+		t.Errorf("undo depth = %d, want 2 (dedup per slot)", tx.UndoDepth())
+	}
+	tx.Abort()
+	if got := in.Get(0); got != storage.IntV(10) {
+		t.Errorf("f1 after abort = %v, want 10", got)
+	}
+	if got := in.Get(1); got != storage.BoolV(false) {
+		t.Errorf("f2 after abort = %v, want false", got)
+	}
+}
+
+func TestCommitKeepsWrites(t *testing.T) {
+	m, st, s := setup(t)
+	in, _ := st.NewInstance(s.Class("c1"), storage.IntV(1))
+	tx := m.Begin()
+	tx.LogUndo(in, 0, in.Set(0, storage.IntV(2)))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Get(0); got != storage.IntV(2) {
+		t.Errorf("f1 after commit = %v", got)
+	}
+}
+
+func TestDoubleFinishIsSafe(t *testing.T) {
+	m, _, _ := setup(t)
+	tx := m.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("second commit = %v, want ErrNotActive", err)
+	}
+	tx.Abort() // no-op
+	if tx.State() != Committed {
+		t.Error("abort after commit must not change state")
+	}
+	st := m.Snapshot()
+	if st.Begun != 1 || st.Committed != 1 || st.Aborted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestIDsMonotonic(t *testing.T) {
+	m, _, _ := setup(t)
+	a, b, c := m.Begin(), m.Begin(), m.Begin()
+	if !(a.ID < b.ID && b.ID < c.ID) {
+		t.Errorf("ids: %d %d %d", a.ID, b.ID, c.ID)
+	}
+}
+
+func TestRunWithRetrySuccess(t *testing.T) {
+	m, _, _ := setup(t)
+	calls := 0
+	err := m.RunWithRetry(func(tx *Txn) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+	if m.Snapshot().Committed != 1 {
+		t.Error("must commit")
+	}
+}
+
+func TestRunWithRetryPlainErrorNoRetry(t *testing.T) {
+	m, _, _ := setup(t)
+	boom := errors.New("boom")
+	calls := 0
+	err := m.RunWithRetry(func(tx *Txn) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+	if m.Snapshot().Aborted != 1 {
+		t.Error("must abort")
+	}
+}
+
+func TestRunWithRetryRetriesDeadlock(t *testing.T) {
+	m, _, _ := setup(t)
+	m.RetryBackoff = 0
+	calls := 0
+	err := m.RunWithRetry(func(tx *Txn) error {
+		calls++
+		if calls < 3 {
+			return &lock.DeadlockError{Txn: tx.ID}
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+	st := m.Snapshot()
+	if st.Retries != 2 || st.Aborted != 2 || st.Committed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRunWithRetryGivesUp(t *testing.T) {
+	m, _, _ := setup(t)
+	m.MaxRetries = 3
+	m.RetryBackoff = 0
+	err := m.RunWithRetry(func(tx *Txn) error {
+		return &lock.DeadlockError{Txn: tx.ID}
+	})
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Errorf("err = %v", err)
+	}
+	if !lock.IsDeadlock(err) {
+		t.Error("wrapped deadlock must still be detectable")
+	}
+}
+
+// Two goroutines in a guaranteed deadlock: retry resolves it and both
+// eventually commit their writes exactly once.
+func TestRetryResolvesRealDeadlock(t *testing.T) {
+	m, st, s := setup(t)
+	c1 := s.Class("c1")
+	a, _ := st.NewInstance(c1, storage.IntV(0))
+	b, _ := st.NewInstance(c1, storage.IntV(0))
+
+	transfer := func(first, second *storage.Instance) func(*Txn) error {
+		return func(tx *Txn) error {
+			if err := m.Locks().Acquire(tx.ID, lock.InstanceRes(uint64(first.OID)), lock.X); err != nil {
+				return err
+			}
+			tx.LogUndo(first, 0, first.Set(0, storage.IntV(first.Get(0).I+1)))
+			if err := m.Locks().Acquire(tx.ID, lock.InstanceRes(uint64(second.OID)), lock.X); err != nil {
+				return err
+			}
+			tx.LogUndo(second, 0, second.Set(0, storage.IntV(second.Get(0).I+1)))
+			return nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var fn func(*Txn) error
+			if i%2 == 0 {
+				fn = transfer(a, b)
+			} else {
+				fn = transfer(b, a)
+			}
+			if err := m.RunWithRetry(fn); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := a.Get(0).I; got != 8 {
+		t.Errorf("a = %d, want 8", got)
+	}
+	if got := b.Get(0).I; got != 8 {
+		t.Errorf("b = %d, want 8", got)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Active.String() != "active" || Committed.String() != "committed" ||
+		Aborted.String() != "aborted" || State(9).String() != "state(?)" {
+		t.Error("state strings")
+	}
+}

@@ -1,0 +1,296 @@
+// Package workload generates synthetic schemas and transaction mixes for
+// the quantitative experiments: random class hierarchies emitted as mdl
+// source (exercising the compiler at scale) and seeded, reproducible
+// transaction streams over populated databases (exercising the
+// concurrency-control strategies under contention).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SchemaParams controls the random schema generator.
+type SchemaParams struct {
+	Classes         int     // number of classes
+	MaxParents      int     // 1 = tree, >1 allows multiple inheritance
+	FieldsPerClass  int     // fields added by each class
+	MethodsPerClass int     // methods declared by each class
+	SelfCallsPerM   int     // self-sends per method body (to lower-ranked methods)
+	OverrideProb    float64 // probability a method overrides an inherited one
+	PrefixedProb    float64 // probability an override super-calls its parent
+	AllowCycles     bool    // permit mutually recursive self-calls (compile-only schemas)
+	Seed            int64
+}
+
+// DefaultSchemaParams returns a mid-sized, runnable profile.
+func DefaultSchemaParams() SchemaParams {
+	return SchemaParams{
+		Classes:         10,
+		MaxParents:      1,
+		FieldsPerClass:  4,
+		MethodsPerClass: 4,
+		SelfCallsPerM:   2,
+		OverrideProb:    0.3,
+		PrefixedProb:    0.5,
+		Seed:            1,
+	}
+}
+
+// methodRank maps method-pool names to ranks: generated bodies only
+// self-call strictly lower ranks, so every generated program terminates
+// (unless AllowCycles, for compiler-scaling schemas that never execute).
+func methodName(rank int) string { return fmt.Sprintf("op%d", rank) }
+
+// classInfo tracks what is visible in one generated class.
+type classInfo struct {
+	parents []int
+	lin     []int         // C3 linearization (self first)
+	fields  []string      // visible fields (inherited + own)
+	methods map[int][]int // rank → class indexes having a definition (last = nearest)
+}
+
+// c3Merge is the C3 merge over class indexes, mirroring
+// internal/schema's linearization so the generator can verify candidate
+// parent sets before emitting them. It returns nil when inconsistent.
+func c3Merge(seqs [][]int) []int {
+	work := make([][]int, 0, len(seqs))
+	for _, s := range seqs {
+		if len(s) > 0 {
+			work = append(work, append([]int(nil), s...))
+		}
+	}
+	var out []int
+	for len(work) > 0 {
+		head := -1
+		for _, s := range work {
+			cand := s[0]
+			inTail := false
+			for _, t := range work {
+				for _, x := range t[1:] {
+					if x == cand {
+						inTail = true
+						break
+					}
+				}
+				if inTail {
+					break
+				}
+			}
+			if !inTail {
+				head = cand
+				break
+			}
+		}
+		if head < 0 {
+			return nil
+		}
+		out = append(out, head)
+		next := work[:0]
+		for _, s := range work {
+			if s[0] == head {
+				s = s[1:]
+			}
+			if len(s) > 0 {
+				next = append(next, s)
+			}
+		}
+		work = next
+	}
+	return out
+}
+
+// linearizeGen computes L(i) = i · merge(L(P1)…L(Pn), [P1…Pn]), or nil
+// when the parent set is C3-inconsistent.
+func linearizeGen(infos []classInfo, self int, parents []int) []int {
+	seqs := make([][]int, 0, len(parents)+1)
+	for _, p := range parents {
+		seqs = append(seqs, infos[p].lin)
+	}
+	if len(parents) > 0 {
+		seqs = append(seqs, append([]int(nil), parents...))
+	}
+	merged := c3Merge(seqs)
+	if merged == nil && len(parents) > 0 {
+		return nil
+	}
+	return append([]int{self}, merged...)
+}
+
+// GenSchema emits mdl source for a random, valid schema. Classes are
+// named k0…kN-1; parents always precede children; every field name is
+// globally unique (no shadowing conflicts); method bodies use
+// assignments, reads, if-statements and self-sends in the paper's style.
+func GenSchema(p SchemaParams) string {
+	rng := rand.New(rand.NewSource(p.Seed))
+	var sb strings.Builder
+
+	infos := make([]classInfo, p.Classes)
+	methodPool := p.MethodsPerClass*p.Classes*2 + 8 // distinct ranks available
+
+	for i := 0; i < p.Classes; i++ {
+		ci := classInfo{methods: make(map[int][]int)}
+
+		// Parents among earlier classes, listed most-derived first
+		// (descending class index). The generator runs the same C3 merge
+		// the schema builder will run and drops parents (most-derived
+		// kept) until the linearization is consistent — a single parent
+		// always is.
+		if i > 0 {
+			n := 1
+			if p.MaxParents > 1 {
+				n = 1 + rng.Intn(p.MaxParents)
+			}
+			seen := map[int]bool{}
+			for j := 0; j < n; j++ {
+				par := rng.Intn(i)
+				if !seen[par] {
+					seen[par] = true
+					ci.parents = append(ci.parents, par)
+				}
+			}
+			for a := 1; a < len(ci.parents); a++ {
+				for b := a; b > 0 && ci.parents[b] > ci.parents[b-1]; b-- {
+					ci.parents[b], ci.parents[b-1] = ci.parents[b-1], ci.parents[b]
+				}
+			}
+			for len(ci.parents) > 1 && linearizeGen(infos, i, ci.parents) == nil {
+				ci.parents = ci.parents[:len(ci.parents)-1]
+			}
+			ci.lin = linearizeGen(infos, i, ci.parents)
+			// Inherit fields and methods (first parent wins ties, like C3).
+			fieldSeen := map[string]bool{}
+			for _, par := range ci.parents {
+				for _, f := range infos[par].fields {
+					if !fieldSeen[f] {
+						fieldSeen[f] = true
+						ci.fields = append(ci.fields, f)
+					}
+				}
+				for _, rank := range sortedRanks(infos[par].methods) {
+					if _, ok := ci.methods[rank]; !ok {
+						ci.methods[rank] = append([]int(nil), infos[par].methods[rank]...)
+					}
+				}
+			}
+		}
+
+		if ci.lin == nil {
+			ci.lin = []int{i}
+		}
+
+		fmt.Fprintf(&sb, "class k%d", i)
+		if len(ci.parents) > 0 {
+			names := make([]string, len(ci.parents))
+			for j, par := range ci.parents {
+				names[j] = fmt.Sprintf("k%d", par)
+			}
+			fmt.Fprintf(&sb, " inherits %s", strings.Join(names, ", "))
+		}
+		sb.WriteString(" is\n")
+
+		// Own fields: integer fields named k<i>f<j> (globally unique).
+		ownFields := make([]string, 0, p.FieldsPerClass)
+		if p.FieldsPerClass > 0 {
+			sb.WriteString("    instance variables are\n")
+			for j := 0; j < p.FieldsPerClass; j++ {
+				name := fmt.Sprintf("k%df%d", i, j)
+				ownFields = append(ownFields, name)
+				fmt.Fprintf(&sb, "        %s : integer\n", name)
+			}
+		}
+		ci.fields = append(ci.fields, ownFields...)
+
+		// Methods: overrides of inherited ranks or fresh ranks.
+		declared := map[int]bool{}
+		for j := 0; j < p.MethodsPerClass; j++ {
+			var rank int
+			override := false
+			if len(ci.methods) > 0 && rng.Float64() < p.OverrideProb {
+				ranks := sortedRanks(ci.methods)
+				rank = ranks[rng.Intn(len(ranks))]
+				if declared[rank] {
+					rank = freshRank(rng, methodPool, declared, ci.methods)
+				} else {
+					override = true
+				}
+			} else {
+				rank = freshRank(rng, methodPool, declared, ci.methods)
+			}
+			declared[rank] = true
+
+			fmt.Fprintf(&sb, "    method %s(p1) is", methodName(rank))
+			if override {
+				sb.WriteString(" redefined as")
+			}
+			sb.WriteString("\n")
+			genBody(&sb, rng, p, ci, rank, override)
+			sb.WriteString("    end\n")
+			ci.methods[rank] = append(ci.methods[rank], i)
+		}
+		sb.WriteString("end\n\n")
+		infos[i] = ci
+	}
+	return sb.String()
+}
+
+func sortedRanks(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func freshRank(rng *rand.Rand, pool int, declared map[int]bool, inherited map[int][]int) int {
+	for {
+		r := rng.Intn(pool)
+		if !declared[r] {
+			if _, ok := inherited[r]; !ok {
+				return r
+			}
+		}
+	}
+}
+
+// genBody writes a method body: a couple of field accesses, optionally a
+// super-call (for overrides), and self-sends to callable methods.
+func genBody(sb *strings.Builder, rng *rand.Rand, p SchemaParams, ci classInfo, rank int, override bool) {
+	// One write and up to two reads over visible fields.
+	if len(ci.fields) > 0 {
+		w := ci.fields[rng.Intn(len(ci.fields))]
+		r1 := ci.fields[rng.Intn(len(ci.fields))]
+		fmt.Fprintf(sb, "        %s := expr(%s, p1)\n", w, r1)
+		if rng.Intn(2) == 0 {
+			r2 := ci.fields[rng.Intn(len(ci.fields))]
+			fmt.Fprintf(sb, "        if cond(%s, p1) then\n", r2)
+			w2 := ci.fields[rng.Intn(len(ci.fields))]
+			fmt.Fprintf(sb, "            %s := expr(%s, p1)\n", w2, w2)
+			sb.WriteString("        end\n")
+		}
+	}
+	if override && rng.Float64() < p.PrefixedProb {
+		// Super-call the nearest inherited definition.
+		chain := ci.methods[rank]
+		fmt.Fprintf(sb, "        send k%d.%s(p1) to self\n", chain[len(chain)-1], methodName(rank))
+	}
+	// Self-sends to callable ranks (sorted for determinism).
+	callable := make([]int, 0, len(ci.methods))
+	for _, r := range sortedRanks(ci.methods) {
+		if r < rank || p.AllowCycles {
+			callable = append(callable, r)
+		}
+	}
+	if len(callable) > 0 {
+		for j := 0; j < p.SelfCallsPerM; j++ {
+			r := callable[rng.Intn(len(callable))]
+			fmt.Fprintf(sb, "        send %s(p1) to self\n", methodName(r))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Populate creates perClass instances of every class in the database's
+// schema and returns all OIDs, in creation order.
+func Populate(db *engine.DB, perClass int) ([]storage.OID, error) {
+	var oids []storage.OID
+	err := db.RunWithRetry(func(tx *txn.Txn) error {
+		for _, cls := range db.Compiled.Schema.Order {
+			for i := 0; i < perClass; i++ {
+				in, err := db.NewInstance(tx, cls.Name)
+				if err != nil {
+					return err
+				}
+				oids = append(oids, in.OID)
+			}
+		}
+		return nil
+	})
+	return oids, err
+}
+
+// MixParams controls a transaction stream.
+type MixParams struct {
+	OpsPerTxn int     // sends per transaction
+	HotSpot   float64 // fraction of operations aimed at the hottest instance(s)
+	HotSet    int     // how many instances form the hot set (≥1)
+	Zipf      float64 // when > 1, pick instances Zipf-distributed instead of hot-set/uniform
+	Seed      int64
+}
+
+// DefaultMixParams returns a moderately contended profile.
+func DefaultMixParams() MixParams {
+	return MixParams{OpsPerTxn: 4, HotSpot: 0.5, HotSet: 2, Seed: 1}
+}
+
+// Op is one message send of a generated transaction.
+type Op struct {
+	OID    storage.OID
+	Method string
+	Arg    int64
+}
+
+// Mix generates reproducible transaction scripts over a population.
+// Instances are drawn from a small hot set with probability HotSpot and
+// uniformly otherwise; the method is drawn uniformly from the instance's
+// METHODS(C) (arity ≤ 1 methods only, which all generated schemas use).
+type Mix struct {
+	db   *engine.DB
+	oids []storage.OID
+	p    MixParams
+	rng  *rand.Rand
+	zipf *ZipfPicker
+}
+
+// NewMix builds a generator. The population must be non-empty.
+func NewMix(db *engine.DB, oids []storage.OID, p MixParams) (*Mix, error) {
+	if len(oids) == 0 {
+		return nil, fmt.Errorf("workload: empty population")
+	}
+	if p.HotSet < 1 {
+		p.HotSet = 1
+	}
+	if p.OpsPerTxn < 1 {
+		p.OpsPerTxn = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	m := &Mix{db: db, oids: oids, p: p, rng: rng}
+	if p.Zipf > 1 {
+		m.zipf = NewZipfPicker(rng, len(oids), p.Zipf)
+	}
+	return m, nil
+}
+
+// NextTxn returns the ops of the next transaction script.
+func (m *Mix) NextTxn() []Op {
+	ops := make([]Op, 0, m.p.OpsPerTxn)
+	for i := 0; i < m.p.OpsPerTxn; i++ {
+		var oid storage.OID
+		switch {
+		case m.zipf != nil:
+			oid = m.oids[m.zipf.Pick()]
+		case m.rng.Float64() < m.p.HotSpot:
+			oid = m.oids[m.rng.Intn(m.p.HotSet)]
+		default:
+			oid = m.oids[m.rng.Intn(len(m.oids))]
+		}
+		in, ok := m.db.Store.Get(oid)
+		if !ok {
+			continue
+		}
+		methods := callableMethods(in)
+		if len(methods) == 0 {
+			continue
+		}
+		ops = append(ops, Op{
+			OID:    oid,
+			Method: methods[m.rng.Intn(len(methods))],
+			Arg:    int64(m.rng.Intn(1000)),
+		})
+	}
+	return ops
+}
+
+// callableMethods lists methods of arity 0 or 1 visible on the instance.
+func callableMethods(in *storage.Instance) []string {
+	var out []string
+	for _, name := range in.Class.MethodList {
+		if m := in.Class.Resolve(name); m != nil && len(m.Params) <= 1 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// RunTxn executes one script transactionally with deadlock retry,
+// passing an integer argument to unary methods.
+func RunTxn(db *engine.DB, ops []Op) error {
+	return db.RunWithRetry(func(tx *txn.Txn) error {
+		for _, op := range ops {
+			in, ok := db.Store.Get(op.OID)
+			if !ok {
+				continue
+			}
+			m := in.Class.Resolve(op.Method)
+			if m == nil {
+				continue
+			}
+			var args []engine.Value
+			if len(m.Params) == 1 {
+				args = []engine.Value{storage.IntV(op.Arg)}
+			}
+			if _, err := db.Send(tx, op.OID, op.Method, args...); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

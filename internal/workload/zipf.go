@@ -1,0 +1,26 @@
+package workload
+
+import "math/rand"
+
+// ZipfPicker draws indexes in [0, n) with a Zipf distribution — the
+// classical skewed-access model for database benchmarks: index 0 is the
+// hottest object. It wraps math/rand's rejection-inversion sampler with
+// the (s, v) parameters fixed to sensible defaults.
+type ZipfPicker struct {
+	z *rand.Zipf
+}
+
+// NewZipfPicker returns a picker over [0, n) with skew s (> 1; larger is
+// more skewed; 1.2 is mild, 2 is heavy).
+func NewZipfPicker(rng *rand.Rand, n int, s float64) *ZipfPicker {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.2
+	}
+	return &ZipfPicker{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Pick draws one index.
+func (p *ZipfPicker) Pick() int { return int(p.z.Uint64()) }

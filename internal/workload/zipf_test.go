@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mdl"
+)
+
+func TestZipfPickerSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewZipfPicker(rng, 100, 1.5)
+	counts := make([]int, 100)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		idx := p.Pick()
+		if idx < 0 || idx >= 100 {
+			t.Fatalf("pick out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	// Strong skew: index 0 must dominate, and the head must hold the
+	// majority of mass.
+	if counts[0] <= counts[50] {
+		t.Errorf("no skew: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	head := counts[0] + counts[1] + counts[2] + counts[3] + counts[4]
+	if head*2 < draws {
+		t.Errorf("head too light: %d of %d", head, draws)
+	}
+}
+
+func TestZipfPickerDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewZipfPicker(rng, 1, 0.5) // n clamped to 1, s clamped up
+	for i := 0; i < 10; i++ {
+		if p.Pick() != 0 {
+			t.Fatal("single-element picker must always pick 0")
+		}
+	}
+}
+
+func TestMixWithZipf(t *testing.T) {
+	c, err := core.CompileSource(GenSchema(DefaultSchemaParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(c, engine.FineCC{})
+	oids, err := Populate(db, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MixParams{OpsPerTxn: 2, Zipf: 1.5, Seed: 3}
+	mix, err := NewMix(db, oids, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for i := 0; i < 500; i++ {
+		for _, op := range mix.NextTxn() {
+			for idx, oid := range oids {
+				if oid == op.OID {
+					seen[idx]++
+				}
+			}
+		}
+	}
+	if seen[0] == 0 {
+		t.Error("zipf mix never hit the hottest instance")
+	}
+	hot, cold := 0, 0
+	for idx, n := range seen {
+		if idx < len(oids)/10 {
+			hot += n
+		} else {
+			cold += n
+		}
+	}
+	if hot <= cold {
+		t.Errorf("zipf mix not skewed: hot=%d cold=%d", hot, cold)
+	}
+	// Zipf transactions execute fine.
+	for i := 0; i < 10; i++ {
+		if err := RunTxn(db, mix.NextTxn()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Print∘Parse is stable on generated schemas too, not just Figure 1.
+func TestGeneratedSchemaRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		p := DefaultSchemaParams()
+		p.Seed = seed
+		p.MaxParents = 2
+		src := GenSchema(p)
+		f1, err := mdl.ParseFile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		f2, err := mdl.ParseFile(mdl.Print(f1))
+		if err != nil {
+			t.Fatalf("seed %d reparse: %v", seed, err)
+		}
+		if !mdl.EqualFiles(f1, f2) {
+			t.Errorf("seed %d: round trip unstable", seed)
+		}
+	}
+}
+
+// Larger sweep: 20 seeds with MI and cycles all compile.
+func TestGenSchemaManySeeds(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		p := SchemaParams{
+			Classes: 24, MaxParents: 3, FieldsPerClass: 3,
+			MethodsPerClass: 4, SelfCallsPerM: 2,
+			OverrideProb: 0.5, PrefixedProb: 0.5, AllowCycles: seed%2 == 0,
+			Seed: seed,
+		}
+		if _, err := core.CompileSource(GenSchema(p)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package oodb is the public API of the reproduction of Malta &
+// Martinez, "Automating Fine Concurrency Control in Object-Oriented
+// Databases" (ICDE 1993): an embeddable, in-memory object-oriented
+// database whose concurrency control is derived at compile time from the
+// source code of methods.
+//
+// The workflow mirrors the paper:
+//
+//	schema, err := oodb.Compile(source)          // parse + access-vector analysis
+//	db, err := oodb.Open(schema, oodb.Fine)      // pick a locking protocol
+//	err = db.Update(func(tx *oodb.Txn) error {   // strict 2PL with deadlock retry
+//	    acct, err := tx.New("account", int64(100))
+//	    _, err = tx.Send(acct, "deposit", int64(10))
+//	    return err
+//	})
+//
+// Methods are written in the paper's notation (see internal/mdl):
+//
+//	class account is
+//	    instance variables are
+//	        balance : integer
+//	    method deposit(n) is
+//	        balance := balance + n
+//	    end
+//	end
+//
+// Besides the paper's protocol (Fine), Open accepts the baselines the
+// paper compares against — classical read/write instance locking with
+// and without announced modes, run-time field locking, and the 1NF
+// relational decomposition — so applications can measure what the finer
+// modes buy them.
+package oodb
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Strategy selects a concurrency-control protocol.
+type Strategy string
+
+// Available protocols.
+const (
+	// Fine is the paper's contribution: per-method access modes derived
+	// from transitive access vectors, one instance + one class lock per
+	// top-level message (section 5).
+	Fine Strategy = "fine"
+	// ReadWrite is the instance-granule read/write baseline (section 3):
+	// one control per message, escalation included.
+	ReadWrite Strategy = "rw"
+	// ReadWriteImplicit is the ORION-style baseline ([8]/[17], section
+	// 5): read/write modes with implicit locking along the inheritance
+	// graph (whole-extent accesses lock the domain root only).
+	ReadWriteImplicit Strategy = "rw-implicit"
+	// ReadWriteAnnounce is ReadWrite with the most exclusive mode
+	// announced up front (the System R remedy).
+	ReadWriteAnnounce Strategy = "rw-announce"
+	// FieldLocking is run-time field-granule locking (Agrawal & El
+	// Abbadi [1], discussed in section 6).
+	FieldLocking Strategy = "field"
+	// Relational locks the 1NF decomposition of the hierarchy
+	// (sections 3 and 5.2).
+	Relational Strategy = "relational"
+)
+
+// Strategies lists every available protocol.
+func Strategies() []Strategy {
+	return []Strategy{Fine, ReadWrite, ReadWriteImplicit, ReadWriteAnnounce, FieldLocking, Relational}
+}
+
+func (s Strategy) impl() (engine.Strategy, error) {
+	switch s {
+	case Fine:
+		return engine.FineCC{}, nil
+	case ReadWrite:
+		return engine.RWCC{}, nil
+	case ReadWriteImplicit:
+		return engine.RWImplicitCC{}, nil
+	case ReadWriteAnnounce:
+		return engine.RWAnnounceCC{}, nil
+	case FieldLocking:
+		return engine.FieldCC{}, nil
+	case Relational:
+		return engine.RelCC{}, nil
+	}
+	return nil, fmt.Errorf("oodb: unknown strategy %q", s)
+}
+
+// OID identifies a stored object.
+type OID = storage.OID
+
+// Option configures Compile.
+type Option func(*options)
+
+type options struct {
+	overrides *core.Overrides
+}
+
+// WithCommuting declares ad hoc commutativity for two methods of a class
+// (section 3: predefined classes such as escrow counters may be
+// delivered with commutativity beyond what their access vectors allow).
+// It applies to the class and to subclasses that do not override either
+// method.
+func WithCommuting(class, method1, method2 string) Option {
+	return func(o *options) {
+		if o.overrides == nil {
+			o.overrides = core.NewOverrides()
+		}
+		o.overrides.Declare(class, method1, method2)
+	}
+}
+
+// Schema is a compiled schema: classes, fields, methods, and the
+// complete compile-time concurrency-control analysis.
+type Schema struct {
+	compiled *core.Compiled
+}
+
+// Compile parses mdl source and runs the paper's full pipeline:
+// extraction of direct access vectors and self-call sets (defs 6–8),
+// late-binding resolution graphs (def 9), transitive access vectors
+// (def 10) and per-class commutativity tables (section 5.1).
+func Compile(source string, opts ...Option) (*Schema, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var coreOpts []core.Option
+	if o.overrides != nil {
+		coreOpts = append(coreOpts, core.WithOverrides(o.overrides))
+	}
+	c, err := core.CompileSource(source, coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{compiled: c}, nil
+}
+
+// Classes returns the class names in declaration order.
+func (s *Schema) Classes() []string {
+	out := make([]string, len(s.compiled.Schema.Order))
+	for i, c := range s.compiled.Schema.Order {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Methods returns METHODS(class): every method name visible on proper
+// instances of the class, sorted.
+func (s *Schema) Methods(class string) []string {
+	c := s.compiled.Schema.Class(class)
+	if c == nil {
+		return nil
+	}
+	return append([]string(nil), c.MethodList...)
+}
+
+// Fields returns FIELDS(class): every visible field name, inherited
+// fields first.
+func (s *Schema) Fields(class string) []string {
+	c := s.compiled.Schema.Class(class)
+	if c == nil {
+		return nil
+	}
+	out := make([]string, len(c.Fields))
+	for i, f := range c.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// AccessVector renders the transitive access vector of a method on
+// proper instances of a class, in the paper's full-width notation.
+func (s *Schema) AccessVector(class, method string) (string, error) {
+	c := s.compiled.Schema.Class(class)
+	if c == nil {
+		return "", fmt.Errorf("oodb: unknown class %q", class)
+	}
+	tav, ok := s.compiled.TAV(c, method)
+	if !ok {
+		return "", fmt.Errorf("oodb: no method %q in class %s", method, class)
+	}
+	return tav.FormatFull(s.compiled.Schema, c.Fields), nil
+}
+
+// Commute reports whether two methods of a class commute — whether
+// concurrent transactions may run them on a common instance.
+func (s *Schema) Commute(class, method1, method2 string) (bool, error) {
+	cc := s.compiled.Class(class)
+	if cc == nil {
+		return false, fmt.Errorf("oodb: unknown class %q", class)
+	}
+	if cc.Table.ModeIndex(method1) < 0 || cc.Table.ModeIndex(method2) < 0 {
+		return false, fmt.Errorf("oodb: unknown method on class %s", class)
+	}
+	return cc.Table.Commutes(method1, method2), nil
+}
+
+// CommutativityTable renders the class's relation in the layout of the
+// paper's Table 2.
+func (s *Schema) CommutativityTable(class string) (string, error) {
+	cc := s.compiled.Class(class)
+	if cc == nil {
+		return "", fmt.Errorf("oodb: unknown class %q", class)
+	}
+	return cc.Table.String(), nil
+}
+
+// ResolutionGraphDot renders the late-binding resolution graph of a
+// class (the paper's Figure 2) in Graphviz DOT syntax.
+func (s *Schema) ResolutionGraphDot(class string) (string, error) {
+	cc := s.compiled.Class(class)
+	if cc == nil {
+		return "", fmt.Errorf("oodb: unknown class %q", class)
+	}
+	return cc.Graph.Dot(), nil
+}
+
+// Database is an open object database.
+type Database struct {
+	db *engine.DB
+}
+
+// Open creates a database over a compiled schema with the chosen
+// concurrency-control strategy.
+func Open(s *Schema, strategy Strategy) (*Database, error) {
+	impl, err := strategy.impl()
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: engine.Open(s.compiled, impl)}, nil
+}
+
+// Txn is an open transaction bound to its database session.
+type Txn struct {
+	db *Database
+	tx *txn.Txn
+}
+
+// Begin starts a transaction. Prefer Update for automatic deadlock
+// retries; with Begin the caller must Commit or Abort and handle
+// IsDeadlock errors itself.
+func (d *Database) Begin() *Txn {
+	return &Txn{db: d, tx: d.db.Begin()}
+}
+
+// Update runs fn in a transaction, committing on success, rolling back
+// on error, and transparently retrying deadlock victims with backoff.
+func (d *Database) Update(fn func(*Txn) error) error {
+	return d.db.RunWithRetry(func(tx *txn.Txn) error {
+		return fn(&Txn{db: d, tx: tx})
+	})
+}
+
+// Commit makes the transaction durable and releases its locks.
+func (t *Txn) Commit() error { return t.tx.Commit() }
+
+// Abort rolls back and releases locks.
+func (t *Txn) Abort() { t.tx.Abort() }
+
+// New creates an instance of class, with fields initialised positionally
+// from Go values (int/int64, bool, string, OID).
+func (t *Txn) New(class string, fieldValues ...any) (OID, error) {
+	vals, err := toValues(fieldValues)
+	if err != nil {
+		return 0, err
+	}
+	in, err := t.db.db.NewInstance(t.tx, class, vals...)
+	if err != nil {
+		return 0, err
+	}
+	return in.OID, nil
+}
+
+// Delete removes an object. The deletion conflicts with any concurrent
+// access to the object; aborting the transaction restores it.
+func (t *Txn) Delete(oid OID) error {
+	return t.db.db.DeleteInstance(t.tx, oid)
+}
+
+// Send delivers a message to an object and returns the method's result
+// (int64, bool, string or OID; int64(0) for value-less returns).
+func (t *Txn) Send(oid OID, method string, args ...any) (any, error) {
+	vals, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	out, err := t.db.db.Send(t.tx, oid, method, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return fromValue(out), nil
+}
+
+// ScanSend delivers a message to the instances of the domain rooted at
+// class — the paper's accesses (ii)–(iv). With hierarchical=true the
+// classes are locked as wholes and no instance locks are taken. It
+// returns the number of instances visited.
+func (t *Txn) ScanSend(class, method string, hierarchical bool, args ...any) (int, error) {
+	vals, err := toValues(args)
+	if err != nil {
+		return 0, err
+	}
+	return t.db.db.DomainScan(t.tx, class, method, hierarchical, nil, vals...)
+}
+
+// Stats aggregates lock-manager and engine counters.
+type Stats struct {
+	LockRequests        int64
+	Blocks              int64
+	Deadlocks           int64
+	EscalationDeadlocks int64
+	Upgrades            int64
+	Committed           int64
+	Aborted             int64
+	Retries             int64
+	TopSends            int64
+	NestedSends         int64
+}
+
+// Stats returns cumulative counters for the database.
+func (d *Database) Stats() Stats {
+	ls := d.db.Locks().Snapshot()
+	ts := d.db.Txns.Snapshot()
+	es := d.db.Snapshot()
+	return Stats{
+		LockRequests:        ls.Requests,
+		Blocks:              ls.Blocks,
+		Deadlocks:           ls.Deadlocks,
+		EscalationDeadlocks: ls.EscalationDeadlocks,
+		Upgrades:            ls.Upgrades,
+		Committed:           ts.Committed,
+		Aborted:             ts.Aborted,
+		Retries:             ts.Retries,
+		TopSends:            es.TopSends,
+		NestedSends:         es.NestedSends,
+	}
+}
+
+// ResetStats zeroes the counters.
+func (d *Database) ResetStats() {
+	d.db.Locks().ResetStats()
+	d.db.Txns.ResetStats()
+}
+
+// DumpObject writes a labelled snapshot of an object's fields, for
+// debugging and examples.
+func (d *Database) DumpObject(w io.Writer, oid OID) error {
+	in, ok := d.db.Store.Get(oid)
+	if !ok {
+		return fmt.Errorf("oodb: no object %d", oid)
+	}
+	fmt.Fprintf(w, "%s#%d {", in.Class.Name, oid)
+	for i, f := range in.Class.Fields {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%s: %s", f.Name, in.Get(i))
+	}
+	fmt.Fprintln(w, "}")
+	return nil
+}
+
+func toValues(args []any) ([]storage.Value, error) {
+	out := make([]storage.Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case int:
+			out[i] = storage.IntV(int64(v))
+		case int64:
+			out[i] = storage.IntV(v)
+		case bool:
+			out[i] = storage.BoolV(v)
+		case string:
+			out[i] = storage.StrV(v)
+		case OID:
+			out[i] = storage.RefV(v)
+		default:
+			return nil, fmt.Errorf("oodb: unsupported argument type %T", a)
+		}
+	}
+	return out, nil
+}
+
+func fromValue(v storage.Value) any {
+	switch v.Kind {
+	case storage.KInt:
+		return v.I
+	case storage.KBool:
+		return v.B
+	case storage.KString:
+		return v.S
+	case storage.KRef:
+		return v.R
+	}
+	return nil
+}
