@@ -2,11 +2,20 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/lock"
+	"repro/internal/paperex"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/workload"
 )
 
 // TestScenario52 asserts the paper's headline result: the maximal
@@ -233,6 +242,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2": true, "scenario52": true, "overhead": true,
 		"escalation": true, "pseudo": true, "compile": true,
 		"runtime": true, "throughput": true, "conservative": true,
+		"locktable": true,
 	}
 	got := Experiments()
 	if len(got) != len(want) {
@@ -269,6 +279,46 @@ func TestStaticExperimentsRun(t *testing.T) {
 	}
 }
 
+// The lock-table scenario family runs and counts what it claims to.
+func TestLockScenarioRuns(t *testing.T) {
+	for _, sc := range LockScenarioFamily(4) {
+		sc.OpsPerWorker = 50
+		res, err := RunLockScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		if res.Ops != int64(sc.Workers)*int64(sc.OpsPerWorker) {
+			t.Errorf("%s: ops = %d, want %d", sc.Name(), res.Ops, sc.Workers*sc.OpsPerWorker)
+		}
+		if res.Reads+res.Writes != res.Ops*int64(sc.LocksPerTxn) {
+			t.Errorf("%s: reads+writes = %d, want %d locks",
+				sc.Name(), res.Reads+res.Writes, res.Ops*int64(sc.LocksPerTxn))
+		}
+		switch sc.Workload {
+		case LockReadHeavy:
+			if res.Reads <= res.Writes {
+				t.Errorf("%s: reads (%d) must dominate writes (%d)", sc.Name(), res.Reads, res.Writes)
+			}
+		case LockWriteHeavy:
+			if res.Writes <= res.Reads {
+				t.Errorf("%s: writes (%d) must dominate reads (%d)", sc.Name(), res.Writes, res.Reads)
+			}
+		}
+	}
+	if _, err := RunLockScenario(LockScenario{Workload: "zz", Dist: DistUniform, Workers: 1, Resources: 1, LocksPerTxn: 1, OpsPerWorker: 1}); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	if _, err := RunLockScenario(LockScenario{Workload: LockBalanced, Dist: "zz", Workers: 1, Resources: 1, LocksPerTxn: 1, OpsPerWorker: 1}); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+	if _, err := RunLockScenario(LockScenario{Workload: LockBalanced, Dist: DistUniform, Workers: 1, Resources: 2, LocksPerTxn: 4, OpsPerWorker: 1}); err == nil {
+		t.Error("locks per txn beyond the resource universe must fail, not hang")
+	}
+	if _, err := RunLockScenario(LockScenario{Workload: LockBalanced, Dist: DistUniform, Workers: 1, Resources: 0, LocksPerTxn: 1, OpsPerWorker: 1}); err == nil {
+		t.Error("zero resources must fail")
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	var buf bytes.Buffer
 	tbl := NewTable("a", "bb")
@@ -278,5 +328,332 @@ func TestTableRendering(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "a   bb") || !strings.Contains(out, "12  yy") {
 		t.Errorf("table output:\n%s", out)
+	}
+}
+
+// --- Benchmarks -------------------------------------------------------
+//
+// These map one-to-one onto the paper's tables, figures and claims (see
+// EXPERIMENTS.md):
+//
+//	BenchmarkTable1Compat        — Table 1 (classical compatibility check)
+//	BenchmarkModeCheck*          — §5.1 claim: method-mode check ≈ R/W check
+//	BenchmarkVector*             — definitions 4–5 primitives
+//	BenchmarkCompileFigure1      — Figures 1–2, Table 2, §4.3 pipeline
+//	BenchmarkCompileTAV/*        — §4.3 linearity sweep
+//	BenchmarkSend/*              — §3 locking overhead per top message
+//	BenchmarkScenario52          — §5.2 scenario analysis
+//	BenchmarkEscalation/*        — §3 System R escalation shape
+//	BenchmarkPseudo/*            — §3 pseudo-conflict shape
+//	BenchmarkThroughput/*        — §§1/7 parallelism claim, including the
+//	                               lock-table scenario family at 1 and 8+
+//	                               workers (sharding before/after numbers)
+//	BenchmarkLockAcquireRelease  — lock-manager single-threaded latency
+
+func compileFig1(b *testing.B) *core.Compiled {
+	b.Helper()
+	c, err := compiledFigure1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// Table 1: the classical compatibility relation.
+func BenchmarkTable1Compat(b *testing.B) {
+	acc := false
+	for i := 0; i < b.N; i++ {
+		acc = acc != core.Read.Compatible(core.Write)
+	}
+	_ = acc
+}
+
+// §5.1: a method-mode commutativity check is one table lookup…
+func BenchmarkModeCheckMethodTable(b *testing.B) {
+	c := compileFig1(b)
+	tbl := c.Class("c2").Table
+	i, j := tbl.ModeIndex("m2"), tbl.ModeIndex("m4")
+	b.ResetTimer()
+	acc := false
+	for k := 0; k < b.N; k++ {
+		acc = acc != tbl.CommutesIdx(i, j)
+	}
+	_ = acc
+}
+
+// …as cheap as a classical read/write compatibility check…
+func BenchmarkModeCheckRW(b *testing.B) {
+	acc := false
+	for k := 0; k < b.N; k++ {
+		acc = acc != lock.S.Compatible(lock.X)
+	}
+	_ = acc
+}
+
+// …while checking raw access vectors would cost a merge scan.
+func BenchmarkVectorCommute(b *testing.B) {
+	c := compileFig1(b)
+	v1 := c.Class("c2").TAV["m1"]
+	v2 := c.Class("c2").TAV["m2"]
+	b.ResetTimer()
+	acc := false
+	for k := 0; k < b.N; k++ {
+		acc = acc != v1.Commutes(v2)
+	}
+	_ = acc
+}
+
+// Definition 4: the join operator.
+func BenchmarkVectorJoin(b *testing.B) {
+	c := compileFig1(b)
+	v1 := c.Class("c2").TAV["m1"]
+	v2 := c.Class("c2").TAV["m4"]
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		_ = v1.Join(v2)
+	}
+}
+
+// Figures 1–2, Table 2, §4.3: the whole pipeline on the paper's example.
+func BenchmarkCompileFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CompileSource(paperex.Figure1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §4.3 linearity: compile time per schema size (analysis only; the
+// parse/build front end is excluded so the Tarjan pass dominates).
+func BenchmarkCompileTAV(b *testing.B) {
+	for _, classes := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("classes-%d", classes), func(b *testing.B) {
+			p := workload.SchemaParams{
+				Classes: classes, MaxParents: 2, FieldsPerClass: 4,
+				MethodsPerClass: 6, SelfCallsPerM: 3,
+				OverrideProb: 0.3, PrefixedProb: 0.5, AllowCycles: true, Seed: 42,
+			}
+			s, err := core.CompileSource(workload.GenSchema(p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			methods := 0
+			for _, cls := range s.Schema.Order {
+				methods += len(cls.MethodList)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(s.Schema); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*methods), "ns/method")
+		})
+	}
+}
+
+// §3 locking overhead: one top-level m1 send (which self-sends m2 and
+// m3) per strategy — the fine protocol pays two lock requests, the
+// baselines one control per message plus escalations.
+func BenchmarkSend(b *testing.B) {
+	for _, s := range AllScenarioStrategies() {
+		b.Run(s.Name(), func(b *testing.B) {
+			db := engine.Open(compileFig1(b), s)
+			var oid storage.OID
+			err := db.RunWithRetry(func(tx *txn.Txn) error {
+				in, err := db.NewInstance(tx, "c2", storage.IntV(1), storage.BoolV(false))
+				oid = in.OID
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := db.RunWithRetry(func(tx *txn.Txn) error {
+					_, err := db.Send(tx, oid, "m1", storage.IntV(int64(i)))
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := db.Locks().Snapshot()
+			b.ReportMetric(float64(st.Requests)/float64(st.Releases), "locks/txn")
+		})
+	}
+}
+
+// §5.2: the full scenario analysis (record four transactions under one
+// strategy and compute the maximal concurrent sets).
+func BenchmarkScenario52(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunScenario(engine.FineCC{}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// §3 System R shape: contended check-then-revise sessions.
+func BenchmarkEscalation(b *testing.B) {
+	for _, s := range []engine.Strategy{engine.RWCC{}, engine.RWAnnounceCC{}, engine.FineCC{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			deadlocks := int64(0)
+			for i := 0; i < b.N; i++ {
+				row, err := RunEscalationWorkload(s, 4, 5, 200)
+				if err != nil {
+					b.Fatal(err)
+				}
+				deadlocks += row.Deadlocks
+			}
+			b.ReportMetric(float64(deadlocks)/float64(b.N), "deadlocks/run")
+		})
+	}
+}
+
+// §3 pseudo-conflicts: the m2/m4 mix on one instance.
+func BenchmarkPseudo(b *testing.B) {
+	for _, s := range []engine.Strategy{engine.FineCC{}, engine.RWCC{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			blocks := int64(0)
+			for i := 0; i < b.N; i++ {
+				row, err := RunPseudoWorkload(s, 2, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blocks += row.Blocks
+			}
+			b.ReportMetric(float64(blocks)/float64(b.N), "blocks/run")
+		})
+	}
+}
+
+// benchLockScenario drives b.N lock transactions through the scenario's
+// worker pool against one fresh manager: ns/op is wall time per
+// committed transaction across all workers, i.e. inverse throughput.
+func benchLockScenario(b *testing.B, sc LockScenario) {
+	workers := make([]*lockWorker, sc.Workers)
+	for i := range workers {
+		w, err := newLockWorker(sc, i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		workers[i] = w
+	}
+	m := lock.NewManager()
+	var (
+		remaining atomic.Int64
+		nextTxn   atomic.Uint64
+		wg        sync.WaitGroup
+	)
+	remaining.Store(int64(b.N))
+	b.ResetTimer()
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *lockWorker) {
+			defer wg.Done()
+			var r, wr int64
+			for remaining.Add(-1) >= 0 {
+				for {
+					again, err := w.runTxn(m, lock.TxnID(nextTxn.Add(1)), &r, &wr)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if !again {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// §§1/7: committed-transaction throughput. The lock-table family
+// measures the table itself (uniform = low skew, where distinct
+// resources must scale with workers; zipf = high skew, where real
+// conflicts dominate); the engine profiles measure the full stack on
+// the profile where the fine modes pay off and on a random mix.
+func BenchmarkThroughput(b *testing.B) {
+	for _, nworkers := range []int{1, 8, 16} {
+		for _, sc := range LockScenarioFamily(nworkers) {
+			b.Run("lock-table/"+sc.Name(), func(b *testing.B) {
+				benchLockScenario(b, sc)
+			})
+		}
+	}
+	for _, profile := range []ThroughputProfile{ProfileHotDisjoint, ProfileRandom} {
+		for _, s := range AllScenarioStrategies() {
+			for _, nworkers := range []int{1, 8} {
+				b.Run(fmt.Sprintf("%s/%s/w%d", profile, s.Name(), nworkers), func(b *testing.B) {
+					blocks := int64(0)
+					for i := 0; i < b.N; i++ {
+						row, err := RunThroughputWorkload(s, profile, nworkers, 25)
+						if err != nil {
+							b.Fatal(err)
+						}
+						blocks += row.Blocks
+					}
+					b.ReportMetric(float64(blocks)/float64(b.N), "blocks/run")
+				})
+			}
+		}
+	}
+}
+
+// Lock-manager hot path: uncontended acquire + release, single thread —
+// the latency floor sharding must not regress.
+func BenchmarkLockAcquireRelease(b *testing.B) {
+	m := lock.NewManager()
+	res := lock.InstanceRes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := lock.TxnID(i + 1)
+		if err := m.Acquire(txn, res, lock.X); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(txn)
+	}
+}
+
+// Interpreter hot path: arithmetic-heavy method execution.
+func BenchmarkInterpreter(b *testing.B) {
+	const src = `
+class k is
+    instance variables are
+        n : integer
+    method busy(p) is
+        var i := 0
+        while i < p do
+            i := i + 1
+            n := n + i
+        end
+        return n
+    end
+end`
+	c, err := core.CompileSource(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.Open(c, engine.FineCC{})
+	var oid storage.OID
+	err = db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "k")
+		oid = in.OID
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := db.RunWithRetry(func(tx *txn.Txn) error {
+			_, err := db.Send(tx, oid, "busy", storage.IntV(100))
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }

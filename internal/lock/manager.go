@@ -3,7 +3,9 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,40 +56,161 @@ type Stats struct {
 	Releases            int64 // ReleaseAll calls
 }
 
-// Manager is the lock table. The zero value is not usable; construct
-// with NewManager.
+// statsCounters is Stats with atomic cells, so the hot path never takes
+// a lock to count and Snapshot never takes a table lock to read.
+type statsCounters struct {
+	requests            atomic.Int64
+	reentrant           atomic.Int64
+	immediateGrants     atomic.Int64
+	blocks              atomic.Int64
+	upgrades            atomic.Int64
+	deadlocks           atomic.Int64
+	escalationDeadlocks atomic.Int64
+	timeouts            atomic.Int64
+	releases            atomic.Int64
+}
+
+// Sharding parameters. The shard bitmap of a transaction is a single
+// uint64, which caps the shard count at 64 — plenty: shards only need to
+// outnumber cores, not resources.
+const (
+	defaultShardCount = 64
+	maxShardCount     = 64
+	txnStripeCount    = 64
+)
+
+// Manager is the lock table, partitioned into power-of-two shards keyed
+// by a hash of the ResourceID: acquires on distinct resources land on
+// distinct shards and never contend. Per-transaction held-lock tracking
+// lives in txn-owned states (found via a striped registry), so
+// ReleaseAll touches only the shards the transaction actually holds
+// locks in. Deadlock detection runs off the hot path against a
+// dedicated waits-for registry updated only on block/unblock.
+//
+// The zero value is not usable; construct with NewManager.
 type Manager struct {
-	mu      sync.Mutex
-	entries map[ResourceID]*entry
-	held    map[TxnID]map[ResourceID][]Mode
-	waiting map[TxnID]*waiter
-	stats   Stats
+	shards    []shard
+	shardMask uint64
+
+	stripes [txnStripeCount]txnStripe
+
+	reg   waitRegistry // blocked transactions (slow path only)
+	detMu sync.Mutex   // serializes deadlock detection and victim choice
+
+	stats statsCounters
+
+	waiterPool sync.Pool
+	statePool  sync.Pool
 
 	// WaitTimeout, when positive, bounds every blocking Acquire. Deadlock
 	// detection makes it unnecessary for correctness; it is a test guard.
+	// Set before concurrent use.
 	WaitTimeout time.Duration
 }
 
-// NewManager returns an empty lock table.
-func NewManager() *Manager {
-	return &Manager{
-		entries: make(map[ResourceID]*entry),
-		held:    make(map[TxnID]map[ResourceID][]Mode),
-		waiting: make(map[TxnID]*waiter),
+// NewManager returns an empty lock table with the default shard count.
+func NewManager() *Manager { return NewManagerShards(defaultShardCount) }
+
+// NewManagerShards returns an empty lock table with n shards, rounded up
+// to a power of two and clamped to [1, 64]. Lower counts are useful in
+// tests (a single shard reproduces the unsharded table); the default
+// suits production.
+func NewManagerShards(n int) *Manager {
+	if n < 1 {
+		n = 1
 	}
+	if n > maxShardCount {
+		n = maxShardCount
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	m := &Manager{
+		shards:    make([]shard, n),
+		shardMask: uint64(n - 1),
+	}
+	for i := range m.shards {
+		m.shards[i].idx = uint32(i)
+		m.shards[i].entries = make(map[ResourceID]*entry)
+	}
+	for i := range m.stripes {
+		m.stripes[i].m = make(map[TxnID]*txnState)
+	}
+	m.reg.waiting = make(map[TxnID]waitInfo)
+	m.waiterPool.New = func() any { return &waiter{ready: make(chan error, 1)} }
+	m.statePool.New = func() any { return &txnState{} }
+	return m
 }
 
-type entry struct {
-	granted map[TxnID][]Mode
-	queue   []*waiter
+// shardFor maps a resource to its shard.
+func (m *Manager) shardFor(res ResourceID) *shard {
+	return &m.shards[res.hash()&m.shardMask]
 }
 
-type waiter struct {
-	txn     TxnID
-	res     ResourceID
-	mode    Mode
-	upgrade bool
-	ready   chan error // buffered(1); receives nil on grant
+// txnState is the txn-owned lock bookkeeping: which shards the
+// transaction holds locks in (an atomic bitmask, set on first grant per
+// shard) and, per shard, which resources. The per-shard slices are only
+// touched under that shard's mutex, so a promote granting on one shard
+// can run concurrently with the transaction acquiring on another.
+type txnState struct {
+	shards atomic.Uint64
+	held   [maxShardCount][]ResourceID
+}
+
+// txnStripe is one stripe of the txn → state registry. Transactions get
+// sequential IDs, so adjacent transactions land on different stripes.
+type txnStripe struct {
+	mu sync.Mutex
+	m  map[TxnID]*txnState
+}
+
+// stateFor returns the transaction's state, creating it on first use.
+func (m *Manager) stateFor(txn TxnID) *txnState {
+	st := &m.stripes[uint64(txn)%txnStripeCount]
+	st.mu.Lock()
+	s := st.m[txn]
+	if s == nil {
+		s = m.statePool.Get().(*txnState)
+		st.m[txn] = s
+	}
+	st.mu.Unlock()
+	return s
+}
+
+// lookupState returns the transaction's state or nil.
+func (m *Manager) lookupState(txn TxnID) *txnState {
+	st := &m.stripes[uint64(txn)%txnStripeCount]
+	st.mu.Lock()
+	s := st.m[txn]
+	st.mu.Unlock()
+	return s
+}
+
+// takeState removes and returns the transaction's state (nil if none).
+func (m *Manager) takeState(txn TxnID) *txnState {
+	st := &m.stripes[uint64(txn)%txnStripeCount]
+	st.mu.Lock()
+	s := st.m[txn]
+	if s != nil {
+		delete(st.m, txn)
+	}
+	st.mu.Unlock()
+	return s
+}
+
+// dropStateIfEmpty recycles the state of a transaction that holds no
+// locks (a deadlock victim aborted on its very first request).
+func (m *Manager) dropStateIfEmpty(txn TxnID, s *txnState) {
+	if s.shards.Load() != 0 {
+		return
+	}
+	st := &m.stripes[uint64(txn)%txnStripeCount]
+	st.mu.Lock()
+	if st.m[txn] == s {
+		delete(st.m, txn)
+	}
+	st.mu.Unlock()
+	m.statePool.Put(s)
 }
 
 // Acquire blocks until txn holds mode on res, following strict 2PL:
@@ -98,97 +221,100 @@ type waiter struct {
 // If waiting would close a waits-for cycle, Acquire aborts the request
 // with *DeadlockError instead of sleeping.
 func (m *Manager) Acquire(txn TxnID, res ResourceID, mode Mode) error {
-	m.mu.Lock()
-	m.stats.Requests++
-	e := m.entries[res]
+	m.stats.requests.Add(1)
+	sh := m.shardFor(res)
+	sh.mu.Lock()
+	e := sh.entries[res]
 	if e == nil {
-		e = &entry{granted: make(map[TxnID][]Mode)}
-		m.entries[res] = e
+		e = sh.newEntry()
+		sh.entries[res] = e
 	}
-	mine := e.granted[txn]
-	for _, h := range mine {
-		if h == mode || covers(h, mode) {
-			m.stats.Reentrant++
-			m.mu.Unlock()
-			return nil
-		}
+	gs := e.granted[txn]
+	if gs.redundant(mode) {
+		m.stats.reentrant.Add(1)
+		sh.mu.Unlock()
+		return nil
 	}
-	upgrade := len(mine) > 0
+	upgrade := gs.first != nil
 	if upgrade {
-		m.stats.Upgrades++
+		m.stats.upgrades.Add(1)
 	}
 
-	if m.compatibleWithOthers(e, txn, mode) && (len(e.queue) == 0 || upgrade) {
-		m.grantLocked(e, txn, res, mode)
-		m.stats.ImmediateGrants++
-		m.mu.Unlock()
+	state := m.stateFor(txn)
+	if e.compatibleWithOthers(txn, mode) && (len(e.queue) == 0 || upgrade) {
+		sh.grant(e, txn, state, res, mode)
+		m.stats.immediateGrants.Add(1)
+		sh.mu.Unlock()
 		return nil
 	}
 
 	// Must wait. Conversions go to the front of the queue, after any
 	// conversions already waiting; plain requests are FIFO.
-	w := &waiter{txn: txn, res: res, mode: mode, upgrade: upgrade, ready: make(chan error, 1)}
-	if upgrade {
-		i := 0
-		for i < len(e.queue) && e.queue[i].upgrade {
-			i++
-		}
-		e.queue = append(e.queue, nil)
-		copy(e.queue[i+1:], e.queue[i:])
-		e.queue[i] = w
-	} else {
-		e.queue = append(e.queue, w)
-	}
-	m.stats.Blocks++
-	m.waiting[txn] = w
+	w := m.waiterPool.Get().(*waiter)
+	w.txn, w.state, w.res, w.mode, w.upgrade = txn, state, res, mode, upgrade
+	e.enqueue(w)
+	m.stats.blocks.Add(1)
+	m.reg.add(txn, w) // publish the waits-for edge before detecting
+	sh.mu.Unlock()
 
-	if cycle := m.findCycle(txn); cycle != nil {
-		m.removeWaiter(e, w)
-		delete(m.waiting, txn)
-		m.stats.Deadlocks++
-		esc := m.cycleHasUpgrade(cycle)
-		if esc {
-			m.stats.EscalationDeadlocks++
-		}
-		m.promote(e)
-		m.mu.Unlock()
-		return &DeadlockError{Txn: txn, Cycle: cycle, Escalation: esc}
+	if err := m.detectDeadlock(txn, w, sh); err != nil {
+		return err
 	}
-	m.mu.Unlock()
 
 	if m.WaitTimeout <= 0 {
-		return <-w.ready
+		return m.await(w)
 	}
 	timer := time.NewTimer(m.WaitTimeout)
 	defer timer.Stop()
 	select {
 	case err := <-w.ready:
+		m.recycleWaiter(w)
 		return err
 	case <-timer.C:
-		m.mu.Lock()
-		if m.waiting[txn] == w {
-			m.removeWaiter(m.entries[res], w)
-			delete(m.waiting, txn)
-			m.stats.Timeouts++
-			m.promote(m.entries[res])
-			m.mu.Unlock()
+		sh.mu.Lock()
+		if e := sh.entries[res]; e != nil && e.removeWaiter(w) {
+			m.reg.remove(txn)
+			m.stats.timeouts.Add(1)
+			sh.promote(m, e)
+			sh.mu.Unlock()
+			m.dropStateIfEmpty(txn, w.state)
+			m.recycleWaiter(w)
 			return ErrTimeout
 		}
 		// Granted between timeout and lock: consume the grant.
-		m.mu.Unlock()
-		return <-w.ready
+		sh.mu.Unlock()
+		return m.await(w)
 	}
+}
+
+// await consumes the grant signal and recycles the waiter.
+func (m *Manager) await(w *waiter) error {
+	err := <-w.ready
+	m.recycleWaiter(w)
+	return err
+}
+
+func (m *Manager) recycleWaiter(w *waiter) {
+	w.state = nil
+	w.mode = nil
+	w.res = ResourceID{}
+	m.waiterPool.Put(w)
 }
 
 // Holds reports whether txn currently holds mode on res.
 func (m *Manager) Holds(txn TxnID, res ResourceID, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.entries[res]
+	sh := m.shardFor(res)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[res]
 	if e == nil {
 		return false
 	}
-	for _, h := range e.granted[txn] {
+	gs := e.granted[txn]
+	if gs.first == mode {
+		return true
+	}
+	for _, h := range gs.rest {
 		if h == mode {
 			return true
 		}
@@ -198,59 +324,108 @@ func (m *Manager) Holds(txn TxnID, res ResourceID, mode Mode) bool {
 
 // HeldModes returns the modes txn holds on res (nil if none).
 func (m *Manager) HeldModes(txn TxnID, res ResourceID) []Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.entries[res]
+	sh := m.shardFor(res)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.entries[res]
 	if e == nil {
 		return nil
 	}
-	return append([]Mode(nil), e.granted[txn]...)
+	gs := e.granted[txn]
+	if gs.first == nil {
+		return nil
+	}
+	out := make([]Mode, 0, 1+len(gs.rest))
+	out = append(out, gs.first)
+	return append(out, gs.rest...)
 }
 
 // LocksHeld returns the number of (resource, mode) locks txn holds.
 func (m *Manager) LocksHeld(txn TxnID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.lookupState(txn)
+	if s == nil {
+		return 0
+	}
 	n := 0
-	for _, modes := range m.held[txn] {
-		n += len(modes)
+	mask := s.shards.Load()
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &^= 1 << i
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, res := range s.held[i] {
+			if e := sh.entries[res]; e != nil {
+				if gs := e.granted[txn]; gs.first != nil {
+					n += 1 + len(gs.rest)
+				}
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // ReleaseAll drops every lock of txn — the single release point of
 // strict two-phase locking — and wakes whatever the FIFO discipline now
-// admits.
+// admits. Only the shards the transaction holds locks in are touched.
 func (m *Manager) ReleaseAll(txn TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats.Releases++
-	for res := range m.held[txn] {
-		e := m.entries[res]
-		if e == nil {
-			continue
-		}
-		delete(e.granted, txn)
-		m.promote(e)
-		if len(e.granted) == 0 && len(e.queue) == 0 {
-			delete(m.entries, res)
-		}
+	m.stats.releases.Add(1)
+	s := m.takeState(txn)
+	if s == nil {
+		return
 	}
-	delete(m.held, txn)
+	mask := s.shards.Load()
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &^= 1 << i
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, res := range s.held[i] {
+			e := sh.entries[res]
+			if e == nil {
+				continue
+			}
+			delete(e.granted, txn)
+			sh.promote(m, e)
+			if len(e.granted) == 0 && len(e.queue) == 0 {
+				delete(sh.entries, res)
+				sh.freeEntry(e)
+			}
+		}
+		s.held[i] = s.held[i][:0]
+		sh.mu.Unlock()
+	}
+	s.shards.Store(0)
+	m.statePool.Put(s)
 }
 
-// Snapshot returns a copy of the counters.
+// Snapshot returns a copy of the counters. It reads atomics only and
+// never blocks behind the lock table.
 func (m *Manager) Snapshot() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Requests:            m.stats.requests.Load(),
+		Reentrant:           m.stats.reentrant.Load(),
+		ImmediateGrants:     m.stats.immediateGrants.Load(),
+		Blocks:              m.stats.blocks.Load(),
+		Upgrades:            m.stats.upgrades.Load(),
+		Deadlocks:           m.stats.deadlocks.Load(),
+		EscalationDeadlocks: m.stats.escalationDeadlocks.Load(),
+		Timeouts:            m.stats.timeouts.Load(),
+		Releases:            m.stats.releases.Load(),
+	}
 }
 
 // ResetStats zeroes the counters (between experiment phases).
 func (m *Manager) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
+	m.stats.requests.Store(0)
+	m.stats.reentrant.Store(0)
+	m.stats.immediateGrants.Store(0)
+	m.stats.blocks.Store(0)
+	m.stats.upgrades.Store(0)
+	m.stats.deadlocks.Store(0)
+	m.stats.escalationDeadlocks.Store(0)
+	m.stats.timeouts.Store(0)
+	m.stats.releases.Store(0)
 }
 
 // Coverer is an optional Mode extension: h.Covers(req) reports that
@@ -263,141 +438,6 @@ type Coverer interface {
 func covers(h, req Mode) bool {
 	if c, ok := h.(Coverer); ok {
 		return c.Covers(req)
-	}
-	return false
-}
-
-// --- internals (all require m.mu held) ---
-
-func (m *Manager) grantLocked(e *entry, txn TxnID, res ResourceID, mode Mode) {
-	e.granted[txn] = append(e.granted[txn], mode)
-	hm := m.held[txn]
-	if hm == nil {
-		hm = make(map[ResourceID][]Mode)
-		m.held[txn] = hm
-	}
-	hm[res] = append(hm[res], mode)
-}
-
-// compatibleWithOthers reports whether mode is compatible with every
-// mode granted to *other* transactions (self-held modes never block a
-// conversion).
-func (m *Manager) compatibleWithOthers(e *entry, txn TxnID, mode Mode) bool {
-	for other, modes := range e.granted {
-		if other == txn {
-			continue
-		}
-		for _, h := range modes {
-			if !mode.Compatible(h) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-func (m *Manager) removeWaiter(e *entry, w *waiter) {
-	for i, x := range e.queue {
-		if x == w {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			return
-		}
-	}
-}
-
-// promote grants queued requests in FIFO order, stopping at the first
-// waiter that still conflicts — strict FIFO prevents starvation and
-// makes the waits-for edges below exact.
-func (m *Manager) promote(e *entry) {
-	for len(e.queue) > 0 {
-		w := e.queue[0]
-		if !m.compatibleWithOthers(e, w.txn, w.mode) {
-			return
-		}
-		e.queue = e.queue[1:]
-		m.grantLocked(e, w.txn, w.res, w.mode)
-		delete(m.waiting, w.txn)
-		w.ready <- nil
-	}
-}
-
-// blockers returns the transactions w waits for: incompatible holders of
-// the resource plus every waiter queued ahead of it (FIFO admission
-// means they must leave first).
-func (m *Manager) blockers(w *waiter) []TxnID {
-	e := m.entries[w.res]
-	if e == nil {
-		return nil
-	}
-	var out []TxnID
-	for other, modes := range e.granted {
-		if other == w.txn {
-			continue
-		}
-		for _, h := range modes {
-			if !w.mode.Compatible(h) {
-				out = append(out, other)
-				break
-			}
-		}
-	}
-	for _, q := range e.queue {
-		if q == w {
-			break
-		}
-		if q.txn != w.txn {
-			out = append(out, q.txn)
-		}
-	}
-	return out
-}
-
-// findCycle runs a DFS over the waits-for graph from start and returns a
-// cycle through start, or nil. Only waiting transactions have outgoing
-// edges, so the graph is tiny compared to the lock table.
-func (m *Manager) findCycle(start TxnID) []TxnID {
-	var (
-		stack   []TxnID
-		visited = make(map[TxnID]bool)
-		found   []TxnID
-	)
-	var dfs func(t TxnID) bool
-	dfs = func(t TxnID) bool {
-		w := m.waiting[t]
-		if w == nil {
-			return false
-		}
-		for _, next := range m.blockers(w) {
-			if next == start {
-				found = append(append([]TxnID{}, stack...), t)
-				return true
-			}
-			if visited[next] {
-				continue
-			}
-			visited[next] = true
-			stack = append(stack, t)
-			if dfs(next) {
-				return true
-			}
-			stack = stack[:len(stack)-1]
-		}
-		return false
-	}
-	visited[start] = true
-	if dfs(start) {
-		return found
-	}
-	return nil
-}
-
-// cycleHasUpgrade reports whether any member of the cycle is waiting on
-// a lock conversion — the System R signature of escalation deadlocks.
-func (m *Manager) cycleHasUpgrade(cycle []TxnID) bool {
-	for _, t := range cycle {
-		if w := m.waiting[t]; w != nil && w.upgrade {
-			return true
-		}
 	}
 	return false
 }

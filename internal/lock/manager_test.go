@@ -2,6 +2,7 @@ package lock
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -515,4 +516,382 @@ func TestResetStats(t *testing.T) {
 	if st := m.Snapshot(); st.Requests != 0 {
 		t.Errorf("stats not reset: %+v", st)
 	}
+}
+
+// --- Sharded-manager tests --------------------------------------------
+
+// requireClean asserts the table is empty: no entries in any shard, no
+// registered transaction states, no waits-for edges. Every storm test
+// ends here — a leak means a lost wakeup or a forgotten release.
+func requireClean(t *testing.T, m *Manager) {
+	t.Helper()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		if n := len(sh.entries); n != 0 {
+			t.Errorf("shard %d: %d entries leaked", i, n)
+		}
+		sh.mu.Unlock()
+	}
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		if n := len(st.m); n != 0 {
+			t.Errorf("stripe %d: %d txn states leaked", i, n)
+		}
+		st.mu.Unlock()
+	}
+	m.reg.mu.Lock()
+	if n := len(m.reg.waiting); n != 0 {
+		t.Errorf("%d waits-for edges leaked", n)
+	}
+	m.reg.mu.Unlock()
+}
+
+// requireStatsInvariants asserts the counter algebra every workload must
+// satisfy: each Acquire is exactly one of re-entrant, immediate grant or
+// block; deadlock victims are a subset of the blocked.
+func requireStatsInvariants(t *testing.T, st Stats) {
+	t.Helper()
+	if st.Requests != st.Reentrant+st.ImmediateGrants+st.Blocks {
+		t.Errorf("requests (%d) != reentrant (%d) + immediate (%d) + blocks (%d)",
+			st.Requests, st.Reentrant, st.ImmediateGrants, st.Blocks)
+	}
+	if st.Deadlocks > st.Blocks {
+		t.Errorf("deadlocks (%d) > blocks (%d)", st.Deadlocks, st.Blocks)
+	}
+	if st.EscalationDeadlocks > st.Deadlocks {
+		t.Errorf("escalation deadlocks (%d) > deadlocks (%d)", st.EscalationDeadlocks, st.Deadlocks)
+	}
+}
+
+func TestNewManagerShardsClamps(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {48, 64}, {64, 64}, {1000, 64},
+	} {
+		m := NewManagerShards(c.in)
+		if len(m.shards) != c.want {
+			t.Errorf("NewManagerShards(%d) = %d shards, want %d", c.in, len(m.shards), c.want)
+		}
+		if len(m.shards)&(len(m.shards)-1) != 0 {
+			t.Errorf("NewManagerShards(%d) = %d shards, not a power of two", c.in, len(m.shards))
+		}
+	}
+}
+
+// distinctShardResources returns two instance resources that hash to
+// different shards (they exist for any manager with ≥ 2 shards).
+func distinctShardResources(t *testing.T, m *Manager) (ResourceID, ResourceID) {
+	t.Helper()
+	a := InstanceRes(1)
+	sa := a.hash() & m.shardMask
+	for oid := uint64(2); oid < 10_000; oid++ {
+		b := InstanceRes(oid)
+		if b.hash()&m.shardMask != sa {
+			return a, b
+		}
+	}
+	t.Fatal("no resource pair landed on distinct shards")
+	return ResourceID{}, ResourceID{}
+}
+
+// Deadlock detection must see edges across shard boundaries: the cycle
+// a→b spans two shard mutexes, and only the waits-for registry connects
+// them.
+func TestCrossShardDeadlock(t *testing.T) {
+	m := NewManager()
+	a, b := distinctShardResources(t, m)
+	mustGrant(t, m.Acquire(1, a, X))
+	mustGrant(t, m.Acquire(2, b, X))
+
+	d1 := acquireAsync(m, 1, b, X)
+	settle()
+	err := m.Acquire(2, a, X)
+	if !IsDeadlock(err) {
+		t.Fatalf("want cross-shard deadlock, got %v", err)
+	}
+	m.ReleaseAll(2)
+	mustGrant(t, <-d1)
+	m.ReleaseAll(1)
+	requireClean(t, m)
+}
+
+// The same deadlock shapes must hold on a single-shard table (the
+// degenerate configuration equivalent to the old global-mutex manager).
+func TestSingleShardDeadlock(t *testing.T) {
+	m := NewManagerShards(1)
+	a, b := InstanceRes(1), InstanceRes(2)
+	mustGrant(t, m.Acquire(1, a, X))
+	mustGrant(t, m.Acquire(2, b, X))
+	d1 := acquireAsync(m, 1, b, X)
+	settle()
+	if err := m.Acquire(2, a, X); !IsDeadlock(err) {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	m.ReleaseAll(2)
+	mustGrant(t, <-d1)
+	m.ReleaseAll(1)
+	requireClean(t, m)
+}
+
+// Three transactions, three resources spread over shards, one cycle.
+func TestCrossShardThreeWayDeadlock(t *testing.T) {
+	m := NewManager()
+	a, b := distinctShardResources(t, m)
+	c := InstanceRes(77)
+	mustGrant(t, m.Acquire(1, a, X))
+	mustGrant(t, m.Acquire(2, b, X))
+	mustGrant(t, m.Acquire(3, c, X))
+
+	d1 := acquireAsync(m, 1, b, X)
+	settle()
+	d2 := acquireAsync(m, 2, c, X)
+	settle()
+	err := m.Acquire(3, a, X)
+	if !IsDeadlock(err) {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	m.ReleaseAll(3)
+	mustGrant(t, <-d2)
+	m.ReleaseAll(2)
+	mustGrant(t, <-d1)
+	m.ReleaseAll(1)
+	requireClean(t, m)
+}
+
+// Storm: concurrent acquire/conversion/release across many resources
+// and every shard, with deliberately unordered second acquisitions so
+// deadlocks occur. Run under -race this exercises every cross-shard
+// path: FIFO admission, conversion priority, victim removal, pooled
+// waiters and states. Afterwards the stats must balance and the table
+// must be empty.
+func TestStressShardedStorm(t *testing.T) {
+	for _, shards := range []int{1, 4, 64} {
+		m := NewManagerShards(shards)
+		const (
+			goroutines = 12
+			rounds     = 150
+			resources  = 40
+		)
+		var next atomic.Uint64
+		var releases atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					for {
+						txn := TxnID(next.Add(1))
+						a := uint64((g*13+r)%resources) + 1
+						b := uint64((g*7+r*3)%resources) + 1
+						err := m.Acquire(txn, InstanceRes(a), S)
+						if err == nil && r%3 == 0 {
+							// Conversion: S → X on the same resource.
+							err = m.Acquire(txn, InstanceRes(a), X)
+						}
+						if err == nil && b != a {
+							err = m.Acquire(txn, InstanceRes(b), X)
+						}
+						m.ReleaseAll(txn)
+						releases.Add(1)
+						if err == nil {
+							break
+						}
+						if !IsDeadlock(err) {
+							t.Errorf("unexpected error: %v", err)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		st := m.Snapshot()
+		requireStatsInvariants(t, st)
+		if st.Releases != releases.Load() {
+			t.Errorf("shards=%d: releases = %d, want %d", shards, st.Releases, releases.Load())
+		}
+		if st.Upgrades == 0 {
+			t.Errorf("shards=%d: storm performed no conversions", shards)
+		}
+		requireClean(t, m)
+	}
+}
+
+// Mutual exclusion stays intact when resources spread over every shard:
+// a shadow counter per resource catches any double-grant of X.
+func TestStressShardedMutualExclusion(t *testing.T) {
+	m := NewManager()
+	const (
+		goroutines = 16
+		resources  = 64
+		rounds     = 150
+	)
+	owners := make([]atomic.Int64, resources)
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				txn := TxnID(next.Add(1))
+				a := (g + r*5) % resources
+				b := (g*11 + r) % resources
+				if a > b {
+					a, b = b, a
+				}
+				if err := m.Acquire(txn, InstanceRes(uint64(a+1)), X); err != nil {
+					t.Errorf("acquire a: %v", err)
+					return
+				}
+				if b != a {
+					if err := m.Acquire(txn, InstanceRes(uint64(b+1)), X); err != nil {
+						t.Errorf("acquire b: %v", err)
+						return
+					}
+				}
+				if owners[a].Add(1) != 1 {
+					t.Errorf("resource %d not exclusive", a)
+				}
+				owners[a].Add(-1)
+				m.ReleaseAll(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Snapshot()
+	requireStatsInvariants(t, st)
+	if st.Deadlocks != 0 {
+		t.Errorf("ordered acquisition must not deadlock: %d", st.Deadlocks)
+	}
+	requireClean(t, m)
+}
+
+// Readers and writers over a shared hot set: S grants share, X grants
+// exclude, conversions jump the queue — all while ReleaseAll storms run
+// from every worker. The test asserts completion (no lost wakeups) and
+// the stats algebra.
+func TestStressReadWriteMix(t *testing.T) {
+	m := NewManager()
+	const (
+		goroutines = 10
+		rounds     = 200
+		resources  = 8
+	)
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					txn := TxnID(next.Add(1))
+					res := InstanceRes(uint64((g+r)%resources) + 1)
+					mode := Mode(S)
+					if (g+r)%4 == 0 {
+						mode = X
+					}
+					err := m.Acquire(txn, res, mode)
+					runtime.Gosched() // hold the mode across a yield so peers collide
+					if err == nil && mode == Mode(S) && r%5 == 0 {
+						err = m.Acquire(txn, res, X) // escalation pressure
+					}
+					m.ReleaseAll(txn)
+					if err == nil {
+						break
+					}
+					if !IsDeadlock(err) {
+						t.Errorf("unexpected error: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Snapshot()
+	requireStatsInvariants(t, st)
+	if st.Blocks == 0 {
+		t.Error("hot-set mix must block sometimes")
+	}
+	requireClean(t, m)
+}
+
+// Resources must spread over shards, not pile onto a few: with 4096
+// sequential OIDs and 64 shards, every shard should see some traffic.
+func TestShardDistribution(t *testing.T) {
+	m := NewManager()
+	counts := make([]int, len(m.shards))
+	const n = 4096
+	for oid := uint64(1); oid <= n; oid++ {
+		counts[InstanceRes(oid).hash()&m.shardMask]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d got no resources", i)
+		}
+		if c > 4*n/len(m.shards) {
+			t.Errorf("shard %d got %d of %d resources (poor spread)", i, c, n)
+		}
+	}
+	// Class resources hash by name.
+	ca, cb := ClassRes("alpha"), ClassRes("beta")
+	if ca.hash() == cb.hash() {
+		t.Error("distinct class names must hash differently")
+	}
+	// Field and tuple granules must not collide with their instance.
+	if InstanceRes(9).hash() == FieldRes(9, 0).hash() {
+		t.Error("instance and field granule of one OID must hash differently")
+	}
+}
+
+// A deadlock victim that held nothing must leave no state behind — the
+// pooled txnState is reclaimed immediately, not at ReleaseAll.
+func TestVictimWithoutLocksLeavesNoState(t *testing.T) {
+	m := NewManager()
+	res := InstanceRes(1)
+	mustGrant(t, m.Acquire(1, res, S))
+	mustGrant(t, m.Acquire(2, res, S))
+	d1 := acquireAsync(m, 1, res, X)
+	settle()
+	err := m.Acquire(2, res, X)
+	if !IsDeadlock(err) {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	m.ReleaseAll(2)
+	mustGrant(t, <-d1)
+	m.ReleaseAll(1)
+	requireClean(t, m)
+}
+
+// When the victim is the only transaction in the cycle waiting on a
+// conversion, the deadlock must still be flagged as an escalation: the
+// victim's own upgrade flag counts, not just its peers'.
+func TestVictimOnlyUpgraderIsEscalation(t *testing.T) {
+	m := NewManager()
+	a, c := InstanceRes(1), InstanceRes(2)
+	mustGrant(t, m.Acquire(1, a, S))
+	mustGrant(t, m.Acquire(2, a, S))
+	mustGrant(t, m.Acquire(2, c, X))
+
+	d1 := acquireAsync(m, 1, c, S) // T1 waits plainly on T2's X(c)
+	settle()
+	err := m.Acquire(2, a, X) // T2's conversion closes the cycle: victim
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	if !dl.Escalation {
+		t.Error("victim-only conversion deadlock must be flagged as escalation")
+	}
+	if st := m.Snapshot(); st.EscalationDeadlocks != 1 {
+		t.Errorf("EscalationDeadlocks = %d, want 1", st.EscalationDeadlocks)
+	}
+	m.ReleaseAll(2)
+	mustGrant(t, <-d1)
+	m.ReleaseAll(1)
+	requireClean(t, m)
 }

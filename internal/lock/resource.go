@@ -66,6 +66,24 @@ func FieldRes(oid uint64, field int32) ResourceID {
 	return ResourceID{Kind: KindField, OID: oid, Field: field}
 }
 
+// fnvPrime64 mixes name bytes into the resource hash (FNV-1a step).
+const fnvPrime64 = 1099511628211
+
+// hash spreads resources over lock-table shards, allocation-free: the
+// hot path calls this once per Acquire. The fixed-width fields are
+// folded into one word and avalanched splitmix64-style (instances and
+// tuples differ only in OID, so the low bits must diffuse); name bytes
+// — only class and relation granules have them — are FNV-1a mixed.
+func (r ResourceID) hash() uint64 {
+	z := r.OID ^ uint64(r.Kind)<<56 ^ uint64(uint32(r.Field))<<24
+	for i := 0; i < len(r.Name); i++ {
+		z = (z ^ uint64(r.Name[i])) * fnvPrime64
+	}
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // String renders a compact human-readable name.
 func (r ResourceID) String() string {
 	switch r.Kind {

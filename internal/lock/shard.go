@@ -1,0 +1,177 @@
+package lock
+
+import "sync"
+
+// shard is one partition of the lock table: its own mutex, entry map,
+// FIFO queues and a small entry free list. Resources hash onto shards,
+// so transactions touching disjoint resources take disjoint mutexes.
+// The trailing pad keeps neighbouring shards off one cache line.
+type shard struct {
+	mu      sync.Mutex
+	idx     uint32
+	entries map[ResourceID]*entry
+	free    []*entry
+	_       [64]byte
+}
+
+// entry is one lock-table row: who holds which modes, who waits.
+type entry struct {
+	granted map[TxnID]grantSet
+	queue   []*waiter
+}
+
+// grantSet is the modes one transaction holds on one resource. The
+// first mode is stored inline — conversions beyond it are rare, so the
+// common single-mode grant allocates nothing.
+type grantSet struct {
+	first Mode
+	rest  []Mode
+}
+
+// redundant reports that the set already holds mode (or a covering one).
+func (g *grantSet) redundant(mode Mode) bool {
+	if g.first == nil {
+		return false
+	}
+	if g.first == mode || covers(g.first, mode) {
+		return true
+	}
+	for _, h := range g.rest {
+		if h == mode || covers(h, mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// conflictsWith reports that some held mode is incompatible with mode.
+func (g *grantSet) conflictsWith(mode Mode) bool {
+	if g.first == nil {
+		return false
+	}
+	if !mode.Compatible(g.first) {
+		return true
+	}
+	for _, h := range g.rest {
+		if !mode.Compatible(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// add appends a mode to the set.
+func (g *grantSet) add(mode Mode) {
+	if g.first == nil {
+		g.first = mode
+		return
+	}
+	g.rest = append(g.rest, mode)
+}
+
+// waiter is one blocked Acquire. Waiters are pooled: the ready channel
+// is reused, which is safe because every grant sends exactly one value
+// and the waiting goroutine consumes it before recycling.
+type waiter struct {
+	txn     TxnID
+	state   *txnState
+	res     ResourceID
+	mode    Mode
+	upgrade bool
+	ready   chan error // buffered(1); receives nil on grant
+}
+
+// newEntry takes an entry off the shard free list (or allocates one).
+// Requires sh.mu held.
+func (sh *shard) newEntry() *entry {
+	if n := len(sh.free); n > 0 {
+		e := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return e
+	}
+	return &entry{granted: make(map[TxnID]grantSet, 2)}
+}
+
+// freeEntry returns a drained entry to the free list. Requires sh.mu
+// held and the entry empty.
+func (sh *shard) freeEntry(e *entry) {
+	e.queue = nil // the queue head may have advanced; drop it
+	sh.free = append(sh.free, e)
+}
+
+// grant records mode for txn on res: into the entry and into the
+// transaction's own held set, flagging this shard in its bitmask on the
+// first grant here. Requires sh.mu held.
+func (sh *shard) grant(e *entry, txn TxnID, state *txnState, res ResourceID, mode Mode) {
+	gs := e.granted[txn]
+	firstOnRes := gs.first == nil
+	gs.add(mode)
+	e.granted[txn] = gs
+	if firstOnRes {
+		state.held[sh.idx] = append(state.held[sh.idx], res)
+		bit := uint64(1) << sh.idx
+		if state.shards.Load()&bit == 0 {
+			state.shards.Or(bit)
+		}
+	}
+}
+
+// compatibleWithOthers reports whether mode is compatible with every
+// mode granted to *other* transactions (self-held modes never block a
+// conversion). Requires sh.mu held.
+func (e *entry) compatibleWithOthers(txn TxnID, mode Mode) bool {
+	for other, gs := range e.granted {
+		if other == txn {
+			continue
+		}
+		if gs.conflictsWith(mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// enqueue inserts w into the FIFO queue — conversions ahead of plain
+// requests, behind conversions already waiting. Requires sh.mu held.
+func (e *entry) enqueue(w *waiter) {
+	if !w.upgrade {
+		e.queue = append(e.queue, w)
+		return
+	}
+	i := 0
+	for i < len(e.queue) && e.queue[i].upgrade {
+		i++
+	}
+	e.queue = append(e.queue, nil)
+	copy(e.queue[i+1:], e.queue[i:])
+	e.queue[i] = w
+}
+
+// removeWaiter deletes w from the queue, reporting whether it was still
+// queued (false means it was granted concurrently). Requires sh.mu held.
+func (e *entry) removeWaiter(w *waiter) bool {
+	for i, x := range e.queue {
+		if x == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// promote grants queued requests in FIFO order, stopping at the first
+// waiter that still conflicts — strict FIFO prevents starvation and
+// makes the waits-for edges exact. Granted waiters leave the waits-for
+// registry before their goroutine wakes. Requires sh.mu held.
+func (sh *shard) promote(m *Manager, e *entry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if !e.compatibleWithOthers(w.txn, w.mode) {
+			return
+		}
+		e.queue = e.queue[1:]
+		sh.grant(e, w.txn, w.state, w.res, w.mode)
+		m.reg.remove(w.txn)
+		w.ready <- nil
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lock"
@@ -156,12 +157,17 @@ type Stats struct {
 }
 
 // Manager hands out transactions with monotonically increasing IDs.
+// ID assignment and outcome counters are atomics: beginning and
+// finishing transactions never serialize behind a manager mutex, which
+// matters once the sharded lock table stops being the bottleneck.
 type Manager struct {
 	locks *lock.Manager
 
-	mu    sync.Mutex
-	next  lock.TxnID
-	stats Stats
+	next      atomic.Uint64
+	begun     atomic.Int64
+	committed atomic.Int64
+	aborted   atomic.Int64
+	retries   atomic.Int64
 
 	// MaxRetries bounds RunWithRetry (default 100).
 	MaxRetries int
@@ -188,37 +194,37 @@ func (m *Manager) Locks() *lock.Manager { return m.locks }
 
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
-	m.mu.Lock()
-	m.next++
-	id := m.next
-	m.stats.Begun++
-	m.mu.Unlock()
+	id := lock.TxnID(m.next.Add(1))
+	m.begun.Add(1)
 	return &Txn{ID: id, mgr: m, state: Active, undoSet: make(map[undoKey]bool)}
 }
 
 func (m *Manager) noteDone(committed bool) {
-	m.mu.Lock()
 	if committed {
-		m.stats.Committed++
+		m.committed.Add(1)
 	} else {
-		m.stats.Aborted++
+		m.aborted.Add(1)
 	}
-	m.mu.Unlock()
 }
 
-// Snapshot returns a copy of the outcome counters.
+// Snapshot returns a copy of the outcome counters without blocking
+// concurrent transactions.
 func (m *Manager) Snapshot() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Begun:     m.begun.Load(),
+		Committed: m.committed.Load(),
+		Aborted:   m.aborted.Load(),
+		Retries:   m.retries.Load(),
+	}
 }
 
 // ResetStats zeroes the outcome counters (between experiment phases;
 // transaction IDs keep increasing).
 func (m *Manager) ResetStats() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.stats = Stats{}
+	m.begun.Store(0)
+	m.committed.Store(0)
+	m.aborted.Store(0)
+	m.retries.Store(0)
 }
 
 // RunWithRetry executes fn inside a fresh transaction, committing on
@@ -240,9 +246,7 @@ func (m *Manager) RunWithRetry(fn func(*Txn) error) error {
 		if attempt+1 >= m.MaxRetries {
 			return fmt.Errorf("txn: giving up after %d deadlock retries: %w", attempt+1, err)
 		}
-		m.mu.Lock()
-		m.stats.Retries++
-		m.mu.Unlock()
+		m.retries.Add(1)
 		m.backoff(attempt)
 	}
 }
