@@ -1,0 +1,530 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// The engine scenario family drives the whole stack — DB.Send dispatch,
+// strategy lock acquisition, interpreter, store — with concurrent
+// workers, so hot-path costs are proven at the transaction level rather
+// than the lock-table microbench level. Two application schemas
+// (banking and CAD), three operation mixes, uniform and zipf object
+// popularity.
+
+// EngineSchemaName selects the application schema of a scenario.
+type EngineSchemaName string
+
+// The scenario schemas.
+const (
+	EngineBanking EngineSchemaName = "banking"
+	EngineCAD     EngineSchemaName = "cad"
+)
+
+// EngineWorkload selects the operation mix of an engine scenario.
+type EngineWorkload string
+
+// The mixes. Sends are top-level messages to single objects; scans are
+// intentional domain scans (instances locked individually); churn is
+// create+delete pairs on worker-private objects.
+const (
+	EngineSendHeavy EngineWorkload = "send-heavy" // 100% sends
+	EngineScanMix   EngineWorkload = "scan-mix"   // 95% sends, 5% domain scans
+	EngineChurn     EngineWorkload = "churn"      // 80% sends, 20% create+delete
+)
+
+// EngineScenario is one end-to-end engine workload configuration.
+type EngineScenario struct {
+	Schema       EngineSchemaName
+	Workload     EngineWorkload
+	Dist         LockDistribution
+	Workers      int
+	Objects      int // shared population size (never deleted)
+	OpsPerWorker int // transactions per worker (RunEngineScenario only)
+	ZipfSkew     float64
+	Seed         int64
+}
+
+// Name renders the scenario as a benchmark-style path segment.
+func (sc EngineScenario) Name() string {
+	return fmt.Sprintf("%s/%s/%s/w%d", sc.Schema, sc.Workload, sc.Dist, sc.Workers)
+}
+
+// EngineScenarioResult is one measured engine scenario outcome.
+type EngineScenarioResult struct {
+	Scenario  EngineScenario
+	Ops       int64 // committed transactions
+	Sends     int64
+	Scans     int64
+	Churns    int64
+	Deadlocks int64
+	Wall      time.Duration
+	PerSec    float64
+}
+
+// bankingSchema mirrors examples/banking: an account hierarchy whose
+// deposit commutes with itself by escrow-style declaration.
+const bankingSchema = `
+class account is
+    instance variables are
+        number  : integer
+        owner   : string
+        balance : integer
+        flagged : boolean
+    method deposit(n) is
+        balance := balance + n
+    end
+    method withdraw(n) is
+        if n <= balance then
+            balance := balance - n
+        end
+        return balance
+    end
+    method getbalance is
+        return balance
+    end
+    method rename(who) is
+        owner := who
+    end
+end
+
+class savings inherits account is
+    instance variables are
+        ratepct : integer
+    method accrue is
+        send deposit(balance * ratepct / 100) to self
+    end
+end
+
+class checking inherits account is
+    instance variables are
+        overdraft : integer
+    method withdraw(n) is redefined as
+        if n <= balance + overdraft then
+            balance := balance - n
+        end
+        return balance
+    end
+end
+`
+
+// cadSchema mirrors examples/cad: parts with read-heavy inspections and
+// occasional revisions.
+const cadSchema = `
+class part is
+    instance variables are
+        partno   : integer
+        geometry : integer
+        revision : integer
+        checked  : boolean
+    method inspect(work) is
+        var i := 0
+        var acc := 0
+        while i < work do
+            i := i + 1
+            acc := acc + geometry * i
+        end
+        return acc
+    end
+    method revise(delta) is
+        geometry := geometry + delta
+        revision := revision + 1
+        checked := false
+    end
+    method session(work) is
+        var score := send inspect(work) to self
+        send revise(score % 7 + 1) to self
+    end
+    method approve is
+        checked := true
+    end
+end
+
+class assembly inherits part is
+    instance variables are
+        children : integer
+    method session(work) is redefined as
+        send part.session(work) to self
+        children := children + 1
+    end
+end
+`
+
+// engineSendOp is one weighted message type of a profile.
+type engineSendOp struct {
+	method string
+	weight int
+	args   func(r *rand.Rand) []engine.Value
+}
+
+// engineProfile binds a schema source to its population and mix.
+type engineProfile struct {
+	source     string
+	overrides  func() *core.Overrides // nil for none
+	classes    []string               // population classes, round-robin
+	scanRoot   string                 // intentional-scan domain root
+	scanMethod string
+	sends      []engineSendOp
+}
+
+func engineProfileFor(name EngineSchemaName) (*engineProfile, error) {
+	one := func(*rand.Rand) []engine.Value { return []engine.Value{storage.IntV(1)} }
+	switch name {
+	case EngineBanking:
+		return &engineProfile{
+			source: bankingSchema,
+			overrides: func() *core.Overrides {
+				ov := core.NewOverrides()
+				ov.Declare("account", "deposit", "deposit")
+				return ov
+			},
+			classes:    []string{"savings", "checking"},
+			scanRoot:   "savings",
+			scanMethod: "getbalance",
+			sends: []engineSendOp{
+				{method: "deposit", weight: 50, args: one},
+				{method: "getbalance", weight: 30, args: nil},
+				{method: "withdraw", weight: 20, args: one},
+			},
+		}, nil
+	case EngineCAD:
+		return &engineProfile{
+			source:     cadSchema,
+			classes:    []string{"part", "assembly"},
+			scanRoot:   "assembly",
+			scanMethod: "inspect",
+			sends: []engineSendOp{
+				{method: "inspect", weight: 60, args: func(r *rand.Rand) []engine.Value {
+					return []engine.Value{storage.IntV(8)}
+				}},
+				{method: "revise", weight: 25, args: one},
+				{method: "approve", weight: 15, args: nil},
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown engine schema %q", name)
+}
+
+// engineWorker holds one worker's picking state and private churn pool.
+type engineWorker struct {
+	id      int
+	rng     *rand.Rand
+	zipf    *workload.ZipfPicker
+	prof    *engineProfile
+	sc      EngineScenario
+	cumW    []int // cumulative send weights
+	totW    int
+	private []storage.OID // churn pool, owned by this worker
+}
+
+func (w *engineWorker) pickObject(objects []storage.OID) storage.OID {
+	if w.zipf != nil {
+		return objects[w.zipf.Pick()]
+	}
+	return objects[w.rng.Intn(len(objects))]
+}
+
+func (w *engineWorker) pickSend() *engineSendOp {
+	n := w.rng.Intn(w.totW)
+	for i := range w.prof.sends {
+		if n < w.cumW[i] {
+			return &w.prof.sends[i]
+		}
+	}
+	return &w.prof.sends[len(w.prof.sends)-1]
+}
+
+// opKind classifies one transaction of the mix.
+type opKind uint8
+
+const (
+	opSend opKind = iota
+	opScan
+	opChurn
+)
+
+func (w *engineWorker) pickOp() opKind {
+	switch w.sc.Workload {
+	case EngineScanMix:
+		if w.rng.Intn(100) < 5 {
+			return opScan
+		}
+	case EngineChurn:
+		if w.rng.Intn(100) < 20 {
+			return opChurn
+		}
+	}
+	return opSend
+}
+
+// runOp executes one transaction; the counters record what it was.
+func (w *engineWorker) runOp(db *engine.DB, objects []storage.OID,
+	sends, scans, churns *int64) error {
+	switch w.pickOp() {
+	case opScan:
+		*scans++
+		scanArgs := sendArgs(w.prof, w.rng, w.prof.scanMethod)
+		return db.RunWithRetry(func(tx *txn.Txn) error {
+			_, err := db.DomainScan(tx, w.prof.scanRoot, w.prof.scanMethod, false, nil, scanArgs...)
+			return err
+		})
+	case opChurn:
+		*churns++
+		cls := w.prof.classes[w.rng.Intn(len(w.prof.classes))]
+		victim := w.private[w.rng.Intn(len(w.private))]
+		slot := -1
+		for i, oid := range w.private {
+			if oid == victim {
+				slot = i
+				break
+			}
+		}
+		return db.RunWithRetry(func(tx *txn.Txn) error {
+			in, err := db.NewInstance(tx, cls)
+			if err != nil {
+				return err
+			}
+			if err := db.DeleteInstance(tx, victim); err != nil {
+				return err
+			}
+			w.private[slot] = in.OID
+			return nil
+		})
+	default:
+		*sends++
+		op := w.pickSend()
+		var args []engine.Value
+		if op.args != nil {
+			args = op.args(w.rng)
+		}
+		oid := w.pickObject(objects)
+		return db.RunWithRetry(func(tx *txn.Txn) error {
+			_, err := db.Send(tx, oid, op.method, args...)
+			return err
+		})
+	}
+}
+
+func sendArgs(prof *engineProfile, r *rand.Rand, method string) []engine.Value {
+	for i := range prof.sends {
+		if prof.sends[i].method == method && prof.sends[i].args != nil {
+			return prof.sends[i].args(r)
+		}
+	}
+	return nil
+}
+
+// engineScenarioState is a populated database plus its worker pool.
+type engineScenarioState struct {
+	db      *engine.DB
+	objects []storage.OID
+	workers []*engineWorker
+}
+
+const churnPoolSize = 32
+
+// setupEngineScenario compiles the schema, populates the store and
+// builds the workers (including their private churn pools).
+func setupEngineScenario(sc EngineScenario) (*engineScenarioState, error) {
+	if sc.Workers < 1 || sc.Objects < 1 {
+		return nil, fmt.Errorf("bench: engine scenario needs ≥1 worker and ≥1 object, got %+v", sc)
+	}
+	prof, err := engineProfileFor(sc.Schema)
+	if err != nil {
+		return nil, err
+	}
+	var opts []core.Option
+	if prof.overrides != nil {
+		opts = append(opts, core.WithOverrides(prof.overrides()))
+	}
+	compiled, err := core.CompileSource(prof.source, opts...)
+	if err != nil {
+		return nil, err
+	}
+	db := engine.Open(compiled, engine.FineCC{})
+	st := &engineScenarioState{db: db, objects: make([]storage.OID, 0, sc.Objects)}
+	err = db.RunWithRetry(func(tx *txn.Txn) error {
+		for i := 0; i < sc.Objects; i++ {
+			in, err := db.NewInstance(tx, prof.classes[i%len(prof.classes)])
+			if err != nil {
+				return err
+			}
+			st.objects = append(st.objects, in.OID)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < sc.Workers; i++ {
+		w := &engineWorker{
+			id:   i,
+			rng:  rand.New(rand.NewSource(sc.Seed + int64(i)*104729)),
+			prof: prof,
+			sc:   sc,
+		}
+		for _, op := range prof.sends {
+			w.totW += op.weight
+			w.cumW = append(w.cumW, w.totW)
+		}
+		switch sc.Dist {
+		case DistUniform:
+		case DistZipf:
+			skew := sc.ZipfSkew
+			if skew <= 1 {
+				skew = 1.5
+			}
+			w.zipf = workload.NewZipfPicker(w.rng, sc.Objects, skew)
+		default:
+			return nil, fmt.Errorf("bench: unknown engine distribution %q", sc.Dist)
+		}
+		if sc.Workload == EngineChurn {
+			err := db.RunWithRetry(func(tx *txn.Txn) error {
+				for len(w.private) < churnPoolSize {
+					in, err := db.NewInstance(tx, prof.classes[len(w.private)%len(prof.classes)])
+					if err != nil {
+						return err
+					}
+					w.private = append(w.private, in.OID)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.workers = append(st.workers, w)
+	}
+	return st, nil
+}
+
+// runEngineWorkers drives the workers until the shared op budget is
+// exhausted and returns per-kind counters.
+func (st *engineScenarioState) runEngineWorkers(totalOps int64) (sends, scans, churns int64, err error) {
+	var (
+		remaining atomic.Int64
+		sendN     atomic.Int64
+		scanN     atomic.Int64
+		churnN    atomic.Int64
+		wg        sync.WaitGroup
+	)
+	remaining.Store(totalOps)
+	errs := make(chan error, len(st.workers))
+	for _, w := range st.workers {
+		wg.Add(1)
+		go func(w *engineWorker) {
+			defer wg.Done()
+			var s, sc2, ch int64
+			for remaining.Add(-1) >= 0 {
+				if err := w.runOp(st.db, st.objects, &s, &sc2, &ch); err != nil {
+					errs <- err
+					return
+				}
+			}
+			sendN.Add(s)
+			scanN.Add(sc2)
+			churnN.Add(ch)
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		return 0, 0, 0, e
+	}
+	return sendN.Load(), scanN.Load(), churnN.Load(), nil
+}
+
+// RunEngineScenario runs the scenario on a fresh database and reports
+// committed transactions per second.
+func RunEngineScenario(sc EngineScenario) (EngineScenarioResult, error) {
+	st, err := setupEngineScenario(sc)
+	if err != nil {
+		return EngineScenarioResult{}, err
+	}
+	total := int64(sc.Workers) * int64(sc.OpsPerWorker)
+	start := time.Now()
+	sends, scans, churns, err := st.runEngineWorkers(total)
+	if err != nil {
+		return EngineScenarioResult{}, err
+	}
+	wall := time.Since(start)
+	return EngineScenarioResult{
+		Scenario:  sc,
+		Ops:       total,
+		Sends:     sends,
+		Scans:     scans,
+		Churns:    churns,
+		Deadlocks: st.db.Locks().Snapshot().Deadlocks,
+		Wall:      wall,
+		PerSec:    float64(total) / wall.Seconds(),
+	}, nil
+}
+
+// DefaultEngineScenario fills the fixed parameters of the family.
+func DefaultEngineScenario(schema EngineSchemaName, wl EngineWorkload,
+	dist LockDistribution, workers int) EngineScenario {
+	return EngineScenario{
+		Schema:       schema,
+		Workload:     wl,
+		Dist:         dist,
+		Workers:      workers,
+		Objects:      4096,
+		OpsPerWorker: 1500,
+		ZipfSkew:     1.5,
+		Seed:         42,
+	}
+}
+
+// EngineScenarioFamily is the sweep the enginescenarios experiment and
+// BenchmarkEngineThroughput run: both schemas, every mix, both
+// distributions.
+func EngineScenarioFamily(workers int) []EngineScenario {
+	var out []EngineScenario
+	for _, schema := range []EngineSchemaName{EngineBanking, EngineCAD} {
+		for _, wl := range []EngineWorkload{EngineSendHeavy, EngineScanMix, EngineChurn} {
+			for _, dist := range []LockDistribution{DistUniform, DistZipf} {
+				out = append(out, DefaultEngineScenario(schema, wl, dist, workers))
+			}
+		}
+	}
+	return out
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "enginescenarios",
+		Title: "End-to-end engine throughput: concurrent Send/DomainScan/churn mixes",
+		Paper: "sections 1/7: 'exactly two lock requests per top message' only pays off if each request costs nanoseconds — measured here at the DB.Send level, not the lock table",
+		Run:   runEngineScenarios,
+	})
+}
+
+func runEngineScenarios(w io.Writer) error {
+	t := NewTable("schema", "workload", "distribution", "workers", "txns", "deadlocks", "wall", "txn/s")
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, sc := range EngineScenarioFamily(workers) {
+			res, err := RunEngineScenario(sc)
+			if err != nil {
+				return err
+			}
+			t.AddF(string(sc.Schema), string(sc.Workload), string(sc.Dist), sc.Workers,
+				res.Ops, res.Deadlocks, res.Wall.Round(time.Millisecond),
+				fmt.Sprintf("%.0f", res.PerSec))
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "  shape: send-heavy mixes scale with workers (uniform) because a top")
+	fmt.Fprintln(w, "  message costs two integer-keyed lock requests and one slab lookup;")
+	fmt.Fprintln(w, "  zipf concentrates real conflicts; churn exercises O(1) extent removal")
+	return nil
+}

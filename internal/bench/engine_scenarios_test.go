@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+// Every (schema, mix, distribution) cell of the engine scenario family
+// runs end to end — sends commit, scans visit instances, churn keeps
+// the private pools stable — at toy sizes, so the experiment path stays
+// correct without benchmark-scale run time.
+func TestEngineScenarioFamilySmoke(t *testing.T) {
+	for _, sc := range EngineScenarioFamily(2) {
+		sc.Objects = 64
+		sc.OpsPerWorker = 40
+		res, err := RunEngineScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		if res.Ops != int64(sc.Workers)*int64(sc.OpsPerWorker) {
+			t.Errorf("%s: ops = %d, want %d", sc.Name(), res.Ops, sc.Workers*sc.OpsPerWorker)
+		}
+		if got := res.Sends + res.Scans + res.Churns; got != res.Ops {
+			t.Errorf("%s: op kinds sum to %d, want %d", sc.Name(), got, res.Ops)
+		}
+		switch sc.Workload {
+		case EngineSendHeavy:
+			if res.Scans != 0 || res.Churns != 0 {
+				t.Errorf("%s: send-heavy ran %d scans, %d churns", sc.Name(), res.Scans, res.Churns)
+			}
+		case EngineScanMix:
+			if res.Churns != 0 {
+				t.Errorf("%s: scan-mix ran %d churns", sc.Name(), res.Churns)
+			}
+		case EngineChurn:
+			if res.Scans != 0 {
+				t.Errorf("%s: churn ran %d scans", sc.Name(), res.Scans)
+			}
+		}
+		if res.PerSec <= 0 {
+			t.Errorf("%s: throughput %f", sc.Name(), res.PerSec)
+		}
+	}
+}
+
+// The churn mix must leave the shared population intact: deletes only
+// ever hit worker-private objects.
+func TestEngineChurnPreservesPopulation(t *testing.T) {
+	sc := DefaultEngineScenario(EngineBanking, EngineChurn, DistUniform, 2)
+	sc.Objects = 32
+	sc.OpsPerWorker = 60
+	st, err := setupEngineScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := st.runEngineWorkers(int64(sc.Workers) * int64(sc.OpsPerWorker)); err != nil {
+		t.Fatal(err)
+	}
+	for _, oid := range st.objects {
+		if _, ok := st.db.Store.Get(oid); !ok {
+			t.Fatalf("shared object %d deleted by churn", oid)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// Hot-path microbenchmarks: the per-operation cost of the engine layers
+// above the lock table (EXPERIMENTS.md "hot path cost"). Each benchmark
+// keeps one transaction open so locks are warm (reentrant) and the
+// measured cost is the dispatch itself, not begin/commit.
+
+func hotDB(b *testing.B, s engine.Strategy) (*engine.DB, storage.OID) {
+	b.Helper()
+	db := engine.Open(compileFig1(b), s)
+	var oid storage.OID
+	err := db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "c2", storage.IntV(1), storage.BoolV(false))
+		oid = in.OID
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, oid
+}
+
+// One warm top-level send under the paper's protocol: method dispatch +
+// two reentrant lock acquires + method body (m4 takes the short branch).
+func BenchmarkHotSend(b *testing.B) {
+	db, oid := hotDB(b, engine.FineCC{})
+	tx := db.Begin()
+	defer tx.Commit()
+	args := []engine.Value{storage.IntV(1), storage.IntV(2)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Send(tx, oid, "m4", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The same send through the pre-interned fast path: no string touch at
+// all, not even the one map lookup of the API boundary.
+func BenchmarkHotSendID(b *testing.B) {
+	db, oid := hotDB(b, engine.FineCC{})
+	mid, ok := db.MethodID("m4")
+	if !ok {
+		b.Fatal("m4 not interned")
+	}
+	tx := db.Begin()
+	defer tx.Commit()
+	args := []engine.Value{storage.IntV(1), storage.IntV(2)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.SendID(tx, oid, mid, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One warm hierarchical domain scan over a populated extent.
+func BenchmarkHotDomainScan(b *testing.B) {
+	db, _ := hotDB(b, engine.FineCC{})
+	err := db.RunWithRetry(func(tx *txn.Txn) error {
+		for i := 0; i < 1000; i++ {
+			if _, err := db.NewInstance(tx, "c3", storage.IntV(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := db.Begin()
+	defer tx.Commit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.DomainScan(tx, "c3", "m", true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Store dereference: the per-access object lookup under scans and sends.
+func BenchmarkHotStoreGet(b *testing.B) {
+	db, oid := hotDB(b, engine.FineCC{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Store.Get(oid); !ok {
+			b.Fatal("lost instance")
+		}
+	}
+}
+
+// Create+delete churn: extent maintenance cost (O(n) removal before the
+// slab store, O(1) swap-remove after).
+func BenchmarkHotCreateDelete(b *testing.B) {
+	for _, extent := range []int{1000, 32000} {
+		b.Run(benchName("extent", extent), func(b *testing.B) {
+			db, _ := hotDB(b, engine.FineCC{})
+			err := db.RunWithRetry(func(tx *txn.Txn) error {
+				for i := 0; i < extent; i++ {
+					if _, err := db.NewInstance(tx, "c3", storage.IntV(int64(i))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin()
+			defer tx.Commit()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in, err := db.Store.NewInstance(db.Compiled.Schema.Class("c3"), storage.IntV(9))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db.Store.Delete(in.OID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// End-to-end engine throughput: b.N transactions distributed over the
+// scenario's worker pool; ns/op is inverse committed-txn throughput.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		for _, sc := range EngineScenarioFamily(workers) {
+			b.Run(sc.Name(), func(b *testing.B) {
+				st, err := setupEngineScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				if _, _, _, err := st.runEngineWorkers(int64(b.N)); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "-" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -128,7 +128,7 @@ func RunScenario(strategy engine.Strategy, noKeyWrite bool) (*ScenarioResult, er
 		}
 		recs[i] = rec
 		for _, rl := range rec.Requests {
-			res.LockSets[i] = append(res.LockSets[i], rl.Res.String()+":"+rl.Mode.String())
+			res.LockSets[i] = append(res.LockSets[i], db.Runtime().ResourceLabel(rl.Res)+":"+rl.Mode.String())
 		}
 		return nil
 	}

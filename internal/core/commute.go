@@ -17,6 +17,7 @@ type Table struct {
 	Methods []string // sorted; the mode index of a method is its position
 	ok      []bool   // row-major n×n
 	idx     map[string]int
+	idxByID []int32 // schema.MethodID → mode index; -1 where absent
 }
 
 // NewTable builds the commutativity table of class c from the transitive
@@ -53,6 +54,31 @@ func (t *Table) ModeIndex(method string) int {
 		return i
 	}
 	return -1
+}
+
+// BuildIDIndex materialises the dense MethodID → mode-index table so
+// the run-time path resolves modes with one array load instead of a
+// string map lookup. Compile calls it on every class table; tables
+// constructed directly (tests) may skip it, in which case ModeIndexID
+// reports every method absent.
+func (t *Table) BuildIDIndex(s *schema.Schema) {
+	t.idxByID = make([]int32, s.NumMethodNames())
+	for i := range t.idxByID {
+		t.idxByID[i] = -1
+	}
+	for idx, name := range t.Methods {
+		if mid, ok := s.MethodID(name); ok {
+			t.idxByID[mid] = int32(idx)
+		}
+	}
+}
+
+// ModeIndexID is the dense-ID form of ModeIndex: a single array load.
+func (t *Table) ModeIndexID(mid schema.MethodID) int {
+	if int(mid) >= len(t.idxByID) {
+		return -1
+	}
+	return int(t.idxByID[mid])
 }
 
 // Commutes reports whether the access modes of two methods commute.

@@ -94,11 +94,13 @@ func Compile(s *schema.Schema, opts ...Option) (*Compiled, error) {
 			}
 			byName[name] = tavs[vi]
 		}
+		tbl := NewTable(cls, byName, o.overrides)
+		tbl.BuildIDIndex(s)
 		c.Classes[cls.Name] = &CompiledClass{
 			Class: cls,
 			Graph: g,
 			TAV:   byName,
-			Table: NewTable(cls, byName, o.overrides),
+			Table: tbl,
 		}
 	}
 	return c, nil

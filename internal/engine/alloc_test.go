@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// The hot-path allocation budget (ISSUE 2 acceptance): once locks are
+// warm, a fine-CC strategy dispatch and a whole DB.Send perform zero
+// heap allocations. testing.AllocsPerRun is exact, so any regression —
+// a mode boxed per call, a context or frame allocated per send, a
+// string materialised per resource — fails here, not in a profile.
+
+func TestTopSendDispatchZeroAllocs(t *testing.T) {
+	db := newFigure1DB(t, FineCC{})
+	oid, _ := seedC2(t, db, false)
+
+	tx := db.Begin()
+	defer tx.Commit()
+	cls := db.Compiled.Schema.Class("c2")
+	mid, ok := db.MethodID("m3")
+	if !ok {
+		t.Fatal("m3 not interned")
+	}
+	a := liveAcquirer{locks: db.Locks(), txn: tx.ID}
+
+	// Warm: first dispatch takes the instance and class locks.
+	if err := db.CC.TopSend(&a, db.Runtime(), uint64(oid), cls, mid); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := db.CC.TopSend(&a, db.Runtime(), uint64(oid), cls, mid); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm FineCC.TopSend dispatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestWarmSendZeroAllocs(t *testing.T) {
+	db := newFigure1DB(t, FineCC{})
+	oid, _ := seedC2(t, db, false)
+
+	tx := db.Begin()
+	defer tx.Commit()
+	// m3 on the seeded instance reads f2 (false) and stops: dispatch,
+	// two reentrant lock requests, interpreter, no writes.
+	if _, err := db.Send(tx, oid, "m3"); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := db.Send(tx, oid, "m3"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm DB.Send allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestWarmSendIDZeroAllocs(t *testing.T) {
+	db := newFigure1DB(t, FineCC{})
+	oid, _ := seedC2(t, db, false)
+	mid, ok := db.MethodID("m3")
+	if !ok {
+		t.Fatal("m3 not interned")
+	}
+	tx := db.Begin()
+	defer tx.Commit()
+	if _, err := db.SendID(tx, oid, mid); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := db.SendID(tx, oid, mid); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm DB.SendID allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Sanity: the zero-alloc paths still do their locking job — the warm
+// send holds the instance and class granules it claims to.
+func TestWarmSendStillLocks(t *testing.T) {
+	db := newFigure1DB(t, FineCC{})
+	oid, _ := seedC2(t, db, false)
+	tx := db.Begin()
+	defer tx.Commit()
+	if _, err := db.Send(tx, oid, "m3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Locks().LocksHeld(tx.ID); got != 2 {
+		t.Errorf("warm send holds %d locks, want 2 (instance + class)", got)
+	}
+}
+
+// Deletion churn must stay O(1): the compensation path (delete, abort,
+// restore) keeps extents and the slab table consistent.
+func TestDeleteRestoreChurnConsistency(t *testing.T) {
+	db := newFigure1DB(t, FineCC{})
+	var oids []storage.OID
+	err := db.RunWithRetry(func(tx *txn.Txn) error {
+		for i := 0; i < 64; i++ {
+			in, err := db.NewInstance(tx, "c1", storage.IntV(int64(i)))
+			if err != nil {
+				return err
+			}
+			oids = append(oids, in.OID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete every other instance, then abort: all must come back.
+	tx := db.Begin()
+	for i := 0; i < len(oids); i += 2 {
+		if err := db.DeleteInstance(tx, oids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(db.Store.Extent("c1")); got != 32 {
+		t.Fatalf("extent after deletes = %d, want 32", got)
+	}
+	tx.Abort()
+	ext := db.Store.Extent("c1")
+	if len(ext) != 64 {
+		t.Fatalf("extent after abort = %d, want 64", len(ext))
+	}
+	seen := make(map[storage.OID]bool, len(ext))
+	for _, oid := range ext {
+		if seen[oid] {
+			t.Fatalf("OID %d appears twice in extent", oid)
+		}
+		seen[oid] = true
+	}
+	for _, oid := range oids {
+		if !seen[oid] {
+			t.Errorf("OID %d missing after abort", oid)
+		}
+	}
+}

@@ -8,7 +8,6 @@
 package engine
 
 import (
-	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/schema"
 )
@@ -20,7 +19,11 @@ type Acquirer interface {
 	Acquire(res lock.ResourceID, mode lock.Mode) error
 }
 
-// Strategy decides which locks each execution event takes. Engine hooks:
+// Strategy decides which locks each execution event takes. Methods are
+// identified by interned schema.MethodID and every per-class artefact
+// (access-mode index, lock resource, writer bit, relational plan) comes
+// from the Runtime's precomputed tables, so a strategy call performs no
+// string hashing and no allocation. Engine hooks:
 //
 //	TopSend      — a message arrives at an instance from outside
 //	               (a transaction boundary crossing, the paper's "top
@@ -30,22 +33,22 @@ type Acquirer interface {
 //	               prefixed);
 //	FieldAccess  — one field read or write at run time;
 //	Scan         — a class-extension or domain access (section 5.2
-//	               accesses (ii)–(iv)); classes lists every class of the
-//	               scanned domain, hier tells whether instances are
-//	               locked implicitly;
+//	               accesses (ii)–(iv)); root is the scanned domain's
+//	               root class (the Runtime caches its closure), hier
+//	               tells whether instances are locked implicitly;
 //	ScanInstance — one instance visited by a non-hierarchical scan;
 //	Create       — instance creation in a class;
 //	Delete       — instance deletion (conflicts with any access to the
 //	               instance under every protocol).
 type Strategy interface {
 	Name() string
-	TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error
-	NestedSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error
-	FieldAccess(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, f *schema.Field, write bool) error
-	Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error
-	ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error
-	Create(a Acquirer, cc *core.Compiled, cls *schema.Class) error
-	Delete(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class) error
+	TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error
+	NestedSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error
+	FieldAccess(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, f *schema.Field, write bool) error
+	Scan(a Acquirer, rt *Runtime, root *schema.Class, mid schema.MethodID, hier bool) error
+	ScanInstance(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error
+	Create(a Acquirer, rt *Runtime, cls *schema.Class) error
+	Delete(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class) error
 }
 
 // liveAcquirer locks through the lock manager on behalf of one txn.

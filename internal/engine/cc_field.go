@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/schema"
 )
@@ -28,49 +27,49 @@ func (FieldCC) Name() string { return "field" }
 
 // TopSend implements Strategy: an intention lock on the class so that
 // extent scans still serialize against individual accesses.
-func (FieldCC) TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := tavWriter(cc, cls, method)
+func (FieldCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := tavWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
-	return a.Acquire(lock.ClassRes(cls.Name), rwIntentMode(w))
+	return a.Acquire(rt.class(cls).classRes, rwIntentMode(w))
 }
 
 // NestedSend implements Strategy: the activation is registered but
 // conflicts materialise at the fields, so nothing is locked here.
-func (FieldCC) NestedSend(Acquirer, *core.Compiled, uint64, *schema.Class, string) error {
+func (FieldCC) NestedSend(Acquirer, *Runtime, uint64, *schema.Class, schema.MethodID) error {
 	return nil
 }
 
 // FieldAccess implements Strategy: the defining operation — one
 // (instance, field) lock per access, S for reads, X for writes.
-func (FieldCC) FieldAccess(a Acquirer, _ *core.Compiled, oid uint64, _ *schema.Class, f *schema.Field, write bool) error {
+func (FieldCC) FieldAccess(a Acquirer, _ *Runtime, oid uint64, _ *schema.Class, f *schema.Field, write bool) error {
 	return a.Acquire(lock.FieldRes(oid, int32(f.ID)), rwInstanceMode(write))
 }
 
 // Scan implements Strategy: whole-extent accesses fall back to class
 // granularity, as in the read/write protocols.
-func (FieldCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error {
-	return RWCC{}.Scan(a, cc, classes, method, hier)
+func (FieldCC) Scan(a Acquirer, rt *Runtime, root *schema.Class, mid schema.MethodID, hier bool) error {
+	return RWCC{}.Scan(a, rt, root, mid, hier)
 }
 
 // ScanInstance implements Strategy: fields lock as they are touched.
-func (FieldCC) ScanInstance(Acquirer, *core.Compiled, uint64, *schema.Class, string) error {
+func (FieldCC) ScanInstance(Acquirer, *Runtime, uint64, *schema.Class, schema.MethodID) error {
 	return nil
 }
 
 // Create implements Strategy.
-func (FieldCC) Create(a Acquirer, cc *core.Compiled, cls *schema.Class) error {
-	return RWCC{}.Create(a, cc, cls)
+func (FieldCC) Create(a Acquirer, rt *Runtime, cls *schema.Class) error {
+	return RWCC{}.Create(a, rt, cls)
 }
 
 // Delete implements Strategy: conflicts materialise at the field
 // granule, so deletion write-locks every field of the instance.
-func (FieldCC) Delete(a Acquirer, _ *core.Compiled, oid uint64, cls *schema.Class) error {
+func (FieldCC) Delete(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class) error {
 	for _, f := range cls.Fields {
 		if err := a.Acquire(lock.FieldRes(oid, int32(f.ID)), lock.X); err != nil {
 			return err
 		}
 	}
-	return a.Acquire(lock.ClassRes(cls.Name), lock.IX)
+	return a.Acquire(rt.class(cls).classRes, lock.IX)
 }

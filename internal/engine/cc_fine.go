@@ -1,9 +1,6 @@
 package engine
 
 import (
-	"fmt"
-
-	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/schema"
 )
@@ -23,55 +20,51 @@ import (
 //     lock each visited instance in mode M of its own proper class;
 //   - creation takes the extend pseudo-mode on the class (see
 //     lock.ExtendMode; creation is outside the paper's protocol).
+//
+// Every mode and resource below comes from the Runtime's precomputed
+// tables: a warm TopSend performs zero heap allocations.
 type FineCC struct{}
 
 // Name implements Strategy.
 func (FineCC) Name() string { return "fine" }
 
-func fineModes(cc *core.Compiled, cls *schema.Class, method string) (lock.MethodMode, int, error) {
-	comp := cc.Class(cls.Name)
-	if comp == nil {
-		return lock.MethodMode{}, 0, fmt.Errorf("engine: class %s not compiled", cls.Name)
-	}
-	idx := comp.Table.ModeIndex(method)
-	if idx < 0 {
-		return lock.MethodMode{}, 0, fmt.Errorf("engine: no access mode for %s.%s", cls.Name, method)
-	}
-	return lock.MethodMode{Table: comp.Table, Idx: idx}, idx, nil
-}
-
 // TopSend implements Strategy.
-func (FineCC) TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	mm, idx, err := fineModes(cc, cls, method)
-	if err != nil {
+func (FineCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	crt := rt.class(cls)
+	idx := crt.table.ModeIndexID(mid)
+	if idx < 0 {
+		return rt.errNoMode(cls, mid)
+	}
+	if err := a.Acquire(lock.InstanceRes(oid), crt.methodModes[idx]); err != nil {
 		return err
 	}
-	if err := a.Acquire(lock.InstanceRes(oid), mm); err != nil {
-		return err
-	}
-	return a.Acquire(lock.ClassRes(cls.Name), lock.ClassMode{Table: mm.Table, Idx: idx, Hier: false})
+	return a.Acquire(crt.classRes, crt.intModes[idx])
 }
 
 // NestedSend implements Strategy: self-directed messages are free.
-func (FineCC) NestedSend(Acquirer, *core.Compiled, uint64, *schema.Class, string) error {
+func (FineCC) NestedSend(Acquirer, *Runtime, uint64, *schema.Class, schema.MethodID) error {
 	return nil
 }
 
 // FieldAccess implements Strategy: field effects were pre-declared by
 // the transitive access vector; nothing to do at run time.
-func (FineCC) FieldAccess(Acquirer, *core.Compiled, uint64, *schema.Class, *schema.Field, bool) error {
+func (FineCC) FieldAccess(Acquirer, *Runtime, uint64, *schema.Class, *schema.Field, bool) error {
 	return nil
 }
 
 // Scan implements Strategy.
-func (FineCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error {
-	for _, cls := range classes {
-		mm, idx, err := fineModes(cc, cls, method)
-		if err != nil {
-			return err
+func (FineCC) Scan(a Acquirer, rt *Runtime, root *schema.Class, mid schema.MethodID, hier bool) error {
+	for _, cls := range rt.class(root).domain {
+		crt := rt.class(cls)
+		idx := crt.table.ModeIndexID(mid)
+		if idx < 0 {
+			return rt.errNoMode(cls, mid)
 		}
-		if err := a.Acquire(lock.ClassRes(cls.Name),
-			lock.ClassMode{Table: mm.Table, Idx: idx, Hier: hier}); err != nil {
+		m := crt.intModes[idx]
+		if hier {
+			m = crt.hierModes[idx]
+		}
+		if err := a.Acquire(crt.classRes, m); err != nil {
 			return err
 		}
 	}
@@ -79,24 +72,25 @@ func (FineCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, metho
 }
 
 // ScanInstance implements Strategy.
-func (FineCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	mm, _, err := fineModes(cc, cls, method)
-	if err != nil {
-		return err
+func (FineCC) ScanInstance(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	crt := rt.class(cls)
+	idx := crt.table.ModeIndexID(mid)
+	if idx < 0 {
+		return rt.errNoMode(cls, mid)
 	}
-	return a.Acquire(lock.InstanceRes(oid), mm)
+	return a.Acquire(lock.InstanceRes(oid), crt.methodModes[idx])
 }
 
 // Create implements Strategy.
-func (FineCC) Create(a Acquirer, _ *core.Compiled, cls *schema.Class) error {
-	return a.Acquire(lock.ClassRes(cls.Name), lock.ExtendMode{})
+func (FineCC) Create(a Acquirer, rt *Runtime, cls *schema.Class) error {
+	return a.Acquire(rt.class(cls).classRes, lock.ExtendMode{})
 }
 
 // Delete implements Strategy: removal commutes with nothing touching the
 // instance, and shrinks the extent like creation grows it.
-func (FineCC) Delete(a Acquirer, _ *core.Compiled, oid uint64, cls *schema.Class) error {
+func (FineCC) Delete(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class) error {
 	if err := a.Acquire(lock.InstanceRes(oid), lock.PurgeMode{}); err != nil {
 		return err
 	}
-	return a.Acquire(lock.ClassRes(cls.Name), lock.ExtendMode{})
+	return a.Acquire(rt.class(cls).classRes, lock.ExtendMode{})
 }

@@ -1,9 +1,6 @@
 package engine
 
 import (
-	"fmt"
-
-	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/schema"
 )
@@ -28,63 +25,35 @@ import (
 //   - whole-extent accesses lock the relations themselves (S or X), which
 //     is how T2 "locks both relations in write mode" (m1 writes the key
 //     of every instance) while T4 locks only r2.
+//
+// The per-(class, method) relation plan — modes, key-write cascade,
+// deterministic acquisition order — is precomputed in the Runtime.
 type RelCC struct{}
 
 // Name implements Strategy.
 func (RelCC) Name() string { return "relational" }
 
-// relLocksForTAV computes, for a method execution on one instance, the
-// per-relation modes implied by the TAV: owner-class name → write?.
-func relLocksForTAV(cc *core.Compiled, cls *schema.Class, method string) (map[string]bool, bool, error) {
-	tav, ok := cc.TAV(cls, method)
-	if !ok {
-		return nil, false, fmt.Errorf("engine: no TAV for %s.%s", cls.Name, method)
+// relPlan returns the precomputed per-relation lock plan of a method
+// execution on proper instances of cls.
+func relPlan(rt *Runtime, cls *schema.Class, mid schema.MethodID) ([]relLock, error) {
+	crt := rt.class(cls)
+	if crt.table.ModeIndexID(mid) < 0 {
+		return nil, rt.errNoMode(cls, mid)
 	}
-	rels := make(map[string]bool)
-	s := cc.Schema
-	tav.Each(func(f schema.FieldID, m core.Mode) {
-		owner := s.Field(f).Owner.Name
-		if m == core.Write {
-			rels[owner] = true
-		} else if _, seen := rels[owner]; !seen {
-			rels[owner] = false
-		}
-	})
-	return rels, keyWritten(cc, cls, tav), nil
-}
-
-// keyWritten reports whether the TAV writes the key field — the first
-// field of the root-most class of cls's linearization.
-func keyWritten(cc *core.Compiled, cls *schema.Class, tav core.Vector) bool {
-	root := cls.Lin[len(cls.Lin)-1]
-	if len(root.OwnFields) == 0 {
-		return false
-	}
-	return tav.Get(root.OwnFields[0].ID) == core.Write
+	return crt.relPlans[mid], nil
 }
 
 // TopSend implements Strategy.
-func (RelCC) TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	rels, keyWrite, err := relLocksForTAV(cc, cls, method)
+func (RelCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	plan, err := relPlan(rt, cls, mid)
 	if err != nil {
 		return err
 	}
-	// Key modification cascades to the subclass relations referencing it
-	// (referential maintenance of the foreign key).
-	if keyWrite {
-		root := cls.Lin[len(cls.Lin)-1]
-		for _, sub := range root.Domain() {
-			if sub != root {
-				rels[sub.Name] = true
-			}
-		}
-	}
-	for _, cn := range sortedKeys(rels) {
-		write := rels[cn]
-		if err := a.Acquire(lock.RelationRes(cn), rwIntentMode(write)); err != nil {
+	for _, pl := range plan {
+		if err := a.Acquire(pl.rel, rwIntentMode(pl.write)); err != nil {
 			return err
 		}
-		if err := a.Acquire(lock.TupleRes(cn, oid), rwInstanceMode(write)); err != nil {
+		if err := a.Acquire(lock.TupleRes(pl.class, oid), rwInstanceMode(pl.write)); err != nil {
 			return err
 		}
 	}
@@ -93,37 +62,28 @@ func (RelCC) TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Clas
 
 // NestedSend implements Strategy: the relational engine locked the whole
 // statement's access set up front.
-func (RelCC) NestedSend(Acquirer, *core.Compiled, uint64, *schema.Class, string) error {
+func (RelCC) NestedSend(Acquirer, *Runtime, uint64, *schema.Class, schema.MethodID) error {
 	return nil
 }
 
 // FieldAccess implements Strategy.
-func (RelCC) FieldAccess(Acquirer, *core.Compiled, uint64, *schema.Class, *schema.Field, bool) error {
+func (RelCC) FieldAccess(Acquirer, *Runtime, uint64, *schema.Class, *schema.Field, bool) error {
 	return nil
 }
 
 // Scan implements Strategy.
-func (RelCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error {
-	for _, cls := range classes {
-		rels, keyWrite, err := relLocksForTAV(cc, cls, method)
+func (RelCC) Scan(a Acquirer, rt *Runtime, root *schema.Class, mid schema.MethodID, hier bool) error {
+	for _, cls := range rt.class(root).domain {
+		plan, err := relPlan(rt, cls, mid)
 		if err != nil {
 			return err
 		}
-		if keyWrite {
-			root := cls.Lin[len(cls.Lin)-1]
-			for _, sub := range root.Domain() {
-				if sub != root {
-					rels[sub.Name] = true
-				}
-			}
-		}
-		for _, cn := range sortedKeys(rels) {
-			write := rels[cn]
-			mode := rwIntentMode(write)
+		for _, pl := range plan {
+			mode := rwIntentMode(pl.write)
 			if hier {
-				mode = rwInstanceMode(write)
+				mode = rwInstanceMode(pl.write)
 			}
-			if err := a.Acquire(lock.RelationRes(cn), mode); err != nil {
+			if err := a.Acquire(pl.rel, mode); err != nil {
 				return err
 			}
 		}
@@ -132,21 +92,13 @@ func (RelCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method
 }
 
 // ScanInstance implements Strategy.
-func (RelCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	rels, keyWrite, err := relLocksForTAV(cc, cls, method)
+func (RelCC) ScanInstance(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	plan, err := relPlan(rt, cls, mid)
 	if err != nil {
 		return err
 	}
-	if keyWrite {
-		root := cls.Lin[len(cls.Lin)-1]
-		for _, sub := range root.Domain() {
-			if sub != root {
-				rels[sub.Name] = true
-			}
-		}
-	}
-	for _, cn := range sortedKeys(rels) {
-		if err := a.Acquire(lock.TupleRes(cn, oid), rwInstanceMode(rels[cn])); err != nil {
+	for _, pl := range plan {
+		if err := a.Acquire(lock.TupleRes(pl.class, oid), rwInstanceMode(pl.write)); err != nil {
 			return err
 		}
 	}
@@ -155,9 +107,9 @@ func (RelCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema
 
 // Create implements Strategy: insert into the relations of the class's
 // linearization.
-func (RelCC) Create(a Acquirer, _ *core.Compiled, cls *schema.Class) error {
+func (RelCC) Create(a Acquirer, rt *Runtime, cls *schema.Class) error {
 	for _, anc := range cls.Lin {
-		if err := a.Acquire(lock.RelationRes(anc.Name), lock.IX); err != nil {
+		if err := a.Acquire(lock.RelationRes(anc.ID), lock.IX); err != nil {
 			return err
 		}
 	}
@@ -166,27 +118,14 @@ func (RelCC) Create(a Acquirer, _ *core.Compiled, cls *schema.Class) error {
 
 // Delete implements Strategy: delete the instance's tuple from every
 // relation of its linearization.
-func (RelCC) Delete(a Acquirer, _ *core.Compiled, oid uint64, cls *schema.Class) error {
+func (RelCC) Delete(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class) error {
 	for _, anc := range cls.Lin {
-		if err := a.Acquire(lock.RelationRes(anc.Name), lock.IX); err != nil {
+		if err := a.Acquire(lock.RelationRes(anc.ID), lock.IX); err != nil {
 			return err
 		}
-		if err := a.Acquire(lock.TupleRes(anc.Name, oid), lock.X); err != nil {
+		if err := a.Acquire(lock.TupleRes(anc.ID, oid), lock.X); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-func sortedKeys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }

@@ -1,9 +1,6 @@
 package engine
 
 import (
-	"fmt"
-
-	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/schema"
 )
@@ -28,24 +25,24 @@ type RWCC struct{}
 // Name implements Strategy.
 func (RWCC) Name() string { return "rw" }
 
-// davWriter classifies the method bound to (cls, method) by its direct
-// access vector.
-func davWriter(cc *core.Compiled, cls *schema.Class, method string) (bool, error) {
-	dav, ok := cc.DAV(cls, method)
-	if !ok {
-		return false, fmt.Errorf("engine: no DAV for %s.%s", cls.Name, method)
+// davWriter classifies the method by its direct access vector, from the
+// Runtime's dense table.
+func davWriter(rt *Runtime, cls *schema.Class, mid schema.MethodID) (bool, error) {
+	crt := rt.class(cls)
+	if crt.table.ModeIndexID(mid) < 0 {
+		return false, rt.errNoMode(cls, mid)
 	}
-	return dav.HasWrite(), nil
+	return crt.davWrite[mid], nil
 }
 
 // tavWriter classifies by the transitive access vector — the "announce
 // the more exclusive access mode" remedy cited from System R.
-func tavWriter(cc *core.Compiled, cls *schema.Class, method string) (bool, error) {
-	tav, ok := cc.TAV(cls, method)
-	if !ok {
-		return false, fmt.Errorf("engine: no TAV for %s.%s", cls.Name, method)
+func tavWriter(rt *Runtime, cls *schema.Class, mid schema.MethodID) (bool, error) {
+	crt := rt.class(cls)
+	if crt.table.ModeIndexID(mid) < 0 {
+		return false, rt.errNoMode(cls, mid)
 	}
-	return tav.HasWrite(), nil
+	return crt.tavWrite[mid], nil
 }
 
 func rwInstanceMode(writer bool) lock.RWMode {
@@ -62,46 +59,46 @@ func rwIntentMode(writer bool) lock.RWMode {
 	return lock.IS
 }
 
-func rwSend(a Acquirer, oid uint64, cls *schema.Class, writer bool, withClass bool) error {
+func rwSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, writer bool, withClass bool) error {
 	if err := a.Acquire(lock.InstanceRes(oid), rwInstanceMode(writer)); err != nil {
 		return err
 	}
 	if !withClass {
 		return nil
 	}
-	return a.Acquire(lock.ClassRes(cls.Name), rwIntentMode(writer))
+	return a.Acquire(rt.class(cls).classRes, rwIntentMode(writer))
 }
 
 // TopSend implements Strategy.
-func (RWCC) TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := davWriter(cc, cls, method)
+func (RWCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := davWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
-	return rwSend(a, oid, cls, w, true)
+	return rwSend(a, rt, oid, cls, w, true)
 }
 
 // NestedSend implements Strategy: "if each message wants control, then
 // invoking m1 … leads to controlling concurrency thrice" (section 3).
-func (RWCC) NestedSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := davWriter(cc, cls, method)
+func (RWCC) NestedSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := davWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
 	// The nested control touches the instance only; the class intention
 	// lock is escalated too when the nested method writes.
-	return rwSend(a, oid, cls, w, w)
+	return rwSend(a, rt, oid, cls, w, w)
 }
 
 // FieldAccess implements Strategy: granularity stops at the instance.
-func (RWCC) FieldAccess(Acquirer, *core.Compiled, uint64, *schema.Class, *schema.Field, bool) error {
+func (RWCC) FieldAccess(Acquirer, *Runtime, uint64, *schema.Class, *schema.Field, bool) error {
 	return nil
 }
 
 // Scan implements Strategy.
-func (RWCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error {
-	for _, cls := range classes {
-		w, err := tavWriter(cc, cls, method) // whole-extent access: the full effect is known
+func (RWCC) Scan(a Acquirer, rt *Runtime, root *schema.Class, mid schema.MethodID, hier bool) error {
+	for _, cls := range rt.class(root).domain {
+		w, err := tavWriter(rt, cls, mid) // whole-extent access: the full effect is known
 		if err != nil {
 			return err
 		}
@@ -109,7 +106,7 @@ func (RWCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method 
 		if hier {
 			mode = rwInstanceMode(w)
 		}
-		if err := a.Acquire(lock.ClassRes(cls.Name), mode); err != nil {
+		if err := a.Acquire(rt.class(cls).classRes, mode); err != nil {
 			return err
 		}
 	}
@@ -117,8 +114,8 @@ func (RWCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method 
 }
 
 // ScanInstance implements Strategy.
-func (RWCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := davWriter(cc, cls, method)
+func (RWCC) ScanInstance(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := davWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
@@ -126,16 +123,16 @@ func (RWCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.
 }
 
 // Create implements Strategy.
-func (RWCC) Create(a Acquirer, _ *core.Compiled, cls *schema.Class) error {
-	return a.Acquire(lock.ClassRes(cls.Name), lock.IX)
+func (RWCC) Create(a Acquirer, rt *Runtime, cls *schema.Class) error {
+	return a.Acquire(rt.class(cls).classRes, lock.IX)
 }
 
 // Delete implements Strategy.
-func (RWCC) Delete(a Acquirer, _ *core.Compiled, oid uint64, cls *schema.Class) error {
+func (RWCC) Delete(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class) error {
 	if err := a.Acquire(lock.InstanceRes(oid), lock.X); err != nil {
 		return err
 	}
-	return a.Acquire(lock.ClassRes(cls.Name), lock.IX)
+	return a.Acquire(rt.class(cls).classRes, lock.IX)
 }
 
 // RWAnnounceCC is RWCC with the System R remedy applied: the top-level
@@ -150,37 +147,37 @@ type RWAnnounceCC struct{}
 func (RWAnnounceCC) Name() string { return "rw-announce" }
 
 // TopSend implements Strategy.
-func (RWAnnounceCC) TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := tavWriter(cc, cls, method)
+func (RWAnnounceCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := tavWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
-	return rwSend(a, oid, cls, w, true)
+	return rwSend(a, rt, oid, cls, w, true)
 }
 
 // NestedSend implements Strategy: still one control per message, but the
 // mode was announced, so the acquisition is re-entrant.
-func (RWAnnounceCC) NestedSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := davWriter(cc, cls, method)
+func (RWAnnounceCC) NestedSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := davWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
-	return rwSend(a, oid, cls, w, false)
+	return rwSend(a, rt, oid, cls, w, false)
 }
 
 // FieldAccess implements Strategy.
-func (RWAnnounceCC) FieldAccess(Acquirer, *core.Compiled, uint64, *schema.Class, *schema.Field, bool) error {
+func (RWAnnounceCC) FieldAccess(Acquirer, *Runtime, uint64, *schema.Class, *schema.Field, bool) error {
 	return nil
 }
 
 // Scan implements Strategy.
-func (RWAnnounceCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error {
-	return RWCC{}.Scan(a, cc, classes, method, hier)
+func (RWAnnounceCC) Scan(a Acquirer, rt *Runtime, root *schema.Class, mid schema.MethodID, hier bool) error {
+	return RWCC{}.Scan(a, rt, root, mid, hier)
 }
 
 // ScanInstance implements Strategy.
-func (RWAnnounceCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := tavWriter(cc, cls, method)
+func (RWAnnounceCC) ScanInstance(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := tavWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
@@ -188,11 +185,11 @@ func (RWAnnounceCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls 
 }
 
 // Create implements Strategy.
-func (RWAnnounceCC) Create(a Acquirer, cc *core.Compiled, cls *schema.Class) error {
-	return RWCC{}.Create(a, cc, cls)
+func (RWAnnounceCC) Create(a Acquirer, rt *Runtime, cls *schema.Class) error {
+	return RWCC{}.Create(a, rt, cls)
 }
 
 // Delete implements Strategy.
-func (RWAnnounceCC) Delete(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class) error {
-	return RWCC{}.Delete(a, cc, oid, cls)
+func (RWAnnounceCC) Delete(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class) error {
+	return RWCC{}.Delete(a, rt, oid, cls)
 }

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"repro/internal/core"
 	"repro/internal/lock"
 	"repro/internal/schema"
 )
@@ -26,10 +25,12 @@ type RWImplicitCC struct{}
 // Name implements Strategy.
 func (RWImplicitCC) Name() string { return "rw-implicit" }
 
-// intentUpward takes the intention mode on cls and every ancestor.
-func intentUpward(a Acquirer, cls *schema.Class, writer bool) error {
-	for _, anc := range cls.Lin {
-		if err := a.Acquire(lock.ClassRes(anc.Name), rwIntentMode(writer)); err != nil {
+// intentUpward takes the intention mode on cls and every ancestor,
+// using the Runtime's precomputed linearization resources.
+func intentUpward(a Acquirer, rt *Runtime, cls *schema.Class, writer bool) error {
+	mode := rwIntentMode(writer)
+	for _, res := range rt.class(cls).linRes {
+		if err := a.Acquire(res, mode); err != nil {
 			return err
 		}
 	}
@@ -37,21 +38,21 @@ func intentUpward(a Acquirer, cls *schema.Class, writer bool) error {
 }
 
 // TopSend implements Strategy.
-func (RWImplicitCC) TopSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := davWriter(cc, cls, method)
+func (RWImplicitCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := davWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
 	if err := a.Acquire(lock.InstanceRes(oid), rwInstanceMode(w)); err != nil {
 		return err
 	}
-	return intentUpward(a, cls, w)
+	return intentUpward(a, rt, cls, w)
 }
 
 // NestedSend implements Strategy: per-message control with escalation,
 // as in RWCC, intention locks escalating up the chain.
-func (RWImplicitCC) NestedSend(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := davWriter(cc, cls, method)
+func (RWImplicitCC) NestedSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := davWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
@@ -61,11 +62,11 @@ func (RWImplicitCC) NestedSend(a Acquirer, cc *core.Compiled, oid uint64, cls *s
 	if !w {
 		return nil
 	}
-	return intentUpward(a, cls, w)
+	return intentUpward(a, rt, cls, w)
 }
 
 // FieldAccess implements Strategy.
-func (RWImplicitCC) FieldAccess(Acquirer, *core.Compiled, uint64, *schema.Class, *schema.Field, bool) error {
+func (RWImplicitCC) FieldAccess(Acquirer, *Runtime, uint64, *schema.Class, *schema.Field, bool) error {
 	return nil
 }
 
@@ -73,48 +74,46 @@ func (RWImplicitCC) FieldAccess(Acquirer, *core.Compiled, uint64, *schema.Class,
 // locks the domain root only (S or X), covering every subclass; an
 // intentional access announces IS/IX on the root's ancestors and leaves
 // instances to ScanInstance.
-func (RWImplicitCC) Scan(a Acquirer, cc *core.Compiled, classes []*schema.Class, method string, hier bool) error {
-	if len(classes) == 0 {
-		return nil
-	}
-	root := classes[0] // Domain() puts the root first
-	w, err := tavWriter(cc, root, method)
+func (RWImplicitCC) Scan(a Acquirer, rt *Runtime, root *schema.Class, mid schema.MethodID, hier bool) error {
+	w, err := tavWriter(rt, root, mid)
 	if err != nil {
 		return err
 	}
 	if hier {
-		if err := a.Acquire(lock.ClassRes(root.Name), rwInstanceMode(w)); err != nil {
+		crt := rt.class(root)
+		if err := a.Acquire(crt.classRes, rwInstanceMode(w)); err != nil {
 			return err
 		}
 		// Ancestors of the root still see the intention.
-		for _, anc := range root.Lin[1:] {
-			if err := a.Acquire(lock.ClassRes(anc.Name), rwIntentMode(w)); err != nil {
+		mode := rwIntentMode(w)
+		for _, res := range crt.linRes[1:] {
+			if err := a.Acquire(res, mode); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return intentUpward(a, root, w)
+	return intentUpward(a, rt, root, w)
 }
 
 // ScanInstance implements Strategy: individual locks announce intentions
 // on the instance's whole ancestor chain, which is what makes the
 // implicit coverage of Scan sound.
-func (RWImplicitCC) ScanInstance(a Acquirer, cc *core.Compiled, oid uint64, cls *schema.Class, method string) error {
-	w, err := davWriter(cc, cls, method)
+func (RWImplicitCC) ScanInstance(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
+	w, err := davWriter(rt, cls, mid)
 	if err != nil {
 		return err
 	}
 	if err := a.Acquire(lock.InstanceRes(oid), rwInstanceMode(w)); err != nil {
 		return err
 	}
-	return intentUpward(a, cls, w)
+	return intentUpward(a, rt, cls, w)
 }
 
 // Create implements Strategy.
-func (RWImplicitCC) Create(a Acquirer, _ *core.Compiled, cls *schema.Class) error {
-	for _, anc := range cls.Lin {
-		if err := a.Acquire(lock.ClassRes(anc.Name), lock.IX); err != nil {
+func (RWImplicitCC) Create(a Acquirer, rt *Runtime, cls *schema.Class) error {
+	for _, res := range rt.class(cls).linRes {
+		if err := a.Acquire(res, lock.IX); err != nil {
 			return err
 		}
 	}
@@ -122,9 +121,9 @@ func (RWImplicitCC) Create(a Acquirer, _ *core.Compiled, cls *schema.Class) erro
 }
 
 // Delete implements Strategy.
-func (RWImplicitCC) Delete(a Acquirer, _ *core.Compiled, oid uint64, cls *schema.Class) error {
+func (RWImplicitCC) Delete(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class) error {
 	if err := a.Acquire(lock.InstanceRes(oid), lock.X); err != nil {
 		return err
 	}
-	return intentUpward(a, cls, true)
+	return intentUpward(a, rt, cls, true)
 }

@@ -22,15 +22,17 @@ func TestImplicitScanCoversSubclasses(t *testing.T) {
 	if _, err := rs.DomainScan("c1", "m1", true, nil, storage.IntV(1)); err != nil {
 		t.Fatal(err)
 	}
+	c1Res := lock.ClassRes(db.Compiled.Schema.Class("c1").ID)
+	c2Res := lock.ClassRes(db.Compiled.Schema.Class("c2").ID)
 	sawC1X, sawC2Whole := false, false
 	for _, rl := range rec.Requests {
-		if rl.Res == lock.ClassRes("c1") && rl.Mode == lock.Mode(lock.X) {
+		if rl.Res == c1Res && rl.Mode == lock.Mode(lock.X) {
 			sawC1X = true
 		}
 		// Whole-class (S/X) locks on the subclass would defeat the
 		// implicit coverage; intention locks from the per-message control
 		// of the executed methods are expected and harmless.
-		if rl.Res == lock.ClassRes("c2") && (rl.Mode == lock.Mode(lock.X) || rl.Mode == lock.Mode(lock.S)) {
+		if rl.Res == c2Res && (rl.Mode == lock.Mode(lock.X) || rl.Mode == lock.Mode(lock.S)) {
 			sawC2Whole = true
 		}
 	}
@@ -78,7 +80,7 @@ func TestImplicitIntentionChain(t *testing.T) {
 	}
 	want := map[string]bool{"class:c2 IX": true, "class:c1 IX": true}
 	for _, rl := range rec.Requests {
-		delete(want, rl.Res.String()+" "+rl.Mode.String())
+		delete(want, db.Runtime().ResourceLabel(rl.Res)+" "+rl.Mode.String())
 	}
 	if len(want) != 0 {
 		t.Errorf("missing upward intentions %v in %v", want, rec.Requests)

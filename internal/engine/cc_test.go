@@ -252,7 +252,7 @@ func TestRecordedLockSets(t *testing.T) {
 		}
 		out := make(lockSet)
 		for _, rl := range rec.Requests {
-			out[rl.Res.String()+" "+rl.Mode.String()] = true
+			out[db.Runtime().ResourceLabel(rl.Res)+" "+rl.Mode.String()] = true
 		}
 		return out
 	}
@@ -342,7 +342,7 @@ func TestHierScanLocksNoInstances(t *testing.T) {
 	// And both classes of the domain are locked hierarchically.
 	want := map[string]bool{"class:c1 (m2,hier)": true, "class:c2 (m2,hier)": true}
 	for _, rl := range rec.Requests {
-		delete(want, rl.Res.String()+" "+rl.Mode.String())
+		delete(want, db.Runtime().ResourceLabel(rl.Res)+" "+rl.Mode.String())
 	}
 	if len(want) != 0 {
 		t.Errorf("missing class locks: %v (got %v)", want, rec.Requests)

@@ -3,10 +3,12 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/lock"
+	"repro/internal/mdl"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -41,6 +43,9 @@ type DB struct {
 	// MaxDepth bounds send nesting (default 256).
 	MaxDepth int
 
+	rt     *Runtime
+	ecPool sync.Pool // *execCtx, so a send allocates no context
+
 	topSends         atomic.Int64
 	nestedSends      atomic.Int64
 	remoteSends      atomic.Int64
@@ -52,18 +57,24 @@ type DB struct {
 }
 
 // Open builds a database around a compiled schema with fresh store, lock
-// and transaction managers.
+// and transaction managers, precomputing the run-time tables.
 func Open(c *core.Compiled, strategy Strategy) *DB {
 	lm := lock.NewManager()
-	return &DB{
+	db := &DB{
 		Compiled: c,
-		Store:    storage.NewStore(),
+		Store:    storage.NewStore(c.Schema),
 		Txns:     txn.NewManager(lm),
 		CC:       strategy,
+		rt:       NewRuntime(c),
 		MaxSteps: 1_000_000,
 		MaxDepth: 256,
 	}
+	db.ecPool.New = func() any { return &execCtx{} }
+	return db
 }
+
+// Runtime returns the precomputed run-time tables.
+func (db *DB) Runtime() *Runtime { return db.rt }
 
 // Locks returns the lock manager.
 func (db *DB) Locks() *lock.Manager { return db.Txns.Locks() }
@@ -90,13 +101,44 @@ func (db *DB) Snapshot() Stats {
 	}
 }
 
+// MethodID interns a method name for the ID-keyed fast paths (SendID).
+// Callers that send the same message repeatedly can intern once and
+// skip the per-call map lookup.
+func (db *DB) MethodID(name string) (schema.MethodID, bool) { return db.rt.MethodID(name) }
+
+// getEC takes a pooled execution context bound to tx (nil in recording
+// mode, in which case acq must be set by the caller).
+func (db *DB) getEC(tx *txn.Txn) *execCtx {
+	ec := db.ecPool.Get().(*execCtx)
+	ec.db = db
+	ec.tx = tx
+	if tx != nil {
+		ec.live = liveAcquirer{locks: db.Txns.Locks(), txn: tx.ID}
+		ec.acq = &ec.live
+	}
+	ec.steps = db.MaxSteps
+	return ec
+}
+
+// putEC recycles an execution context.
+func (db *DB) putEC(ec *execCtx) {
+	ec.db = nil
+	ec.tx = nil
+	ec.acq = nil
+	ec.live = liveAcquirer{}
+	ec.ticks = 0
+	ec.depth = 0
+	db.ecPool.Put(ec)
+}
+
 // NewInstance creates an instance of the named class inside tx.
 func (db *DB) NewInstance(tx *txn.Txn, class string, vals ...Value) (*storage.Instance, error) {
 	cls := db.Compiled.Schema.Class(class)
 	if cls == nil {
 		return nil, fmt.Errorf("engine: unknown class %q", class)
 	}
-	ec := &execCtx{db: db, tx: tx, acq: liveAcquirer{locks: db.Locks(), txn: tx.ID}, steps: db.MaxSteps}
+	ec := db.getEC(tx)
+	defer db.putEC(ec)
 	return ec.create(cls, vals)
 }
 
@@ -105,8 +147,18 @@ func (db *DB) NewInstance(tx *txn.Txn, class string, vals ...Value) (*storage.In
 // strategy locks before the first instruction executes.
 func (db *DB) Send(tx *txn.Txn, oid storage.OID, method string, args ...Value) (Value, error) {
 	runtime.Gosched() // message boundary: let concurrent sessions interleave
-	ec := &execCtx{db: db, tx: tx, acq: liveAcquirer{locks: db.Locks(), txn: tx.ID}, steps: db.MaxSteps}
-	return ec.topSend(oid, method, args)
+	ec := db.getEC(tx)
+	defer db.putEC(ec)
+	return ec.topSendName(oid, method, args)
+}
+
+// SendID is Send with a pre-interned method ID: the string-free fast
+// path for hot loops (benchmarks, servers dispatching a fixed API).
+func (db *DB) SendID(tx *txn.Txn, oid storage.OID, mid schema.MethodID, args ...Value) (Value, error) {
+	runtime.Gosched() // message boundary: let concurrent sessions interleave
+	ec := db.getEC(tx)
+	defer db.putEC(ec)
+	return ec.topSend(oid, mid, args)
 }
 
 // DeleteInstance removes an object inside tx. Deletion conflicts with
@@ -118,7 +170,7 @@ func (db *DB) DeleteInstance(tx *txn.Txn, oid storage.OID) error {
 		return fmt.Errorf("engine: no instance with OID %d", oid)
 	}
 	acq := liveAcquirer{locks: db.Locks(), txn: tx.ID}
-	if err := db.CC.Delete(acq, db.Compiled, uint64(oid), in.Class); err != nil {
+	if err := db.CC.Delete(&acq, db.rt, uint64(oid), in.Class); err != nil {
 		return err
 	}
 	deleted, err := db.Store.Delete(oid)
@@ -139,7 +191,8 @@ func (db *DB) DeleteInstance(tx *txn.Txn, oid storage.OID) error {
 // number of instances the method ran on.
 func (db *DB) DomainScan(tx *txn.Txn, class, method string, hier bool,
 	filter func(*storage.Instance) bool, args ...Value) (int, error) {
-	ec := &execCtx{db: db, tx: tx, acq: liveAcquirer{locks: db.Locks(), txn: tx.ID}, steps: db.MaxSteps}
+	ec := db.getEC(tx)
+	defer db.putEC(ec)
 	return ec.domainScan(class, method, hier, filter, args)
 }
 
@@ -157,17 +210,20 @@ func (db *DB) NewRecordingSession(rec *Recorder) *RecordingSession {
 	return &RecordingSession{db: db, rec: rec}
 }
 
+// recordingEC builds an unpooled context aimed at the recorder.
+func (rs *RecordingSession) recordingEC() *execCtx {
+	return &execCtx{db: rs.db, acq: rs.rec, steps: rs.db.MaxSteps}
+}
+
 // Send mirrors DB.Send.
 func (rs *RecordingSession) Send(oid storage.OID, method string, args ...Value) (Value, error) {
-	ec := &execCtx{db: rs.db, acq: rs.rec, steps: rs.db.MaxSteps}
-	return ec.topSend(oid, method, args)
+	return rs.recordingEC().topSendName(oid, method, args)
 }
 
 // DomainScan mirrors DB.DomainScan.
 func (rs *RecordingSession) DomainScan(class, method string, hier bool,
 	filter func(*storage.Instance) bool, args ...Value) (int, error) {
-	ec := &execCtx{db: rs.db, acq: rs.rec, steps: rs.db.MaxSteps}
-	return ec.domainScan(class, method, hier, filter, args)
+	return rs.recordingEC().domainScan(class, method, hier, filter, args)
 }
 
 // NewInstance mirrors DB.NewInstance.
@@ -176,19 +232,21 @@ func (rs *RecordingSession) NewInstance(class string, vals ...Value) (*storage.I
 	if cls == nil {
 		return nil, fmt.Errorf("engine: unknown class %q", class)
 	}
-	ec := &execCtx{db: rs.db, acq: rs.rec, steps: rs.db.MaxSteps}
-	return ec.create(cls, vals)
+	return rs.recordingEC().create(cls, vals)
 }
 
 // --- execution context ---
 
 type execCtx struct {
-	db    *DB
-	tx    *txn.Txn // nil in recording mode
-	acq   Acquirer
-	steps int
-	ticks int
-	depth int
+	db       *DB
+	tx       *txn.Txn // nil in recording mode
+	acq      Acquirer
+	live     liveAcquirer // backing storage for acq in live mode (no boxing)
+	frames   []*frame     // recycled activation frames (kept across pooling)
+	argLists [][]Value    // recycled argument slices
+	steps    int
+	ticks    int
+	depth    int
 }
 
 // yieldEvery makes the interpreter hand the processor over periodically,
@@ -197,10 +255,15 @@ type execCtx struct {
 // top-level message boundary yields too (see DB.Send).
 const yieldEvery = 64
 
-func (ec *execCtx) step(pos interface{ String() string }) error {
+// positioned is the AST surface step needs: both mdl.Stmt and mdl.Expr
+// satisfy it, and passing the node itself (already an interface) avoids
+// boxing a Pos value on every interpreter step.
+type positioned interface{ Pos() mdl.Pos }
+
+func (ec *execCtx) step(at positioned) error {
 	ec.steps--
 	if ec.steps < 0 {
-		return fmt.Errorf("engine: %s: execution exceeded step budget", pos)
+		return fmt.Errorf("engine: %s: execution exceeded step budget", at.Pos())
 	}
 	ec.ticks++
 	if ec.ticks%yieldEvery == 0 {
@@ -209,8 +272,28 @@ func (ec *execCtx) step(pos interface{ String() string }) error {
 	return nil
 }
 
+// getArgs takes a recycled argument slice of length n off the context.
+// A top-of-stack slice too small for n is left for narrower callers.
+func (ec *execCtx) getArgs(n int) []Value {
+	if l := len(ec.argLists); l > 0 {
+		if s := ec.argLists[l-1]; cap(s) >= n {
+			ec.argLists = ec.argLists[:l-1]
+			return s[:n]
+		}
+	}
+	if n < 4 {
+		return make([]Value, n, 4)
+	}
+	return make([]Value, n)
+}
+
+// putArgs recycles an argument slice once its values were consumed.
+func (ec *execCtx) putArgs(s []Value) {
+	ec.argLists = append(ec.argLists, s[:0])
+}
+
 func (ec *execCtx) create(cls *schema.Class, vals []Value) (*storage.Instance, error) {
-	if err := ec.db.CC.Create(ec.acq, ec.db.Compiled, cls); err != nil {
+	if err := ec.db.CC.Create(ec.acq, ec.db.rt, cls); err != nil {
 		return nil, err
 	}
 	in, err := ec.db.Store.NewInstance(cls, vals...)
@@ -226,16 +309,30 @@ func (ec *execCtx) create(cls *schema.Class, vals []Value) (*storage.Instance, e
 	return in, nil
 }
 
-func (ec *execCtx) topSend(oid storage.OID, method string, args []Value) (Value, error) {
+// topSendName is the string API boundary: one interning lookup, then
+// the ID-keyed path.
+func (ec *execCtx) topSendName(oid storage.OID, method string, args []Value) (Value, error) {
+	if mid, ok := ec.db.rt.MethodID(method); ok {
+		return ec.topSend(oid, mid, args)
+	}
 	in, ok := ec.db.Store.Get(oid)
 	if !ok {
 		return Value{}, fmt.Errorf("engine: no instance with OID %d", oid)
 	}
-	m := in.Class.Resolve(method)
-	if m == nil {
-		return Value{}, fmt.Errorf("engine: class %s has no method %q", in.Class.Name, method)
+	return Value{}, fmt.Errorf("engine: class %s has no method %q", in.Class.Name, method)
+}
+
+func (ec *execCtx) topSend(oid storage.OID, mid schema.MethodID, args []Value) (Value, error) {
+	in, ok := ec.db.Store.Get(oid)
+	if !ok {
+		return Value{}, fmt.Errorf("engine: no instance with OID %d", oid)
 	}
-	if err := ec.db.CC.TopSend(ec.acq, ec.db.Compiled, uint64(oid), in.Class, method); err != nil {
+	m := in.Class.ResolveID(mid)
+	if m == nil {
+		return Value{}, fmt.Errorf("engine: class %s has no method %q",
+			in.Class.Name, ec.db.rt.MethodName(mid))
+	}
+	if err := ec.db.CC.TopSend(ec.acq, ec.db.rt, uint64(oid), in.Class, mid); err != nil {
 		return Value{}, err
 	}
 	ec.db.topSends.Add(1)
@@ -248,35 +345,37 @@ func (ec *execCtx) domainScan(class, method string, hier bool,
 	if root == nil {
 		return 0, fmt.Errorf("engine: unknown class %q", class)
 	}
-	if root.Resolve(method) == nil {
+	mid, ok := ec.db.rt.MethodID(method)
+	if !ok || root.ResolveID(mid) == nil {
 		return 0, fmt.Errorf("engine: class %s has no method %q", class, method)
 	}
-	classes := root.Domain()
-	if err := ec.db.CC.Scan(ec.acq, ec.db.Compiled, classes, method, hier); err != nil {
+	if err := ec.db.CC.Scan(ec.acq, ec.db.rt, root, mid, hier); err != nil {
 		return 0, err
 	}
 	ec.db.scans.Add(1)
 
 	count := 0
-	for _, oid := range ec.db.Store.DomainExtent(root) {
-		in, ok := ec.db.Store.Get(oid)
-		if !ok {
-			continue
-		}
-		if !hier {
-			if filter != nil && !filter(in) {
-				continue
+	for _, part := range ec.db.Store.DomainSnapshot(ec.db.rt.class(root).domain) {
+		for _, oid := range part {
+			in, ok := ec.db.Store.Get(oid)
+			if !ok {
+				continue // deleted between snapshot and visit
 			}
-			if err := ec.db.CC.ScanInstance(ec.acq, ec.db.Compiled, uint64(oid), in.Class, method); err != nil {
+			if !hier {
+				if filter != nil && !filter(in) {
+					continue
+				}
+				if err := ec.db.CC.ScanInstance(ec.acq, ec.db.rt, uint64(oid), in.Class, mid); err != nil {
+					return count, err
+				}
+			}
+			m := in.Class.ResolveID(mid)
+			if _, err := ec.invoke(in, m, args); err != nil {
 				return count, err
 			}
+			ec.db.instancesVisited.Add(1)
+			count++
 		}
-		m := in.Class.Resolve(method)
-		if _, err := ec.invoke(in, m, args); err != nil {
-			return count, err
-		}
-		ec.db.instancesVisited.Add(1)
-		count++
 	}
 	return count, nil
 }

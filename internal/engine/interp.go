@@ -11,10 +11,39 @@ import (
 // frame is one method activation: the receiver and the environment of
 // parameters and locals. Parameters and locals shadow nothing — the
 // extractor rejects name collisions with fields implicitly by scope
-// rules identical to these.
+// rules identical to these. Frames are recycled per execution context
+// and the env map is allocated lazily (parameterless methods without
+// locals never touch it), so a warm activation allocates nothing.
 type frame struct {
 	self *storage.Instance
 	env  map[string]Value
+}
+
+// setEnv binds a parameter or local, allocating the map on first use.
+// Reads go straight through f.env (a lookup on a nil map is empty).
+func (f *frame) setEnv(name string, v Value) {
+	if f.env == nil {
+		f.env = make(map[string]Value, 4)
+	}
+	f.env[name] = v
+}
+
+// getFrame takes a recycled activation frame off the context.
+func (ec *execCtx) getFrame(self *storage.Instance) *frame {
+	if n := len(ec.frames); n > 0 {
+		f := ec.frames[n-1]
+		ec.frames = ec.frames[:n-1]
+		f.self = self
+		return f
+	}
+	return &frame{self: self}
+}
+
+// putFrame recycles a frame, keeping its (cleared) env map.
+func (ec *execCtx) putFrame(f *frame) {
+	f.self = nil
+	clear(f.env)
+	ec.frames = append(ec.frames, f)
 }
 
 // invoke runs method m on instance in. The caller has already performed
@@ -29,11 +58,12 @@ func (ec *execCtx) invoke(in *storage.Instance, m *schema.Method, args []Value) 
 	if ec.depth > ec.db.MaxDepth {
 		return Value{}, fmt.Errorf("engine: %s: send nesting exceeds %d", m.QualifiedName(), ec.db.MaxDepth)
 	}
-	f := &frame{self: in, env: make(map[string]Value, len(m.Params)+4)}
+	f := ec.getFrame(in)
 	for i, p := range m.Params {
-		f.env[p] = args[i]
+		f.setEnv(p, args[i])
 	}
 	_, val, err := ec.execStmts(f, m.Body)
+	ec.putFrame(f)
 	return val, err
 }
 
@@ -50,7 +80,7 @@ func (ec *execCtx) execStmts(f *frame, stmts []mdl.Stmt) (returned bool, val Val
 }
 
 func (ec *execCtx) execStmt(f *frame, s mdl.Stmt) (bool, Value, error) {
-	if err := ec.step(s.Pos()); err != nil {
+	if err := ec.step(s); err != nil {
 		return false, Value{}, err
 	}
 	switch s := s.(type) {
@@ -66,7 +96,7 @@ func (ec *execCtx) execStmt(f *frame, s mdl.Stmt) (bool, Value, error) {
 		if err != nil {
 			return false, Value{}, err
 		}
-		f.env[s.Name] = v
+		f.setEnv(s.Name, v)
 		return false, Value{}, nil
 
 	case *mdl.ExprStmt:
@@ -96,7 +126,7 @@ func (ec *execCtx) execStmt(f *frame, s mdl.Stmt) (bool, Value, error) {
 			if err != nil || ret {
 				return ret, v, err
 			}
-			if err := ec.step(s.Pos()); err != nil {
+			if err := ec.step(s); err != nil {
 				return false, Value{}, err
 			}
 		}
@@ -124,7 +154,7 @@ func (ec *execCtx) assign(f *frame, s *mdl.Assign, v Value) error {
 	if err := checkAssignable(fld, v); err != nil {
 		return fmt.Errorf("engine: %s: %w", s.Pos(), err)
 	}
-	if err := ec.db.CC.FieldAccess(ec.acq, ec.db.Compiled, uint64(f.self.OID), f.self.Class, fld, true); err != nil {
+	if err := ec.db.CC.FieldAccess(ec.acq, ec.db.rt, uint64(f.self.OID), f.self.Class, fld, true); err != nil {
 		return err
 	}
 	slot := f.self.Class.Slot(fld.ID)
@@ -166,7 +196,7 @@ func (ec *execCtx) evalBool(f *frame, e mdl.Expr) (bool, error) {
 }
 
 func (ec *execCtx) eval(f *frame, e mdl.Expr) (Value, error) {
-	if err := ec.step(e.Pos()); err != nil {
+	if err := ec.step(e); err != nil {
 		return Value{}, err
 	}
 	switch e := e.(type) {
@@ -187,7 +217,7 @@ func (ec *execCtx) eval(f *frame, e mdl.Expr) (Value, error) {
 		if fld == nil {
 			return Value{}, fmt.Errorf("engine: %s: unknown name %q", e.Pos(), e.Name)
 		}
-		if err := ec.db.CC.FieldAccess(ec.acq, ec.db.Compiled, uint64(f.self.OID), f.self.Class, fld, false); err != nil {
+		if err := ec.db.CC.FieldAccess(ec.acq, ec.db.rt, uint64(f.self.OID), f.self.Class, fld, false); err != nil {
 			return Value{}, err
 		}
 		ec.db.fieldReads.Add(1)
@@ -216,7 +246,8 @@ func (ec *execCtx) eval(f *frame, e mdl.Expr) (Value, error) {
 		return Value{}, fmt.Errorf("engine: %s: unknown unary %q", e.Pos(), e.Op)
 
 	case *mdl.Call:
-		args := make([]Value, len(e.Args))
+		args := ec.getArgs(len(e.Args))
+		defer ec.putArgs(args)
 		for i, a := range e.Args {
 			v, err := ec.eval(f, a)
 			if err != nil {
@@ -231,7 +262,8 @@ func (ec *execCtx) eval(f *frame, e mdl.Expr) (Value, error) {
 		if cls == nil {
 			return Value{}, fmt.Errorf("engine: %s: new of unknown class %q", e.Pos(), e.Class)
 		}
-		args := make([]Value, len(e.Args))
+		args := ec.getArgs(len(e.Args))
+		defer ec.putArgs(args)
 		for i, a := range e.Args {
 			v, err := ec.eval(f, a)
 			if err != nil {
@@ -253,7 +285,8 @@ func (ec *execCtx) eval(f *frame, e mdl.Expr) (Value, error) {
 
 // evalSend implements the three message forms of section 2.2.
 func (ec *execCtx) evalSend(f *frame, e *mdl.Send) (Value, error) {
-	args := make([]Value, len(e.Args))
+	args := ec.getArgs(len(e.Args))
+	defer ec.putArgs(args)
 	for i, a := range e.Args {
 		v, err := ec.eval(f, a)
 		if err != nil {
@@ -264,6 +297,7 @@ func (ec *execCtx) evalSend(f *frame, e *mdl.Send) (Value, error) {
 
 	if e.ToSelf() {
 		cls := f.self.Class
+		mid, known := ec.db.rt.MethodID(e.Method)
 		var m *schema.Method
 		if e.Class != "" {
 			// Prefixed: take the method from the named ancestor's view.
@@ -271,15 +305,17 @@ func (ec *execCtx) evalSend(f *frame, e *mdl.Send) (Value, error) {
 			if anc == nil {
 				return Value{}, fmt.Errorf("engine: %s: unknown class %q", e.Pos(), e.Class)
 			}
-			m = anc.Resolve(e.Method)
-		} else {
+			if known {
+				m = anc.ResolveID(mid)
+			}
+		} else if known {
 			// Late binding: resolve in the proper class of the receiver.
-			m = cls.Resolve(e.Method)
+			m = cls.ResolveID(mid)
 		}
 		if m == nil {
 			return Value{}, fmt.Errorf("engine: %s: no method %q", e.Pos(), e.Method)
 		}
-		if err := ec.db.CC.NestedSend(ec.acq, ec.db.Compiled, uint64(f.self.OID), cls, e.Method); err != nil {
+		if err := ec.db.CC.NestedSend(ec.acq, ec.db.rt, uint64(f.self.OID), cls, mid); err != nil {
 			return Value{}, err
 		}
 		ec.db.nestedSends.Add(1)
@@ -299,7 +335,7 @@ func (ec *execCtx) evalSend(f *frame, e *mdl.Send) (Value, error) {
 		return Value{}, fmt.Errorf("engine: %s: send %s to nil reference", e.Pos(), e.Method)
 	}
 	ec.db.remoteSends.Add(1)
-	return ec.topSend(tv.R, e.Method, args)
+	return ec.topSendName(tv.R, e.Method, args)
 }
 
 func (ec *execCtx) evalBinary(f *frame, e *mdl.Binary) (Value, error) {

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lock"
+	"repro/internal/schema"
+)
+
+// Runtime is the engine's precomputed view of a compiled schema: every
+// lock.ResourceID, boxed lock mode, writer classification and domain
+// closure a strategy can ever need, materialised once at Open into
+// dense arrays keyed by interned class and method IDs. The strategies
+// consult only these tables at run time, so a top-level send costs two
+// array loads and two lock requests — no string hashing, no map
+// lookups, no interface boxing, no Domain() walks and no heap
+// allocation on the warm path.
+type Runtime struct {
+	Compiled *core.Compiled
+	classes  []classRT // indexed by schema.Class.ID
+}
+
+// relLock is one precomputed relation-level lock of the 1NF comparator:
+// the relation resource, the class ID (for tuple resources) and whether
+// the method's transitive effect writes that relation.
+type relLock struct {
+	rel   lock.ResourceID
+	class uint32
+	write bool
+}
+
+// classRT is the per-class slice of the Runtime.
+type classRT struct {
+	cls   *schema.Class
+	comp  *core.CompiledClass
+	table *core.Table
+
+	classRes lock.ResourceID   // the class granule
+	linRes   []lock.ResourceID // class granules of Lin (self first)
+
+	domain []*schema.Class // cached Domain(); domain[0] == cls
+
+	// Dense per-MethodID tables (length = schema.NumMethodNames()).
+	// The method → mode-index mapping itself lives in the table
+	// (core.Table.ModeIndexID), built once at compile time.
+	davWrite []bool      // method's direct classification (writer?)
+	tavWrite []bool      // method's transitive classification
+	relPlans [][]relLock // relational lock plan, key-write cascade folded in
+
+	// Boxed lock.Mode values per mode index, pre-converted so the hot
+	// path passes interfaces without allocating.
+	methodModes []lock.Mode // MethodMode{table, idx}
+	intModes    []lock.Mode // ClassMode{…, Hier: false}
+	hierModes   []lock.Mode // ClassMode{…, Hier: true}
+}
+
+// NewRuntime precomputes the run-time tables for a compiled schema.
+func NewRuntime(c *core.Compiled) *Runtime {
+	s := c.Schema
+	nm := s.NumMethodNames()
+	rt := &Runtime{Compiled: c, classes: make([]classRT, s.NumClasses())}
+	for _, cls := range s.Order {
+		crt := &rt.classes[cls.ID]
+		crt.cls = cls
+		crt.comp = c.Class(cls.Name)
+		crt.table = crt.comp.Table
+		crt.classRes = lock.ClassRes(cls.ID)
+		crt.linRes = make([]lock.ResourceID, len(cls.Lin))
+		for i, anc := range cls.Lin {
+			crt.linRes[i] = lock.ClassRes(anc.ID)
+		}
+		crt.domain = cls.Domain()
+
+		n := crt.table.NumModes()
+		crt.methodModes = make([]lock.Mode, n)
+		crt.intModes = make([]lock.Mode, n)
+		crt.hierModes = make([]lock.Mode, n)
+		for i := 0; i < n; i++ {
+			crt.methodModes[i] = lock.MethodMode{Table: crt.table, Idx: i}
+			crt.intModes[i] = lock.ClassMode{Table: crt.table, Idx: i, Hier: false}
+			crt.hierModes[i] = lock.ClassMode{Table: crt.table, Idx: i, Hier: true}
+		}
+
+		crt.davWrite = make([]bool, nm)
+		crt.tavWrite = make([]bool, nm)
+		crt.relPlans = make([][]relLock, nm)
+		for _, name := range cls.MethodList {
+			mid, ok := s.MethodID(name)
+			if !ok {
+				continue
+			}
+			if dav, ok := c.DAV(cls, name); ok {
+				crt.davWrite[mid] = dav.HasWrite()
+			}
+			tav, ok := c.TAV(cls, name)
+			if ok {
+				crt.tavWrite[mid] = tav.HasWrite()
+			}
+			crt.relPlans[mid] = buildRelPlan(c, cls, tav)
+		}
+	}
+	return rt
+}
+
+// class returns the run-time slice of a class.
+func (rt *Runtime) class(c *schema.Class) *classRT { return &rt.classes[c.ID] }
+
+// MethodID interns a method name (one map lookup — the only string
+// touch of a send, paid at the API boundary).
+func (rt *Runtime) MethodID(name string) (schema.MethodID, bool) {
+	return rt.Compiled.Schema.MethodID(name)
+}
+
+// MethodName reverses an interned method ID for diagnostics.
+func (rt *Runtime) MethodName(mid schema.MethodID) string {
+	return rt.Compiled.Schema.MethodName(mid)
+}
+
+// errNoMode is the shared missing-access-mode error of the strategies.
+func (rt *Runtime) errNoMode(cls *schema.Class, mid schema.MethodID) error {
+	return fmt.Errorf("engine: no access mode for %s.%s", cls.Name, rt.MethodName(mid))
+}
+
+// ResourceLabel renders a lock resource with schema names restored —
+// the human-readable form the numeric ResourceID gave up.
+func (rt *Runtime) ResourceLabel(res lock.ResourceID) string {
+	className := func(id uint32) string {
+		if c := rt.Compiled.Schema.ClassByID(id); c != nil {
+			return c.Name
+		}
+		return fmt.Sprintf("#%d", id)
+	}
+	switch res.Kind {
+	case lock.KindClass:
+		return "class:" + className(res.Class)
+	case lock.KindRelation:
+		return "rel:" + className(res.Class)
+	case lock.KindTuple:
+		return fmt.Sprintf("tuple:%s/%d", className(res.Class), res.OID)
+	default:
+		return res.String()
+	}
+}
+
+// buildRelPlan computes the relation-level lock plan of one method on
+// proper instances of one class under the 1NF decomposition: the
+// per-relation modes implied by the TAV, with the key-write cascade
+// (writing the root key write-locks the associated tuples of every
+// subclass relation) folded in, sorted by class name for deterministic
+// acquisition order.
+func buildRelPlan(c *core.Compiled, cls *schema.Class, tav core.Vector) []relLock {
+	s := c.Schema
+	rels := make(map[uint32]bool)
+	tav.Each(func(f schema.FieldID, m core.Mode) {
+		owner := s.Field(f).Owner.ID
+		if m == core.Write {
+			rels[owner] = true
+		} else if _, seen := rels[owner]; !seen {
+			rels[owner] = false
+		}
+	})
+	root := cls.Lin[len(cls.Lin)-1]
+	keyWrite := len(root.OwnFields) > 0 && tav.Get(root.OwnFields[0].ID) == core.Write
+	if keyWrite {
+		for _, sub := range root.Domain() {
+			if sub != root {
+				rels[sub.ID] = true
+			}
+		}
+	}
+	out := make([]relLock, 0, len(rels))
+	for id, write := range rels {
+		out = append(out, relLock{rel: lock.RelationRes(id), class: id, write: write})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return s.ClassByID(out[i].class).Name < s.ClassByID(out[j].class).Name
+	})
+	return out
+}

@@ -1,0 +1,86 @@
+package lock
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+)
+
+// Warm-path allocation budgets for the lock table itself. The modes are
+// pre-boxed (as the engine Runtime does), the resources are fixed-width
+// values, entries and txn states are pooled — so neither a reentrant
+// re-acquire nor a full acquire/release cycle may allocate.
+
+func warmMethodMode(t *testing.T) Mode {
+	t.Helper()
+	c, err := core.CompileSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := c.Class("c2").Table
+	return MethodMode{Table: tbl, Idx: tbl.ModeIndex("m3")}
+}
+
+func TestAcquireReentrantZeroAllocs(t *testing.T) {
+	m := NewManager()
+	res := InstanceRes(7)
+	mode := warmMethodMode(t)
+	if err := m.Acquire(1, res, mode); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.Acquire(1, res, mode); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("reentrant instance-granule Acquire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestAcquireReleaseCycleZeroAllocs(t *testing.T) {
+	m := NewManager()
+	res := InstanceRes(7)
+	mode := warmMethodMode(t)
+	// Warm the entry free list, the txn state pool and the held slices.
+	for i := 0; i < 4; i++ {
+		if err := m.Acquire(1, res, mode); err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseAll(1)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.Acquire(1, res, mode); err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseAll(1)
+	})
+	if allocs != 0 {
+		t.Errorf("warm acquire/release cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Class-granule acquires take the same integer-only hash path: no name
+// bytes exist on a ResourceID, so there is nothing to loop over.
+func TestClassAcquireZeroAllocs(t *testing.T) {
+	c, err := core.CompileSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := c.Class("c2").Table
+	mode := Mode(ClassMode{Table: tbl, Idx: tbl.ModeIndex("m3"), Hier: false})
+	m := NewManager()
+	res := ClassRes(1)
+	if err := m.Acquire(1, res, mode); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.Acquire(1, res, mode); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("reentrant class-granule Acquire allocates %.1f objects/op, want 0", allocs)
+	}
+}

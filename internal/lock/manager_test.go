@@ -492,9 +492,9 @@ func TestStressDeadlockRecovery(t *testing.T) {
 func TestResourceStrings(t *testing.T) {
 	cases := map[string]ResourceID{
 		"inst:5":     InstanceRes(5),
-		"class:c1":   ClassRes("c1"),
-		"rel:r2":     RelationRes("r2"),
-		"tuple:r1/9": TupleRes("r1", 9),
+		"class:#1":   ClassRes(1),
+		"rel:#2":     RelationRes(2),
+		"tuple:#0/9": TupleRes(0, 9),
 		"field:3.2":  FieldRes(3, 2),
 	}
 	for want, res := range cases {
@@ -837,10 +837,10 @@ func TestShardDistribution(t *testing.T) {
 			t.Errorf("shard %d got %d of %d resources (poor spread)", i, c, n)
 		}
 	}
-	// Class resources hash by name.
-	ca, cb := ClassRes("alpha"), ClassRes("beta")
+	// Class resources hash by interned ID.
+	ca, cb := ClassRes(0), ClassRes(1)
 	if ca.hash() == cb.hash() {
-		t.Error("distinct class names must hash differently")
+		t.Error("distinct class IDs must hash differently")
 	}
 	// Field and tuple granules must not collide with their instance.
 	if InstanceRes(9).hash() == FieldRes(9, 0).hash() {

@@ -32,13 +32,16 @@ func (k ResourceKind) String() string {
 	return "kind(?)"
 }
 
-// ResourceID names one lockable resource. It is a comparable value type
-// so it can key the lock table directly.
+// ResourceID names one lockable resource. It is a fixed-width numeric
+// value type: class-scoped granules carry the schema's dense interned
+// class ID, never a name, so hashing a resource is pure integer mixing
+// with no byte loop, and the whole ID fits two words. It is comparable
+// and keys the lock table directly.
 type ResourceID struct {
-	Kind  ResourceKind
-	Name  string // class or relation name (class/relation/tuple kinds)
-	OID   uint64 // instance, tuple or field-owner identity
-	Field int32  // field index for KindField; -1 otherwise
+	OID   uint64       // instance, tuple or field-owner identity
+	Class uint32       // interned class ID (class/relation/tuple kinds)
+	Field int32        // field index for KindField; -1 otherwise
+	Kind  ResourceKind //
 }
 
 // InstanceRes names an instance granule.
@@ -46,19 +49,20 @@ func InstanceRes(oid uint64) ResourceID {
 	return ResourceID{Kind: KindInstance, OID: oid, Field: -1}
 }
 
-// ClassRes names a class granule.
-func ClassRes(class string) ResourceID {
-	return ResourceID{Kind: KindClass, Name: class, Field: -1}
+// ClassRes names a class granule by interned class ID.
+func ClassRes(class uint32) ResourceID {
+	return ResourceID{Kind: KindClass, Class: class, Field: -1}
 }
 
-// RelationRes names a whole relation of the 1NF decomposition.
-func RelationRes(rel string) ResourceID {
-	return ResourceID{Kind: KindRelation, Name: rel, Field: -1}
+// RelationRes names a whole relation of the 1NF decomposition (the
+// relation of the class with the given interned ID).
+func RelationRes(class uint32) ResourceID {
+	return ResourceID{Kind: KindRelation, Class: class, Field: -1}
 }
 
 // TupleRes names one tuple of one relation of the 1NF decomposition.
-func TupleRes(rel string, oid uint64) ResourceID {
-	return ResourceID{Kind: KindTuple, Name: rel, OID: oid, Field: -1}
+func TupleRes(class uint32, oid uint64) ResourceID {
+	return ResourceID{Kind: KindTuple, Class: class, OID: oid, Field: -1}
 }
 
 // FieldRes names one field of one instance (run-time field locking).
@@ -66,35 +70,31 @@ func FieldRes(oid uint64, field int32) ResourceID {
 	return ResourceID{Kind: KindField, OID: oid, Field: field}
 }
 
-// fnvPrime64 mixes name bytes into the resource hash (FNV-1a step).
-const fnvPrime64 = 1099511628211
-
-// hash spreads resources over lock-table shards, allocation-free: the
-// hot path calls this once per Acquire. The fixed-width fields are
-// folded into one word and avalanched splitmix64-style (instances and
-// tuples differ only in OID, so the low bits must diffuse); name bytes
-// — only class and relation granules have them — are FNV-1a mixed.
+// hash spreads resources over lock-table shards, allocation-free and
+// branch-free: the fixed-width fields are folded into one word and
+// avalanched splitmix64-style (instances and tuples differ only in OID,
+// so the low bits must diffuse). No resource carries name bytes, so
+// there is no data-dependent loop on the hot path.
 func (r ResourceID) hash() uint64 {
-	z := r.OID ^ uint64(r.Kind)<<56 ^ uint64(uint32(r.Field))<<24
-	for i := 0; i < len(r.Name); i++ {
-		z = (z ^ uint64(r.Name[i])) * fnvPrime64
-	}
+	z := r.OID ^ uint64(r.Kind)<<56 ^ uint64(r.Class)<<29 ^ uint64(uint32(r.Field))<<13
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
-// String renders a compact human-readable name.
+// String renders a compact name. Class-scoped granules print the
+// numeric interned ID (#n); layers that know the schema (the engine's
+// Runtime) render human-readable names.
 func (r ResourceID) String() string {
 	switch r.Kind {
 	case KindInstance:
 		return fmt.Sprintf("inst:%d", r.OID)
 	case KindClass:
-		return "class:" + r.Name
+		return fmt.Sprintf("class:#%d", r.Class)
 	case KindRelation:
-		return "rel:" + r.Name
+		return fmt.Sprintf("rel:#%d", r.Class)
 	case KindTuple:
-		return fmt.Sprintf("tuple:%s/%d", r.Name, r.OID)
+		return fmt.Sprintf("tuple:#%d/%d", r.Class, r.OID)
 	case KindField:
 		return fmt.Sprintf("field:%d.%d", r.OID, r.Field)
 	}

@@ -37,7 +37,7 @@ func FromFile(f *mdl.File) (*Schema, error) {
 		if _, dup := s.Classes[cd.Name]; dup {
 			return nil, fmt.Errorf("schema: duplicate class %q", cd.Name)
 		}
-		c := &Class{Name: cd.Name, declIndex: i, ownByName: make(map[string]*Method)}
+		c := &Class{ID: uint32(i), Name: cd.Name, ownByName: make(map[string]*Method)}
 		s.Classes[cd.Name] = c
 		s.Order = append(s.Order, c)
 	}
@@ -143,11 +143,35 @@ func FromFile(f *mdl.File) (*Schema, error) {
 		sort.Strings(c.MethodList)
 	}
 
+	// Pass 5.5: intern method names into dense schema-wide IDs
+	// (deterministic: declaration order of classes, sorted method lists
+	// within a class) and build the per-class dense resolution tables.
+	s.methodIDs = make(map[string]MethodID)
+	for _, c := range s.Order {
+		for _, name := range c.MethodList {
+			if _, ok := s.methodIDs[name]; !ok {
+				s.methodIDs[name] = MethodID(len(s.MethodNames))
+				s.MethodNames = append(s.MethodNames, name)
+			}
+		}
+	}
+	for _, c := range s.Order {
+		c.methodsByID = make([]*Method, len(s.MethodNames))
+		for name, m := range c.Methods {
+			c.methodsByID[s.methodIDs[name]] = m
+		}
+	}
+
 	// Pass 6: direct subclasses.
 	for _, c := range s.Order {
 		for _, p := range c.Parents {
 			p.Subclasses = append(p.Subclasses, c)
 		}
+	}
+
+	// Pass 6.5: cache every domain closure (needs Subclasses complete).
+	for _, c := range s.Order {
+		c.domain = computeDomain(c)
 	}
 
 	// Pass 7: reference fields must point at declared classes (checked in

@@ -77,9 +77,20 @@ type Method struct {
 // QualifiedName returns "(definer,name)" in the paper's notation.
 func (m *Method) QualifiedName() string { return "(" + m.Definer.Name + "," + m.Name + ")" }
 
+// MethodID is a dense schema-wide identifier for a method *name*:
+// every class binding a name shares the ID, so per-class lookups
+// (resolution, access-mode index) are single array loads at run time.
+// IDs are assigned at build time in deterministic declaration order.
+type MethodID uint32
+
 // Class is a class of the schema with its computed inheritance context.
 type Class struct {
-	Name    string
+	// ID is the dense schema-wide class identifier (its declaration
+	// index). The engine keys extents, lock resources and per-class
+	// run-time tables by it, so the hot path never hashes a name.
+	ID   uint32
+	Name string
+
 	Parents []*Class
 
 	// Declared members, in declaration order.
@@ -93,9 +104,10 @@ type Class struct {
 	MethodList []string           // names of Methods, sorted
 	Subclasses []*Class           // direct subclasses, declaration order
 
-	ownByName map[string]*Method
-	slotOf    map[FieldID]int
-	declIndex int
+	ownByName   map[string]*Method
+	slotOf      map[FieldID]int
+	methodsByID []*Method // METHODS(C) indexed by MethodID; nil where absent
+	domain      []*Class  // cached Domain(), computed at build time
 }
 
 // Ancestors returns ANCESTORS(C) of definition 1: every class C inherits
@@ -115,6 +127,15 @@ func (c *Class) HasAncestor(a *Class) bool {
 // Resolve returns the method bound to name for a proper instance of c —
 // the late-binding table entry — or nil if METHODS(C) has no such name.
 func (c *Class) Resolve(name string) *Method { return c.Methods[name] }
+
+// ResolveID is the dense-ID form of Resolve: a single array load, no
+// string hashing. It returns nil when METHODS(C) has no such name.
+func (c *Class) ResolveID(id MethodID) *Method {
+	if int(id) >= len(c.methodsByID) {
+		return nil
+	}
+	return c.methodsByID[id]
+}
 
 // FieldByName returns the visible field with the given name, or nil.
 func (c *Class) FieldByName(name string) *Field {
@@ -140,8 +161,16 @@ func (c *Class) NumSlots() int { return len(c.Fields) }
 
 // Domain returns the set of classes rooted at c — c itself plus every
 // transitive subclass — in deterministic (declaration) order. This is the
-// paper's "domain C" (section 5.2 accesses iii and iv).
+// paper's "domain C" (section 5.2 accesses iii and iv). The slice is
+// computed once at build time and shared: callers must not mutate it.
 func (c *Class) Domain() []*Class {
+	if c.domain != nil {
+		return c.domain
+	}
+	return computeDomain(c)
+}
+
+func computeDomain(c *Class) []*Class {
 	seen := map[*Class]bool{c: true}
 	out := []*Class{c}
 	var walk func(*Class)
@@ -156,7 +185,7 @@ func (c *Class) Domain() []*Class {
 	}
 	walk(c)
 	sort.SliceStable(out[1:], func(i, j int) bool {
-		return out[i+1].declIndex < out[j+1].declIndex
+		return out[i+1].ID < out[j+1].ID
 	})
 	return out
 }
@@ -164,12 +193,46 @@ func (c *Class) Domain() []*Class {
 // Schema is a validated set of classes.
 type Schema struct {
 	Classes map[string]*Class
-	Order   []*Class // declaration order
+	Order   []*Class // declaration order; Order[c.ID] == c
 	Fields  []*Field // indexed by FieldID
+
+	// Method-name interning (assigned at build time).
+	MethodNames []string // indexed by MethodID
+	methodIDs   map[string]MethodID
 }
 
 // Class returns the class with the given name, or nil.
 func (s *Schema) Class(name string) *Class { return s.Classes[name] }
+
+// ClassByID returns the class with the given dense ID, or nil.
+func (s *Schema) ClassByID(id uint32) *Class {
+	if int(id) >= len(s.Order) {
+		return nil
+	}
+	return s.Order[id]
+}
+
+// NumClasses returns the number of classes in the schema.
+func (s *Schema) NumClasses() int { return len(s.Order) }
+
+// MethodID returns the interned ID of a method name, if any class of
+// the schema binds it.
+func (s *Schema) MethodID(name string) (MethodID, bool) {
+	id, ok := s.methodIDs[name]
+	return id, ok
+}
+
+// MethodName returns the method name of an interned ID.
+func (s *Schema) MethodName(id MethodID) string {
+	if int(id) >= len(s.MethodNames) {
+		return fmt.Sprintf("method#%d", id)
+	}
+	return s.MethodNames[id]
+}
+
+// NumMethodNames returns the number of distinct method names in the
+// schema — the length of every dense per-class method-indexed table.
+func (s *Schema) NumMethodNames() int { return len(s.MethodNames) }
 
 // Field returns the field with the given ID.
 func (s *Schema) Field(id FieldID) *Field { return s.Fields[id] }

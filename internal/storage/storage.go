@@ -4,11 +4,20 @@
 // section 5.2 scans. It performs no concurrency control of its own
 // beyond short internal latches — isolation is entirely the lock
 // manager's job, which is what the paper's protocol controls.
+//
+// Layout: OIDs are allocated sequentially, so the OID → instance map is
+// a page directory of fixed-size slabs whose slots are atomic pointers.
+// Get is two array indexes and one atomic load — no lock, no hashing.
+// Mutations (create/delete/restore) take only the per-class extent
+// latch of the touched class, so churn on different classes never
+// contends; the page directory itself grows copy-on-write under a
+// dedicated mutex.
 package storage
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/schema"
 )
@@ -91,6 +100,10 @@ type Instance struct {
 
 	mu    sync.Mutex
 	slots []Value
+
+	// extentPos is the instance's index in its class extent, kept
+	// current by swap-removal. Guarded by the extent latch.
+	extentPos int
 }
 
 // Get returns the value in slot i.
@@ -126,20 +139,102 @@ func (in *Instance) Snapshot() []Value {
 	return append([]Value(nil), in.slots...)
 }
 
-// Store holds every instance and per-class extents.
-type Store struct {
-	mu      sync.RWMutex
-	byOID   map[OID]*Instance
-	extents map[string][]OID
-	nextOID OID
+// Page geometry: 4096 instance slots per slab.
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// page is one slab of the OID-indexed instance table.
+type page [pageSize]atomic.Pointer[Instance]
+
+// extent is the per-class extent: the proper instances of one class,
+// swap-removable in O(1), with a versioned snapshot so scans iterate
+// copy-free while mutations proceed under the latch.
+type extent struct {
+	mu   sync.Mutex
+	oids []OID
+	// snap caches an immutable copy of oids. Mutators clear it (under
+	// mu); readers either reuse the published version copy-free or
+	// rebuild it once after a mutation. A reader holding an older
+	// version keeps a consistent snapshot of a past state.
+	snap atomic.Pointer[[]OID]
+	_    [64]byte // keep neighbouring class latches off one cache line
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		byOID:   make(map[OID]*Instance),
-		extents: make(map[string][]OID),
+// invalidate drops the cached snapshot. Requires e.mu held.
+func (e *extent) invalidate() { e.snap.Store(nil) }
+
+// snapshot returns an immutable view of the extent's OIDs. The returned
+// slice must not be modified; it stays valid (as a past version) however
+// the extent mutates afterwards.
+func (e *extent) snapshot() []OID {
+	if p := e.snap.Load(); p != nil {
+		return *p
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p := e.snap.Load(); p != nil {
+		return *p
+	}
+	cp := append([]OID(nil), e.oids...)
+	e.snap.Store(&cp)
+	return cp
+}
+
+// Store holds every instance, slab-indexed by OID, and per-class
+// extents indexed by dense class ID.
+type Store struct {
+	dir     atomic.Pointer[[]*page] // page directory; grows copy-on-write
+	growMu  sync.Mutex              // serializes directory growth
+	nextOID atomic.Uint64
+	count   atomic.Int64
+
+	schema  *schema.Schema
+	extents []extent // by schema.Class.ID
+}
+
+// NewStore returns an empty store for instances of the given schema.
+func NewStore(s *schema.Schema) *Store {
+	st := &Store{
+		schema:  s,
+		extents: make([]extent, s.NumClasses()),
+	}
+	dir := make([]*page, 1)
+	dir[0] = new(page)
+	st.dir.Store(&dir)
+	return st
+}
+
+// slot returns the directory slot of an OID, or nil if the directory
+// has not grown that far.
+func (s *Store) slot(oid OID) *atomic.Pointer[Instance] {
+	dir := *s.dir.Load()
+	pi := uint64(oid) >> pageBits
+	if oid == 0 || pi >= uint64(len(dir)) {
+		return nil
+	}
+	return &dir[pi][uint64(oid)&pageMask]
+}
+
+// grow extends the page directory to cover oid. The directory slice is
+// replaced copy-on-write (pages themselves are stable), so concurrent
+// Get needs no lock.
+func (s *Store) grow(oid OID) *atomic.Pointer[Instance] {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	dir := *s.dir.Load()
+	need := int(uint64(oid)>>pageBits) + 1
+	if need > len(dir) {
+		ndir := make([]*page, need, max(need, 2*len(dir)))
+		copy(ndir, dir)
+		for i := len(dir); i < need; i++ {
+			ndir[i] = new(page)
+		}
+		s.dir.Store(&ndir)
+	}
+	return s.slot(oid)
 }
 
 // NewInstance allocates an instance of cls, filling slots positionally
@@ -161,12 +256,20 @@ func (s *Store) NewInstance(cls *schema.Class, vals ...Value) (*Instance, error)
 			slots[i] = Zero(f.Type)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextOID++
-	in := &Instance{OID: s.nextOID, Class: cls, slots: slots}
-	s.byOID[in.OID] = in
-	s.extents[cls.Name] = append(s.extents[cls.Name], in.OID)
+	oid := OID(s.nextOID.Add(1))
+	in := &Instance{OID: oid, Class: cls, slots: slots}
+	sl := s.slot(oid)
+	if sl == nil {
+		sl = s.grow(oid)
+	}
+	ext := &s.extents[cls.ID]
+	ext.mu.Lock()
+	sl.Store(in)
+	in.extentPos = len(ext.oids)
+	ext.oids = append(ext.oids, oid)
+	ext.invalidate()
+	ext.mu.Unlock()
+	s.count.Add(1)
 	return in, nil
 }
 
@@ -188,70 +291,109 @@ func checkKind(f *schema.Field, v Value) error {
 	return nil
 }
 
-// Get returns the instance with the given OID.
+// Get returns the instance with the given OID: two array indexes and
+// one atomic load, no lock.
 func (s *Store) Get(oid OID) (*Instance, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	in, ok := s.byOID[oid]
-	return in, ok
+	sl := s.slot(oid)
+	if sl == nil {
+		return nil, false
+	}
+	in := sl.Load()
+	return in, in != nil
 }
 
-// Delete removes the instance from the store and its class extent and
-// returns it (so an aborting transaction can Restore it).
+// Delete removes the instance from the store and its class extent in
+// O(1) (swap-removal against the tracked extent position) and returns
+// it (so an aborting transaction can Restore it).
 func (s *Store) Delete(oid OID) (*Instance, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	in, ok := s.byOID[oid]
+	in, ok := s.Get(oid)
 	if !ok {
 		return nil, fmt.Errorf("storage: no instance with OID %d", oid)
 	}
-	delete(s.byOID, oid)
-	ext := s.extents[in.Class.Name]
-	for i, x := range ext {
-		if x == oid {
-			s.extents[in.Class.Name] = append(ext[:i], ext[i+1:]...)
-			break
+	ext := &s.extents[in.Class.ID]
+	ext.mu.Lock()
+	sl := s.slot(oid)
+	if sl == nil || !sl.CompareAndSwap(in, nil) {
+		// Lost a race with a concurrent Delete of the same OID.
+		ext.mu.Unlock()
+		return nil, fmt.Errorf("storage: no instance with OID %d", oid)
+	}
+	last := len(ext.oids) - 1
+	if p := in.extentPos; p != last {
+		moved := ext.oids[last]
+		ext.oids[p] = moved
+		if mi, ok := s.Get(moved); ok {
+			mi.extentPos = p
 		}
 	}
+	ext.oids = ext.oids[:last]
+	ext.invalidate()
+	ext.mu.Unlock()
+	s.count.Add(-1)
 	return in, nil
 }
 
 // Restore re-inserts a previously deleted instance (transaction abort
 // compensation). Restoring a live OID is a no-op.
 func (s *Store) Restore(in *Instance) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.byOID[in.OID]; exists {
-		return
+	sl := s.slot(in.OID)
+	if sl == nil {
+		sl = s.grow(in.OID)
 	}
-	s.byOID[in.OID] = in
-	s.extents[in.Class.Name] = append(s.extents[in.Class.Name], in.OID)
+	ext := &s.extents[in.Class.ID]
+	ext.mu.Lock()
+	defer ext.mu.Unlock()
+	if !sl.CompareAndSwap(nil, in) {
+		return // already live
+	}
+	in.extentPos = len(ext.oids)
+	ext.oids = append(ext.oids, in.OID)
+	ext.invalidate()
+	s.count.Add(1)
 }
 
 // Extent returns the OIDs of the *proper* instances of one class
 // (section 5.2 access (ii): "a majority of instances, if not all, of one
-// class").
+// class"). The returned slice is an immutable snapshot — do not modify.
 func (s *Store) Extent(class string) []OID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]OID(nil), s.extents[class]...)
+	c := s.schema.Class(class)
+	if c == nil {
+		return nil
+	}
+	return s.extents[c.ID].snapshot()
+}
+
+// ExtentOf is Extent keyed by class value.
+func (s *Store) ExtentOf(cls *schema.Class) []OID {
+	return s.extents[cls.ID].snapshot()
+}
+
+// DomainSnapshot returns per-class immutable OID snapshots for a domain
+// closure (as cached by schema.Class.Domain): no OIDs are copied when
+// the snapshots are warm, and no global lock is held at any point. The
+// inner slices must not be modified.
+func (s *Store) DomainSnapshot(domain []*schema.Class) [][]OID {
+	out := make([][]OID, 0, len(domain))
+	for _, c := range domain {
+		if part := s.extents[c.ID].snapshot(); len(part) > 0 {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // DomainExtent returns the OIDs of every instance whose class belongs to
-// the domain rooted at cls (section 5.2 accesses (iii) and (iv)).
+// the domain rooted at cls (section 5.2 accesses (iii) and (iv)),
+// flattened into one freshly allocated slice.
 func (s *Store) DomainExtent(cls *schema.Class) []OID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []OID
-	for _, c := range cls.Domain() {
-		out = append(out, s.extents[c.Name]...)
+	for _, part := range s.DomainSnapshot(cls.Domain()) {
+		out = append(out, part...)
 	}
 	return out
 }
 
 // Count returns the total number of instances.
 func (s *Store) Count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.byOID)
+	return int(s.count.Load())
 }

@@ -20,7 +20,7 @@ func fig1(t *testing.T) *schema.Schema {
 
 func TestNewInstanceZeroFill(t *testing.T) {
 	s := fig1(t)
-	st := NewStore()
+	st := NewStore(s)
 	in, err := st.NewInstance(s.Class("c2"))
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +42,7 @@ func TestNewInstanceZeroFill(t *testing.T) {
 
 func TestNewInstancePositionalValues(t *testing.T) {
 	s := fig1(t)
-	st := NewStore()
+	st := NewStore(s)
 	in, err := st.NewInstance(s.Class("c1"), IntV(42), BoolV(true))
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ func TestNewInstancePositionalValues(t *testing.T) {
 
 func TestNewInstanceTypeChecks(t *testing.T) {
 	s := fig1(t)
-	st := NewStore()
+	st := NewStore(s)
 	if _, err := st.NewInstance(s.Class("c1"), BoolV(true)); err == nil {
 		t.Error("want kind mismatch error for f1")
 	} else if !strings.Contains(err.Error(), "expects integer") {
@@ -67,7 +67,7 @@ func TestNewInstanceTypeChecks(t *testing.T) {
 
 func TestGetSetField(t *testing.T) {
 	s := fig1(t)
-	st := NewStore()
+	st := NewStore(s)
 	c2 := s.Class("c2")
 	in, err := st.NewInstance(c2)
 	if err != nil {
@@ -91,7 +91,7 @@ func TestGetSetField(t *testing.T) {
 
 func TestExtents(t *testing.T) {
 	s := fig1(t)
-	st := NewStore()
+	st := NewStore(s)
 	c1, c2 := s.Class("c1"), s.Class("c2")
 	var c1OIDs, c2OIDs []OID
 	for i := 0; i < 3; i++ {
@@ -125,7 +125,7 @@ func TestExtents(t *testing.T) {
 }
 
 func TestGetMissing(t *testing.T) {
-	st := NewStore()
+	st := NewStore(fig1(t))
 	if _, ok := st.Get(99); ok {
 		t.Error("missing OID must not be found")
 	}
@@ -133,7 +133,7 @@ func TestGetMissing(t *testing.T) {
 
 func TestDeleteAndRestore(t *testing.T) {
 	s := fig1(t)
-	st := NewStore()
+	st := NewStore(s)
 	c1 := s.Class("c1")
 	a, _ := st.NewInstance(c1, IntV(1))
 	b, _ := st.NewInstance(c1, IntV(2))
@@ -192,7 +192,7 @@ func TestZeroValues(t *testing.T) {
 
 func TestConcurrentCreation(t *testing.T) {
 	s := fig1(t)
-	st := NewStore()
+	st := NewStore(s)
 	c1 := s.Class("c1")
 	const n = 50
 	var wg sync.WaitGroup

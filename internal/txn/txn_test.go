@@ -18,7 +18,7 @@ func setup(t *testing.T) (*Manager, *storage.Store, *schema.Schema) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewManager(lock.NewManager()), storage.NewStore(), s
+	return NewManager(lock.NewManager()), storage.NewStore(s), s
 }
 
 func TestCommitReleasesLocks(t *testing.T) {
