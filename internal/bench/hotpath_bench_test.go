@@ -3,6 +3,7 @@ package bench
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -64,6 +65,67 @@ func BenchmarkHotSendID(b *testing.B) {
 	}
 }
 
+// A method-body-heavy warm send: cad part.inspect runs a 32-iteration
+// arithmetic loop over a field, so the measured cost is dominated by
+// method-body execution, not dispatch or locking.
+func BenchmarkHotSendBody(b *testing.B) {
+	compiled, err := core.CompileSource(cadSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.Open(compiled, engine.FineCC{})
+	var oid storage.OID
+	err = db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "part",
+			storage.IntV(1), storage.IntV(7))
+		oid = in.OID
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := db.Begin()
+	defer tx.Commit()
+	args := []engine.Value{storage.IntV(32)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Send(tx, oid, "inspect", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A nested-send-heavy warm send: cad part.session self-sends inspect and
+// revise, exercising invoke recursion plus field writes with undo.
+func BenchmarkHotSendNested(b *testing.B) {
+	compiled, err := core.CompileSource(cadSchema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.Open(compiled, engine.FineCC{})
+	var oid storage.OID
+	err = db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "part",
+			storage.IntV(1), storage.IntV(7))
+		oid = in.OID
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := db.Begin()
+	defer tx.Commit()
+	args := []engine.Value{storage.IntV(8)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Send(tx, oid, "session", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // One warm hierarchical domain scan over a populated extent.
 func BenchmarkHotDomainScan(b *testing.B) {
 	db, _ := hotDB(b, engine.FineCC{})
@@ -84,6 +146,41 @@ func BenchmarkHotDomainScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.DomainScan(tx, "c3", "m", true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The same scan through the pre-interned fast path: root class and
+// method resolved by dense ID, snapshot buffer reused — zero
+// allocations per warm scan.
+func BenchmarkHotDomainScanID(b *testing.B) {
+	db, _ := hotDB(b, engine.FineCC{})
+	err := db.RunWithRetry(func(tx *txn.Txn) error {
+		for i := 0; i < 1000; i++ {
+			if _, err := db.NewInstance(tx, "c3", storage.IntV(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cid, ok := db.ClassID("c3")
+	if !ok {
+		b.Fatal("c3 not interned")
+	}
+	mid, ok := db.MethodID("m")
+	if !ok {
+		b.Fatal("m not interned")
+	}
+	tx := db.Begin()
+	defer tx.Commit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.DomainScanID(tx, cid, mid, true, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -79,6 +79,22 @@ func Compile(s *schema.Schema, opts ...Option) (*Compiled, error) {
 		}
 	}
 
+	// 1.5. Lower every validated body to its slot-addressed program —
+	// the execution-side twin of extraction: parameters/locals become
+	// slot indexes, fields become FieldIDs, callees become MethodIDs and
+	// classes become interned IDs, so nothing is resolved by name inside
+	// a transaction. Extraction ran first, so name errors surface with
+	// the paper's diagnostics before this pass ever sees them.
+	for _, cls := range s.Order {
+		for _, m := range cls.OwnMethods {
+			prog, err := schema.CompileBody(s, m)
+			if err != nil {
+				return nil, err
+			}
+			m.Program = prog
+		}
+	}
+
 	// 2–4. Per-class analysis.
 	for _, cls := range s.Order {
 		g, err := BuildGraph(cls, c.Infos)

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/txn"
 )
@@ -80,6 +81,160 @@ func TestWarmSendIDZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("warm DB.SendID allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// A compiled method body with real control flow — while loop, locals,
+// arithmetic over a field — must execute without heap allocation once
+// warm: frames are spans of the context's pooled value stack, and every
+// instruction is integer-addressed (ISSUE 3 acceptance).
+func TestWarmSendIDCompiledBodyZeroAllocs(t *testing.T) {
+	c, err := core.CompileSource(`
+class worker is
+    instance variables are
+        load : integer
+    method crunch(n) is
+        var i := 0
+        var acc := 0
+        while i < n do
+            i := i + 1
+            if (i % 2) = 0 and load > 0 then
+                acc := acc + load * i
+            else
+                acc := acc - i
+            end
+        end
+        return acc
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(c, FineCC{})
+	var oid storage.OID
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "worker", storage.IntV(3))
+		oid = in.OID
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mid, ok := db.MethodID("crunch")
+	if !ok {
+		t.Fatal("crunch not interned")
+	}
+	tx := db.Begin()
+	defer tx.Commit()
+	args := []Value{storage.IntV(24)}
+	if _, err := db.SendID(tx, oid, mid, args...); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := db.SendID(tx, oid, mid, args...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm compiled-body SendID allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Warm DomainScanID — root class and method resolved by ID, snapshot
+// buffer reused — must not allocate, hierarchically or intentionally
+// (ROADMAP leftover from PR 2: the scan used to cost one [][]OID header
+// per call plus two string resolutions).
+func TestWarmDomainScanIDZeroAllocs(t *testing.T) {
+	db := newFigure1DB(t, FineCC{})
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		for i := 0; i < 64; i++ {
+			if _, err := db.NewInstance(tx, "c3", storage.IntV(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cid, ok := db.ClassID("c3")
+	if !ok {
+		t.Fatal("c3 not interned")
+	}
+	mid, ok := db.MethodID("m")
+	if !ok {
+		t.Fatal("m not interned")
+	}
+	for _, hier := range []bool{true, false} {
+		name := "intentional"
+		if hier {
+			name = "hierarchical"
+		}
+		t.Run(name, func(t *testing.T) {
+			tx := db.Begin()
+			defer tx.Commit()
+			if _, err := db.DomainScanID(tx, cid, mid, hier, nil); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				n, err := db.DomainScanID(tx, cid, mid, hier, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != 64 {
+					t.Fatalf("visited %d, want 64", n)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("warm DomainScanID allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// DomainScanID agrees with the string-resolved DomainScan.
+func TestDomainScanIDMatchesDomainScan(t *testing.T) {
+	db := newFigure1DB(t, FineCC{})
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		for i := 0; i < 5; i++ {
+			if _, err := db.NewInstance(tx, "c1", storage.IntV(int64(i))); err != nil {
+				return err
+			}
+		}
+		_, err := db.NewInstance(tx, "c2", storage.IntV(9))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cid, _ := db.ClassID("c1")
+	mid, _ := db.MethodID("m2")
+	var byName, byID int
+	err := db.RunWithRetry(func(tx *txn.Txn) error {
+		var err error
+		byName, err = db.DomainScan(tx, "c1", "m2", true, nil, storage.IntV(1))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.RunWithRetry(func(tx *txn.Txn) error {
+		var err error
+		byID, err = db.DomainScanID(tx, cid, mid, true, nil, storage.IntV(1))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName != byID || byName != 6 {
+		t.Errorf("DomainScan visited %d, DomainScanID visited %d, want 6 both", byName, byID)
+	}
+	if _, err := db.DomainScanID(db.Begin(), 999, mid, true, nil); err == nil {
+		t.Error("unknown class id must fail")
+	}
+	cid3, _ := db.ClassID("c3")
+	mid4, _ := db.MethodID("m4")
+	tx := db.Begin()
+	defer tx.Abort()
+	if _, err := db.DomainScanID(tx, cid3, mid4, true, nil); err == nil {
+		t.Error("method not in METHODS(c3) must fail")
 	}
 }
 

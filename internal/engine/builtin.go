@@ -3,25 +3,28 @@ package engine
 import (
 	"fmt"
 
-	"repro/internal/mdl"
+	"repro/internal/schema"
 	"repro/internal/storage"
 )
 
-// callBuiltin evaluates the builtin function applications of the
-// language. The paper writes method bodies against two opaque functions,
-// expr(…) and cond(…), standing for "some expression over these inputs";
-// we give them deterministic hash-based semantics so the paper's code
-// runs and produces observable, repeatable values:
+// evalBuiltin evaluates the builtin function applications of the
+// language, dispatched on the IDs the schema build resolved. The paper
+// writes method bodies against two opaque functions, expr(…) and
+// cond(…), standing for "some expression over these inputs"; we give
+// them deterministic hash-based semantics so the paper's code runs and
+// produces observable, repeatable values:
 //
 //	expr(a, …)   — a value of the same type as its first argument,
 //	               mixed from all arguments (integer 0 if no arguments);
 //	cond(a, …)   — a boolean derived from the argument hash.
 //
 // The concrete builtins abs, min, max, len, concat and hash support the
-// examples and the workload generator.
-func callBuiltin(e *mdl.Call, args []Value) (Value, error) {
-	switch e.Func {
-	case "expr":
+// examples and the workload generator. A name no builtin binds keeps
+// its ID BuiltinUnknown and fails here at run time, exactly like the
+// tree-walker did.
+func evalBuiltin(ref *schema.BuiltinRef, args []Value, p *schema.Program, pc int) (Value, error) {
+	switch ref.ID {
+	case schema.BuiltinExpr:
 		h := hashValues(args)
 		if len(args) == 0 {
 			return storage.IntV(int64(h & 0x7fffffff)), nil
@@ -36,52 +39,52 @@ func callBuiltin(e *mdl.Call, args []Value) (Value, error) {
 		default:
 			return storage.IntV(int64(h & 0x7fffffff)), nil
 		}
-	case "cond":
+	case schema.BuiltinCond:
 		return storage.BoolV(hashValues(args)&1 == 1), nil
-	case "hash":
+	case schema.BuiltinHash:
 		return storage.IntV(int64(hashValues(args) & 0x7fffffffffffffff)), nil
-	case "abs":
-		if err := wantArgs(e, args, 1, storage.KInt); err != nil {
+	case schema.BuiltinAbs:
+		if err := wantArgs(ref, args, 1, storage.KInt, p, pc); err != nil {
 			return Value{}, err
 		}
 		if args[0].I < 0 {
 			return storage.IntV(-args[0].I), nil
 		}
 		return args[0], nil
-	case "min", "max":
-		if err := wantArgs(e, args, 2, storage.KInt); err != nil {
+	case schema.BuiltinMin, schema.BuiltinMax:
+		if err := wantArgs(ref, args, 2, storage.KInt, p, pc); err != nil {
 			return Value{}, err
 		}
 		a, b := args[0].I, args[1].I
-		if (e.Func == "min") == (a < b) {
+		if (ref.ID == schema.BuiltinMin) == (a < b) {
 			return storage.IntV(a), nil
 		}
 		return storage.IntV(b), nil
-	case "len":
-		if err := wantArgs(e, args, 1, storage.KString); err != nil {
+	case schema.BuiltinLen:
+		if err := wantArgs(ref, args, 1, storage.KString, p, pc); err != nil {
 			return Value{}, err
 		}
 		return storage.IntV(int64(len(args[0].S))), nil
-	case "concat":
+	case schema.BuiltinConcat:
 		out := ""
 		for _, a := range args {
 			if a.Kind != storage.KString {
-				return Value{}, fmt.Errorf("engine: %s: concat argument %s is not a string", e.Pos(), a)
+				return Value{}, fmt.Errorf("engine: %s: concat argument %s is not a string", p.PosAt(pc), a)
 			}
 			out += a.S
 		}
 		return storage.StrV(out), nil
 	}
-	return Value{}, fmt.Errorf("engine: %s: unknown builtin %q", e.Pos(), e.Func)
+	return Value{}, fmt.Errorf("engine: %s: unknown builtin %q", p.PosAt(pc), ref.Name)
 }
 
-func wantArgs(e *mdl.Call, args []Value, n int, kind storage.ValueKind) error {
+func wantArgs(ref *schema.BuiltinRef, args []Value, n int, kind storage.ValueKind, p *schema.Program, pc int) error {
 	if len(args) != n {
-		return fmt.Errorf("engine: %s: %s expects %d arguments, got %d", e.Pos(), e.Func, n, len(args))
+		return fmt.Errorf("engine: %s: %s expects %d arguments, got %d", p.PosAt(pc), ref.Name, n, len(args))
 	}
 	for _, a := range args {
 		if a.Kind != kind {
-			return fmt.Errorf("engine: %s: %s argument %s has wrong type", e.Pos(), e.Func, a)
+			return fmt.Errorf("engine: %s: %s argument %s has wrong type", p.PosAt(pc), ref.Name, a)
 		}
 	}
 	return nil

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lock"
-	"repro/internal/mdl"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -101,10 +100,20 @@ func (db *DB) Snapshot() Stats {
 	}
 }
 
-// MethodID interns a method name for the ID-keyed fast paths (SendID).
-// Callers that send the same message repeatedly can intern once and
-// skip the per-call map lookup.
+// MethodID interns a method name for the ID-keyed fast paths (SendID,
+// DomainScanID). Callers that send the same message repeatedly can
+// intern once and skip the per-call map lookup.
 func (db *DB) MethodID(name string) (schema.MethodID, bool) { return db.rt.MethodID(name) }
+
+// ClassID interns a class name for the ID-keyed fast paths
+// (DomainScanID).
+func (db *DB) ClassID(name string) (uint32, bool) {
+	c := db.Compiled.Schema.Class(name)
+	if c == nil {
+		return 0, false
+	}
+	return c.ID, true
+}
 
 // getEC takes a pooled execution context bound to tx (nil in recording
 // mode, in which case acq must be set by the caller).
@@ -126,6 +135,7 @@ func (db *DB) putEC(ec *execCtx) {
 	ec.tx = nil
 	ec.acq = nil
 	ec.live = liveAcquirer{}
+	ec.stack = ec.stack[:0] // balanced activations leave it empty already
 	ec.ticks = 0
 	ec.depth = 0
 	db.ecPool.Put(ec)
@@ -196,6 +206,25 @@ func (db *DB) DomainScan(tx *txn.Txn, class, method string, hier bool,
 	return ec.domainScan(class, method, hier, filter, args)
 }
 
+// DomainScanID is DomainScan with the root class and method
+// pre-interned: the string-free fast path for hot scan loops. The root
+// class and method resolve by ID (two array loads), and the extent
+// snapshot reuses a per-context buffer, so a warm scan performs no heap
+// allocation at all.
+func (db *DB) DomainScanID(tx *txn.Txn, classID uint32, mid schema.MethodID, hier bool,
+	filter func(*storage.Instance) bool, args ...Value) (int, error) {
+	ec := db.getEC(tx)
+	defer db.putEC(ec)
+	root := db.Compiled.Schema.ClassByID(classID)
+	if root == nil {
+		return 0, fmt.Errorf("engine: unknown class id %d", classID)
+	}
+	if root.ResolveID(mid) == nil {
+		return 0, fmt.Errorf("engine: class %s has no method %q", root.Name, db.rt.MethodName(mid))
+	}
+	return ec.scanDomain(root, mid, hier, filter, args)
+}
+
 // RecordingSession executes transactions against a Recorder instead of
 // the lock manager: every lock the strategy would request is captured
 // and nothing ever blocks. Store mutations do happen — use a scratch
@@ -238,58 +267,23 @@ func (rs *RecordingSession) NewInstance(class string, vals ...Value) (*storage.I
 // --- execution context ---
 
 type execCtx struct {
-	db       *DB
-	tx       *txn.Txn // nil in recording mode
-	acq      Acquirer
-	live     liveAcquirer // backing storage for acq in live mode (no boxing)
-	frames   []*frame     // recycled activation frames (kept across pooling)
-	argLists [][]Value    // recycled argument slices
-	steps    int
-	ticks    int
-	depth    int
-}
+	db   *DB
+	tx   *txn.Txn // nil in recording mode
+	acq  Acquirer
+	live liveAcquirer // backing storage for acq in live mode (no boxing)
 
-// yieldEvery makes the interpreter hand the processor over periodically,
-// so concurrent transactions interleave even on GOMAXPROCS=1 — the
-// fairness a real engine gets from I/O and buffer-pool waits. Every
-// top-level message boundary yields too (see DB.Send).
-const yieldEvery = 64
+	// stack is the shared VM value stack: the activation frames of
+	// nested sends are consecutive spans of it (see vm.go). It is kept
+	// across pooling, so a warm send allocates nothing.
+	stack []Value
 
-// positioned is the AST surface step needs: both mdl.Stmt and mdl.Expr
-// satisfy it, and passing the node itself (already an interface) avoids
-// boxing a Pos value on every interpreter step.
-type positioned interface{ Pos() mdl.Pos }
+	// snap is the reusable domain-snapshot buffer of scanDomain — the
+	// [][]OID header that used to cost one allocation per scan.
+	snap [][]storage.OID
 
-func (ec *execCtx) step(at positioned) error {
-	ec.steps--
-	if ec.steps < 0 {
-		return fmt.Errorf("engine: %s: execution exceeded step budget", at.Pos())
-	}
-	ec.ticks++
-	if ec.ticks%yieldEvery == 0 {
-		runtime.Gosched()
-	}
-	return nil
-}
-
-// getArgs takes a recycled argument slice of length n off the context.
-// A top-of-stack slice too small for n is left for narrower callers.
-func (ec *execCtx) getArgs(n int) []Value {
-	if l := len(ec.argLists); l > 0 {
-		if s := ec.argLists[l-1]; cap(s) >= n {
-			ec.argLists = ec.argLists[:l-1]
-			return s[:n]
-		}
-	}
-	if n < 4 {
-		return make([]Value, n, 4)
-	}
-	return make([]Value, n)
-}
-
-// putArgs recycles an argument slice once its values were consumed.
-func (ec *execCtx) putArgs(s []Value) {
-	ec.argLists = append(ec.argLists, s[:0])
+	steps int
+	ticks int
+	depth int
 }
 
 func (ec *execCtx) create(cls *schema.Class, vals []Value) (*storage.Instance, error) {
@@ -327,8 +321,10 @@ func (ec *execCtx) topSend(oid storage.OID, mid schema.MethodID, args []Value) (
 	if !ok {
 		return Value{}, fmt.Errorf("engine: no instance with OID %d", oid)
 	}
-	m := in.Class.ResolveID(mid)
-	if m == nil {
+	// The Runtime's per-(class,method) program table goes straight from
+	// the interned ID to compiled code — dispatch is one array load.
+	prog := ec.db.rt.classes[in.Class.ID].progAt(mid)
+	if prog == nil {
 		return Value{}, fmt.Errorf("engine: class %s has no method %q",
 			in.Class.Name, ec.db.rt.MethodName(mid))
 	}
@@ -336,7 +332,7 @@ func (ec *execCtx) topSend(oid storage.OID, mid schema.MethodID, args []Value) (
 		return Value{}, err
 	}
 	ec.db.topSends.Add(1)
-	return ec.invoke(in, m, args)
+	return ec.invokeProg(in, prog, args)
 }
 
 func (ec *execCtx) domainScan(class, method string, hier bool,
@@ -349,13 +345,22 @@ func (ec *execCtx) domainScan(class, method string, hier bool,
 	if !ok || root.ResolveID(mid) == nil {
 		return 0, fmt.Errorf("engine: class %s has no method %q", class, method)
 	}
+	return ec.scanDomain(root, mid, hier, filter, args)
+}
+
+// scanDomain is the shared ID-resolved scan loop. The per-class extent
+// snapshots land in the context's reusable buffer, so a warm scan
+// allocates nothing.
+func (ec *execCtx) scanDomain(root *schema.Class, mid schema.MethodID, hier bool,
+	filter func(*storage.Instance) bool, args []Value) (int, error) {
 	if err := ec.db.CC.Scan(ec.acq, ec.db.rt, root, mid, hier); err != nil {
 		return 0, err
 	}
 	ec.db.scans.Add(1)
 
 	count := 0
-	for _, part := range ec.db.Store.DomainSnapshot(ec.db.rt.class(root).domain) {
+	ec.snap = ec.db.Store.DomainSnapshotInto(ec.snap[:0], ec.db.rt.class(root).domain)
+	for _, part := range ec.snap {
 		for _, oid := range part {
 			in, ok := ec.db.Store.Get(oid)
 			if !ok {
@@ -369,8 +374,8 @@ func (ec *execCtx) domainScan(class, method string, hier bool,
 					return count, err
 				}
 			}
-			m := in.Class.ResolveID(mid)
-			if _, err := ec.invoke(in, m, args); err != nil {
+			prog := ec.db.rt.classes[in.Class.ID].progAt(mid)
+			if _, err := ec.invokeProg(in, prog, args); err != nil {
 				return count, err
 			}
 			ec.db.instancesVisited.Add(1)

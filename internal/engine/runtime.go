@@ -49,6 +49,11 @@ type classRT struct {
 	tavWrite []bool      // method's transitive classification
 	relPlans [][]relLock // relational lock plan, key-write cascade folded in
 
+	// progs is the compiled dispatch table: METHODS(C) as slot-addressed
+	// programs, indexed by MethodID. SendID goes from the interned ID to
+	// compiled code with one array load — no resolution, no names.
+	progs []*schema.Program
+
 	// Boxed lock.Mode values per mode index, pre-converted so the hot
 	// path passes interfaces without allocating.
 	methodModes []lock.Mode // MethodMode{table, idx}
@@ -86,10 +91,14 @@ func NewRuntime(c *core.Compiled) *Runtime {
 		crt.davWrite = make([]bool, nm)
 		crt.tavWrite = make([]bool, nm)
 		crt.relPlans = make([][]relLock, nm)
+		crt.progs = make([]*schema.Program, nm)
 		for _, name := range cls.MethodList {
 			mid, ok := s.MethodID(name)
 			if !ok {
 				continue
+			}
+			if m := cls.Resolve(name); m != nil {
+				crt.progs[mid] = m.Program
 			}
 			if dav, ok := c.DAV(cls, name); ok {
 				crt.davWrite[mid] = dav.HasWrite()
@@ -106,6 +115,16 @@ func NewRuntime(c *core.Compiled) *Runtime {
 
 // class returns the run-time slice of a class.
 func (rt *Runtime) class(c *schema.Class) *classRT { return &rt.classes[c.ID] }
+
+// progAt returns the compiled program bound to mid in this class, or
+// nil when METHODS(C) has no such name (or mid is out of range, which
+// an API caller can feed SendID).
+func (crt *classRT) progAt(mid schema.MethodID) *schema.Program {
+	if int(mid) >= len(crt.progs) {
+		return nil
+	}
+	return crt.progs[mid]
+}
 
 // MethodID interns a method name (one map lookup — the only string
 // touch of a send, paid at the API boundary).

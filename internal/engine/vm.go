@@ -1,0 +1,424 @@
+package engine
+
+// The VM executes the slot-addressed programs the schema build compiles
+// from method bodies (internal/schema/program.go). It replaces the
+// recursive AST tree-walker: activation frames are spans of one shared,
+// pooled value stack (parameter/local slots at the bottom, operand
+// stack above), every name was resolved to an integer at build time,
+// and the engine never touches an mdl node during execution. Semantics
+// — evaluation order, error messages, concurrency-control hooks, undo
+// logging, counters — mirror the tree-walker; the differential golden
+// suite (golden_test.go) holds the VM to transcripts recorded from it.
+// The one deliberate divergence is name scoping: locals bind in
+// program order and are zero-valued until assigned (see
+// schema.CompileBody and the slotFor comment there), where the
+// tree-walker resolved against the run-time environment.
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// yieldEvery makes the VM hand the processor over periodically, so
+// concurrent transactions interleave even on GOMAXPROCS=1 — the
+// fairness a real engine gets from I/O and buffer-pool waits. Every
+// top-level message boundary yields too (see DB.Send). Must be a power
+// of two: the VM masks instead of dividing.
+const yieldEvery = 64
+
+// opSpelling renders operator opcodes for error messages.
+var opSpelling = map[schema.Op]string{
+	schema.OpEq: "=", schema.OpNeq: "<>",
+	schema.OpLt: "<", schema.OpLeq: "<=", schema.OpGt: ">", schema.OpGeq: ">=",
+	schema.OpAdd: "+", schema.OpSub: "-", schema.OpMul: "*",
+	schema.OpDiv: "/", schema.OpMod: "%",
+}
+
+// invokeProg runs one compiled method activation on instance in. The
+// caller has already performed the strategy's lock acquisition for this
+// activation. Depth accounting is explicit at the two return points —
+// no deferred closure on the hot path.
+func (ec *execCtx) invokeProg(in *storage.Instance, p *schema.Program, args []Value) (Value, error) {
+	if p == nil {
+		return Value{}, fmt.Errorf("engine: method body not compiled (build the schema through core.Compile)")
+	}
+	if len(args) != p.NumParams {
+		return Value{}, fmt.Errorf("engine: %s expects %d arguments, got %d",
+			p.Method.QualifiedName(), p.NumParams, len(args))
+	}
+	ec.depth++
+	if ec.depth > ec.db.MaxDepth {
+		ec.depth--
+		return Value{}, fmt.Errorf("engine: %s: send nesting exceeds %d",
+			p.Method.QualifiedName(), ec.db.MaxDepth)
+	}
+	base := len(ec.stack)
+	v, err := ec.exec(base, in, p, args)
+	ec.stack = ec.stack[:base]
+	ec.depth--
+	return v, err
+}
+
+// exec is the dispatch loop of one activation. The frame lives at
+// ec.stack[base : base+p.FrameSize()]; all accesses go through absolute
+// indexes so that nested activations growing the shared stack (which
+// may reallocate it) never invalidate this frame. The cached slice
+// header st is refreshed after every op that can run a nested
+// activation.
+func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, args []Value) (Value, error) {
+	top := base + p.FrameSize()
+	if cap(ec.stack) >= top {
+		ec.stack = ec.stack[:top]
+	} else {
+		grown := make([]Value, top, top+top/2+16)
+		copy(grown, ec.stack)
+		ec.stack = grown
+	}
+	st := ec.stack
+	copy(st[base:], args)
+	clear(st[base+len(args) : base+p.NumSlots]) // locals start zeroed
+	sp := base + p.NumSlots                     // operand stack pointer, absolute
+
+	db := ec.db
+	code := p.Code
+	pc := 0
+	steps, ticks := ec.steps, ec.ticks
+
+	for {
+		steps--
+		if steps < 0 {
+			ec.steps = steps
+			return Value{}, fmt.Errorf("engine: %s: execution exceeded step budget", p.PosAt(pc))
+		}
+		ticks++
+		if ticks&(yieldEvery-1) == 0 {
+			runtime.Gosched()
+		}
+		ins := code[pc]
+		pc++
+
+		switch ins.Op {
+		case schema.OpConstI32:
+			st[sp] = storage.IntV(int64(ins.A))
+			sp++
+		case schema.OpConstInt:
+			st[sp] = storage.IntV(p.Ints[ins.A])
+			sp++
+		case schema.OpConstBool:
+			st[sp] = storage.BoolV(ins.A != 0)
+			sp++
+		case schema.OpConstStr:
+			st[sp] = storage.StrV(p.Strs[ins.A])
+			sp++
+		case schema.OpSelf:
+			st[sp] = storage.RefV(self.OID)
+			sp++
+		case schema.OpPop:
+			sp--
+
+		case schema.OpLoadSlot:
+			st[sp] = st[base+int(ins.A)]
+			sp++
+		case schema.OpStoreSlot:
+			sp--
+			st[base+int(ins.A)] = st[sp]
+
+		case schema.OpLoadField:
+			fld := p.Fields[ins.A]
+			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
+				return Value{}, err
+			}
+			db.fieldReads.Add(1)
+			st[sp] = self.Get(self.Class.Slot(fld.ID))
+			sp++
+
+		case schema.OpStoreField:
+			sp--
+			v := st[sp]
+			fld := p.Fields[ins.A]
+			if err := checkAssignable(fld, v); err != nil {
+				return Value{}, fmt.Errorf("engine: %s: %w", p.PosAt(pc-1), err)
+			}
+			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, true); err != nil {
+				return Value{}, err
+			}
+			slot := self.Class.Slot(fld.ID)
+			old := self.Set(slot, v)
+			if ec.tx != nil {
+				ec.tx.LogUndo(self, slot, old)
+			}
+			db.fieldWrites.Add(1)
+
+		case schema.OpJump:
+			pc = int(ins.A)
+
+		case schema.OpJumpIfFalse:
+			sp--
+			v := st[sp]
+			if v.Kind != storage.KBool {
+				return Value{}, fmt.Errorf("engine: %s: condition is %s, not boolean", p.PosAt(pc-1), v)
+			}
+			if !v.B {
+				pc = int(ins.A)
+			}
+
+		case schema.OpScAnd:
+			sp--
+			v := st[sp]
+			if v.Kind != storage.KBool {
+				return Value{}, fmt.Errorf("engine: %s: condition is %s, not boolean", p.PosAt(pc-1), v)
+			}
+			if !v.B {
+				st[sp] = storage.BoolV(false)
+				sp++
+				pc = int(ins.A)
+			}
+
+		case schema.OpScOr:
+			sp--
+			v := st[sp]
+			if v.Kind != storage.KBool {
+				return Value{}, fmt.Errorf("engine: %s: condition is %s, not boolean", p.PosAt(pc-1), v)
+			}
+			if v.B {
+				st[sp] = storage.BoolV(true)
+				sp++
+				pc = int(ins.A)
+			}
+
+		case schema.OpBool:
+			if v := st[sp-1]; v.Kind != storage.KBool {
+				return Value{}, fmt.Errorf("engine: %s: condition is %s, not boolean", p.PosAt(pc-1), v)
+			}
+
+		case schema.OpNot:
+			v := st[sp-1]
+			if v.Kind != storage.KBool {
+				return Value{}, fmt.Errorf("engine: %s: not applied to %s", p.PosAt(pc-1), v)
+			}
+			st[sp-1] = storage.BoolV(!v.B)
+
+		case schema.OpNeg:
+			v := st[sp-1]
+			if v.Kind != storage.KInt {
+				return Value{}, fmt.Errorf("engine: %s: negation applied to %s", p.PosAt(pc-1), v)
+			}
+			st[sp-1] = storage.IntV(-v.I)
+
+		case schema.OpEq, schema.OpNeq:
+			l, r := st[sp-2], st[sp-1]
+			sp--
+			if l.Kind != r.Kind {
+				return Value{}, typeMismatch(p, pc-1, ins.Op, l, r)
+			}
+			st[sp-1] = storage.BoolV((l == r) == (ins.Op == schema.OpEq))
+
+		case schema.OpLt, schema.OpLeq, schema.OpGt, schema.OpGeq,
+			schema.OpAdd, schema.OpSub, schema.OpMul, schema.OpDiv, schema.OpMod:
+			l, r := st[sp-2], st[sp-1]
+			sp--
+			v, err := binOp(p, pc-1, ins.Op, l, r)
+			if err != nil {
+				return Value{}, err
+			}
+			st[sp-1] = v
+
+		case schema.OpCallBuiltin:
+			argc := int(ins.B)
+			v, err := evalBuiltin(&p.Builtins[ins.A], st[sp-argc:sp], p, pc-1)
+			if err != nil {
+				return Value{}, err
+			}
+			sp -= argc
+			st[sp] = v
+			sp++
+
+		case schema.OpNew:
+			argc := int(ins.B)
+			created, err := ec.create(p.Classes[ins.A], st[sp-argc:sp])
+			if err != nil {
+				return Value{}, err
+			}
+			sp -= argc
+			st[sp] = storage.RefV(created.OID)
+			sp++
+
+		case schema.OpSendSelf:
+			argc := int(ins.B)
+			mid := schema.MethodID(ins.A)
+			callee := db.rt.classes[self.Class.ID].progAt(mid)
+			if callee == nil {
+				return Value{}, fmt.Errorf("engine: %s: no method %q", p.PosAt(pc-1), db.rt.MethodName(mid))
+			}
+			if err := db.CC.NestedSend(ec.acq, db.rt, uint64(self.OID), self.Class, mid); err != nil {
+				return Value{}, err
+			}
+			db.nestedSends.Add(1)
+			ec.steps, ec.ticks = steps, ticks
+			v, err := ec.invokeProg(self, callee, st[sp-argc:sp])
+			if err != nil {
+				return Value{}, err
+			}
+			steps, ticks = ec.steps, ec.ticks
+			st = ec.stack
+			sp -= argc
+			st[sp] = v
+			sp++
+
+		case schema.OpSendSuper:
+			argc := int(ins.B)
+			sc := &p.Supers[ins.A]
+			if err := db.CC.NestedSend(ec.acq, db.rt, uint64(self.OID), self.Class, sc.MID); err != nil {
+				return Value{}, err
+			}
+			db.nestedSends.Add(1)
+			ec.steps, ec.ticks = steps, ticks
+			v, err := ec.invokeProg(self, sc.Method.Program, st[sp-argc:sp])
+			if err != nil {
+				return Value{}, err
+			}
+			steps, ticks = ec.steps, ec.ticks
+			st = ec.stack
+			sp -= argc
+			st[sp] = v
+			sp++
+
+		case schema.OpSendRemote:
+			argc := int(ins.B)
+			sp--
+			tv := st[sp]
+			if tv.Kind != storage.KRef {
+				return Value{}, fmt.Errorf("engine: %s: send target is %s, not a reference", p.PosAt(pc-1), tv)
+			}
+			if tv.R == 0 {
+				return Value{}, fmt.Errorf("engine: %s: send %s to nil reference",
+					p.PosAt(pc-1), db.rt.MethodName(schema.MethodID(ins.A)))
+			}
+			db.remoteSends.Add(1)
+			ec.steps, ec.ticks = steps, ticks
+			v, err := ec.topSend(tv.R, schema.MethodID(ins.A), st[sp-argc:sp])
+			if err != nil {
+				return Value{}, err
+			}
+			steps, ticks = ec.steps, ec.ticks
+			st = ec.stack
+			sp -= argc
+			st[sp] = v
+			sp++
+
+		case schema.OpSendRemoteU:
+			// A send of a name no class of the schema binds: evaluate and
+			// check the receiver like any remote send, then fail with the
+			// late-bound diagnostics.
+			argc := int(ins.B)
+			sp--
+			tv := st[sp]
+			name := p.Strs[ins.A]
+			if tv.Kind != storage.KRef {
+				return Value{}, fmt.Errorf("engine: %s: send target is %s, not a reference", p.PosAt(pc-1), tv)
+			}
+			if tv.R == 0 {
+				return Value{}, fmt.Errorf("engine: %s: send %s to nil reference", p.PosAt(pc-1), name)
+			}
+			db.remoteSends.Add(1)
+			ec.steps, ec.ticks = steps, ticks
+			v, err := ec.topSendName(tv.R, name, st[sp-argc:sp])
+			if err != nil {
+				return Value{}, err
+			}
+			steps, ticks = ec.steps, ec.ticks
+			st = ec.stack
+			sp -= argc
+			st[sp] = v
+			sp++
+
+		case schema.OpReturn:
+			ec.steps, ec.ticks = steps, ticks
+			return st[sp-1], nil
+
+		case schema.OpReturnNil:
+			ec.steps, ec.ticks = steps, ticks
+			return Value{}, nil
+
+		default:
+			return Value{}, fmt.Errorf("engine: %s: unknown opcode %d", p.PosAt(pc-1), ins.Op)
+		}
+	}
+}
+
+func typeMismatch(p *schema.Program, pc int, op schema.Op, l, r Value) error {
+	return fmt.Errorf("engine: %s: operands of %s have different types (%s, %s)",
+		p.PosAt(pc), opSpelling[op], l, r)
+}
+
+// binOp evaluates the comparison and arithmetic operators, preserving
+// the tree-walker's typing rules and diagnostics.
+func binOp(p *schema.Program, pc int, op schema.Op, l, r Value) (Value, error) {
+	if l.Kind != r.Kind {
+		return Value{}, typeMismatch(p, pc, op, l, r)
+	}
+	switch l.Kind {
+	case storage.KInt:
+		switch op {
+		case schema.OpAdd:
+			return storage.IntV(l.I + r.I), nil
+		case schema.OpSub:
+			return storage.IntV(l.I - r.I), nil
+		case schema.OpMul:
+			return storage.IntV(l.I * r.I), nil
+		case schema.OpDiv:
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("engine: %s: division by zero", p.PosAt(pc))
+			}
+			return storage.IntV(l.I / r.I), nil
+		case schema.OpMod:
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("engine: %s: modulo by zero", p.PosAt(pc))
+			}
+			return storage.IntV(l.I % r.I), nil
+		case schema.OpLt:
+			return storage.BoolV(l.I < r.I), nil
+		case schema.OpLeq:
+			return storage.BoolV(l.I <= r.I), nil
+		case schema.OpGt:
+			return storage.BoolV(l.I > r.I), nil
+		case schema.OpGeq:
+			return storage.BoolV(l.I >= r.I), nil
+		}
+	case storage.KString:
+		switch op {
+		case schema.OpAdd:
+			return storage.StrV(l.S + r.S), nil
+		case schema.OpLt:
+			return storage.BoolV(l.S < r.S), nil
+		case schema.OpLeq:
+			return storage.BoolV(l.S <= r.S), nil
+		case schema.OpGt:
+			return storage.BoolV(l.S > r.S), nil
+		case schema.OpGeq:
+			return storage.BoolV(l.S >= r.S), nil
+		}
+	}
+	return Value{}, fmt.Errorf("engine: %s: operator %s not defined on %s", p.PosAt(pc), opSpelling[op], l)
+}
+
+func checkAssignable(fld *schema.Field, v Value) error {
+	ok := false
+	switch fld.Type {
+	case schema.TInt:
+		ok = v.Kind == storage.KInt
+	case schema.TBool:
+		ok = v.Kind == storage.KBool
+	case schema.TString:
+		ok = v.Kind == storage.KString
+	case schema.TRef:
+		ok = v.Kind == storage.KRef
+	}
+	if !ok {
+		return fmt.Errorf("cannot assign %s to field %s of type %s", v, fld.Name, fld.Type)
+	}
+	return nil
+}

@@ -131,7 +131,7 @@ func NewManagerShards(n int) *Manager {
 	}
 	for i := range m.shards {
 		m.shards[i].idx = uint32(i)
-		m.shards[i].entries = make(map[ResourceID]*entry)
+		m.shards[i].table.init(8)
 	}
 	for i := range m.stripes {
 		m.stripes[i].m = make(map[TxnID]*txnState)
@@ -142,9 +142,12 @@ func NewManagerShards(n int) *Manager {
 	return m
 }
 
-// shardFor maps a resource to its shard.
-func (m *Manager) shardFor(res ResourceID) *shard {
-	return &m.shards[res.hash()&m.shardMask]
+// shardFor maps a resource to its shard, returning the hash too: the
+// shard's open-addressing entry index reuses it, so the resource is
+// hashed exactly once per operation.
+func (m *Manager) shardFor(res ResourceID) (*shard, uint64) {
+	h := res.hash()
+	return &m.shards[h&m.shardMask], h
 }
 
 // txnState is the txn-owned lock bookkeeping: which shards the
@@ -222,12 +225,12 @@ func (m *Manager) dropStateIfEmpty(txn TxnID, s *txnState) {
 // with *DeadlockError instead of sleeping.
 func (m *Manager) Acquire(txn TxnID, res ResourceID, mode Mode) error {
 	m.stats.requests.Add(1)
-	sh := m.shardFor(res)
+	sh, h := m.shardFor(res)
 	sh.mu.Lock()
-	e := sh.entries[res]
+	e := sh.table.get(res, h)
 	if e == nil {
 		e = sh.newEntry()
-		sh.entries[res] = e
+		sh.table.put(res, h, e)
 	}
 	gs := e.granted[txn]
 	if gs.redundant(mode) {
@@ -272,7 +275,7 @@ func (m *Manager) Acquire(txn TxnID, res ResourceID, mode Mode) error {
 		return err
 	case <-timer.C:
 		sh.mu.Lock()
-		if e := sh.entries[res]; e != nil && e.removeWaiter(w) {
+		if e := sh.table.get(res, h); e != nil && e.removeWaiter(w) {
 			m.reg.remove(txn)
 			m.stats.timeouts.Add(1)
 			sh.promote(m, e)
@@ -303,10 +306,10 @@ func (m *Manager) recycleWaiter(w *waiter) {
 
 // Holds reports whether txn currently holds mode on res.
 func (m *Manager) Holds(txn TxnID, res ResourceID, mode Mode) bool {
-	sh := m.shardFor(res)
+	sh, h := m.shardFor(res)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.entries[res]
+	e := sh.table.get(res, h)
 	if e == nil {
 		return false
 	}
@@ -324,10 +327,10 @@ func (m *Manager) Holds(txn TxnID, res ResourceID, mode Mode) bool {
 
 // HeldModes returns the modes txn holds on res (nil if none).
 func (m *Manager) HeldModes(txn TxnID, res ResourceID) []Mode {
-	sh := m.shardFor(res)
+	sh, h := m.shardFor(res)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.entries[res]
+	e := sh.table.get(res, h)
 	if e == nil {
 		return nil
 	}
@@ -354,7 +357,7 @@ func (m *Manager) LocksHeld(txn TxnID) int {
 		sh := &m.shards[i]
 		sh.mu.Lock()
 		for _, res := range s.held[i] {
-			if e := sh.entries[res]; e != nil {
+			if e := sh.table.get(res, res.hash()); e != nil {
 				if gs := e.granted[txn]; gs.first != nil {
 					n += 1 + len(gs.rest)
 				}
@@ -381,14 +384,15 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 		sh := &m.shards[i]
 		sh.mu.Lock()
 		for _, res := range s.held[i] {
-			e := sh.entries[res]
+			h := res.hash()
+			e := sh.table.get(res, h)
 			if e == nil {
 				continue
 			}
 			delete(e.granted, txn)
 			sh.promote(m, e)
 			if len(e.granted) == 0 && len(e.queue) == 0 {
-				delete(sh.entries, res)
+				sh.table.del(res, h)
 				sh.freeEntry(e)
 			}
 		}

@@ -528,7 +528,7 @@ func requireClean(t *testing.T, m *Manager) {
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.mu.Lock()
-		if n := len(sh.entries); n != 0 {
+		if n := sh.table.len(); n != 0 {
 			t.Errorf("shard %d: %d entries leaked", i, n)
 		}
 		sh.mu.Unlock()

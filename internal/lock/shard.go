@@ -2,16 +2,137 @@ package lock
 
 import "sync"
 
-// shard is one partition of the lock table: its own mutex, entry map,
+// shard is one partition of the lock table: its own mutex, entry index,
 // FIFO queues and a small entry free list. Resources hash onto shards,
 // so transactions touching disjoint resources take disjoint mutexes.
 // The trailing pad keeps neighbouring shards off one cache line.
 type shard struct {
-	mu      sync.Mutex
-	idx     uint32
-	entries map[ResourceID]*entry
-	free    []*entry
-	_       [64]byte
+	mu    sync.Mutex
+	idx   uint32
+	table resTable
+	free  []*entry
+	_     [64]byte
+}
+
+// resTable is the shard's resource → entry index: a linear-probing
+// open-addressing table that reuses the splitmix hash the manager
+// already computed for shard selection. It replaced the previous
+// map[ResourceID]*entry after the BenchmarkShardTable* microbench
+// (table_bench_test.go) showed the map spending most of its time
+// re-hashing the 24-byte key with its own seed on every operation —
+// the open-addressing table is 2–3× faster across resident set sizes
+// (numbers in EXPERIMENTS.md). All access happens under the shard
+// mutex.
+type resTable struct {
+	slots []resSlot
+	mask  uint64
+	n     int // full slots
+	dead  int // tombstones
+}
+
+// resSlot is one slot of the table.
+type resSlot struct {
+	key   ResourceID
+	val   *entry
+	state uint8 // 0 empty, 1 full, 2 tombstone
+}
+
+func (t *resTable) init(capHint int) {
+	size := 8
+	for size < capHint*2 {
+		size <<= 1
+	}
+	t.slots = make([]resSlot, size)
+	t.mask = uint64(size - 1)
+	t.n, t.dead = 0, 0
+}
+
+// get returns the entry of key (whose hash is h), or nil.
+func (t *resTable) get(key ResourceID, h uint64) *entry {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		switch s.state {
+		case 0:
+			return nil
+		case 1:
+			if s.key == key {
+				return s.val
+			}
+		}
+	}
+}
+
+// put inserts or replaces the entry of key. The load factor stays below
+// 3/4 (tombstones included), so probe chains stay short and get always
+// terminates on an empty slot.
+func (t *resTable) put(key ResourceID, h uint64, v *entry) {
+	if (t.n+t.dead)*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	var free *resSlot
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		switch s.state {
+		case 0:
+			if free == nil {
+				free = s
+			} else {
+				t.dead-- // free points at a reclaimed tombstone
+			}
+			free.key, free.val, free.state = key, v, 1
+			t.n++
+			return
+		case 1:
+			if s.key == key {
+				s.val = v
+				return
+			}
+		case 2:
+			if free == nil {
+				free = s // reuse the first tombstone on the probe path
+			}
+		}
+	}
+}
+
+// len returns the number of live entries (test invariants).
+func (t *resTable) len() int { return t.n }
+
+// del removes key, leaving a tombstone (reclaimed on the next grow).
+func (t *resTable) del(key ResourceID, h uint64) {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		switch s.state {
+		case 0:
+			return
+		case 1:
+			if s.key == key {
+				s.val = nil
+				s.state = 2
+				t.n--
+				t.dead++
+				return
+			}
+		}
+	}
+}
+
+// grow doubles the table — or merely rehashes in place when tombstones,
+// not live entries, forced the resize (lock churn leaves many).
+func (t *resTable) grow() {
+	old := t.slots
+	size := len(old) * 2
+	if t.n*4 < len(old) {
+		size = len(old)
+	}
+	t.slots = make([]resSlot, size)
+	t.mask = uint64(size - 1)
+	t.n, t.dead = 0, 0
+	for i := range old {
+		if old[i].state == 1 {
+			t.put(old[i].key, old[i].key.hash(), old[i].val)
+		}
+	}
 }
 
 // entry is one lock-table row: who holds which modes, who waits.

@@ -65,7 +65,7 @@ func (m *Manager) detectDeadlock(txn TxnID, w *waiter, sh *shard) error {
 	// Victimize self — unless a concurrent release granted us while the
 	// DFS ran, in which case the observed cycle dissolved.
 	sh.mu.Lock()
-	e := sh.entries[w.res]
+	e := sh.table.get(w.res, w.res.hash())
 	if e == nil || !e.removeWaiter(w) {
 		sh.mu.Unlock()
 		m.detMu.Unlock()
@@ -92,10 +92,10 @@ func (m *Manager) detectDeadlock(txn TxnID, w *waiter, sh *shard) error {
 // it (FIFO admission means they must leave first). It locks only the
 // one shard owning the resource.
 func (m *Manager) blockersOf(txn TxnID, info waitInfo) []TxnID {
-	sh := m.shardFor(info.res)
+	sh, h := m.shardFor(info.res)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e := sh.entries[info.res]
+	e := sh.table.get(info.res, h)
 	if e == nil {
 		return nil
 	}

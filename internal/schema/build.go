@@ -96,7 +96,10 @@ func FromFile(f *mdl.File) (*Schema, error) {
 		}
 	}
 	for _, c := range s.Order {
-		c.slotOf = make(map[FieldID]int)
+		c.slotIdx = make([]int32, len(s.Fields))
+		for i := range c.slotIdx {
+			c.slotIdx[i] = -1
+		}
 		seen := make(map[string]*Field)
 		for _, anc := range c.Lin {
 			for _, fld := range anc.OwnFields {
@@ -116,7 +119,7 @@ func FromFile(f *mdl.File) (*Schema, error) {
 		// single-inheritance chains), matching the paper's (f1 … f6) layout.
 		sort.Slice(c.Fields, func(i, j int) bool { return c.Fields[i].ID < c.Fields[j].ID })
 		for slot, fld := range c.Fields {
-			c.slotOf[fld.ID] = slot
+			c.slotIdx[fld.ID] = int32(slot)
 		}
 	}
 

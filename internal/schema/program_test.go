@@ -1,0 +1,175 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// compileOne builds the schema and returns the program of class.method.
+// Bodies are compiled here directly (production runs the same call from
+// core.Compile, after extraction).
+func compileOne(t *testing.T, src, class, method string) *Program {
+	t.Helper()
+	s, err := FromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Class(class).Resolve(method)
+	if m == nil {
+		t.Fatalf("no method %s.%s", class, method)
+	}
+	p, err := CompileBody(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileBodySlots(t *testing.T) {
+	p := compileOne(t, `
+class k is
+    instance variables are
+        f : integer
+    method m(a, b) is
+        var x := a + b
+        var y := x * f
+        x := y - 1
+        return x
+    end
+end`, "k", "m")
+	if p.NumParams != 2 {
+		t.Errorf("NumParams = %d, want 2", p.NumParams)
+	}
+	if p.NumSlots != 4 { // a, b, x, y
+		t.Errorf("NumSlots = %d, want 4", p.NumSlots)
+	}
+	if p.MaxStack < 2 {
+		t.Errorf("MaxStack = %d, want >= 2 (binary operands)", p.MaxStack)
+	}
+	if p.FrameSize() != p.NumSlots+p.MaxStack {
+		t.Errorf("FrameSize = %d", p.FrameSize())
+	}
+	if len(p.Fields) != 1 || p.Fields[0].Name != "f" {
+		t.Errorf("Fields = %v, want [f]", p.Fields)
+	}
+}
+
+// Scoping is program-order, matching the access-vector extractor: a
+// local declared inside a branch binds every later occurrence of the
+// name, even when the branch is not taken at run time. (The deleted
+// tree-walker resolved against the run-time environment, which could
+// fall through to a same-named field — a write the DAV never
+// announced; see slotFor.)
+func TestCompileBodyBranchLocalShadowsField(t *testing.T) {
+	p := compileOne(t, `
+class k is
+    instance variables are
+        x : integer
+    method m(c) is
+        if c then
+            var x := 1
+        end
+        x := 5
+        return x
+    end
+end`, "k", "m")
+	// After the VarDecl, "x := 5" and "return x" must address the slot,
+	// not the field: the program may read the field zero times and must
+	// never write it.
+	for i, ins := range p.Code {
+		if ins.Op == OpStoreField {
+			t.Errorf("instr %d writes field %s; the branch-declared local must shadow it",
+				i, p.Fields[ins.A].Name)
+		}
+	}
+	if p.NumSlots != 2 { // c, x
+		t.Errorf("NumSlots = %d, want 2", p.NumSlots)
+	}
+}
+
+// Unknown builtins compile (extraction does not reject them) and fail
+// at run time, preserving the tree-walker's behaviour; known builtins
+// resolve to their IDs at build.
+func TestCompileBodyBuiltins(t *testing.T) {
+	p := compileOne(t, `
+class k is
+    method m is
+        return frobnicate(min(1, 2))
+    end
+end`, "k", "m")
+	var ids []BuiltinID
+	for _, b := range p.Builtins {
+		ids = append(ids, b.ID)
+	}
+	if len(p.Builtins) != 2 {
+		t.Fatalf("Builtins = %d entries, want 2", len(p.Builtins))
+	}
+	seenMin, seenUnknown := false, false
+	for _, b := range p.Builtins {
+		switch {
+		case b.ID == BuiltinMin && b.Name == "min":
+			seenMin = true
+		case b.ID == BuiltinUnknown && b.Name == "frobnicate":
+			seenUnknown = true
+		}
+	}
+	if !seenMin || !seenUnknown {
+		t.Errorf("builtin refs = %v (ids %v)", p.Builtins, ids)
+	}
+}
+
+// Int literals outside int32 go to the constant pool; small ones inline.
+func TestCompileBodyWideIntConstants(t *testing.T) {
+	p := compileOne(t, `
+class k is
+    method m is
+        return 5000000000 + 7
+    end
+end`, "k", "m")
+	if len(p.Ints) != 1 || p.Ints[0] != 5_000_000_000 {
+		t.Errorf("Ints = %v, want [5000000000]", p.Ints)
+	}
+}
+
+// Prefixed sends resolve their target method statically.
+func TestCompileBodySuperTarget(t *testing.T) {
+	p := compileOne(t, `
+class a is
+    instance variables are
+        n : integer
+    method m is
+        n := n + 1
+    end
+end
+class b inherits a is
+    method m is redefined as
+        send a.m to self
+    end
+end`, "b", "m")
+	if len(p.Supers) != 1 {
+		t.Fatalf("Supers = %d entries, want 1", len(p.Supers))
+	}
+	sc := p.Supers[0]
+	if sc.Method.Definer.Name != "a" || sc.Method.Name != "m" {
+		t.Errorf("super target = %s", sc.Method.QualifiedName())
+	}
+}
+
+// Compile errors carry the class, method and position.
+func TestCompileBodyErrorDiagnostics(t *testing.T) {
+	s, err := FromSource(`
+class k is
+    method m is
+        ghost := 1
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CompileBody(s, s.Class("k").Resolve("m"))
+	if err == nil || !strings.Contains(err.Error(), "k.m") ||
+		!strings.Contains(err.Error(), "unknown name") &&
+			!strings.Contains(err.Error(), "assignment to unknown name") {
+		t.Errorf("err = %v", err)
+	}
+}

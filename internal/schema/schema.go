@@ -72,6 +72,12 @@ type Method struct {
 	Body      []mdl.Stmt
 	Definer   *Class
 	Redefined bool // declared with "is redefined as"
+
+	// Program is set by the body compiler (CompileBody, invoked from
+	// core.Compile after the access-vector extraction validated the
+	// body): the slot-addressed program the engine's VM executes. The
+	// AST in Body stays authoritative for analysis and printing only.
+	Program *Program
 }
 
 // QualifiedName returns "(definer,name)" in the paper's notation.
@@ -105,7 +111,7 @@ type Class struct {
 	Subclasses []*Class           // direct subclasses, declaration order
 
 	ownByName   map[string]*Method
-	slotOf      map[FieldID]int
+	slotIdx     []int32   // FieldID → storage slot, dense; -1 where absent
 	methodsByID []*Method // METHODS(C) indexed by MethodID; nil where absent
 	domain      []*Class  // cached Domain(), computed at build time
 }
@@ -148,12 +154,15 @@ func (c *Class) FieldByName(name string) *Field {
 }
 
 // Slot returns the storage slot of field id in instances of c, or -1 if
-// the field is not part of FIELDS(C).
+// the field is not part of FIELDS(C). The table is a dense array
+// indexed by the schema-wide FieldID — one bounds check and one load,
+// no hashing — because the compiled method programs resolve every field
+// access through it at run time.
 func (c *Class) Slot(id FieldID) int {
-	if s, ok := c.slotOf[id]; ok {
-		return s
+	if int(id) >= len(c.slotIdx) {
+		return -1
 	}
-	return -1
+	return int(c.slotIdx[id])
 }
 
 // NumSlots returns the number of storage slots of an instance of c.

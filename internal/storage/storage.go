@@ -373,13 +373,20 @@ func (s *Store) ExtentOf(cls *schema.Class) []OID {
 // the snapshots are warm, and no global lock is held at any point. The
 // inner slices must not be modified.
 func (s *Store) DomainSnapshot(domain []*schema.Class) [][]OID {
-	out := make([][]OID, 0, len(domain))
+	return s.DomainSnapshotInto(make([][]OID, 0, len(domain)), domain)
+}
+
+// DomainSnapshotInto is DomainSnapshot appending into a caller-owned
+// buffer (pass buf[:0] to reuse its capacity): with a warm buffer and
+// warm extent snapshots it performs no allocation at all, which is what
+// makes the engine's DomainScanID fast path allocation-free.
+func (s *Store) DomainSnapshotInto(buf [][]OID, domain []*schema.Class) [][]OID {
 	for _, c := range domain {
 		if part := s.extents[c.ID].snapshot(); len(part) > 0 {
-			out = append(out, part)
+			buf = append(buf, part)
 		}
 	}
-	return out
+	return buf
 }
 
 // DomainExtent returns the OIDs of every instance whose class belongs to
