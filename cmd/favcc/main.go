@@ -8,9 +8,16 @@
 //
 //	favcc [-class NAME] [-dot] [-davs] <schema.mdl>
 //	favcc -example            # run on the paper's Figure 1
+//	favcc -durable -dir DIR   # durability demo: persist and recover
 //
 // With -dot the late-binding resolution graphs are printed in Graphviz
 // syntax (the paper's Figure 2 for class c2 of the example).
+//
+// With -durable, favcc runs the built-in banking demo against the
+// public oodb API with a write-ahead log rooted at -dir: every
+// invocation recovers the previous state, deposits into a persistent
+// account and prints the balance — run it twice and watch the balance
+// survive the process.
 package main
 
 import (
@@ -30,6 +37,8 @@ type config struct {
 	dot       bool
 	davs      bool
 	example   bool
+	durable   bool
+	dir       string
 	args      []string
 }
 
@@ -39,6 +48,8 @@ func main() {
 	flag.BoolVar(&cfg.dot, "dot", false, "print late-binding resolution graphs in Graphviz syntax")
 	flag.BoolVar(&cfg.davs, "davs", false, "print per-definition DAV/DSC/PSC extraction too")
 	flag.BoolVar(&cfg.example, "example", false, "compile the paper's Figure 1 instead of a file")
+	flag.BoolVar(&cfg.durable, "durable", false, "run the persistent banking demo (with -dir)")
+	flag.StringVar(&cfg.dir, "dir", "", "write-ahead-log directory for -durable")
 	flag.Parse()
 	cfg.args = flag.Args()
 
@@ -50,6 +61,12 @@ func main() {
 
 // run executes the tool against w; separated from main for testing.
 func run(w io.Writer, cfg config) error {
+	if cfg.durable {
+		if cfg.dir == "" {
+			return fmt.Errorf("-durable needs -dir DIR (the log directory)")
+		}
+		return runDurableDemo(w, cfg.dir)
+	}
 	src, err := loadSource(cfg.example, cfg.args)
 	if err != nil {
 		return err

@@ -88,3 +88,31 @@ func TestRunErrors(t *testing.T) {
 		t.Error("compile error must propagate")
 	}
 }
+
+// The -durable -dir demo persists across invocations: the second run
+// recovers the first run's commits and the balance keeps climbing.
+func TestRunDurableDemoPersistsAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	var first bytes.Buffer
+	if err := run(&first, config{durable: true, dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	out := first.String()
+	if !strings.Contains(out, "created account #1") || !strings.Contains(out, "balance is now 10") {
+		t.Errorf("first run output:\n%s", out)
+	}
+	var second bytes.Buffer
+	if err := run(&second, config{durable: true, dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	out = second.String()
+	if !strings.Contains(out, "recovered:") || !strings.Contains(out, "balance is now 20") {
+		t.Errorf("second run output:\n%s", out)
+	}
+	if strings.Contains(out, "created account") {
+		t.Error("second run must find the recovered account, not create one")
+	}
+	if err := run(&second, config{durable: true}); err == nil {
+		t.Error("-durable without -dir must fail")
+	}
+}

@@ -242,7 +242,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2": true, "scenario52": true, "overhead": true,
 		"escalation": true, "pseudo": true, "compile": true,
 		"runtime": true, "throughput": true, "conservative": true,
-		"locktable": true, "enginescenarios": true,
+		"locktable": true, "enginescenarios": true, "durability": true,
 	}
 	got := Experiments()
 	if len(got) != len(want) {

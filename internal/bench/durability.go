@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// The durability experiment quantifies what the access-vector-projected
+// redo log costs: the same banking send-heavy scenario runs volatile,
+// durable with no group-commit window, and durable with increasing
+// windows, at 8 workers. Projection keeps records tiny (a deposit logs
+// one field, ~30 bytes) and group commit amortizes the fsyncs, so the
+// durable engine is meant to stay within ~2× of the volatile one.
+
+func init() {
+	register(&Experiment{
+		ID:    "durability",
+		Title: "Durability cost: TAV-projected WAL + group commit vs volatile engine",
+		Paper: "section 3: 'Recovery uses access vectors as projection patterns for extracting the modified parts of instances' — the projection keeps redo records minimal, group commit batches the fsyncs",
+		Run:   runDurability,
+	})
+}
+
+// durabilityConfig is one row of the experiment.
+type durabilityConfig struct {
+	name    string
+	durable bool
+	window  time.Duration
+	noSync  bool
+}
+
+// DurabilityConfigs is the sweep the experiment and EXPERIMENTS.md use.
+func DurabilityConfigs() []durabilityConfig {
+	return []durabilityConfig{
+		{name: "volatile", durable: false},
+		{name: "durable w=0", durable: true, window: 0},
+		{name: "durable w=100µs", durable: true, window: 100 * time.Microsecond},
+		{name: "durable w=1ms", durable: true, window: time.Millisecond},
+		{name: "durable relaxed-sync", durable: true, noSync: true},
+	}
+}
+
+func runDurability(w io.Writer) error {
+	const workers = 8
+	t := NewTable("config", "txns", "wall", "txn/s", "vs volatile", "records", "fsyncs", "txn/fsync", "log bytes", "B/txn")
+	var baseline float64
+	for _, cfg := range DurabilityConfigs() {
+		sc := DefaultEngineScenario(EngineBanking, EngineSendHeavy, DistUniform, workers)
+		sc.Durable = cfg.durable
+		sc.GroupCommitWindow = cfg.window
+		sc.NoSync = cfg.noSync
+		if cfg.durable {
+			dir, err := os.MkdirTemp("", "favdur")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			sc.Dir = dir
+		}
+		st, err := setupEngineScenario(sc)
+		if err != nil {
+			return err
+		}
+		total := int64(sc.Workers) * int64(sc.OpsPerWorker)
+		start := time.Now()
+		if _, _, _, err := st.runEngineWorkers(total); err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		perSec := float64(total) / wall.Seconds()
+		ratio := "1.00×"
+		if cfg.durable && baseline > 0 {
+			ratio = fmt.Sprintf("%.2f×", baseline/perSec)
+		} else if !cfg.durable {
+			baseline = perSec
+		}
+		records, fsyncs, bytes := int64(0), int64(0), int64(0)
+		perFsync, perTxn := "-", "-"
+		if wl := st.db.Txns.WAL(); wl != nil {
+			ls := wl.Stats()
+			records, fsyncs, bytes = ls.Records, ls.Batches, ls.Bytes
+			if fsyncs > 0 {
+				perFsync = fmt.Sprintf("%.1f", float64(records)/float64(fsyncs))
+			}
+			if records > 0 {
+				perTxn = fmt.Sprintf("%.0f", float64(bytes)/float64(records))
+			}
+		}
+		t.AddF(cfg.name, total, wall.Round(time.Millisecond), fmt.Sprintf("%.0f", perSec),
+			ratio, records, fsyncs, perFsync, bytes, perTxn)
+		if err := st.db.Close(); err != nil {
+			return err
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "  shape: records are TAV-projected (a deposit logs 1 of 6 fields), so")
+	fmt.Fprintln(w, "  B/txn stays near the fixed header; the writer's yield-based collect")
+	fmt.Fprintln(w, "  already batches every blocked committer into one fsync at w=0")
+	fmt.Fprintln(w, "  (txn/fsync ≈ workers), so a timer window only adds latency here —")
+	fmt.Fprintln(w, "  it pays off when committers outnumber what one yield round catches;")
+	fmt.Fprintln(w, "  fully-fsynced throughput is fsync-bound, relaxed-sync ≈ 2× volatile")
+	return nil
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// BenchmarkDurableCommit measures one durable deposit transaction —
+// begin, send (1 projected field write), group-commit fsync wait,
+// release — against the volatile baseline, across group-commit
+// windows. Run with -benchmem: the Durable=false case documents the
+// 0-alloc warm path, the durable cases what the log ticket adds.
+func BenchmarkDurableCommit(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		durable bool
+		window  time.Duration
+	}{
+		{name: "volatile", durable: false},
+		{name: "durable/w=0", durable: true},
+		{name: "durable/w=100µs", durable: true, window: 100 * time.Microsecond},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			prof, err := engineProfileFor(EngineBanking)
+			if err != nil {
+				b.Fatal(err)
+			}
+			compiled, err := core.CompileSource(prof.source, core.WithOverrides(prof.overrides()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			db, err := engine.OpenWithOptions(compiled, engine.Options{
+				Strategy:          engine.FineCC{},
+				Durable:           cfg.durable,
+				Dir:               b.TempDir(),
+				GroupCommitWindow: cfg.window,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			const objects = 512
+			oids := make([]storage.OID, 0, objects)
+			if err := db.RunWithRetry(func(tx *txn.Txn) error {
+				for i := 0; i < objects; i++ {
+					in, err := db.NewInstance(tx, "savings")
+					if err != nil {
+						return err
+					}
+					oids = append(oids, in.OID)
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			mid, ok := db.MethodID("deposit")
+			if !ok {
+				b.Fatal("deposit not interned")
+			}
+			args := []engine.Value{storage.IntV(1)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var worker atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(worker.Add(1)) * 31
+				fn := func(tx *txn.Txn) error {
+					_, err := db.SendID(tx, oids[i%objects], mid, args...)
+					return err
+				}
+				for pb.Next() {
+					i++
+					if err := db.RunWithRetry(fn); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDurableRecovery measures cold-start recovery: replaying a
+// log of n committed single-field transactions into a fresh store.
+func BenchmarkDurableRecovery(b *testing.B) {
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			prof, err := engineProfileFor(EngineBanking)
+			if err != nil {
+				b.Fatal(err)
+			}
+			compiled, err := core.CompileSource(prof.source, core.WithOverrides(prof.overrides()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir := b.TempDir()
+			db, err := engine.OpenWithOptions(compiled, engine.Options{
+				Strategy: engine.FineCC{}, Durable: true, Dir: dir,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var oid storage.OID
+			if err := db.RunWithRetry(func(tx *txn.Txn) error {
+				in, err := db.NewInstance(tx, "savings")
+				oid = in.OID
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+			mid, _ := db.MethodID("deposit")
+			args := []engine.Value{storage.IntV(1)}
+			fn := func(tx *txn.Txn) error {
+				_, err := db.SendID(tx, oid, mid, args...)
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if err := db.RunWithRetry(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db, err := engine.OpenWithOptions(compiled, engine.Options{
+					Strategy: engine.FineCC{}, Durable: true, Dir: dir,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := db.Recovery().Records; got < int64(n) {
+					b.Fatalf("recovered %d records, want ≥ %d", got, n)
+				}
+				b.StopTimer()
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -53,6 +53,14 @@ type EngineScenario struct {
 	OpsPerWorker int // transactions per worker (RunEngineScenario only)
 	ZipfSkew     float64
 	Seed         int64
+
+	// Durable runs the scenario on a write-ahead-logged engine rooted
+	// at Dir, with the given group-commit window and sync policy — the
+	// durability-cost experiment's knobs.
+	Durable           bool
+	Dir               string
+	GroupCommitWindow time.Duration
+	NoSync            bool
 }
 
 // Name renders the scenario as a benchmark-style path segment.
@@ -351,7 +359,16 @@ func setupEngineScenario(sc EngineScenario) (*engineScenarioState, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := engine.Open(compiled, engine.FineCC{})
+	db, err := engine.OpenWithOptions(compiled, engine.Options{
+		Strategy:          engine.FineCC{},
+		Durable:           sc.Durable,
+		Dir:               sc.Dir,
+		GroupCommitWindow: sc.GroupCommitWindow,
+		NoSync:            sc.NoSync,
+	})
+	if err != nil {
+		return nil, err
+	}
 	st := &engineScenarioState{db: db, objects: make([]storage.OID, 0, sc.Objects)}
 	err = db.RunWithRetry(func(tx *txn.Txn) error {
 		for i := 0; i < sc.Objects; i++ {
@@ -451,6 +468,7 @@ func RunEngineScenario(sc EngineScenario) (EngineScenarioResult, error) {
 	if err != nil {
 		return EngineScenarioResult{}, err
 	}
+	defer st.db.Close() //nolint:errcheck // benchmark database
 	total := int64(sc.Workers) * int64(sc.OpsPerWorker)
 	start := time.Now()
 	sends, scans, churns, err := st.runEngineWorkers(total)

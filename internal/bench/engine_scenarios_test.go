@@ -1,6 +1,9 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // Every (schema, mix, distribution) cell of the engine scenario family
 // runs end to end — sends commit, scans visit instances, churn keeps
@@ -36,6 +39,27 @@ func TestEngineScenarioFamilySmoke(t *testing.T) {
 		}
 		if res.PerSec <= 0 {
 			t.Errorf("%s: throughput %f", sc.Name(), res.PerSec)
+		}
+	}
+}
+
+// The durable scenario path of the durability experiment: a logged run
+// completes, every committed transaction reached the WAL, and the mixed
+// churn workload (creates + deletes) survives the logging hooks.
+func TestRecoveryEngineScenarioDurable(t *testing.T) {
+	for _, wl := range []EngineWorkload{EngineSendHeavy, EngineChurn} {
+		sc := DefaultEngineScenario(EngineBanking, wl, DistUniform, 2)
+		sc.Objects = 32
+		sc.OpsPerWorker = 40
+		sc.Durable = true
+		sc.Dir = t.TempDir()
+		sc.GroupCommitWindow = 50 * time.Microsecond
+		res, err := RunEngineScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		if res.Ops != int64(sc.Workers)*int64(sc.OpsPerWorker) {
+			t.Errorf("%s: ops = %d", sc.Name(), res.Ops)
 		}
 	}
 }

@@ -238,6 +238,69 @@ func TestDomainScanIDMatchesDomainScan(t *testing.T) {
 	}
 }
 
+// The ISSUE 4 satellite: whole warm transactions are allocation-free.
+// txn.Manager pools Txn (undo slice, dedup map, created list included)
+// through RunWithRetry, so a begin→send→commit roundtrip — including a
+// field write with its undo capture — performs zero heap allocations
+// once warm.
+func TestWarmTxnRoundtripZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under -race; exact alloc accounting needs an uninstrumented build")
+	}
+	db := newFigure1DB(t, FineCC{})
+	oid, _ := seedC2(t, db, false)
+	// m2 on c2 writes f1 and f4: dispatch, locks, two undo captures,
+	// commit with undo clearing, transaction recycled.
+	mid, ok := db.MethodID("m2")
+	if !ok {
+		t.Fatal("m2 not interned")
+	}
+	args := []Value{storage.IntV(3)}
+	fn := func(tx *txn.Txn) error {
+		_, err := db.SendID(tx, oid, mid, args...)
+		return err
+	}
+	if err := db.RunWithRetry(fn); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := db.RunWithRetry(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm begin→send→commit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Read-only roundtrips stay allocation-free too (no undo, no redo).
+func TestWarmTxnReadRoundtripZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under -race; exact alloc accounting needs an uninstrumented build")
+	}
+	db := newFigure1DB(t, FineCC{})
+	oid, _ := seedC2(t, db, false)
+	mid, ok := db.MethodID("m3")
+	if !ok {
+		t.Fatal("m3 not interned")
+	}
+	fn := func(tx *txn.Txn) error {
+		_, err := db.SendID(tx, oid, mid)
+		return err
+	}
+	if err := db.RunWithRetry(fn); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := db.RunWithRetry(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm read-only roundtrip allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // Sanity: the zero-alloc paths still do their locking job — the warm
 // send holds the instance and class granules it claims to.
 func TestWarmSendStillLocks(t *testing.T) {

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// Options configures OpenWithOptions beyond the strategy choice.
+type Options struct {
+	// Strategy is the concurrency-control protocol (required).
+	Strategy Strategy
+	// Durable attaches a write-ahead redo log rooted at Dir: Open
+	// recovers any existing checkpoint + log tail into the store, and
+	// every later commit with effects blocks on the group-commit fsync.
+	Durable bool
+	// Dir is the log directory (Durable only).
+	Dir string
+	// GroupCommitWindow is how long the log's writer goroutine waits to
+	// batch concurrent commits into one fsync (0 = batch only what is
+	// already queued).
+	GroupCommitWindow time.Duration
+	// CheckpointBytes auto-checkpoints when the live log segment
+	// exceeds this size (0 = manual Checkpoint only).
+	CheckpointBytes int64
+	// NoSync acknowledges commits after the buffered OS write without
+	// fsync — relaxed durability (survives process crashes, not power
+	// loss). See wal.Options.NoSync.
+	NoSync bool
+}
+
+// OpenWithOptions builds a database like Open and, when o.Durable is
+// set, recovers the durable state under o.Dir and wires the redo log
+// through the transaction manager.
+func OpenWithOptions(c *core.Compiled, o Options) (*DB, error) {
+	db := Open(c, o.Strategy)
+	if !o.Durable {
+		return db, nil
+	}
+	log, info, err := wal.Open(o.Dir, db.Store, wal.Options{
+		GroupCommitWindow: o.GroupCommitWindow,
+		CheckpointBytes:   o.CheckpointBytes,
+		NoSync:            o.NoSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Txns.SetWAL(log)
+	db.recovery = info
+	return db, nil
+}
+
+// Recovery reports what the durable open replayed (zero value when the
+// database is volatile).
+func (db *DB) Recovery() wal.RecoveryInfo { return db.recovery }
+
+// Checkpoint compacts the redo log (no-op for a volatile database).
+func (db *DB) Checkpoint() error {
+	if w := db.Txns.WAL(); w != nil {
+		return w.Checkpoint()
+	}
+	return nil
+}
+
+// Close flushes and closes the redo log. In-flight commits complete;
+// later durable commits fail. Closing a volatile database is a no-op.
+func (db *DB) Close() error {
+	if w := db.Txns.WAL(); w != nil {
+		return w.Close()
+	}
+	return nil
+}

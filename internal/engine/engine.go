@@ -11,6 +11,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // Value is re-exported for API convenience.
@@ -42,8 +43,9 @@ type DB struct {
 	// MaxDepth bounds send nesting (default 256).
 	MaxDepth int
 
-	rt     *Runtime
-	ecPool sync.Pool // *execCtx, so a send allocates no context
+	rt       *Runtime
+	ecPool   sync.Pool // *execCtx, so a send allocates no context
+	recovery wal.RecoveryInfo
 
 	topSends         atomic.Int64
 	nestedSends      atomic.Int64
@@ -187,8 +189,7 @@ func (db *DB) DeleteInstance(tx *txn.Txn, oid storage.OID) error {
 	if err != nil {
 		return err
 	}
-	store := db.Store
-	tx.LogCompensation(func() { store.Restore(deleted) })
+	tx.LogDelete(db.Store, deleted)
 	return nil
 }
 
@@ -296,9 +297,9 @@ func (ec *execCtx) create(cls *schema.Class, vals []Value) (*storage.Instance, e
 	}
 	ec.db.instancesCreated.Add(1)
 	if ec.tx != nil {
-		// An aborting creator removes its instance again.
-		store := ec.db.Store
-		ec.tx.LogCompensation(func() { store.Delete(in.OID) }) //nolint:errcheck
+		// An aborting creator removes its instance again; a committing
+		// one logs the creation with its full image.
+		ec.tx.LogCreate(ec.db.Store, in)
 	}
 	return in, nil
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. sync.Pool randomly drops 25% of Puts under the race detector
+// (see sync/pool.go), so exact allocation accounting across several
+// pool round-trips is only meaningful without -race.
+const raceEnabled = true

@@ -139,6 +139,24 @@ func (in *Instance) Snapshot() []Value {
 	return append([]Value(nil), in.slots...)
 }
 
+// AppendSlots appends all slots to buf under one latch acquisition, so a
+// caller gets a consistent full image without allocating (pass a reused
+// buffer). The redo log uses it to serialize create records.
+func (in *Instance) AppendSlots(buf []Value) []Value {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append(buf, in.slots...)
+}
+
+// SetSlots overwrites every slot from vals under one latch acquisition —
+// the idempotent-replay path of recovery (re-applying a create record to
+// an instance that already exists).
+func (in *Instance) SetSlots(vals []Value) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	copy(in.slots, vals)
+}
+
 // Page geometry: 4096 instance slots per slab.
 const (
 	pageBits = 12
@@ -289,6 +307,68 @@ func checkKind(f *schema.Field, v Value) error {
 		return fmt.Errorf("storage: field %s expects %s, got %s", f.QualifiedName(), f.Type, v)
 	}
 	return nil
+}
+
+// Schema returns the schema the store was built for.
+func (s *Store) Schema() *schema.Schema { return s.schema }
+
+// MaxOID returns the highest OID ever allocated (0 for an empty store).
+func (s *Store) MaxOID() OID { return OID(s.nextOID.Load()) }
+
+// EnsureOID raises the allocation watermark so future NewInstance calls
+// never hand out an OID ≤ oid. Recovery calls it while replaying create
+// records, so post-recovery allocations continue above everything the
+// log has ever named.
+func (s *Store) EnsureOID(oid OID) {
+	for {
+		cur := s.nextOID.Load()
+		if cur >= uint64(oid) || s.nextOID.CompareAndSwap(cur, uint64(oid)) {
+			return
+		}
+	}
+}
+
+// Install places an instance of cls at a fixed OID — the redo-apply
+// primitive of recovery. If the OID is already live the slots are
+// overwritten in place (replaying a log twice is a no-op); otherwise the
+// instance is created and inserted into its extent. vals must cover
+// every slot. Install is meant for single-goroutine replay into a store
+// that is not yet serving transactions.
+func (s *Store) Install(cls *schema.Class, oid OID, vals []Value) (*Instance, error) {
+	if len(vals) != cls.NumSlots() {
+		return nil, fmt.Errorf("storage: install %s#%d: got %d values for %d slots",
+			cls.Name, oid, len(vals), cls.NumSlots())
+	}
+	for i, f := range cls.Fields {
+		if err := checkKind(f, vals[i]); err != nil {
+			return nil, err
+		}
+	}
+	s.EnsureOID(oid)
+	if in, ok := s.Get(oid); ok {
+		if in.Class != cls {
+			return nil, fmt.Errorf("storage: install %s#%d: OID is live as class %s",
+				cls.Name, oid, in.Class.Name)
+		}
+		in.SetSlots(vals)
+		return in, nil
+	}
+	in := &Instance{OID: oid, Class: cls, slots: append([]Value(nil), vals...)}
+	sl := s.slot(oid)
+	if sl == nil {
+		sl = s.grow(oid)
+	}
+	ext := &s.extents[cls.ID]
+	ext.mu.Lock()
+	defer ext.mu.Unlock()
+	if !sl.CompareAndSwap(nil, in) {
+		return nil, fmt.Errorf("storage: install %s#%d: concurrent install", cls.Name, oid)
+	}
+	in.extentPos = len(ext.oids)
+	ext.oids = append(ext.oids, oid)
+	ext.invalidate()
+	s.count.Add(1)
+	return in, nil
 }
 
 // Get returns the instance with the given OID: two array indexes and

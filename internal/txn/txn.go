@@ -1,25 +1,30 @@
 // Package txn provides strict two-phase-locking transactions over the
 // lock manager and the object store: begin/commit/abort, undo-based
-// recovery, and a deadlock-retry loop.
+// recovery, a redo-log hook for durability, and a deadlock-retry loop.
 //
 // Recovery follows the paper's remark in section 3: "Recovery uses
 // access vectors as projection patterns for extracting the modified
 // parts of instances." The engine captures a before-image of exactly the
 // fields in the Write set of the executed method's transitive access
 // vector (once per transaction and instance slot); Abort plays the
-// images back in reverse order.
+// images back in reverse order. When a redo log is attached, Commit
+// reads the same projected (instance, slot) pairs back as after-images
+// and appends one commit record — the lock plan, the undo log and the
+// redo record all derive from the same compile-time analysis. Abort
+// never touches the log: undo is entirely in-memory, so only committed
+// transactions pay any I/O.
 package txn
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/lock"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // State is a transaction's lifecycle state.
@@ -47,14 +52,28 @@ func (s State) String() string {
 // ErrNotActive is returned when operating on a finished transaction.
 var ErrNotActive = errors.New("txn: transaction is not active")
 
-// undoEntry is one rollback step: either a slot before-image or an
-// arbitrary compensation action (creation removal, deletion re-insert).
-// Entries run in reverse chronological order on Abort.
+// entryKind classifies one undo-log entry. Typed entries (rather than
+// opaque closures) are what let Commit re-project the log into redo
+// records without allocating.
+type entryKind uint8
+
+const (
+	entrySlot   entryKind = iota // slot before-image
+	entryCreate                  // instance created (undo: delete it)
+	entryDelete                  // instance deleted (undo: restore it)
+	entryAction                  // opaque compensation, not durable
+)
+
+// undoEntry is one rollback step. Entries run in reverse chronological
+// order on Abort; on Commit the same entries, read forward, are the
+// TAV-projected redo record.
 type undoEntry struct {
+	kind   entryKind
 	inst   *storage.Instance
+	store  *storage.Store // create/delete entries
 	slot   int
 	old    storage.Value
-	action func() // non-nil for compensation entries
+	action func() // entryAction only
 }
 
 type undoKey struct {
@@ -63,7 +82,9 @@ type undoKey struct {
 }
 
 // Txn is one transaction. It is not safe for concurrent use by multiple
-// goroutines (like database sessions, one goroutine drives one txn).
+// goroutines (like database sessions, one goroutine drives one txn), and
+// must not be touched after Commit/Abort when it was begun through
+// RunWithRetry — the manager recycles it.
 type Txn struct {
 	ID    lock.TxnID
 	mgr   *Manager
@@ -72,6 +93,7 @@ type Txn struct {
 	mu      sync.Mutex
 	undo    []undoEntry
 	undoSet map[undoKey]bool
+	created []storage.OID // OIDs created by this txn (redo skips their slot writes)
 }
 
 // State returns the lifecycle state.
@@ -91,59 +113,162 @@ func (t *Txn) LogUndo(in *storage.Instance, slot int, old storage.Value) {
 		return
 	}
 	t.undoSet[k] = true
-	t.undo = append(t.undo, undoEntry{inst: in, slot: slot, old: old})
+	t.undo = append(t.undo, undoEntry{kind: entrySlot, inst: in, slot: slot, old: old})
 }
 
-// LogCompensation records an action run on Abort, in reverse order with
-// the slot restores — e.g. removing an instance this transaction
-// created, or re-inserting one it deleted.
+// LogCreate records that this transaction created in: Abort removes it
+// from the store again, Commit emits a create record carrying the full
+// image (so its individual slot writes are not logged twice).
+func (t *Txn) LogCreate(st *storage.Store, in *storage.Instance) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.undo = append(t.undo, undoEntry{kind: entryCreate, inst: in, store: st})
+	t.created = append(t.created, in.OID)
+}
+
+// LogDelete records that this transaction deleted in: Abort re-inserts
+// it with its slots intact, Commit emits a delete record.
+func (t *Txn) LogDelete(st *storage.Store, in *storage.Instance) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.undo = append(t.undo, undoEntry{kind: entryDelete, inst: in, store: st})
+}
+
+// LogCompensation records an opaque action run on Abort, in reverse
+// order with the other entries. Compensation-only entries are invisible
+// to the redo log — engine code uses the typed LogCreate/LogDelete.
 func (t *Txn) LogCompensation(action func()) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.undo = append(t.undo, undoEntry{action: action})
+	t.undo = append(t.undo, undoEntry{kind: entryAction, action: action})
 }
 
-// UndoDepth returns the number of captured before-images.
+// UndoDepth returns the number of captured undo entries.
 func (t *Txn) UndoDepth() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.undo)
 }
 
-// Commit makes the transaction's effects durable (in-memory: simply
-// drops the undo log) and releases every lock — the strictness of
-// strict 2PL.
+// createdHere reports whether this transaction created the OID.
+func (t *Txn) createdHere(oid storage.OID) bool {
+	for _, o := range t.created {
+		if o == oid {
+			return true
+		}
+	}
+	return false
+}
+
+// logCommit projects the undo log forward into one redo record and
+// waits for the group-commit ticket. The transaction still holds every
+// lock, so the after-images it reads are its own final values; and
+// because locks release only after the record is durable, conflicting
+// transactions always appear in the log in conflict order.
+func (t *Txn) logCommit(w *wal.Log) error {
+	c := w.BeginCommit(uint64(t.ID))
+	// The created-OID check runs once per slot entry; beyond a handful
+	// of creates the linear scan is replaced by a set so a bulk-load
+	// commit stays O(creates + writes) while it holds every lock.
+	var createdSet map[storage.OID]bool
+	if len(t.created) > 8 {
+		createdSet = make(map[storage.OID]bool, len(t.created))
+		for _, o := range t.created {
+			createdSet[o] = true
+		}
+	}
+	for i := range t.undo {
+		e := &t.undo[i]
+		switch e.kind {
+		case entrySlot:
+			if createdSet != nil {
+				if createdSet[e.inst.OID] {
+					continue // the create record carries the final image
+				}
+			} else if t.createdHere(e.inst.OID) {
+				continue // the create record carries the final image
+			}
+			c.Write(uint64(e.inst.OID), e.slot, e.inst.Get(e.slot))
+		case entryCreate:
+			c.Create(e.inst.Class.ID, uint64(e.inst.OID), e.inst)
+		case entryDelete:
+			c.Delete(uint64(e.inst.OID))
+		case entryAction:
+			// In-memory compensation only; nothing to redo.
+		}
+	}
+	if c.Ops() == 0 {
+		c.Discard()
+		return nil
+	}
+	return c.Commit()
+}
+
+// Commit makes the transaction's effects durable — when a redo log is
+// attached it blocks on the group-commit fsync before releasing any
+// lock (the strictness of strict 2PL extends to the log) — and drops
+// the undo log. If the log append fails the transaction rolls back and
+// the error is returned.
 func (t *Txn) Commit() error {
 	if t.state != Active {
 		return ErrNotActive
 	}
+	if w := t.mgr.wal; w != nil && len(t.undo) > 0 {
+		if err := t.logCommit(w); err != nil {
+			t.rollback()
+			t.state = Aborted
+			t.mgr.locks.ReleaseAll(t.ID)
+			t.mgr.noteDone(false)
+			return fmt.Errorf("txn: commit log append: %w", err)
+		}
+	}
 	t.state = Committed
-	t.undo = nil
-	t.undoSet = nil
+	t.clearUndo()
 	t.mgr.locks.ReleaseAll(t.ID)
 	t.mgr.noteDone(true)
 	return nil
 }
 
+// rollback plays the undo log backwards and clears it.
+func (t *Txn) rollback() {
+	t.mu.Lock()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		e := &t.undo[i]
+		switch e.kind {
+		case entrySlot:
+			e.inst.Set(e.slot, e.old)
+		case entryCreate:
+			e.store.Delete(e.inst.OID) //nolint:errcheck // already gone is fine
+		case entryDelete:
+			e.store.Restore(e.inst)
+		case entryAction:
+			e.action()
+		}
+	}
+	t.mu.Unlock()
+	t.clearUndo()
+}
+
+// clearUndo drops undo state but keeps capacity for reuse through the
+// manager's pool.
+func (t *Txn) clearUndo() {
+	t.mu.Lock()
+	clear(t.undo) // drop *Instance references for the GC
+	t.undo = t.undo[:0]
+	clear(t.undoSet)
+	t.created = t.created[:0]
+	t.mu.Unlock()
+}
+
 // Abort rolls back every write (reverse order) and releases all locks.
-// Aborting a finished transaction is a no-op.
+// Aborting a finished transaction is a no-op. Abort performs no log
+// I/O: the redo log only ever sees committed transactions.
 func (t *Txn) Abort() {
 	if t.state != Active {
 		return
 	}
 	t.state = Aborted
-	t.mu.Lock()
-	for i := len(t.undo) - 1; i >= 0; i-- {
-		r := t.undo[i]
-		if r.action != nil {
-			r.action()
-			continue
-		}
-		r.inst.Set(r.slot, r.old)
-	}
-	t.undo = nil
-	t.undoSet = nil
-	t.mu.Unlock()
+	t.rollback()
 	t.mgr.locks.ReleaseAll(t.ID)
 	t.mgr.noteDone(false)
 }
@@ -162,6 +287,7 @@ type Stats struct {
 // matters once the sharded lock table stops being the bottleneck.
 type Manager struct {
 	locks *lock.Manager
+	wal   *wal.Log
 
 	next      atomic.Uint64
 	begun     atomic.Int64
@@ -175,28 +301,59 @@ type Manager struct {
 	// (default 100µs, with ±50% jitter, doubling per attempt up to 64×).
 	RetryBackoff time.Duration
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// rngState drives the backoff jitter: a seeded splitmix64 stepped
+	// with one atomic add, so concurrent retry loops never contend on a
+	// mutex (or on the global math/rand source, which this replaced).
+	rngState atomic.Uint64
+
+	// pool recycles finished transactions (with their undo slices and
+	// dedup map) through RunWithRetry, making whole warm transactions
+	// allocation-free.
+	pool sync.Pool
 }
 
 // NewManager returns a transaction manager over the given lock table.
 func NewManager(locks *lock.Manager) *Manager {
-	return &Manager{
+	m := &Manager{
 		locks:        locks,
 		MaxRetries:   100,
 		RetryBackoff: 100 * time.Microsecond,
-		rng:          rand.New(rand.NewSource(1)),
 	}
+	m.rngState.Store(0x9E3779B97F4A7C15) // fixed seed: deterministic jitter sequence
+	return m
 }
 
 // Locks returns the underlying lock manager.
 func (m *Manager) Locks() *lock.Manager { return m.locks }
 
-// Begin starts a transaction.
+// SetWAL attaches a redo log: every later Commit with effects blocks on
+// its group-commit ticket. Attach before serving transactions.
+func (m *Manager) SetWAL(w *wal.Log) { m.wal = w }
+
+// WAL returns the attached redo log (nil when volatile).
+func (m *Manager) WAL() *wal.Log { return m.wal }
+
+// Begin starts a transaction, reusing a pooled one when available.
 func (m *Manager) Begin() *Txn {
-	id := lock.TxnID(m.next.Add(1))
+	t, _ := m.pool.Get().(*Txn)
+	if t == nil {
+		t = &Txn{undoSet: make(map[undoKey]bool)}
+	}
+	t.ID = lock.TxnID(m.next.Add(1))
+	t.mgr = m
+	t.state = Active
 	m.begun.Add(1)
-	return &Txn{ID: id, mgr: m, state: Active, undoSet: make(map[undoKey]bool)}
+	return t
+}
+
+// Release returns a finished transaction to the pool. Only call when no
+// reference to the Txn survives (RunWithRetry does this automatically);
+// releasing an Active transaction is ignored.
+func (m *Manager) Release(t *Txn) {
+	if t.state == Active {
+		return
+	}
+	m.pool.Put(t)
 }
 
 func (m *Manager) noteDone(committed bool) {
@@ -231,15 +388,22 @@ func (m *Manager) ResetStats() {
 // success. A deadlock abort rolls back, backs off with jitter, and
 // retries with a new (younger) transaction — the standard user-level
 // reaction to a deadlock victim notice. Any other error aborts and is
-// returned.
+// returned. The *Txn passed to fn is recycled after the call returns
+// and must not be retained.
 func (m *Manager) RunWithRetry(fn func(*Txn) error) error {
 	for attempt := 0; ; attempt++ {
 		t := m.Begin()
 		err := fn(t)
 		if err == nil {
-			return t.Commit()
+			err = t.Commit()
+			m.Release(t)
+			if err == nil {
+				return nil
+			}
+			return err // log-append failure; Commit already rolled back
 		}
 		t.Abort()
+		m.Release(t)
 		if !lock.IsDeadlock(err) {
 			return err
 		}
@@ -251,6 +415,19 @@ func (m *Manager) RunWithRetry(fn func(*Txn) error) error {
 	}
 }
 
+// nextRand steps the manager's splitmix64 state: one atomic add plus
+// pure mixing, so any number of goroutines draw jitter without sharing
+// a lock.
+func (m *Manager) nextRand() uint64 {
+	x := m.rngState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
 func (m *Manager) backoff(attempt int) {
 	if m.RetryBackoff <= 0 {
 		return
@@ -260,8 +437,6 @@ func (m *Manager) backoff(attempt int) {
 		shift = 6
 	}
 	base := m.RetryBackoff << uint(shift)
-	m.rngMu.Lock()
-	jitter := time.Duration(m.rng.Int63n(int64(base) + 1))
-	m.rngMu.Unlock()
+	jitter := time.Duration(m.nextRand() % uint64(base+1))
 	time.Sleep(base/2 + jitter)
 }

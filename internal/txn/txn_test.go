@@ -226,3 +226,88 @@ func TestStateStrings(t *testing.T) {
 		t.Error("state strings")
 	}
 }
+
+// Typed create/delete undo entries: Abort removes a created instance
+// and restores a deleted one, interleaved in reverse order with slot
+// restores.
+func TestAbortTypedCreateDelete(t *testing.T) {
+	m, st, s := setup(t)
+	c1 := s.Class("c1")
+	old, _ := st.NewInstance(c1, storage.IntV(7))
+
+	tx := m.Begin()
+	created, err := st.NewInstance(c1, storage.IntV(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.LogCreate(st, created)
+	tx.LogUndo(created, 0, created.Set(0, storage.IntV(2)))
+	deleted, err := st.Delete(old.OID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.LogDelete(st, deleted)
+	tx.Abort()
+
+	if _, ok := st.Get(created.OID); ok {
+		t.Error("created instance survived abort")
+	}
+	if in, ok := st.Get(old.OID); !ok || in.Get(0) != storage.IntV(7) {
+		t.Error("deleted instance not restored intact by abort")
+	}
+}
+
+// Pooled transactions keep working across recycles: RunWithRetry
+// reuses the same Txn value, and the recycled undo state never leaks
+// between transactions.
+func TestPooledTxnReuseIsClean(t *testing.T) {
+	m, st, s := setup(t)
+	m.MaxRetries = 1 // deadlock errors below are synthetic: no retry
+	m.RetryBackoff = 0
+	in, _ := st.NewInstance(s.Class("c1"), storage.IntV(0))
+	for i := 0; i < 50; i++ {
+		commit := i%2 == 0
+		err := m.RunWithRetry(func(tx *Txn) error {
+			if tx.UndoDepth() != 0 {
+				t.Fatalf("iteration %d: recycled txn has %d undo entries", i, tx.UndoDepth())
+			}
+			tx.LogUndo(in, 0, in.Set(0, storage.IntV(int64(i+1))))
+			if !commit {
+				return &lock.DeadlockError{Txn: tx.ID}
+			}
+			return nil
+		})
+		if commit && err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Even iterations committed i+1, odd ones rolled back to the last
+	// committed value: 49 after iteration 48.
+	if got := in.Get(0); got != storage.IntV(49) {
+		t.Errorf("final value %v, want 49", got)
+	}
+}
+
+// The backoff RNG is per-manager, seeded and deterministic — two
+// managers draw the same jitter sequence without ever touching the
+// global math/rand source or a shared mutex.
+func TestBackoffRNGDeterministicPerManager(t *testing.T) {
+	m1 := NewManager(lock.NewManager())
+	m2 := NewManager(lock.NewManager())
+	for i := 0; i < 16; i++ {
+		if a, b := m1.nextRand(), m2.nextRand(); a != b {
+			t.Fatalf("draw %d: %d != %d", i, a, b)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m1.nextRand()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// Checkpointing is log compaction by replay. The live store cannot be
+// snapshotted directly: transactions write in place and roll back with
+// in-memory undo, so at any instant the store mixes committed and
+// uncommitted slot values. The log, however, contains only committed
+// effects — so a transactionally consistent checkpoint is obtained by
+// sealing the current segment (one rotation message to the writer
+// goroutine; commits keep flowing into the next segment), replaying
+// previous checkpoint + sealed segments into a scratch store, and
+// serializing that scratch store through the extent-snapshot machinery.
+// No live transaction is ever paused and no quiescent point is needed.
+//
+// Checkpoint file, little-endian:
+//
+//	magic "FAVWCKP1" · u64 baseSeq · u64 nextOID · u64 count ·
+//	count × (uvarint classID · uvarint OID · uvarint nSlots · values) ·
+//	u32 CRC-32C of everything after the magic
+//
+// The file is written to checkpoint.tmp, fsynced, renamed over
+// checkpoint, and the directory fsynced — a crash at any point leaves
+// either the old or the new checkpoint fully intact. Segments ≤ baseSeq
+// are deleted afterwards; recovery ignores them even if deletion never
+// happened.
+
+const (
+	checkpointName = "checkpoint"
+	checkpointTmp  = "checkpoint.tmp"
+	checkpointSeq0 = uint64(0) // "no checkpoint": replay every segment
+)
+
+var checkpointMagic = []byte("FAVWCKP1")
+
+// writeCheckpoint serializes st (a scratch store holding only committed
+// state) with base segment sequence baseSeq, atomically replacing any
+// previous checkpoint.
+func writeCheckpoint(dir string, st *storage.Store, baseSeq uint64) error {
+	sch := st.Schema()
+	body := make([]byte, 0, 1<<16)
+	body = binary.LittleEndian.AppendUint64(body, baseSeq)
+	body = binary.LittleEndian.AppendUint64(body, uint64(st.MaxOID()))
+	count := uint64(0)
+	countAt := len(body)
+	body = binary.LittleEndian.AppendUint64(body, 0) // patched below
+	var vals []storage.Value
+	for _, cls := range sch.Order {
+		for _, oid := range st.ExtentOf(cls) {
+			in, ok := st.Get(oid)
+			if !ok {
+				continue
+			}
+			vals = in.AppendSlots(vals[:0])
+			body = binary.AppendUvarint(body, uint64(cls.ID))
+			body = binary.AppendUvarint(body, uint64(oid))
+			body = binary.AppendUvarint(body, uint64(len(vals)))
+			for _, v := range vals {
+				body = appendValue(body, v)
+			}
+			count++
+		}
+	}
+	binary.LittleEndian.PutUint64(body[countAt:], count)
+
+	tmp := filepath.Join(dir, checkpointTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	crc := crc32.Checksum(body, crcTable)
+	if _, err := f.Write(checkpointMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(binary.LittleEndian.AppendUint32(nil, crc)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, checkpointName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadCheckpoint applies the checkpoint file (if any) into st and
+// returns its base segment sequence (checkpointSeq0 when none exists).
+func loadCheckpoint(dir string, st *storage.Store, sch *schema.Schema) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	if os.IsNotExist(err) {
+		return checkpointSeq0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
+		return 0, fmt.Errorf("wal: checkpoint: bad magic")
+	}
+	body := data[len(checkpointMagic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return 0, fmt.Errorf("wal: checkpoint: CRC mismatch")
+	}
+	d := decoder{b: body}
+	baseSeq := d.u64()
+	nextOID := d.u64()
+	count := d.u64()
+	for i := uint64(0); i < count && d.err == nil; i++ {
+		clsID := d.uvarint()
+		oid := d.uvarint()
+		ns := d.uvarint()
+		if d.err != nil {
+			break
+		}
+		cls := sch.ClassByID(uint32(clsID))
+		if cls == nil {
+			return 0, fmt.Errorf("wal: checkpoint: unknown class id %d", clsID)
+		}
+		if ns != uint64(cls.NumSlots()) {
+			return 0, fmt.Errorf("wal: checkpoint: %s#%d has %d slots, file says %d",
+				cls.Name, oid, cls.NumSlots(), ns)
+		}
+		vals := make([]storage.Value, 0, ns)
+		for j := uint64(0); j < ns && d.err == nil; j++ {
+			vals = append(vals, d.value())
+		}
+		if d.err != nil {
+			break
+		}
+		if _, err := st.Install(cls, storage.OID(oid), vals); err != nil {
+			return 0, fmt.Errorf("wal: checkpoint: %w", err)
+		}
+	}
+	if d.err != nil {
+		return 0, fmt.Errorf("wal: checkpoint: %w", d.err)
+	}
+	if d.pos != len(body) {
+		return 0, fmt.Errorf("wal: checkpoint: %d trailing bytes", len(body)-d.pos)
+	}
+	st.EnsureOID(storage.OID(nextOID))
+	return baseSeq, nil
+}
+
+// Checkpoint compacts the log: it seals the live segment, replays
+// previous checkpoint + all sealed segments into a scratch store,
+// writes a new checkpoint atomically and deletes the dead segments.
+// Commits proceed concurrently into the new segment throughout.
+func (l *Log) Checkpoint() error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	req := &rotateReq{done: make(chan rotateResult, 1)}
+	l.rotateCh <- req
+	res := <-req.done
+	if res.err != nil {
+		return res.err
+	}
+	sealed := res.sealed
+
+	scratch := storage.NewStore(l.sch)
+	base, err := loadCheckpoint(l.dir, scratch, l.sch)
+	if err != nil {
+		return err
+	}
+	for seq := base + 1; seq <= sealed; seq++ {
+		path := segmentPath(l.dir, seq)
+		if _, tornAt, err := replaySegmentFile(path, scratch, l.sch); err != nil {
+			return err
+		} else if tornAt >= 0 {
+			// Sealed segments were fsynced batch by batch; a torn record
+			// here means real corruption, not a crash artifact.
+			return fmt.Errorf("wal: checkpoint: sealed segment %d has a torn record", seq)
+		}
+	}
+	if err := writeCheckpoint(l.dir, scratch, sealed); err != nil {
+		return err
+	}
+	l.baseSeq.Store(sealed)
+	l.checkpoints.Add(1)
+	for seq := base; seq <= sealed; seq++ {
+		os.Remove(segmentPath(l.dir, seq)) //nolint:errcheck // stale segments are skipped anyway
+	}
+	return nil
+}

@@ -1,0 +1,466 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Options tunes the log.
+type Options struct {
+	// GroupCommitWindow is how long the writer goroutine waits for more
+	// concurrent commits to join a batch after the first one arrives.
+	// Zero still batches everything already queued (natural group
+	// commit) but never waits; larger windows trade commit latency for
+	// fewer fsyncs under load.
+	GroupCommitWindow time.Duration
+	// CheckpointBytes auto-triggers a checkpoint when the live segment
+	// exceeds this size. Zero disables auto-checkpointing (Checkpoint
+	// can still be called manually).
+	CheckpointBytes int64
+	// MaxBatch bounds the number of commits fused into one write+fsync
+	// (default 1024).
+	MaxBatch int
+	// NoSync acknowledges commits after the buffered OS write without
+	// waiting for fsync (the log still fsyncs on rotation, checkpoint
+	// and close). Relaxed durability: a process crash loses nothing —
+	// the written bytes live in the OS page cache — but an OS crash or
+	// power loss may lose the last instants of commits. The standard
+	// throughput knob of production engines (e.g. MySQL's
+	// flush-log-at-trx-commit=2).
+	NoSync bool
+}
+
+// Stats counts log activity. Batches == fsyncs, so Records/Batches is
+// the group-commit fan-in.
+type Stats struct {
+	Records     int64
+	Batches     int64
+	Bytes       int64
+	Checkpoints int64
+}
+
+// RecoveryInfo describes what Open found and replayed.
+type RecoveryInfo struct {
+	Checkpoint    bool   // a checkpoint file was loaded
+	CheckpointSeq uint64 // its base segment sequence
+	Segments      int    // log segments replayed
+	Records       int64  // commit records applied
+	TornTailBytes int64  // bytes truncated off the final segment
+}
+
+// rotateResult is the writer's answer to a rotation request.
+type rotateResult struct {
+	sealed uint64 // sequence of the segment just sealed
+	err    error
+}
+
+type rotateReq struct {
+	done chan rotateResult
+}
+
+// commit is one in-flight commit record: the encode buffer, the op
+// count patched into the header at submit, and the ticket channel the
+// committing transaction waits on. Pooled — a warm commit allocates
+// nothing beyond what the record content itself needs.
+type commit struct {
+	l      *Log
+	buf    []byte // frame header + payload
+	ops    uint32
+	valBuf []storage.Value // scratch for create images
+	done   chan error      // cap 1, reused across lives
+}
+
+// Log is an append-only redo log over numbered segment files in one
+// directory, written by a single dedicated goroutine that batches
+// concurrent commits into one buffered write + fsync (group commit).
+type Log struct {
+	dir  string
+	sch  *schema.Schema
+	opts Options
+
+	submitCh chan *commit
+	rotateCh chan *rotateReq
+	done     chan struct{} // writer exited
+	closed   atomic.Bool
+	sendMu   sync.RWMutex // closed-vs-send handshake: Close excludes in-flight submits
+	ckptMu   sync.Mutex   // one checkpoint (or close) at a time
+	ckptBusy atomic.Bool  // auto-checkpoint in flight
+
+	// broken latches the first write/fsync/rotate failure: the log goes
+	// fail-stop. Accepting commits after a failed write would append
+	// durable-acknowledged records after corrupt bytes — recovery stops
+	// at the corruption and would silently discard them.
+	broken    atomic.Bool
+	brokenErr atomic.Value // error
+
+	// Writer-goroutine-owned state.
+	seq     uint64 // current segment sequence
+	f       *os.File
+	size    int64
+	scratch []byte    // batch concatenation buffer
+	batch   []*commit // reused batch slice
+	timer   *time.Timer
+
+	baseSeq atomic.Uint64 // highest checkpointed (dead) segment
+
+	commits sync.Pool
+
+	records     atomic.Int64
+	batches     atomic.Int64
+	bytes       atomic.Int64
+	checkpoints atomic.Int64
+}
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", seq))
+}
+
+// syncDir fsyncs the directory so file creations and renames survive a
+// crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// start spins up the writer goroutine; the caller has set seq/f/size.
+func (l *Log) start() {
+	if l.opts.MaxBatch <= 0 {
+		l.opts.MaxBatch = 1024
+	}
+	l.submitCh = make(chan *commit, 4096)
+	l.rotateCh = make(chan *rotateReq)
+	l.done = make(chan struct{})
+	l.timer = time.NewTimer(time.Hour)
+	if !l.timer.Stop() {
+		<-l.timer.C
+	}
+	l.commits.New = func() any {
+		return &commit{l: l, done: make(chan error, 1)}
+	}
+	go l.run()
+}
+
+// run is the writer loop: batch, write, fsync, release tickets.
+func (l *Log) run() {
+	defer close(l.done)
+	for {
+		select {
+		case c, ok := <-l.submitCh:
+			if !ok {
+				return // Close drained the queue
+			}
+			l.batch = l.collect(l.batch[:0], c)
+			err := l.writeBatch(l.batch)
+			for _, c := range l.batch {
+				c.done <- err
+			}
+			l.maybeAutoCheckpoint()
+		case r := <-l.rotateCh:
+			sealed, err := l.rotate()
+			r.done <- rotateResult{sealed: sealed, err: err}
+		}
+	}
+}
+
+// collectYields is how many times collect hands the processor over
+// before closing a batch: committers that are runnable but unscheduled
+// (the common case on few cores, where a worker is microseconds away
+// from submitting) get to join without any timer wait. Idle committers
+// cost nothing — Gosched returns immediately when nothing else runs.
+const collectYields = 3
+
+// collect gathers one group-commit batch: everything already queued,
+// then everything a few processor yields shake loose, then — if a
+// window is configured — whatever else arrives before the window
+// closes or the batch fills.
+func (l *Log) collect(batch []*commit, first *commit) []*commit {
+	batch = append(batch, first)
+	deadline := time.Now().Add(l.opts.GroupCommitWindow)
+	yields := 0
+	for {
+		grew := false
+		for len(batch) < l.opts.MaxBatch {
+			select {
+			case c, ok := <-l.submitCh:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, c)
+				grew = true
+				continue
+			default:
+			}
+			break
+		}
+		if len(batch) >= l.opts.MaxBatch {
+			return batch
+		}
+		if grew {
+			yields = 0 // arrivals reset the yield budget: keep shaking
+		}
+		if yields < collectYields {
+			yields++
+			runtime.Gosched()
+			continue
+		}
+		if l.opts.GroupCommitWindow <= 0 {
+			return batch
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return batch
+		}
+		l.timer.Reset(rem)
+		select {
+		case c, ok := <-l.submitCh:
+			if !l.timer.Stop() {
+				<-l.timer.C
+			}
+			if !ok {
+				return batch
+			}
+			batch = append(batch, c)
+			yields = 0
+		case <-l.timer.C:
+			return batch
+		}
+	}
+}
+
+// markBroken latches the log into fail-stop: every later commit,
+// checkpoint and batch write reports the original failure.
+func (l *Log) markBroken(err error) error {
+	wrapped := fmt.Errorf("wal: log failed, rejecting further commits: %w", err)
+	if l.broken.CompareAndSwap(false, true) {
+		l.brokenErr.Store(wrapped)
+	}
+	return l.failure()
+}
+
+// failure returns the latched fail-stop error, or nil.
+func (l *Log) failure() error {
+	if !l.broken.Load() {
+		return nil
+	}
+	err, _ := l.brokenErr.Load().(error)
+	return err
+}
+
+// writeBatch concatenates the batch into one buffer, writes it with a
+// single Write call and fsyncs once. Any failure latches fail-stop: a
+// partial write leaves garbage in the segment, and appending more
+// records after it would put acknowledged commits beyond the offset
+// where recovery stops.
+func (l *Log) writeBatch(batch []*commit) error {
+	if err := l.failure(); err != nil {
+		return err
+	}
+	l.scratch = l.scratch[:0]
+	for _, c := range batch {
+		l.scratch = append(l.scratch, c.buf...)
+	}
+	if _, err := l.f.Write(l.scratch); err != nil {
+		return l.markBroken(fmt.Errorf("segment write: %w", err))
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return l.markBroken(fmt.Errorf("segment fsync: %w", err))
+		}
+	}
+	l.size += int64(len(l.scratch))
+	l.records.Add(int64(len(batch)))
+	l.batches.Add(1)
+	l.bytes.Add(int64(len(l.scratch)))
+	return nil
+}
+
+// rotate seals the current segment and opens the next one. Writer
+// goroutine only. A failure latches fail-stop: the file state is no
+// longer trustworthy for appends.
+func (l *Log) rotate() (sealed uint64, err error) {
+	if err := l.failure(); err != nil {
+		return 0, err
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, l.markBroken(fmt.Errorf("rotate fsync: %w", err))
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, l.markBroken(fmt.Errorf("rotate close: %w", err))
+	}
+	sealed = l.seq
+	l.seq++
+	f, err := os.OpenFile(segmentPath(l.dir, l.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return 0, l.markBroken(fmt.Errorf("rotate open: %w", err))
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return 0, l.markBroken(fmt.Errorf("rotate dir fsync: %w", err))
+	}
+	l.f = f
+	l.size = 0
+	return sealed, nil
+}
+
+// maybeAutoCheckpoint triggers a background checkpoint when the live
+// segment outgrew the configured threshold.
+func (l *Log) maybeAutoCheckpoint() {
+	if l.opts.CheckpointBytes <= 0 || l.size < l.opts.CheckpointBytes {
+		return
+	}
+	if !l.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer l.ckptBusy.Store(false)
+		l.Checkpoint() //nolint:errcheck // best-effort compaction; next one retries
+	}()
+}
+
+// BeginCommit starts encoding one transaction's commit record. The
+// returned commit must finish with Commit (waits for the group-commit
+// ticket) or Discard.
+func (l *Log) BeginCommit(txnID uint64) *commit {
+	c := l.commits.Get().(*commit)
+	b := c.buf[:0]
+	b = append(b, make([]byte, frameHeaderSize)...) // patched at submit
+	b = append(b, recCommit)
+	b = binary.LittleEndian.AppendUint64(b, txnID)
+	b = append(b, 0, 0, 0, 0) // nOps, patched at submit
+	c.buf = b
+	c.ops = 0
+	return c
+}
+
+// Write appends one TAV-projected field after-image.
+func (c *commit) Write(oid uint64, slot int, v storage.Value) {
+	c.buf = append(c.buf, OpWrite)
+	c.buf = binary.AppendUvarint(c.buf, oid)
+	c.buf = binary.AppendUvarint(c.buf, uint64(slot))
+	c.buf = appendValue(c.buf, v)
+	c.ops++
+}
+
+// Create appends a creation record carrying the instance's full image as
+// of commit time (the creator still holds its locks, so the image is the
+// transaction's own final state).
+func (c *commit) Create(classID uint32, oid uint64, in *storage.Instance) {
+	c.valBuf = in.AppendSlots(c.valBuf[:0])
+	c.buf = append(c.buf, OpCreate)
+	c.buf = binary.AppendUvarint(c.buf, uint64(classID))
+	c.buf = binary.AppendUvarint(c.buf, oid)
+	c.buf = binary.AppendUvarint(c.buf, uint64(len(c.valBuf)))
+	for _, v := range c.valBuf {
+		c.buf = appendValue(c.buf, v)
+	}
+	c.ops++
+}
+
+// Delete appends a deletion record.
+func (c *commit) Delete(oid uint64) {
+	c.buf = append(c.buf, OpDelete)
+	c.buf = binary.AppendUvarint(c.buf, oid)
+	c.ops++
+}
+
+// Ops returns the number of ops encoded so far.
+func (c *commit) Ops() int { return int(c.ops) }
+
+// Discard releases an unused commit (e.g. a read-only transaction).
+func (c *commit) Discard() {
+	if cap(c.buf) > 1<<20 {
+		c.buf = nil // don't let one giant record pin memory in the pool
+	}
+	c.l.commits.Put(c)
+}
+
+// Commit frames the record, hands it to the writer goroutine and blocks
+// until the batch containing it is on disk (fsynced). The transaction
+// must still hold its locks: strict 2PL releases only after the commit
+// is durable.
+func (c *commit) Commit() error {
+	l := c.l
+	payload := c.buf[frameHeaderSize:]
+	if len(payload) > maxRecordSize {
+		// Recovery rejects frames beyond this bound as garbage; writing
+		// one would acknowledge a commit recovery must then discard.
+		n := len(payload)
+		c.Discard()
+		return fmt.Errorf("wal: commit record of %d bytes exceeds the %d-byte record bound", n, maxRecordSize)
+	}
+	if err := l.failure(); err != nil {
+		c.Discard()
+		return err
+	}
+	binary.LittleEndian.PutUint32(payload[offNumOps:], c.ops)
+	binary.LittleEndian.PutUint32(c.buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(c.buf[4:], crc32.Checksum(payload, crcTable))
+	// The read-lock pairs with Close's write-lock: a submit observed
+	// with closed==false reaches the channel before Close closes it.
+	l.sendMu.RLock()
+	if l.closed.Load() {
+		l.sendMu.RUnlock()
+		c.Discard()
+		return ErrClosed
+	}
+	l.submitCh <- c
+	l.sendMu.RUnlock()
+	err := <-c.done
+	c.Discard()
+	return err
+}
+
+// Stats returns cumulative log counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Records:     l.records.Load(),
+		Batches:     l.batches.Load(),
+		Bytes:       l.bytes.Load(),
+		Checkpoints: l.checkpoints.Load(),
+	}
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close flushes, stops the writer goroutine and closes the segment.
+// In-flight commits complete; later commits fail with ErrClosed.
+func (l *Log) Close() error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	l.sendMu.Lock()
+	if !l.closed.CompareAndSwap(false, true) {
+		l.sendMu.Unlock()
+		return ErrClosed
+	}
+	l.sendMu.Unlock()
+	close(l.submitCh)
+	<-l.done
+	if err := l.failure(); err != nil {
+		l.f.Close() //nolint:errcheck // file state already failed
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

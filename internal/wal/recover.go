@@ -1,0 +1,243 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+const fingerprintName = "schema"
+
+// schemaFingerprint hashes everything replay depends on — dense class
+// ID order and each class's field layout — so a log directory refuses
+// to open under a schema whose IDs or slots bind differently. Two
+// classes with identical shapes swapped in declaration order would
+// otherwise replay each other's instances without any type error.
+func schemaFingerprint(sch *schema.Schema) string {
+	var b strings.Builder
+	for _, cls := range sch.Order {
+		fmt.Fprintf(&b, "class %d %s\n", cls.ID, cls.Name)
+		for _, p := range cls.Parents {
+			fmt.Fprintf(&b, "  inherits %s\n", p.Name)
+		}
+		for i, f := range cls.Fields {
+			fmt.Fprintf(&b, "  slot %d %s %s\n", i, f.QualifiedName(), f.Type)
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// checkFingerprint verifies (or, on first open, records) the schema
+// fingerprint of a log directory.
+func checkFingerprint(dir string, sch *schema.Schema) error {
+	want := schemaFingerprint(sch)
+	path := filepath.Join(dir, fingerprintName)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		if got := strings.TrimSpace(string(data)); got != want {
+			return fmt.Errorf("wal: %s was written under a different schema (fingerprint %s, this schema %s); refusing to replay", dir, got, want)
+		}
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return err
+	}
+	// Durable write (content fsync, then directory fsync): a torn or
+	// empty fingerprint after power loss would lock the database out of
+	// its own valid log.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(want + "\n"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Open recovers the durable state in dir into st (which must be a fresh,
+// empty store) and returns a running log ready to append. Recovery loads
+// the checkpoint (if any), replays every later segment in sequence order
+// with idempotent apply, truncates a torn tail off the final segment (a
+// crash mid-batch leaves at most one incomplete record suffix, since
+// every batch is fsynced before its commits are acknowledged), and
+// continues appending to that segment. A missing or empty directory is a
+// fresh database.
+func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) {
+	if st.Count() != 0 || st.MaxOID() != 0 {
+		return nil, RecoveryInfo{}, fmt.Errorf("wal: Open needs an empty store")
+	}
+	sch := st.Schema()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	if err := checkFingerprint(dir, sch); err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	os.Remove(filepath.Join(dir, checkpointTmp)) //nolint:errcheck // half-written checkpoint from a crash
+
+	var info RecoveryInfo
+	base, err := loadCheckpoint(dir, st, sch)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	info.Checkpoint = base != checkpointSeq0
+	info.CheckpointSeq = base
+
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	last := base // highest segment seen; the log appends to (or after) it
+	for i, seq := range seqs {
+		if seq <= base {
+			// Dead segment a crash prevented Checkpoint from deleting.
+			os.Remove(segmentPath(dir, seq)) //nolint:errcheck
+			continue
+		}
+		if seq != last+1 {
+			return nil, RecoveryInfo{}, fmt.Errorf("wal: segment gap: %d follows %d", seq, last)
+		}
+		records, tornAt, err := replaySegmentFile(segmentPath(dir, seq), st, sch)
+		if err != nil {
+			return nil, RecoveryInfo{}, err
+		}
+		if tornAt >= 0 {
+			if i != len(seqs)-1 {
+				return nil, RecoveryInfo{}, fmt.Errorf("wal: sealed segment %d has a torn record", seq)
+			}
+			fi, err := os.Stat(segmentPath(dir, seq))
+			if err != nil {
+				return nil, RecoveryInfo{}, err
+			}
+			if err := truncateSegment(segmentPath(dir, seq), tornAt); err != nil {
+				return nil, RecoveryInfo{}, err
+			}
+			info.TornTailBytes = fi.Size() - tornAt
+		}
+		info.Segments++
+		info.Records += int64(records)
+		last = seq
+	}
+
+	l := &Log{dir: dir, sch: sch, opts: o}
+	l.baseSeq.Store(base)
+	if last == base {
+		// Fresh directory (or checkpoint with no tail): start a segment.
+		l.seq = base + 1
+		f, err := os.OpenFile(segmentPath(dir, l.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, RecoveryInfo{}, err
+		}
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, RecoveryInfo{}, err
+		}
+		l.f = f
+	} else {
+		l.seq = last
+		f, err := os.OpenFile(segmentPath(dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, RecoveryInfo{}, err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, RecoveryInfo{}, err
+		}
+		l.f = f
+		l.size = fi.Size()
+	}
+	l.start()
+	return l, info, nil
+}
+
+// listSegments returns the segment sequences present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		// Sscanf tolerates trailing characters, so round-trip the name:
+		// "wal-000001.log.bak" must not count as segment 1.
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%d.log", &seq); n != 1 {
+			continue
+		}
+		if filepath.Base(segmentPath(dir, seq)) != e.Name() {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// replaySegmentFile applies every valid record of one segment into st.
+// It returns the number of records applied and tornAt: -1 when the
+// whole segment is valid, otherwise the byte offset at which the valid
+// prefix ends (an incomplete frame or CRC mismatch — the torn tail of a
+// crash).
+func replaySegmentFile(path string, st *storage.Store, sch *schema.Schema) (records int, tornAt int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, -1, err
+	}
+	pos := int64(0)
+	for {
+		rest := data[pos:]
+		if len(rest) == 0 {
+			return records, -1, nil
+		}
+		if len(rest) < frameHeaderSize {
+			return records, pos, nil // torn frame header
+		}
+		size := binary.LittleEndian.Uint32(rest[0:])
+		wantCRC := binary.LittleEndian.Uint32(rest[4:])
+		if int64(size) > int64(maxRecordSize) || int64(size) > int64(len(rest)-frameHeaderSize) {
+			return records, pos, nil // torn or garbage length
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(size)]
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return records, pos, nil // torn payload
+		}
+		if _, err := applyRecord(st, sch, payload); err != nil {
+			return records, -1, fmt.Errorf("wal: %s at offset %d: %w", path, pos, err)
+		}
+		records++
+		pos += frameHeaderSize + int64(size)
+	}
+}
+
+// truncateSegment drops the torn suffix so the log can append cleanly.
+func truncateSegment(path string, validEnd int64) error {
+	if err := os.Truncate(path, validEnd); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

@@ -1,0 +1,605 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+const testSchema = `
+class item is
+    instance variables are
+        a : integer
+        b : integer
+        label : string
+        flag : boolean
+        ref : item
+    method noop is
+    end
+end
+`
+
+func newTestStore(t *testing.T) *storage.Store {
+	t.Helper()
+	sch, err := schema.FromSource(testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return storage.NewStore(sch)
+}
+
+// image is the expected state: OID → slots (nil entry = deleted).
+type image map[storage.OID][]storage.Value
+
+func (im image) clone() image {
+	out := make(image, len(im))
+	for k, v := range im {
+		out[k] = append([]storage.Value(nil), v...)
+	}
+	return out
+}
+
+// storeImage captures every live instance of the store.
+func storeImage(st *storage.Store) image {
+	out := image{}
+	for _, cls := range st.Schema().Order {
+		for _, oid := range st.ExtentOf(cls) {
+			if in, ok := st.Get(oid); ok {
+				out[oid] = in.Snapshot()
+			}
+		}
+	}
+	return out
+}
+
+// workload drives a fixed sequence of commit records through a fresh
+// log in dir and returns the expected image after each record (index 0
+// = empty store) plus the raw segment bytes.
+func workload(t *testing.T, dir string) (snaps []image, data []byte) {
+	t.Helper()
+	st := newTestStore(t)
+	l, info, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.Checkpoint {
+		t.Fatalf("fresh dir recovered %+v", info)
+	}
+	cls := st.Schema().Class("item")
+	model := image{}
+	snaps = append(snaps, model.clone())
+
+	mk := func(vals ...storage.Value) *storage.Instance {
+		in, err := st.NewInstance(cls, vals...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	commitRec := func(build func(c *commit)) {
+		c := l.BeginCommit(uint64(len(snaps)))
+		build(c)
+		if err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, model.clone())
+	}
+
+	in1 := mk(storage.IntV(1), storage.IntV(2), storage.StrV("one"), storage.BoolV(false), storage.RefV(0))
+	in2 := mk(storage.IntV(10), storage.IntV(20), storage.StrV("two"), storage.BoolV(true), storage.RefV(in1.OID))
+	commitRec(func(c *commit) {
+		c.Create(cls.ID, uint64(in1.OID), in1)
+		c.Create(cls.ID, uint64(in2.OID), in2)
+		model[in1.OID] = in1.Snapshot()
+		model[in2.OID] = in2.Snapshot()
+	})
+	commitRec(func(c *commit) {
+		in1.Set(0, storage.IntV(100))
+		c.Write(uint64(in1.OID), 0, in1.Get(0))
+		model[in1.OID][0] = storage.IntV(100)
+	})
+	commitRec(func(c *commit) {
+		in2.Set(2, storage.StrV("renamed"))
+		in1.Set(3, storage.BoolV(true))
+		c.Write(uint64(in2.OID), 2, in2.Get(2))
+		c.Write(uint64(in1.OID), 3, in1.Get(3))
+		model[in2.OID][2] = storage.StrV("renamed")
+		model[in1.OID][3] = storage.BoolV(true)
+	})
+	in3 := mk(storage.IntV(-7), storage.IntV(0), storage.StrV(""), storage.BoolV(false), storage.RefV(in2.OID))
+	commitRec(func(c *commit) {
+		c.Create(cls.ID, uint64(in3.OID), in3)
+		model[in3.OID] = in3.Snapshot()
+	})
+	commitRec(func(c *commit) {
+		if _, err := st.Delete(in2.OID); err != nil {
+			t.Fatal(err)
+		}
+		c.Delete(uint64(in2.OID))
+		delete(model, in2.OID)
+	})
+	commitRec(func(c *commit) {
+		in3.Set(1, storage.IntV(-999))
+		c.Write(uint64(in3.OID), 1, in3.Get(1))
+		model[in3.OID][1] = storage.IntV(-999)
+	})
+
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(segmentPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps, data
+}
+
+// boundaries returns the byte offset after each complete record.
+func boundaries(t *testing.T, data []byte) []int64 {
+	t.Helper()
+	out := []int64{0}
+	pos := int64(0)
+	for pos < int64(len(data)) {
+		if int64(len(data))-pos < frameHeaderSize {
+			t.Fatalf("trailing garbage at %d", pos)
+		}
+		size := binary.LittleEndian.Uint32(data[pos:])
+		pos += frameHeaderSize + int64(size)
+		out = append(out, pos)
+	}
+	return out
+}
+
+func openDir(t *testing.T, dir string) (*Log, *storage.Store, RecoveryInfo) {
+	t.Helper()
+	st := newTestStore(t)
+	l, info, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, st, info
+}
+
+func TestRecoveryFullLog(t *testing.T) {
+	dir := t.TempDir()
+	snaps, _ := workload(t, dir)
+	l, st, info := openDir(t, dir)
+	defer l.Close()
+	if info.Records != int64(len(snaps)-1) || info.TornTailBytes != 0 {
+		t.Fatalf("recovery info %+v, want %d records", info, len(snaps)-1)
+	}
+	if got, want := storeImage(st), snaps[len(snaps)-1]; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered image\n%v\nwant\n%v", got, want)
+	}
+	// OID watermark is past everything the log names: new allocations
+	// never collide with logged instances.
+	if st.MaxOID() < 3 {
+		t.Fatalf("MaxOID after recovery = %d, want ≥ 3", st.MaxOID())
+	}
+}
+
+// The ISSUE's core acceptance: a crash at ANY byte of the log — every
+// record boundary and every torn intermediate position — recovers
+// exactly the committed prefix, and recovering the same log again is a
+// no-op.
+func TestRecoveryKillAtEveryByte(t *testing.T) {
+	srcDir := t.TempDir()
+	snaps, data := workload(t, srcDir)
+	bs := boundaries(t, data)
+	if len(bs) != len(snaps) {
+		t.Fatalf("%d boundaries for %d snapshots", len(bs), len(snaps))
+	}
+	complete := func(cut int64) int {
+		k := 0
+		for k+1 < len(bs) && bs[k+1] <= cut {
+			k++
+		}
+		return k
+	}
+	for cut := int64(0); cut <= int64(len(data)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(segmentPath(dir, 1), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		k := complete(cut)
+		l, st, info := openDir(t, dir)
+		if info.Records != int64(k) {
+			t.Fatalf("cut %d: applied %d records, want %d", cut, info.Records, k)
+		}
+		wantTorn := cut - bs[k]
+		if info.TornTailBytes != wantTorn {
+			t.Fatalf("cut %d: torn %d bytes, want %d", cut, info.TornTailBytes, wantTorn)
+		}
+		if got := storeImage(st); !reflect.DeepEqual(got, snaps[k]) {
+			t.Fatalf("cut %d: image\n%v\nwant\n%v", cut, got, snaps[k])
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Second recovery of the (now truncated) log: same state, no
+		// torn tail — replaying a log twice is a no-op.
+		l2, st2, info2 := openDir(t, dir)
+		if info2.TornTailBytes != 0 || info2.Records != int64(k) {
+			t.Fatalf("cut %d second recovery: %+v", cut, info2)
+		}
+		if got := storeImage(st2); !reflect.DeepEqual(got, snaps[k]) {
+			t.Fatalf("cut %d: second recovery diverged", cut)
+		}
+		l2.Close()
+	}
+}
+
+// A log can keep appending after a torn-tail recovery.
+func TestRecoveryAppendAfterTorn(t *testing.T) {
+	dir := t.TempDir()
+	snaps, data := workload(t, dir)
+	bs := boundaries(t, data)
+	cut := bs[2] + 3 // mid-record tear after two complete records
+	if err := os.Truncate(segmentPath(dir, 1), cut); err != nil {
+		t.Fatal(err)
+	}
+	l, st, info := openDir(t, dir)
+	if info.Records != 2 || info.TornTailBytes != 3 {
+		t.Fatalf("recovery info %+v", info)
+	}
+	cls := st.Schema().Class("item")
+	in, err := st.NewInstance(cls, storage.IntV(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.BeginCommit(99)
+	c.Create(cls.ID, uint64(in.OID), in)
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, st2, info2 := openDir(t, dir)
+	defer l2.Close()
+	if info2.Records != 3 {
+		t.Fatalf("post-append recovery applied %d records, want 3", info2.Records)
+	}
+	want := snaps[2].clone()
+	want[in.OID] = in.Snapshot()
+	if got := storeImage(st2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("image after torn+append\n%v\nwant\n%v", got, want)
+	}
+}
+
+// Two identical segments: the same records replayed twice must land on
+// the same final state (idempotent apply).
+func TestRecoveryDoubleReplayNoop(t *testing.T) {
+	srcDir := t.TempDir()
+	snaps, data := workload(t, srcDir)
+	dir := t.TempDir()
+	if err := os.WriteFile(segmentPath(dir, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segmentPath(dir, 2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, st, info := openDir(t, dir)
+	defer l.Close()
+	if info.Segments != 2 || info.Records != 2*int64(len(snaps)-1) {
+		t.Fatalf("recovery info %+v", info)
+	}
+	if got := storeImage(st); !reflect.DeepEqual(got, snaps[len(snaps)-1]) {
+		t.Fatalf("double replay diverged:\n%v\nwant\n%v", got, snaps[len(snaps)-1])
+	}
+}
+
+func TestRecoveryCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t)
+	l, _, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := st.Schema().Class("item")
+	in, err := st.NewInstance(cls, storage.IntV(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.BeginCommit(1)
+	c.Create(cls.ID, uint64(in.OID), in)
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segmentPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 not deleted after checkpoint: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointName)); err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+	// Post-checkpoint commits land in segment 2.
+	in.Set(0, storage.IntV(5))
+	c = l.BeginCommit(2)
+	c.Write(uint64(in.OID), 0, in.Get(0))
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A second checkpoint folds them in too.
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, st2, info := openDir(t, dir)
+	defer l2.Close()
+	if !info.Checkpoint {
+		t.Fatal("recovery did not load the checkpoint")
+	}
+	if info.Records != 0 {
+		t.Fatalf("post-checkpoint recovery replayed %d records, want 0", info.Records)
+	}
+	got, ok := st2.Get(in.OID)
+	if !ok || got.Get(0) != storage.IntV(5) {
+		t.Fatalf("checkpointed value lost: %v", got)
+	}
+	if st2.MaxOID() < in.OID {
+		t.Fatalf("MaxOID %d below checkpointed instance %d", st2.MaxOID(), in.OID)
+	}
+}
+
+// Stray files that merely share a segment's name prefix (backups,
+// editor droppings) are ignored — Sscanf alone would count
+// "wal-000001.log.bak" as segment 1 and fake a segment gap.
+func TestRecoveryIgnoresStraySegmentLikeFiles(t *testing.T) {
+	dir := t.TempDir()
+	snaps, data := workload(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, "wal-000001.log.bak"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wal-1.log"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, st, info := openDir(t, dir)
+	defer l.Close()
+	if info.Segments != 1 {
+		t.Fatalf("replayed %d segments, want 1", info.Segments)
+	}
+	if got := storeImage(st); !reflect.DeepEqual(got, snaps[len(snaps)-1]) {
+		t.Fatal("stray files corrupted recovery")
+	}
+}
+
+func TestRecoveryIgnoresCheckpointTmp(t *testing.T) {
+	dir := t.TempDir()
+	snaps, _ := workload(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, checkpointTmp), []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, st, _ := openDir(t, dir)
+	defer l.Close()
+	if got := storeImage(st); !reflect.DeepEqual(got, snaps[len(snaps)-1]) {
+		t.Fatal("checkpoint.tmp garbage corrupted recovery")
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointTmp)); !os.IsNotExist(err) {
+		t.Fatal("checkpoint.tmp not cleaned up")
+	}
+}
+
+// Concurrent committers share fsyncs through the group-commit window,
+// and everything each of them was acknowledged for survives recovery.
+func TestRecoveryGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t)
+	l, _, err := Open(dir, st, Options{GroupCommitWindow: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := st.Schema().Class("item")
+	const workers = 8
+	const commitsEach = 50
+	insts := make([]*storage.Instance, workers)
+	c := l.BeginCommit(1)
+	for i := range insts {
+		in, err := st.NewInstance(cls, storage.IntV(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = in
+		c.Create(cls.ID, uint64(in.OID), in)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := insts[w]
+			for i := 1; i <= commitsEach; i++ {
+				in.Set(0, storage.IntV(int64(i)))
+				c := l.BeginCommit(uint64(100 + w*1000 + i))
+				c.Write(uint64(in.OID), 0, in.Get(0))
+				if err := c.Commit(); err != nil {
+					errs <- fmt.Errorf("worker %d commit %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	stats := l.Stats()
+	if want := int64(workers*commitsEach + 1); stats.Records != want {
+		t.Fatalf("logged %d records, want %d", stats.Records, want)
+	}
+	if stats.Batches > stats.Records {
+		t.Fatalf("more batches (%d) than records (%d)?", stats.Batches, stats.Records)
+	}
+	t.Logf("group commit: %d records in %d fsync batches", stats.Records, stats.Batches)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, st2, info := openDir(t, dir)
+	defer l2.Close()
+	if info.Records != int64(workers*commitsEach+1) {
+		t.Fatalf("recovered %d records", info.Records)
+	}
+	for w, in := range insts {
+		rec, ok := st2.Get(in.OID)
+		if !ok || rec.Get(0) != storage.IntV(commitsEach) {
+			t.Fatalf("worker %d instance: %v (want %d)", w, rec.Get(0), commitsEach)
+		}
+	}
+}
+
+func TestCommitAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t)
+	l, _, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := l.BeginCommit(1)
+	c.Delete(42)
+	if err := c.Commit(); err != ErrClosed {
+		t.Fatalf("commit after close = %v, want ErrClosed", err)
+	}
+	if err := l.Checkpoint(); err != ErrClosed {
+		t.Fatalf("checkpoint after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestOpenRejectsNonEmptyStore(t *testing.T) {
+	st := newTestStore(t)
+	if _, err := st.NewInstance(st.Schema().Class("item"), storage.IntV(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(t.TempDir(), st, Options{}); err == nil {
+		t.Fatal("Open accepted a non-empty store")
+	}
+}
+
+// A log directory written under one schema refuses to replay under a
+// schema whose dense IDs or slot layouts bind differently — even a
+// shape-compatible class swap must fail loudly, not rebind silently.
+func TestRecoveryRejectsDifferentSchema(t *testing.T) {
+	dir := t.TempDir()
+	workload(t, dir)
+	other, err := schema.FromSource(`
+class impostor is
+    instance variables are
+        a : integer
+        b : integer
+        label : string
+        flag : boolean
+        ref : impostor
+    method noop is
+    end
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, storage.NewStore(other), Options{}); err == nil {
+		t.Fatal("Open accepted a log written under a different schema")
+	}
+	// The original schema still opens.
+	l, _, err := Open(dir, newTestStore(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+// After a write/fsync failure the log is fail-stop: no later commit is
+// acknowledged, so nothing durable can ever sit beyond corrupt bytes.
+func TestFailStopAfterWriteError(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t)
+	l, _, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	wantErr := fmt.Errorf("injected disk failure")
+	l.markBroken(wantErr) //nolint:errcheck
+	c := l.BeginCommit(1)
+	c.Delete(42)
+	if err := c.Commit(); err == nil {
+		t.Fatal("commit succeeded on a failed log")
+	}
+	if err := l.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded on a failed log")
+	}
+}
+
+// A commit record beyond the recovery-side size bound is rejected at
+// Commit (the transaction aborts) instead of being written as a frame
+// recovery would classify as garbage.
+func TestOversizedCommitRejected(t *testing.T) {
+	old := maxRecordSize
+	maxRecordSize = 1 << 16
+	defer func() { maxRecordSize = old }()
+	dir := t.TempDir()
+	st := newTestStore(t)
+	l, _, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	huge := string(make([]byte, 1<<15))
+	c := l.BeginCommit(1)
+	for i := 0; i < 5; i++ {
+		c.Write(1, 2, storage.StrV(huge))
+	}
+	if err := c.Commit(); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	// The log is still healthy for normal commits.
+	c = l.BeginCommit(2)
+	c.Delete(42)
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueRoundtrip(t *testing.T) {
+	vals := []storage.Value{
+		storage.IntV(0), storage.IntV(-1), storage.IntV(1 << 60), storage.IntV(-(1 << 60)),
+		storage.BoolV(true), storage.BoolV(false),
+		storage.StrV(""), storage.StrV("héllo\x00world"),
+		storage.RefV(0), storage.RefV(1 << 40),
+	}
+	var b []byte
+	for _, v := range vals {
+		b = appendValue(b, v)
+	}
+	d := decoder{b: b}
+	for i, want := range vals {
+		got := d.value()
+		if d.err != nil {
+			t.Fatalf("value %d: %v", i, d.err)
+		}
+		if got != want {
+			t.Fatalf("value %d: got %v, want %v", i, got, want)
+		}
+	}
+	if d.pos != len(b) {
+		t.Fatalf("trailing bytes: %d of %d", d.pos, len(b))
+	}
+}

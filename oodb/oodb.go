@@ -34,6 +34,7 @@ package oodb
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -226,14 +227,107 @@ type Database struct {
 	db *engine.DB
 }
 
+// OpenOption configures Open beyond the strategy choice.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	durable           bool
+	dir               string
+	groupCommitWindow time.Duration
+	checkpointBytes   int64
+	noSync            bool
+}
+
+// Durable makes the database persistent under dir: Open recovers any
+// existing checkpoint + redo-log tail (crash-safe, torn-tail tolerant),
+// and every later commit is fsynced — batched by group commit — before
+// its locks release. Close the database to flush cleanly; a crash at
+// any point loses nothing that was committed.
+func Durable(dir string) OpenOption {
+	return func(c *openConfig) {
+		c.durable = true
+		c.dir = dir
+	}
+}
+
+// GroupCommitWindow sets how long the log's writer goroutine waits for
+// more concurrent commits to share one fsync (default 0: batch only
+// what is already queued). Larger windows trade commit latency for
+// fewer fsyncs under load.
+func GroupCommitWindow(d time.Duration) OpenOption {
+	return func(c *openConfig) { c.groupCommitWindow = d }
+}
+
+// CheckpointEvery auto-compacts the log whenever the live segment
+// exceeds the given size (default: only Database.Checkpoint compacts).
+func CheckpointEvery(bytes int64) OpenOption {
+	return func(c *openConfig) { c.checkpointBytes = bytes }
+}
+
+// RelaxedSync acknowledges commits after the buffered OS write without
+// waiting for fsync (the log still fsyncs on checkpoint and Close). A
+// process crash loses nothing; an OS crash or power loss may lose the
+// most recent commits. The classic durability/throughput trade-off
+// knob.
+func RelaxedSync() OpenOption {
+	return func(c *openConfig) { c.noSync = true }
+}
+
 // Open creates a database over a compiled schema with the chosen
-// concurrency-control strategy.
-func Open(s *Schema, strategy Strategy) (*Database, error) {
+// concurrency-control strategy. With no options the database is
+// volatile; Durable(dir) adds the write-ahead log, checkpoints and
+// crash recovery:
+//
+//	db, err := oodb.Open(schema, oodb.Fine, oodb.Durable("/data/app"))
+func Open(s *Schema, strategy Strategy, opts ...OpenOption) (*Database, error) {
 	impl, err := strategy.impl()
 	if err != nil {
 		return nil, err
 	}
-	return &Database{db: engine.Open(s.compiled, impl)}, nil
+	var cfg openConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	db, err := engine.OpenWithOptions(s.compiled, engine.Options{
+		Strategy:          impl,
+		Durable:           cfg.durable,
+		Dir:               cfg.dir,
+		GroupCommitWindow: cfg.groupCommitWindow,
+		CheckpointBytes:   cfg.checkpointBytes,
+		NoSync:            cfg.noSync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+// Close flushes and closes the redo log (no-op for a volatile
+// database). In-flight commits complete durably first.
+func (d *Database) Close() error { return d.db.Close() }
+
+// Checkpoint compacts the redo log into a fresh checkpoint and
+// truncates the replayed segments (no-op for a volatile database).
+func (d *Database) Checkpoint() error { return d.db.Checkpoint() }
+
+// RecoveryStats describes what a durable Open found and replayed.
+type RecoveryStats struct {
+	Checkpoint      bool  // a checkpoint file was loaded
+	SegmentsScanned int   // log segments replayed
+	RecordsApplied  int64 // commit records applied
+	TornTailBytes   int64 // bytes truncated off a crash-torn log tail
+}
+
+// Recovery reports what the durable Open replayed (zero value for a
+// volatile database or a fresh directory).
+func (d *Database) Recovery() RecoveryStats {
+	info := d.db.Recovery()
+	return RecoveryStats{
+		Checkpoint:      info.Checkpoint,
+		SegmentsScanned: info.Segments,
+		RecordsApplied:  info.Records,
+		TornTailBytes:   info.TornTailBytes,
+	}
 }
 
 // Txn is an open transaction bound to its database session.
@@ -251,6 +345,9 @@ func (d *Database) Begin() *Txn {
 
 // Update runs fn in a transaction, committing on success, rolling back
 // on error, and transparently retrying deadlock victims with backoff.
+// The *Txn passed to fn is only valid inside the call: it is recycled
+// when Update returns (and fn may run more than once on deadlock), so
+// it must not be retained or used afterwards.
 func (d *Database) Update(fn func(*Txn) error) error {
 	return d.db.RunWithRetry(func(tx *txn.Txn) error {
 		return fn(&Txn{db: d, tx: tx})
