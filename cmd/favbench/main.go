@@ -1,12 +1,20 @@
 // Command favbench regenerates the paper's tables, figures and
-// quantified claims. Each experiment prints what the paper states and
-// the values this reproduction measures.
+// quantified claims, and maintains the repository's benchmark
+// trajectory. Each experiment prints what the paper states and the
+// values this reproduction measures.
 //
 // Usage:
 //
-//	favbench -list            # list experiment IDs
-//	favbench -run all         # run everything (default)
-//	favbench -run scenario52  # run one experiment
+//	favbench -list                      # list experiment IDs
+//	favbench -run all                   # run everything (default)
+//	favbench -run scenario52            # run one experiment
+//
+//	go test -bench ... | favbench -parse > BENCH.json
+//	favbench -gate BENCH_PR5.json -in BENCH.json
+//
+// -parse turns `go test -bench` output into the machine-readable
+// trajectory JSON CI uploads; -gate compares a fresh trajectory against
+// the committed baseline and exits non-zero when allocs/op regressed.
 package main
 
 import (
@@ -22,16 +30,29 @@ func main() {
 	var (
 		runID = flag.String("run", "all", "experiment ID to run, or 'all'")
 		list  = flag.Bool("list", false, "list experiments and exit")
+		parse = flag.Bool("parse", false, "parse `go test -bench` output from stdin into trajectory JSON on stdout")
+		gate  = flag.String("gate", "", "baseline trajectory JSON: gate the -in trajectory's allocs/op against it")
+		in    = flag.String("in", "", "current trajectory JSON for -gate (default stdin)")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *runID, *list); err != nil {
+	var err error
+	switch {
+	case *parse:
+		err = parseBench(os.Stdin, os.Stdout)
+	case *gate != "":
+		err = gateBench(os.Stdout, *gate, *in)
+	default:
+		err = run(os.Stdout, *runID, *list)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "favbench:", err)
 		os.Exit(1)
 	}
 }
 
-// run executes the tool against w; separated from main for testing.
+// run executes the experiment tool against w; separated from main for
+// testing.
 func run(w io.Writer, runID string, list bool) error {
 	if list {
 		for _, e := range bench.Experiments() {
@@ -43,4 +64,44 @@ func run(w io.Writer, runID string, list bool) error {
 		return bench.RunAll(w)
 	}
 	return bench.RunByID(w, runID)
+}
+
+// parseBench converts raw benchmark output into trajectory JSON.
+func parseBench(r io.Reader, w io.Writer) error {
+	tr, err := bench.ParseGoBench(r)
+	if err != nil {
+		return err
+	}
+	if len(tr.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return tr.WriteJSON(w)
+}
+
+// gateBench compares the current trajectory (inPath, or stdin when
+// empty) against the committed baseline.
+func gateBench(w io.Writer, basePath, inPath string) error {
+	bf, err := os.Open(basePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := bench.ReadTrajectory(bf)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", basePath, err)
+	}
+	var cr io.Reader = os.Stdin
+	if inPath != "" {
+		cf, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		cr = cf
+	}
+	cur, err := bench.ReadTrajectory(cr)
+	if err != nil {
+		return fmt.Errorf("current trajectory: %w", err)
+	}
+	return bench.GateAllocs(w, base, cur)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -56,11 +57,16 @@ type EngineScenario struct {
 
 	// Durable runs the scenario on a write-ahead-logged engine rooted
 	// at Dir, with the given group-commit window and sync policy — the
-	// durability-cost experiment's knobs.
+	// durability-cost experiment's knobs. Pipelined commits through
+	// RunWithRetryPipelined with up to PipelineDepth durability futures
+	// outstanding per worker (default 64), overlapping execution with
+	// the group commit's fsync.
 	Durable           bool
 	Dir               string
 	GroupCommitWindow time.Duration
-	NoSync            bool
+	Sync              wal.SyncPolicy
+	Pipelined         bool
+	PipelineDepth     int
 }
 
 // Name renders the scenario as a benchmark-style path segment.
@@ -233,6 +239,47 @@ type engineWorker struct {
 	cumW    []int // cumulative send weights
 	totW    int
 	private []storage.OID // churn pool, owned by this worker
+	futures []txn.Future  // outstanding pipelined commits, oldest first
+}
+
+// runTxn executes one transaction through the scenario's commit mode:
+// blocking, or pipelined with at most PipelineDepth futures outstanding
+// (the session model: keep issuing transactions while earlier fsyncs
+// are in flight, but bound the unacknowledged window).
+func (w *engineWorker) runTxn(db *engine.DB, fn func(*txn.Txn) error) error {
+	if !w.sc.Pipelined {
+		return db.RunWithRetry(fn)
+	}
+	fut, err := db.RunWithRetryPipelined(fn)
+	if err != nil {
+		return err
+	}
+	depth := w.sc.PipelineDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	w.futures = append(w.futures, fut)
+	if len(w.futures) >= depth {
+		oldest := w.futures[0]
+		copy(w.futures, w.futures[1:])
+		w.futures = w.futures[:len(w.futures)-1]
+		if err := oldest.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drain resolves every outstanding pipelined future.
+func (w *engineWorker) drain() error {
+	var first error
+	for _, f := range w.futures {
+		if err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	w.futures = w.futures[:0]
+	return first
 }
 
 func (w *engineWorker) pickObject(objects []storage.OID) storage.OID {
@@ -282,7 +329,7 @@ func (w *engineWorker) runOp(db *engine.DB, objects []storage.OID,
 	case opScan:
 		*scans++
 		scanArgs := sendArgs(w.prof, w.rng, w.prof.scanMethod)
-		return db.RunWithRetry(func(tx *txn.Txn) error {
+		return w.runTxn(db, func(tx *txn.Txn) error {
 			_, err := db.DomainScan(tx, w.prof.scanRoot, w.prof.scanMethod, false, nil, scanArgs...)
 			return err
 		})
@@ -297,7 +344,7 @@ func (w *engineWorker) runOp(db *engine.DB, objects []storage.OID,
 				break
 			}
 		}
-		return db.RunWithRetry(func(tx *txn.Txn) error {
+		return w.runTxn(db, func(tx *txn.Txn) error {
 			in, err := db.NewInstance(tx, cls)
 			if err != nil {
 				return err
@@ -316,7 +363,7 @@ func (w *engineWorker) runOp(db *engine.DB, objects []storage.OID,
 			args = op.args(w.rng)
 		}
 		oid := w.pickObject(objects)
-		return db.RunWithRetry(func(tx *txn.Txn) error {
+		return w.runTxn(db, func(tx *txn.Txn) error {
 			_, err := db.Send(tx, oid, op.method, args...)
 			return err
 		})
@@ -364,7 +411,7 @@ func setupEngineScenario(sc EngineScenario) (*engineScenarioState, error) {
 		Durable:           sc.Durable,
 		Dir:               sc.Dir,
 		GroupCommitWindow: sc.GroupCommitWindow,
-		NoSync:            sc.NoSync,
+		Sync:              sc.Sync,
 	})
 	if err != nil {
 		return nil, err
@@ -447,6 +494,10 @@ func (st *engineScenarioState) runEngineWorkers(totalOps int64) (sends, scans, c
 					errs <- err
 					return
 				}
+			}
+			if err := w.drain(); err != nil {
+				errs <- err
+				return
 			}
 			sendN.Add(s)
 			scanN.Add(sc2)

@@ -1,0 +1,201 @@
+package bench
+
+// Benchmark trajectory: the machine-readable perf record CI keeps.
+// `go test -bench` output is parsed into a Trajectory, committed as
+// BENCH_<PR>.json next to EXPERIMENTS.md, and every CI run re-measures
+// and gates allocs/op against the committed baseline — so a regression
+// of the wins earlier PRs bought fails the build instead of rotting
+// silently in prose.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchRecord is one parsed benchmark result line.
+type BenchRecord struct {
+	// Name is the benchmark path without the trailing -GOMAXPROCS
+	// suffix, so records compare across host core counts.
+	Name  string `json:"name"`
+	Procs int    `json:"procs"` // the stripped suffix (1 when absent)
+	Iters int64  `json:"iters"`
+	// Metrics maps unit → value: ns/op, B/op, allocs/op, plus any
+	// custom b.ReportMetric units (txn/fsync, records/s, …).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Trajectory is one benchmark snapshot.
+type Trajectory struct {
+	Benchmarks []BenchRecord `json:"benchmarks"`
+}
+
+var benchLineRE = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+var procsSuffixRE = regexp.MustCompile(`-(\d+)$`)
+
+// ParseGoBench parses `go test -bench` output (as produced with
+// -benchmem and any custom metrics) into a Trajectory. Non-benchmark
+// lines (goos/pkg headers, PASS, experiment prose) are ignored.
+func ParseGoBench(r io.Reader) (*Trajectory, error) {
+	tr := &Trajectory{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLineRE.FindStringSubmatch(strings.TrimRight(sc.Text(), " \t"))
+		if m == nil {
+			continue
+		}
+		rec := BenchRecord{Name: m[1], Procs: 1, Metrics: map[string]float64{}}
+		if pm := procsSuffixRE.FindStringSubmatch(rec.Name); pm != nil {
+			if p, err := strconv.Atoi(pm[1]); err == nil && p > 0 {
+				rec.Procs = p
+				rec.Name = rec.Name[:len(rec.Name)-len(pm[0])]
+			}
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad iteration count in %q", sc.Text())
+		}
+		rec.Iters = iters
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("bench: odd metric fields in %q", sc.Text())
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: bad metric value %q in %q", fields[i], sc.Text())
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		tr.Benchmarks = append(tr.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(tr.Benchmarks, func(i, j int) bool {
+		return tr.Benchmarks[i].Name < tr.Benchmarks[j].Name
+	})
+	return tr, nil
+}
+
+// WriteJSON serializes the trajectory deterministically (sorted
+// benchmarks, sorted metric keys via encoding/json's map ordering).
+func (tr *Trajectory) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadTrajectory loads a JSON trajectory.
+func ReadTrajectory(r io.Reader) (*Trajectory, error) {
+	tr := &Trajectory{}
+	if err := json.NewDecoder(r).Decode(tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// byName indexes records by benchmark name.
+func (tr *Trajectory) byName() map[string]BenchRecord {
+	out := make(map[string]BenchRecord, len(tr.Benchmarks))
+	for _, b := range tr.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+// AllocRegression is one benchmark whose allocs/op exceeded the
+// baseline allowance, or which vanished from the run.
+type AllocRegression struct {
+	Name    string
+	Base    float64
+	Current float64
+	Allowed float64
+	Missing bool // present in the baseline, absent from the run
+}
+
+func (r AllocRegression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: present in baseline, missing from this run", r.Name)
+	}
+	return fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (allowed ≤ %.0f)",
+		r.Name, r.Current, r.Base, r.Allowed)
+}
+
+// allocAllowance is the gate's tolerance: 50%% headroom plus four
+// absolute allocations. The fixed benchtime is low enough that
+// cold-start allocations (pool fills, per-goroutine closures) are only
+// partially amortized and vary a little across host core counts; the
+// band absorbs that while still catching the regressions that matter —
+// a per-op allocation on a scenario or recovery benchmark lands
+// hundreds outside it. Exact zero-alloc hot paths are enforced
+// separately by the uninstrumented ZeroAllocs CI step, which is the
+// precise tool for ±1.
+func allocAllowance(base float64) float64 { return base*1.5 + 4 }
+
+// CompareAllocs gates cur against base: every baseline benchmark must
+// still exist and its allocs/op must stay within the allowance.
+// Benchmarks without an allocs/op metric (un-benchmem runs) are
+// skipped; benchmarks new in cur are allowed (they become baseline in
+// the next committed trajectory).
+func CompareAllocs(base, cur *Trajectory) []AllocRegression {
+	curBy := cur.byName()
+	var out []AllocRegression
+	for _, b := range base.Benchmarks {
+		baseAllocs, ok := b.Metrics["allocs/op"]
+		if !ok {
+			continue
+		}
+		c, ok := curBy[b.Name]
+		if !ok {
+			out = append(out, AllocRegression{Name: b.Name, Missing: true})
+			continue
+		}
+		curAllocs, ok := c.Metrics["allocs/op"]
+		if !ok {
+			out = append(out, AllocRegression{Name: b.Name, Missing: true})
+			continue
+		}
+		if allowed := allocAllowance(baseAllocs); curAllocs > allowed {
+			out = append(out, AllocRegression{
+				Name: b.Name, Base: baseAllocs, Current: curAllocs, Allowed: allowed,
+			})
+		}
+	}
+	return out
+}
+
+// GateAllocs renders a comparison report to w and returns an error when
+// any baseline benchmark regressed. ns/op drift is reported for
+// context but never fails the gate — CI wall clocks are too noisy; the
+// trajectory file is what makes the drift visible over PRs.
+func GateAllocs(w io.Writer, base, cur *Trajectory) error {
+	curBy := cur.byName()
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		if !ok {
+			continue
+		}
+		baseNs, okB := b.Metrics["ns/op"]
+		curNs, okC := c.Metrics["ns/op"]
+		if okB && okC && baseNs > 0 {
+			fmt.Fprintf(w, "%-70s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
+				b.Name, baseNs, curNs, 100*(curNs-baseNs)/baseNs)
+		}
+	}
+	regs := CompareAllocs(base, cur)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "alloc gate: %d baseline benchmarks within allowance\n", len(base.Benchmarks))
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("bench: %d benchmark(s) regressed allocs/op vs the committed baseline", len(regs))
+}

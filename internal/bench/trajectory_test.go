@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/bench
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkHotSend-8         	 2000000	       559 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHotSend           	 2000000	       601 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDurablePipelined/sync-always/w=4-8 	   50000	     22101 ns/op	       212.0 txn/fsync	    46 B/op	       2 allocs/op
+BenchmarkEngineThroughput/banking/send-heavy/uniform/w8 	       1	 17000000 ns/op
+PASS
+ok  	repro/internal/bench	12.3s
+`
+
+func TestParseGoBench(t *testing.T) {
+	tr, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(tr.Benchmarks))
+	}
+	by := tr.byName()
+	hot, ok := by["BenchmarkHotSend"]
+	if !ok {
+		t.Fatal("BenchmarkHotSend missing (procs suffix not stripped?)")
+	}
+	// Both the -8 and suffix-less lines parse to the same name; the
+	// later line wins in the index, either is acceptable for the gate.
+	if hot.Metrics["allocs/op"] != 0 || hot.Metrics["B/op"] != 0 {
+		t.Fatalf("HotSend metrics %v", hot.Metrics)
+	}
+	pip, ok := by["BenchmarkDurablePipelined/sync-always/w=4"]
+	if !ok {
+		t.Fatalf("pipelined sub-benchmark not found in %v", tr.Benchmarks)
+	}
+	if pip.Procs != 8 || pip.Iters != 50000 {
+		t.Fatalf("pipelined record %+v", pip)
+	}
+	if pip.Metrics["txn/fsync"] != 212.0 || pip.Metrics["allocs/op"] != 2 {
+		t.Fatalf("pipelined metrics %v", pip.Metrics)
+	}
+	// A benchmark without -benchmem has ns/op only.
+	eng := by["BenchmarkEngineThroughput/banking/send-heavy/uniform/w8"]
+	if eng.Metrics["ns/op"] != 17000000 {
+		t.Fatalf("throughput metrics %v", eng.Metrics)
+	}
+}
+
+func TestTrajectoryJSONRoundtrip(t *testing.T) {
+	tr, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrajectory(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(tr.Benchmarks) {
+		t.Fatalf("roundtrip lost benchmarks: %d vs %d", len(back.Benchmarks), len(tr.Benchmarks))
+	}
+	for i := range tr.Benchmarks {
+		if back.Benchmarks[i].Name != tr.Benchmarks[i].Name {
+			t.Fatalf("roundtrip reordered: %q vs %q", back.Benchmarks[i].Name, tr.Benchmarks[i].Name)
+		}
+	}
+}
+
+func trajectoryOf(t *testing.T, lines string) *Trajectory {
+	t.Helper()
+	tr, err := ParseGoBench(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCompareAllocsGate(t *testing.T) {
+	base := trajectoryOf(t, `
+BenchmarkA-8 	 100	 500 ns/op	 0 B/op	 0 allocs/op
+BenchmarkB-8 	 100	 500 ns/op	 64 B/op	 4 allocs/op
+BenchmarkC-8 	 100	 500 ns/op	 800 B/op	 100 allocs/op
+BenchmarkGone-8 	 100	 500 ns/op	 0 B/op	 0 allocs/op
+`)
+	// Within allowance: B 4→5 (≤ 4*1.5+4), C 100→120 (≤ 154); A stays
+	// within the absolute slack. New benchmarks are fine.
+	cur := trajectoryOf(t, `
+BenchmarkA-8 	 100	 480 ns/op	 0 B/op	 1 allocs/op
+BenchmarkB-8 	 100	 520 ns/op	 80 B/op	 5 allocs/op
+BenchmarkC-8 	 100	 490 ns/op	 900 B/op	 120 allocs/op
+BenchmarkGone-8 	 100	 500 ns/op	 0 B/op	 0 allocs/op
+BenchmarkNew-8 	 100	 100 ns/op	 0 B/op	 50 allocs/op
+`)
+	if regs := CompareAllocs(base, cur); len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
+	}
+
+	// A baseline benchmark that vanished from the run fails the gate —
+	// a rename or deletion must update the committed baseline.
+	missing := trajectoryOf(t, `
+BenchmarkA-8 	 100	 480 ns/op	 0 B/op	 0 allocs/op
+BenchmarkB-8 	 100	 520 ns/op	 64 B/op	 4 allocs/op
+BenchmarkC-8 	 100	 490 ns/op	 800 B/op	 100 allocs/op
+`)
+	regs := CompareAllocs(base, missing)
+	if len(regs) != 1 || !regs[0].Missing || regs[0].Name != "BenchmarkGone" {
+		t.Fatalf("regressions = %v, want only the missing BenchmarkGone", regs)
+	}
+
+	// A real regression: a per-op allocation leak on a 0-alloc benchmark.
+	worse := trajectoryOf(t, `
+BenchmarkA-8 	 100	 480 ns/op	 148 B/op	 6 allocs/op
+BenchmarkB-8 	 100	 520 ns/op	 80 B/op	 4 allocs/op
+BenchmarkC-8 	 100	 490 ns/op	 800 B/op	 100 allocs/op
+BenchmarkGone-8 	 100	 500 ns/op	 0 B/op	 0 allocs/op
+`)
+	regs = CompareAllocs(base, worse)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkA" || regs[0].Missing {
+		t.Fatalf("regressions = %v, want BenchmarkA over allowance", regs)
+	}
+	var buf bytes.Buffer
+	if err := GateAllocs(&buf, base, worse); err == nil {
+		t.Fatal("gate passed a regressed trajectory")
+	}
+	if !strings.Contains(buf.String(), "REGRESSION BenchmarkA") {
+		t.Fatalf("gate report missing regression line:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := GateAllocs(&buf, base, cur); err != nil {
+		t.Fatalf("gate failed a within-allowance trajectory: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ns/op") {
+		t.Fatalf("gate report missing ns/op context:\n%s", buf.String())
+	}
+}

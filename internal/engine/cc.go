@@ -42,6 +42,15 @@ type Acquirer interface {
 //	               instance under every protocol).
 type Strategy interface {
 	Name() string
+	// ConcurrentWriters reports whether the protocol can grant two
+	// transactions writing the same instance simultaneously. True only
+	// for the fine method-mode tables: declared (escrow-style)
+	// commutativity admits concurrent writers of one slot, so the
+	// engine must additionally serialize writing method activations on
+	// the instance's execution latch. Protocols that answer true must
+	// never acquire lock-manager locks from their NestedSend or
+	// FieldAccess hooks — those run while the latch is held.
+	ConcurrentWriters() bool
 	TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error
 	NestedSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error
 	FieldAccess(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, f *schema.Field, write bool) error

@@ -25,6 +25,12 @@ type FieldCC struct{}
 // Name implements Strategy.
 func (FieldCC) Name() string { return "field" }
 
+// ConcurrentWriters: writers of different fields coexist, but a field
+// lock is exclusive per slot, so the slot-level read-modify-write race
+// cannot arise and no execution latch is needed (FieldAccess acquires
+// locks mid-frame, so holding one would deadlock).
+func (FieldCC) ConcurrentWriters() bool { return false }
+
 // TopSend implements Strategy: an intention lock on the class so that
 // extent scans still serialize against individual accesses.
 func (FieldCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {

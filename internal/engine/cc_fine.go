@@ -28,6 +28,13 @@ type FineCC struct{}
 // Name implements Strategy.
 func (FineCC) Name() string { return "fine" }
 
+// ConcurrentWriters: method modes derived from commutativity tables can
+// grant two writers of one instance at once — declared escrow pairs
+// even share a slot — so writing activations serialize on the
+// instance's execution latch. The in-frame hooks below are no-ops,
+// which is what makes holding the latch across a frame deadlock-free.
+func (FineCC) ConcurrentWriters() bool { return true }
+
 // TopSend implements Strategy.
 func (FineCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {
 	crt := rt.class(cls)

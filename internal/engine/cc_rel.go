@@ -33,6 +33,10 @@ type RelCC struct{}
 // Name implements Strategy.
 func (RelCC) Name() string { return "relational" }
 
+// ConcurrentWriters: tuple writes lock exclusively per relation of the
+// 1NF decomposition, so two writers of one slot never coexist.
+func (RelCC) ConcurrentWriters() bool { return false }
+
 // relPlan returns the precomputed per-relation lock plan of a method
 // execution on proper instances of cls.
 func relPlan(rt *Runtime, cls *schema.Class, mid schema.MethodID) ([]relLock, error) {

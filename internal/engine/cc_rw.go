@@ -25,6 +25,11 @@ type RWCC struct{}
 // Name implements Strategy.
 func (RWCC) Name() string { return "rw" }
 
+// ConcurrentWriters: the write mode is exclusive at the instance
+// granule, so two writers never coexist and no execution latch is
+// needed.
+func (RWCC) ConcurrentWriters() bool { return false }
+
 // davWriter classifies the method by its direct access vector, from the
 // Runtime's dense table.
 func davWriter(rt *Runtime, cls *schema.Class, mid schema.MethodID) (bool, error) {
@@ -145,6 +150,10 @@ type RWAnnounceCC struct{}
 
 // Name implements Strategy.
 func (RWAnnounceCC) Name() string { return "rw-announce" }
+
+// ConcurrentWriters: announced modes are at most as permissive as rw —
+// writers stay exclusive.
+func (RWAnnounceCC) ConcurrentWriters() bool { return false }
 
 // TopSend implements Strategy.
 func (RWAnnounceCC) TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error {

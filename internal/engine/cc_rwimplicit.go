@@ -25,6 +25,10 @@ type RWImplicitCC struct{}
 // Name implements Strategy.
 func (RWImplicitCC) Name() string { return "rw-implicit" }
 
+// ConcurrentWriters: write locks are exclusive (implicitly along the
+// inheritance graph), so writers never coexist.
+func (RWImplicitCC) ConcurrentWriters() bool { return false }
+
 // intentUpward takes the intention mode on cls and every ancestor,
 // using the Runtime's precomputed linearization resources.
 func intentUpward(a Acquirer, rt *Runtime, cls *schema.Class, writer bool) error {

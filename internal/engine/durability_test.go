@@ -285,6 +285,135 @@ end
 	}
 }
 
+// Pipelined engine commits: sessions issue transactions without
+// waiting for the fsync, futures resolve durable, Sync is a hard
+// barrier, and the recovered image matches the volatile state exactly.
+func TestRecoveryPipelinedEngineRoundtrip(t *testing.T) {
+	const src = `
+class counter is
+    instance variables are
+        n : integer
+    method bump(k) is
+        n := n + k
+    end
+end
+`
+	dir := t.TempDir()
+	db := openDurable(t, src, dir)
+	var oids []storage.OID
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		for i := 0; i < 4; i++ {
+			in, err := db.NewInstance(tx, "counter")
+			if err != nil {
+				return err
+			}
+			oids = append(oids, in.OID)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 50
+	var futures []txn.Future
+	for i := 1; i <= rounds; i++ {
+		for _, oid := range oids {
+			fut, err := db.RunWithRetryPipelined(func(tx *txn.Txn) error {
+				_, err := db.Send(tx, oid, "bump", storage.IntV(1))
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			futures = append(futures, fut)
+		}
+	}
+	// Sync hardens everything sequenced so far; every future must then
+	// resolve without further waiting on batches.
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fut := range futures {
+		if err := fut.Wait(); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+	want := dbImage(db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDurable(t, src, dir)
+	defer db2.Close()
+	if got := dbImage(db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pipelined recovery image\n%v\nwant\n%v", got, want)
+	}
+	for _, oid := range oids {
+		in, ok := db2.Store.Get(oid)
+		if !ok || in.Get(0) != storage.IntV(rounds) {
+			t.Fatalf("counter %d recovered as %v, want %d", oid, in.Get(0), rounds)
+		}
+	}
+}
+
+// Checkpoint drains outstanding pipelined futures: every future handed
+// out before the call resolves durable, and the checkpoint contains
+// those commits.
+func TestRecoveryPipelinedCheckpointDrains(t *testing.T) {
+	const src = `
+class cell is
+    instance variables are
+        v : integer
+    method set(n) is
+        v := n
+    end
+end
+`
+	dir := t.TempDir()
+	db := openDurable(t, src, dir)
+	var oid storage.OID
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "cell")
+		oid = in.OID
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var futures []txn.Future
+	for i := 1; i <= 20; i++ {
+		fut, err := db.RunWithRetryPipelined(func(tx *txn.Txn) error {
+			_, err := db.Send(tx, oid, "set", storage.IntV(int64(i)))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, fut)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fut := range futures {
+		if err := fut.Wait(); err != nil {
+			t.Fatalf("future %d unresolved after checkpoint: %v", i, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDurable(t, src, dir)
+	defer db2.Close()
+	info := db2.Recovery()
+	if !info.Checkpoint {
+		t.Fatal("checkpoint not written")
+	}
+	if info.Records != 0 {
+		t.Fatalf("tail replayed %d records after a drained checkpoint", info.Records)
+	}
+	in, ok := db2.Store.Get(oid)
+	if !ok || in.Get(0) != storage.IntV(20) {
+		t.Fatalf("recovered v = %v, want 20", in.Get(0))
+	}
+}
+
 func TestDurableCommitAfterCloseFails(t *testing.T) {
 	const src = `
 class cell is

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/txn"
 	"repro/internal/wal"
 )
 
@@ -13,7 +14,8 @@ type Options struct {
 	Strategy Strategy
 	// Durable attaches a write-ahead redo log rooted at Dir: Open
 	// recovers any existing checkpoint + log tail into the store, and
-	// every later commit with effects blocks on the group-commit fsync.
+	// every later commit with effects blocks on (or, pipelined, hands
+	// out a future for) the group-commit acknowledgment.
 	Durable bool
 	// Dir is the log directory (Durable only).
 	Dir string
@@ -24,9 +26,17 @@ type Options struct {
 	// CheckpointBytes auto-checkpoints when the live log segment
 	// exceeds this size (0 = manual Checkpoint only).
 	CheckpointBytes int64
-	// NoSync acknowledges commits after the buffered OS write without
-	// fsync — relaxed durability (survives process crashes, not power
-	// loss). See wal.Options.NoSync.
+	// Sync is the hardening policy: wal.SyncAlways (default — every
+	// acknowledged commit is on disk), wal.SyncEvery(d) (loss window
+	// bounded by d), or wal.SyncNever (relaxed: survives process
+	// crashes, not power loss).
+	Sync wal.SyncPolicy
+	// RecoveryWorkers bounds replay parallelism on Open and Checkpoint
+	// (0 = GOMAXPROCS, 1 = single-threaded).
+	RecoveryWorkers int
+	// NoSync is the deprecated all-or-nothing predecessor of Sync.
+	//
+	// Deprecated: set Sync: wal.SyncNever instead.
 	NoSync bool
 }
 
@@ -41,6 +51,8 @@ func OpenWithOptions(c *core.Compiled, o Options) (*DB, error) {
 	log, info, err := wal.Open(o.Dir, db.Store, wal.Options{
 		GroupCommitWindow: o.GroupCommitWindow,
 		CheckpointBytes:   o.CheckpointBytes,
+		Sync:              o.Sync,
+		RecoveryWorkers:   o.RecoveryWorkers,
 		NoSync:            o.NoSync,
 	})
 	if err != nil {
@@ -55,7 +67,29 @@ func OpenWithOptions(c *core.Compiled, o Options) (*DB, error) {
 // database is volatile).
 func (db *DB) Recovery() wal.RecoveryInfo { return db.recovery }
 
-// Checkpoint compacts the redo log (no-op for a volatile database).
+// RunWithRetryPipelined executes fn transactionally like RunWithRetry
+// but commits pipelined: it returns as soon as the commit record is
+// sequenced in the log, with a durability future that resolves when the
+// record is hardened. The session can start its next transaction while
+// the group commit's fsync is in flight.
+func (db *DB) RunWithRetryPipelined(fn func(*txn.Txn) error) (txn.Future, error) {
+	return db.Txns.RunWithRetryPipelined(fn)
+}
+
+// Sync is a durability barrier: it blocks until every commit sequenced
+// so far — including pipelined commits whose futures have not been
+// waited on — is written and fsynced, regardless of the sync policy.
+// No-op for a volatile database.
+func (db *DB) Sync() error {
+	if w := db.Txns.WAL(); w != nil {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Checkpoint compacts the redo log (no-op for a volatile database). It
+// first drains and hardens outstanding pipelined commits, so every
+// future handed out before the call resolves durable.
 func (db *DB) Checkpoint() error {
 	if w := db.Txns.WAL(); w != nil {
 		return w.Checkpoint()
@@ -63,8 +97,9 @@ func (db *DB) Checkpoint() error {
 	return nil
 }
 
-// Close flushes and closes the redo log. In-flight commits complete;
-// later durable commits fail. Closing a volatile database is a no-op.
+// Close flushes and closes the redo log. In-flight commits complete and
+// outstanding pipelined futures resolve; later durable commits fail.
+// Closing a volatile database is a no-op.
 func (db *DB) Close() error {
 	if w := db.Txns.WAL(); w != nil {
 		return w.Close()

@@ -47,6 +47,11 @@ type DB struct {
 	ecPool   sync.Pool // *execCtx, so a send allocates no context
 	recovery wal.RecoveryInfo
 
+	// latchWriters caches CC.ConcurrentWriters(): under protocols that
+	// grant commuting writers concurrently, field-storing activations
+	// hold the receiver's execution latch (see vm.go).
+	latchWriters bool
+
 	topSends         atomic.Int64
 	nestedSends      atomic.Int64
 	remoteSends      atomic.Int64
@@ -70,6 +75,8 @@ func Open(c *core.Compiled, strategy Strategy) *DB {
 		MaxSteps: 1_000_000,
 		MaxDepth: 256,
 	}
+	db.latchWriters = strategy.ConcurrentWriters()
+	db.Txns.LatchWrites = db.latchWriters
 	db.ecPool.New = func() any { return &execCtx{} }
 	return db
 }
@@ -138,6 +145,7 @@ func (db *DB) putEC(ec *execCtx) {
 	ec.acq = nil
 	ec.live = liveAcquirer{}
 	ec.stack = ec.stack[:0] // balanced activations leave it empty already
+	ec.execHeld = nil       // balanced activations released it already
 	ec.ticks = 0
 	ec.depth = 0
 	db.ecPool.Put(ec)
@@ -282,9 +290,35 @@ type execCtx struct {
 	// [][]OID header that used to cost one allocation per scan.
 	snap [][]storage.OID
 
+	// execHeld is the instance whose execution latch the current
+	// activation chain holds (nil outside writing frames). Invariant:
+	// at any frame boundary it is nil or the frame's own receiver —
+	// remote sends and creates release it first (vm.go unlatch).
+	execHeld *storage.Instance
+
 	steps int
 	ticks int
 	depth int
+}
+
+// unlatch releases the held execution latch before an operation that
+// may block on the lock manager (remote send, create) and returns what
+// to relatch afterwards.
+func (ec *execCtx) unlatch() *storage.Instance {
+	held := ec.execHeld
+	if held != nil {
+		ec.execHeld = nil
+		held.UnlockExec()
+	}
+	return held
+}
+
+// relatch reacquires the latch released by unlatch.
+func (ec *execCtx) relatch(held *storage.Instance) {
+	if held != nil {
+		held.LockExec()
+		ec.execHeld = held
+	}
 }
 
 func (ec *execCtx) create(cls *schema.Class, vals []Value) (*storage.Instance, error) {

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -286,5 +287,80 @@ func TestSerializabilityWideLedgerStorm(t *testing.T) {
 				t.Errorf("%s: txn stats unbalanced: %+v", s.Name(), ts)
 			}
 		})
+	}
+}
+
+// Declared (escrow-style) commutativity admits concurrent writers of
+// one slot, which the logical locks deliberately do not exclude — the
+// paper's deposit/deposit case. The write frames must therefore be
+// physically atomic: N goroutines × M deposits of 1 on one shared
+// account must land on exactly N*M, under real parallelism. This is
+// the regression test for the lost-update race the GOMAXPROCS matrix
+// exposed (reads and writes of `balance := balance + n` interleaving
+// between two commuting holders).
+func TestCommutingDepositsAtomic(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const src = `
+class account is
+    instance variables are
+        balance : integer
+    method deposit(n) is
+        balance := balance + n
+    end
+    method getbalance is
+        return balance
+    end
+end
+`
+	ov := core.NewOverrides()
+	ov.Declare("account", "deposit", "deposit")
+	c, err := core.CompileSource(src, core.WithOverrides(ov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(c, FineCC{})
+	var oid storage.OID
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "account")
+		oid = in.OID
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const depositsEach = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < depositsEach; i++ {
+				if err := db.RunWithRetry(func(tx *txn.Txn) error {
+					_, err := db.Send(tx, oid, "deposit", storage.IntV(1))
+					return err
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var got Value
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		var err error
+		got, err = db.Send(tx, oid, "getbalance")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != storage.IntV(workers*depositsEach) {
+		t.Fatalf("balance %v after %d commuting deposits, want %d", got, workers*depositsEach, workers*depositsEach)
 	}
 }

@@ -55,10 +55,27 @@ func (ec *execCtx) invokeProg(in *storage.Instance, p *schema.Program, args []Va
 		return Value{}, fmt.Errorf("engine: %s: send nesting exceeds %d",
 			p.Method.QualifiedName(), ec.db.MaxDepth)
 	}
+	// Writing activations serialize on the receiver's execution latch
+	// when the protocol grants commuting writers concurrently (declared
+	// escrow commutativity under the fine mode tables): the logical
+	// locks then no longer make `balance := balance + n` atomic. Nested
+	// self/super sends on the same receiver run under the outer frame's
+	// latch; remote sends and creates release it first (unlatch), so it
+	// is never held across a lock-manager acquisition.
+	locked := false
+	if p.StoresFields && ec.db.latchWriters && ec.execHeld != in {
+		in.LockExec()
+		ec.execHeld = in
+		locked = true
+	}
 	base := len(ec.stack)
 	v, err := ec.exec(base, in, p, args)
 	ec.stack = ec.stack[:base]
 	ec.depth--
+	if locked {
+		ec.execHeld = nil
+		in.UnlockExec()
+	}
 	return v, err
 }
 
@@ -238,7 +255,9 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 
 		case schema.OpNew:
 			argc := int(ins.B)
+			held := ec.unlatch() // Create acquires class locks
 			created, err := ec.create(p.Classes[ins.A], st[sp-argc:sp])
+			ec.relatch(held)
 			if err != nil {
 				return Value{}, err
 			}
@@ -299,7 +318,9 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			}
 			db.remoteSends.Add(1)
 			ec.steps, ec.ticks = steps, ticks
+			held := ec.unlatch() // the remote TopSend acquires locks
 			v, err := ec.topSend(tv.R, schema.MethodID(ins.A), st[sp-argc:sp])
+			ec.relatch(held)
 			if err != nil {
 				return Value{}, err
 			}
@@ -325,7 +346,9 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			}
 			db.remoteSends.Add(1)
 			ec.steps, ec.ticks = steps, ticks
+			held := ec.unlatch() // the remote TopSend acquires locks
 			v, err := ec.topSendName(tv.R, name, st[sp-argc:sp])
+			ec.relatch(held)
 			if err != nil {
 				return Value{}, err
 			}

@@ -153,6 +153,15 @@ type Program struct {
 	NumSlots  int // parameters + locals
 	MaxStack  int // operand stack high-water mark
 
+	// StoresFields reports whether the body contains a direct field
+	// assignment. The engine uses it to decide which activations must
+	// hold the receiver's execution latch: under a protocol that can
+	// grant two writers of one instance simultaneously (the fine mode
+	// tables with declared escrow commutativity), a read-modify-write
+	// like `balance := balance + n` is only atomic if the frame
+	// serializes physically with other writing frames on the instance.
+	StoresFields bool
+
 	pos []mdl.Pos // per-instruction source positions, diagnostics only
 }
 
@@ -343,6 +352,7 @@ func (bc *bodyCompiler) stmt(s mdl.Stmt) {
 		}
 		if f := bc.cls.FieldByName(s.Target); f != nil {
 			bc.emit(OpStoreField, bc.fieldIdx(f), 0, s.At)
+			bc.p.StoresFields = true
 			bc.pop(1)
 			return
 		}

@@ -16,6 +16,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -101,10 +102,29 @@ type Instance struct {
 	mu    sync.Mutex
 	slots []Value
 
+	// execMu serializes writing method activations on this instance
+	// (LockExec/UnlockExec). Separate from mu — it is held for the span
+	// of a frame's field accesses, during which mu is taken and
+	// released per slot access.
+	execMu sync.Mutex
+
 	// extentPos is the instance's index in its class extent, kept
 	// current by swap-removal. Guarded by the extent latch.
 	extentPos int
 }
+
+// LockExec acquires the instance's execution latch. The engine holds it
+// for the span of a writing method activation under protocols that
+// grant commuting writers concurrently (the paper's escrow case):
+// logical locks then no longer exclude two writers of one slot, so the
+// read-modify-write inside a method body needs physical serialization,
+// and the commit path holds the same latch across its after-image reads
+// and log submit so the log order matches the value order. Never hold
+// it across anything that can block on the lock manager.
+func (in *Instance) LockExec() { in.execMu.Lock() }
+
+// UnlockExec releases the execution latch.
+func (in *Instance) UnlockExec() { in.execMu.Unlock() }
 
 // Get returns the value in slot i.
 func (in *Instance) Get(i int) Value {
@@ -332,9 +352,14 @@ func (s *Store) EnsureOID(oid OID) {
 // primitive of recovery. If the OID is already live the slots are
 // overwritten in place (replaying a log twice is a no-op); otherwise the
 // instance is created and inserted into its extent. vals must cover
-// every slot. Install is meant for single-goroutine replay into a store
-// that is not yet serving transactions.
+// every slot. Install is meant for replay into a store that is not yet
+// serving transactions; concurrent Install calls are safe as long as no
+// two target the same OID (parallel recovery partitions ops by
+// instance, which guarantees exactly that).
 func (s *Store) Install(cls *schema.Class, oid OID, vals []Value) (*Instance, error) {
+	if oid == 0 {
+		return nil, fmt.Errorf("storage: install %s#0: OID 0 is the nil reference", cls.Name)
+	}
 	if len(vals) != cls.NumSlots() {
 		return nil, fmt.Errorf("storage: install %s#%d: got %d values for %d slots",
 			cls.Name, oid, len(vals), cls.NumSlots())
@@ -483,4 +508,25 @@ func (s *Store) DomainExtent(cls *schema.Class) []OID {
 // Count returns the total number of instances.
 func (s *Store) Count() int {
 	return int(s.count.Load())
+}
+
+// SortExtents normalizes every class extent to ascending OID order and
+// repairs the tracked extent positions. Recovery calls it after replay:
+// parallel replay installs instances of one class from several workers
+// (and sequential replay's delete swap-removal shuffles survivors), so
+// sorting is what makes the recovered extent order — and therefore scan
+// order and checkpoint bytes — deterministic regardless of worker count.
+func (s *Store) SortExtents() {
+	for i := range s.extents {
+		e := &s.extents[i]
+		e.mu.Lock()
+		sort.Slice(e.oids, func(a, b int) bool { return e.oids[a] < e.oids[b] })
+		for p, oid := range e.oids {
+			if in, ok := s.Get(oid); ok {
+				in.extentPos = p
+			}
+		}
+		e.invalidate()
+		e.mu.Unlock()
+	}
 }

@@ -94,6 +94,10 @@ type Txn struct {
 	undo    []undoEntry
 	undoSet map[undoKey]bool
 	created []storage.OID // OIDs created by this txn (redo skips their slot writes)
+
+	// execSet is the reused buffer of instances whose execution latches
+	// logCommit holds across the after-image reads and the log submit.
+	execSet []*storage.Instance
 }
 
 // State returns the lifecycle state.
@@ -160,13 +164,78 @@ func (t *Txn) createdHere(oid storage.OID) bool {
 	return false
 }
 
-// logCommit projects the undo log forward into one redo record and
-// waits for the group-commit ticket. The transaction still holds every
-// lock, so the after-images it reads are its own final values; and
-// because locks release only after the record is durable, conflicting
-// transactions always appear in the log in conflict order.
-func (t *Txn) logCommit(w *wal.Log) error {
+// lockExecSet collects the distinct instances this transaction wrote
+// (slot undo entries) and acquires their execution latches in ascending
+// OID order. Held across the after-image reads and the log submit:
+// under declared (escrow) commutativity, another writer of the same
+// slot is not excluded by 2PL, so without the latch it could overwrite
+// the slot after our read and still sequence its record before ours —
+// replay would then resurrect our stale value. The latch makes
+// [read after-images → enqueue] atomic against such writers (their
+// writing frames take the same latch), pinning log order to value
+// order. Sorted acquisition keeps concurrent committers deadlock-free,
+// and writing frames hold at most one latch and never block on the
+// lock manager underneath it.
+func (t *Txn) lockExecSet() {
+	es := t.execSet[:0]
+	for i := range t.undo {
+		e := &t.undo[i]
+		if e.kind != entrySlot {
+			continue
+		}
+		dup := false
+		for _, in := range es {
+			if in == e.inst {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			es = append(es, e.inst)
+		}
+	}
+	// Insertion sort by OID: the set is almost always tiny, and this
+	// keeps the warm commit path allocation-free (sort.Slice boxes).
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].OID < es[j-1].OID; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	for _, in := range es {
+		in.LockExec()
+	}
+	t.execSet = es
+}
+
+// unlockExecSet releases the latches of lockExecSet and clears the
+// buffer (dropping instance references for the GC).
+func (t *Txn) unlockExecSet() {
+	for i, in := range t.execSet {
+		in.UnlockExec()
+		t.execSet[i] = nil
+	}
+	t.execSet = t.execSet[:0]
+}
+
+// logCommit projects the undo log forward into one redo record. The
+// transaction still holds every lock, so the after-images it reads are
+// its own final values — except slots under declared commutativity,
+// which the execution latches of lockExecSet pin for the duration.
+// Non-pipelined, it blocks on the group-commit ticket: locks release
+// only after the record is durable, so conflicting transactions always
+// appear in the log in conflict order. Pipelined, it returns a
+// durability future as soon as the record is sequenced on the writer's
+// queue — the queue order is the log order, so releasing locks at that
+// point still puts any conflicting later transaction after this one in
+// the log (strictness extends to the log order), while the fsync
+// proceeds in the background.
+func (t *Txn) logCommit(w *wal.Log, pipelined bool) (*wal.Future, error) {
 	c := w.BeginCommit(uint64(t.ID))
+	if t.mgr.LatchWrites {
+		t.lockExecSet()
+	}
+	// unlockExecSet below is a no-op when lockExecSet did not run (the
+	// set stays empty).
 	// The created-OID check runs once per slot entry; beyond a handful
 	// of creates the linear scan is replaced by a set so a bulk-load
 	// commit stays O(creates + writes) while it holds every lock.
@@ -198,10 +267,22 @@ func (t *Txn) logCommit(w *wal.Log) error {
 		}
 	}
 	if c.Ops() == 0 {
+		t.unlockExecSet()
 		c.Discard()
-		return nil
+		return nil, nil
 	}
-	return c.Commit()
+	// Submit (sequence) under the latches, but wait for the fsync
+	// outside them — the ticket wait is the long part, and commuting
+	// writers only need to be excluded until the log order is fixed.
+	err := c.Submit()
+	t.unlockExecSet()
+	if err != nil {
+		return nil, err
+	}
+	if pipelined {
+		return c.Future(), nil
+	}
+	return nil, c.Wait()
 }
 
 // Commit makes the transaction's effects durable — when a redo log is
@@ -214,7 +295,7 @@ func (t *Txn) Commit() error {
 		return ErrNotActive
 	}
 	if w := t.mgr.wal; w != nil && len(t.undo) > 0 {
-		if err := t.logCommit(w); err != nil {
+		if _, err := t.logCommit(w, false); err != nil {
 			t.rollback()
 			t.state = Aborted
 			t.mgr.locks.ReleaseAll(t.ID)
@@ -227,6 +308,55 @@ func (t *Txn) Commit() error {
 	t.mgr.locks.ReleaseAll(t.ID)
 	t.mgr.noteDone(true)
 	return nil
+}
+
+// Future is the durability ticket of a pipelined commit. The zero value
+// (and the ticket of a read-only or volatile commit) is already
+// resolved. Wait is safe from any goroutine, any number of times.
+type Future struct {
+	w *wal.Future
+}
+
+// Wait blocks until the commit is acknowledged per the log's sync
+// policy (under SyncAlways: hardened on disk) and returns the outcome.
+// A non-nil error means the log went fail-stop under the transaction:
+// its in-memory effects are applied and visible but may not be on disk.
+func (f Future) Wait() error {
+	if f.w == nil {
+		return nil
+	}
+	return f.w.Wait()
+}
+
+// CommitPipelined commits without waiting for the fsync: the commit
+// record is sequenced on the log's queue, locks release immediately —
+// any transaction that conflicted with this one can only append later
+// in the log, so the durable log prefix is always conflict-consistent —
+// and the returned Future resolves when the record is hardened. The
+// session can run its next transaction while the batch's fsync is in
+// flight. A synchronous error (record too large, log fail-stop or
+// closed) rolls the transaction back exactly like Commit.
+func (t *Txn) CommitPipelined() (Future, error) {
+	if t.state != Active {
+		return Future{}, ErrNotActive
+	}
+	var fut Future
+	if w := t.mgr.wal; w != nil && len(t.undo) > 0 {
+		wf, err := t.logCommit(w, true)
+		if err != nil {
+			t.rollback()
+			t.state = Aborted
+			t.mgr.locks.ReleaseAll(t.ID)
+			t.mgr.noteDone(false)
+			return Future{}, fmt.Errorf("txn: commit log append: %w", err)
+		}
+		fut.w = wf
+	}
+	t.state = Committed
+	t.clearUndo()
+	t.mgr.locks.ReleaseAll(t.ID)
+	t.mgr.noteDone(true)
+	return fut, nil
 }
 
 // rollback plays the undo log backwards and clears it.
@@ -300,6 +430,15 @@ type Manager struct {
 	// RetryBackoff is the base backoff between deadlock retries
 	// (default 100µs, with ±50% jitter, doubling per attempt up to 64×).
 	RetryBackoff time.Duration
+	// LatchWrites makes logCommit hold the written instances' execution
+	// latches across the after-image reads and the log submit. The
+	// engine sets it when the concurrency-control strategy can grant
+	// two writers of one instance simultaneously (declared escrow
+	// commutativity under the fine mode tables) — the only case where
+	// 2PL does not already pin log order to value order. Leave false
+	// for exclusive-writer protocols and the latches are skipped
+	// entirely.
+	LatchWrites bool
 
 	// rngState drives the backoff jitter: a seeded splitmix64 stepped
 	// with one atomic add, so concurrent retry loops never contend on a
@@ -391,24 +530,45 @@ func (m *Manager) ResetStats() {
 // returned. The *Txn passed to fn is recycled after the call returns
 // and must not be retained.
 func (m *Manager) RunWithRetry(fn func(*Txn) error) error {
+	_, err := m.runWithRetry(fn, false)
+	return err
+}
+
+// RunWithRetryPipelined is RunWithRetry in pipelined-commit mode: on
+// success it returns as soon as the commit record is sequenced, with a
+// Future that resolves when the record is hardened per the log's sync
+// policy. The caller decides how many futures to leave outstanding —
+// the ack-vs-harden window is what overlaps execution with the fsync.
+// On a volatile database (or for a read-only fn) the Future is already
+// resolved and the call degenerates to RunWithRetry.
+func (m *Manager) RunWithRetryPipelined(fn func(*Txn) error) (Future, error) {
+	return m.runWithRetry(fn, true)
+}
+
+func (m *Manager) runWithRetry(fn func(*Txn) error, pipelined bool) (Future, error) {
 	for attempt := 0; ; attempt++ {
 		t := m.Begin()
 		err := fn(t)
 		if err == nil {
-			err = t.Commit()
+			var fut Future
+			if pipelined {
+				fut, err = t.CommitPipelined()
+			} else {
+				err = t.Commit()
+			}
 			m.Release(t)
 			if err == nil {
-				return nil
+				return fut, nil
 			}
-			return err // log-append failure; Commit already rolled back
+			return Future{}, err // log-append failure; commit already rolled back
 		}
 		t.Abort()
 		m.Release(t)
 		if !lock.IsDeadlock(err) {
-			return err
+			return Future{}, err
 		}
 		if attempt+1 >= m.MaxRetries {
-			return fmt.Errorf("txn: giving up after %d deadlock retries: %w", attempt+1, err)
+			return Future{}, fmt.Errorf("txn: giving up after %d deadlock retries: %w", attempt+1, err)
 		}
 		m.retries.Add(1)
 		m.backoff(attempt)

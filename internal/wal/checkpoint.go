@@ -137,6 +137,12 @@ func loadCheckpoint(dir string, st *storage.Store, sch *schema.Schema) (uint64, 
 		if cls == nil {
 			return 0, fmt.Errorf("wal: checkpoint: unknown class id %d", clsID)
 		}
+		// OIDs are allocated below the watermark; an instance above it is
+		// corruption, and installing it would size the dense page
+		// directory to match.
+		if oid == 0 || oid > nextOID {
+			return 0, fmt.Errorf("wal: checkpoint: instance OID %d outside (0, %d]", oid, nextOID)
+		}
 		if ns != uint64(cls.NumSlots()) {
 			return 0, fmt.Errorf("wal: checkpoint: %s#%d has %d slots, file says %d",
 				cls.Name, oid, cls.NumSlots(), ns)
@@ -162,15 +168,21 @@ func loadCheckpoint(dir string, st *storage.Store, sch *schema.Schema) (uint64, 
 	return baseSeq, nil
 }
 
-// Checkpoint compacts the log: it seals the live segment, replays
-// previous checkpoint + all sealed segments into a scratch store,
-// writes a new checkpoint atomically and deletes the dead segments.
-// Commits proceed concurrently into the new segment throughout.
+// Checkpoint compacts the log: it drains and hardens everything
+// enqueued so far (so outstanding pipelined futures resolve before
+// their segment is sealed), seals the live segment, replays previous
+// checkpoint + all sealed segments into a scratch store — on the same
+// instance-partitioned parallel replayer recovery uses — writes a new
+// checkpoint atomically and deletes the dead segments. Commits proceed
+// concurrently into the new segment throughout.
 func (l *Log) Checkpoint() error {
 	l.ckptMu.Lock()
 	defer l.ckptMu.Unlock()
 	if l.closed.Load() {
 		return ErrClosed
+	}
+	if err := l.Sync(); err != nil {
+		return err
 	}
 	req := &rotateReq{done: make(chan rotateResult, 1)}
 	l.rotateCh <- req
@@ -185,16 +197,23 @@ func (l *Log) Checkpoint() error {
 	if err != nil {
 		return err
 	}
+	r := newReplayer(scratch, l.sch, l.opts.RecoveryWorkers)
 	for seq := base + 1; seq <= sealed; seq++ {
 		path := segmentPath(l.dir, seq)
-		if _, tornAt, err := replaySegmentFile(path, scratch, l.sch); err != nil {
+		data, err := os.ReadFile(path)
+		if err != nil {
 			return err
+		}
+		if _, tornAt, err := r.segment(data); err != nil {
+			return fmt.Errorf("wal: %s %w", path, err)
 		} else if tornAt >= 0 {
-			// Sealed segments were fsynced batch by batch; a torn record
-			// here means real corruption, not a crash artifact.
+			// Sealed segments were written batch by batch before any
+			// acknowledgment; a torn record here means real corruption,
+			// not a crash artifact.
 			return fmt.Errorf("wal: checkpoint: sealed segment %d has a torn record", seq)
 		}
 	}
+	scratch.SortExtents()
 	if err := writeCheckpoint(l.dir, scratch, sealed); err != nil {
 		return err
 	}

@@ -19,6 +19,67 @@ import (
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log is closed")
 
+// syncMode discriminates SyncPolicy. The zero value is sync-always so
+// that a zero Options is the safest configuration.
+type syncMode uint8
+
+const (
+	syncAlwaysMode syncMode = iota
+	syncEveryMode
+	syncNeverMode
+)
+
+// SyncPolicy decides when acknowledged commits are hardened with fsync.
+//
+//   - SyncAlways: every batch is fsynced before its commits are
+//     acknowledged. A crash at any point — process or OS — loses no
+//     acknowledged transaction.
+//   - SyncEvery(d): batches are acknowledged after the buffered OS
+//     write; the writer fsyncs at most every d (and within d of the
+//     last unsynced write, even when idle). An OS crash or power loss
+//     can lose at most the final d of acknowledged commits — the Redis
+//     "everysec" middle point.
+//   - SyncNever: acknowledged after the OS write only (the log still
+//     fsyncs on rotation, checkpoint, Sync and Close). A process crash
+//     loses nothing; an OS crash may lose the last instants of commits.
+//
+// The zero value is SyncAlways.
+type SyncPolicy struct {
+	mode  syncMode
+	every time.Duration
+}
+
+// The fixed policies. SyncAlways is the zero value of SyncPolicy.
+var (
+	SyncAlways = SyncPolicy{}
+	SyncNever  = SyncPolicy{mode: syncNeverMode}
+)
+
+// SyncEvery returns the periodic-fsync policy with the given maximum
+// loss window. A non-positive interval degenerates to SyncAlways.
+func SyncEvery(d time.Duration) SyncPolicy {
+	if d <= 0 {
+		return SyncAlways
+	}
+	return SyncPolicy{mode: syncEveryMode, every: d}
+}
+
+// Interval returns the fsync interval of a SyncEvery policy (0 for
+// SyncAlways and SyncNever).
+func (p SyncPolicy) Interval() time.Duration { return p.every }
+
+func (p SyncPolicy) String() string {
+	switch p.mode {
+	case syncAlwaysMode:
+		return "always"
+	case syncEveryMode:
+		return fmt.Sprintf("every(%s)", p.every)
+	case syncNeverMode:
+		return "never"
+	}
+	return "sync(?)"
+}
+
 // Options tunes the log.
 type Options struct {
 	// GroupCommitWindow is how long the writer goroutine waits for more
@@ -34,21 +95,41 @@ type Options struct {
 	// MaxBatch bounds the number of commits fused into one write+fsync
 	// (default 1024).
 	MaxBatch int
-	// NoSync acknowledges commits after the buffered OS write without
-	// waiting for fsync (the log still fsyncs on rotation, checkpoint
-	// and close). Relaxed durability: a process crash loses nothing —
-	// the written bytes live in the OS page cache — but an OS crash or
-	// power loss may lose the last instants of commits. The standard
-	// throughput knob of production engines (e.g. MySQL's
-	// flush-log-at-trx-commit=2).
+	// Sync is the hardening policy (default SyncAlways). See SyncPolicy.
+	Sync SyncPolicy
+	// RecoveryWorkers bounds the replay parallelism of Open and
+	// Checkpoint: records touching different OIDs commute, so replay
+	// partitions ops by instance and applies them on this many
+	// goroutines. 0 means GOMAXPROCS; 1 forces single-threaded replay.
+	RecoveryWorkers int
+	// NoSync is the deprecated all-or-nothing predecessor of Sync.
+	//
+	// Deprecated: set Sync: SyncNever instead. When NoSync is true and
+	// Sync is the zero value (SyncAlways), the log behaves as SyncNever.
 	NoSync bool
+
+	// syncFn replaces the batch fsync (tests only: fault injection and
+	// hardened-prefix tracking). nil means (*os.File).Sync.
+	syncFn func(*os.File) error
 }
 
-// Stats counts log activity. Batches == fsyncs, so Records/Batches is
-// the group-commit fan-in.
+// normalize resolves the deprecated NoSync shim into Sync.
+func (o *Options) normalize() {
+	if o.NoSync && o.Sync == SyncAlways {
+		o.Sync = SyncNever
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+}
+
+// Stats counts log activity. Records/Fsyncs is the group-commit fan-in
+// under SyncAlways; under SyncEvery and SyncNever, Fsyncs counts only
+// the periodic / forced hardenings.
 type Stats struct {
 	Records     int64
 	Batches     int64
+	Fsyncs      int64
 	Bytes       int64
 	Checkpoints int64
 }
@@ -60,6 +141,7 @@ type RecoveryInfo struct {
 	Segments      int    // log segments replayed
 	Records       int64  // commit records applied
 	TornTailBytes int64  // bytes truncated off the final segment
+	Workers       int    // replay goroutines used
 }
 
 // rotateResult is the writer's answer to a rotation request.
@@ -77,11 +159,36 @@ type rotateReq struct {
 // committing transaction waits on. Pooled — a warm commit allocates
 // nothing beyond what the record content itself needs.
 type commit struct {
-	l      *Log
-	buf    []byte // frame header + payload
-	ops    uint32
-	valBuf []storage.Value // scratch for create images
-	done   chan error      // cap 1, reused across lives
+	l       *Log
+	buf     []byte // frame header + payload
+	ops     uint32
+	barrier bool            // Sync barrier: no bytes, forces fsync, acked in order
+	valBuf  []storage.Value // scratch for create images
+	done    chan error      // cap 1, reused across lives
+}
+
+// Future is the durability ticket of a pipelined commit: it resolves —
+// once the batch carrying the record reaches the sync policy's
+// acknowledgment point — to nil or to the log's fail-stop error. Wait
+// is safe to call any number of times from any goroutine.
+type Future struct {
+	once sync.Once
+	c    *commit
+	err  error
+}
+
+// Wait blocks until the commit is acknowledged (under SyncAlways:
+// hardened on disk) and returns its outcome.
+func (f *Future) Wait() error {
+	f.once.Do(func() {
+		if f.c == nil {
+			return
+		}
+		f.err = <-f.c.done
+		f.c.Discard()
+		f.c = nil
+	})
+	return f.err
 }
 
 // Log is an append-only redo log over numbered segment files in one
@@ -108,12 +215,15 @@ type Log struct {
 	brokenErr atomic.Value // error
 
 	// Writer-goroutine-owned state.
-	seq     uint64 // current segment sequence
-	f       *os.File
-	size    int64
-	scratch []byte    // batch concatenation buffer
-	batch   []*commit // reused batch slice
-	timer   *time.Timer
+	seq       uint64 // current segment sequence
+	f         *os.File
+	size      int64
+	unsynced  int64     // bytes written since the last fsync
+	lastSync  time.Time // when the last fsync completed
+	scratch   []byte    // batch concatenation buffer
+	batch     []*commit // reused batch slice
+	timer     *time.Timer
+	syncTimer *time.Timer // SyncEvery idle-hardening timer
 
 	baseSeq atomic.Uint64 // highest checkpointed (dead) segment
 
@@ -121,6 +231,7 @@ type Log struct {
 
 	records     atomic.Int64
 	batches     atomic.Int64
+	fsyncs      atomic.Int64
 	bytes       atomic.Int64
 	checkpoints atomic.Int64
 }
@@ -140,30 +251,88 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-// start spins up the writer goroutine; the caller has set seq/f/size.
-func (l *Log) start() {
-	if l.opts.MaxBatch <= 0 {
-		l.opts.MaxBatch = 1024
+// newStoppedTimer returns a timer that is not running and whose channel
+// is empty.
+func newStoppedTimer() *time.Timer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
 	}
+	return t
+}
+
+// start spins up the writer goroutine; the caller has set seq/f/size
+// and normalized the options.
+func (l *Log) start() {
 	l.submitCh = make(chan *commit, 4096)
 	l.rotateCh = make(chan *rotateReq)
 	l.done = make(chan struct{})
-	l.timer = time.NewTimer(time.Hour)
-	if !l.timer.Stop() {
-		<-l.timer.C
-	}
+	l.timer = newStoppedTimer()
+	l.syncTimer = newStoppedTimer()
+	l.lastSync = time.Now()
 	l.commits.New = func() any {
 		return &commit{l: l, done: make(chan error, 1)}
 	}
 	go l.run()
 }
 
-// run is the writer loop: batch, write, fsync, release tickets.
+// fsyncFile hardens the segment via the configured sync function.
+func (l *Log) fsyncFile() error {
+	if l.opts.syncFn != nil {
+		return l.opts.syncFn(l.f)
+	}
+	return l.f.Sync()
+}
+
+// syncNow hardens everything written so far (writer goroutine only) and
+// resets the periodic-sync clock. A failure latches fail-stop.
+func (l *Log) syncNow() error {
+	if err := l.failure(); err != nil {
+		return err
+	}
+	if err := l.fsyncFile(); err != nil {
+		return l.markBroken(fmt.Errorf("segment fsync: %w", err))
+	}
+	l.unsynced = 0
+	l.lastSync = time.Now()
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// armSync returns the timer channel to wait on for the SyncEvery idle
+// hardening, or nil when no deferred sync is pending.
+func (l *Log) armSync() <-chan time.Time {
+	if l.opts.Sync.mode != syncEveryMode || l.unsynced == 0 {
+		return nil
+	}
+	l.syncTimer.Reset(time.Until(l.lastSync.Add(l.opts.Sync.every)))
+	return l.syncTimer.C
+}
+
+// disarmSync stops the pending idle-hardening timer (after another
+// select case won).
+func (l *Log) disarmSync(armed bool) {
+	if !armed {
+		return
+	}
+	if !l.syncTimer.Stop() {
+		select {
+		case <-l.syncTimer.C:
+		default:
+		}
+	}
+}
+
+// run is the writer loop: batch, write, sync per policy, release
+// tickets; between batches, harden any deferred bytes once the
+// SyncEvery interval elapses even if no commit arrives.
 func (l *Log) run() {
 	defer close(l.done)
 	for {
+		syncC := l.armSync()
 		select {
 		case c, ok := <-l.submitCh:
+			l.disarmSync(syncC != nil)
 			if !ok {
 				return // Close drained the queue
 			}
@@ -174,8 +343,11 @@ func (l *Log) run() {
 			}
 			l.maybeAutoCheckpoint()
 		case r := <-l.rotateCh:
+			l.disarmSync(syncC != nil)
 			sealed, err := l.rotate()
 			r.done <- rotateResult{sealed: sealed, err: err}
+		case <-syncC:
+			l.syncNow() //nolint:errcheck // latched; the next commit reports it
 		}
 	}
 }
@@ -265,29 +437,49 @@ func (l *Log) failure() error {
 }
 
 // writeBatch concatenates the batch into one buffer, writes it with a
-// single Write call and fsyncs once. Any failure latches fail-stop: a
-// partial write leaves garbage in the segment, and appending more
-// records after it would put acknowledged commits beyond the offset
-// where recovery stops.
+// single Write call and hardens it per the sync policy (a Sync barrier
+// in the batch forces the fsync under any policy). Any failure latches
+// fail-stop: a partial write leaves garbage in the segment, and
+// appending more records after it would put acknowledged commits
+// beyond the offset where recovery stops.
 func (l *Log) writeBatch(batch []*commit) error {
 	if err := l.failure(); err != nil {
 		return err
 	}
 	l.scratch = l.scratch[:0]
+	records := 0
+	forceSync := false
 	for _, c := range batch {
+		if c.barrier {
+			forceSync = true
+			continue
+		}
 		l.scratch = append(l.scratch, c.buf...)
+		records++
 	}
-	if _, err := l.f.Write(l.scratch); err != nil {
-		return l.markBroken(fmt.Errorf("segment write: %w", err))
+	if len(l.scratch) > 0 {
+		if _, err := l.f.Write(l.scratch); err != nil {
+			return l.markBroken(fmt.Errorf("segment write: %w", err))
+		}
+		l.unsynced += int64(len(l.scratch))
 	}
-	if !l.opts.NoSync {
-		if err := l.f.Sync(); err != nil {
-			return l.markBroken(fmt.Errorf("segment fsync: %w", err))
+	mustSync := forceSync && l.unsynced > 0
+	switch l.opts.Sync.mode {
+	case syncAlwaysMode:
+		mustSync = mustSync || records > 0
+	case syncEveryMode:
+		mustSync = mustSync || (l.unsynced > 0 && time.Since(l.lastSync) >= l.opts.Sync.every)
+	}
+	if mustSync {
+		if err := l.syncNow(); err != nil {
+			return err
 		}
 	}
 	l.size += int64(len(l.scratch))
-	l.records.Add(int64(len(batch)))
-	l.batches.Add(1)
+	l.records.Add(int64(records))
+	if records > 0 {
+		l.batches.Add(1)
+	}
 	l.bytes.Add(int64(len(l.scratch)))
 	return nil
 }
@@ -299,9 +491,10 @@ func (l *Log) rotate() (sealed uint64, err error) {
 	if err := l.failure(); err != nil {
 		return 0, err
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsyncFile(); err != nil {
 		return 0, l.markBroken(fmt.Errorf("rotate fsync: %w", err))
 	}
+	l.fsyncs.Add(1)
 	if err := l.f.Close(); err != nil {
 		return 0, l.markBroken(fmt.Errorf("rotate close: %w", err))
 	}
@@ -317,6 +510,8 @@ func (l *Log) rotate() (sealed uint64, err error) {
 	}
 	l.f = f
 	l.size = 0
+	l.unsynced = 0
+	l.lastSync = time.Now()
 	return sealed, nil
 }
 
@@ -336,8 +531,8 @@ func (l *Log) maybeAutoCheckpoint() {
 }
 
 // BeginCommit starts encoding one transaction's commit record. The
-// returned commit must finish with Commit (waits for the group-commit
-// ticket) or Discard.
+// returned commit must finish with Commit or CommitPipelined (which
+// wait for / hand out the group-commit ticket) or Discard.
 func (l *Log) BeginCommit(txnID uint64) *commit {
 	c := l.commits.Get().(*commit)
 	b := c.buf[:0]
@@ -347,6 +542,7 @@ func (l *Log) BeginCommit(txnID uint64) *commit {
 	b = append(b, 0, 0, 0, 0) // nOps, patched at submit
 	c.buf = b
 	c.ops = 0
+	c.barrier = false
 	return c
 }
 
@@ -389,14 +585,14 @@ func (c *commit) Discard() {
 	if cap(c.buf) > 1<<20 {
 		c.buf = nil // don't let one giant record pin memory in the pool
 	}
+	c.barrier = false
 	c.l.commits.Put(c)
 }
 
-// Commit frames the record, hands it to the writer goroutine and blocks
-// until the batch containing it is on disk (fsynced). The transaction
-// must still hold its locks: strict 2PL releases only after the commit
-// is durable.
-func (c *commit) Commit() error {
+// submit frames the record and hands it to the writer goroutine; the
+// writer's answer arrives on c.done. On error the commit is already
+// discarded.
+func (c *commit) submit() error {
 	l := c.l
 	payload := c.buf[frameHeaderSize:]
 	if len(payload) > maxRecordSize {
@@ -413,8 +609,17 @@ func (c *commit) Commit() error {
 	binary.LittleEndian.PutUint32(payload[offNumOps:], c.ops)
 	binary.LittleEndian.PutUint32(c.buf[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(c.buf[4:], crc32.Checksum(payload, crcTable))
-	// The read-lock pairs with Close's write-lock: a submit observed
-	// with closed==false reaches the channel before Close closes it.
+	return c.enqueue()
+}
+
+// enqueue places the (framed or barrier) commit on the writer's queue.
+// The read-lock pairs with Close's write-lock: a submit observed with
+// closed==false reaches the channel before Close closes it. Channel
+// FIFO order is the log order, so anything enqueued after this call
+// returns — e.g. by a transaction that acquires this transaction's
+// locks once they release — lands later in the log.
+func (c *commit) enqueue() error {
+	l := c.l
 	l.sendMu.RLock()
 	if l.closed.Load() {
 		l.sendMu.RUnlock()
@@ -423,6 +628,64 @@ func (c *commit) Commit() error {
 	}
 	l.submitCh <- c
 	l.sendMu.RUnlock()
+	return nil
+}
+
+// Submit frames the record and sequences it on the writer's queue
+// without waiting: once Submit returns, the record's position in the
+// log order is fixed — anything enqueued later (e.g. by a transaction
+// that observes this one's effects) lands after it. Pair with exactly
+// one of Wait or Future; on error the commit is already released.
+func (c *commit) Submit() error { return c.submit() }
+
+// Wait blocks until the submitted record's batch reaches the sync
+// policy's acknowledgment point and releases the commit. Call once,
+// after a successful Submit.
+func (c *commit) Wait() error {
+	err := <-c.done
+	c.Discard()
+	return err
+}
+
+// Future wraps a submitted commit into a durability future (call once,
+// instead of Wait, after a successful Submit).
+func (c *commit) Future() *Future { return &Future{c: c} }
+
+// Commit frames the record, hands it to the writer goroutine and blocks
+// until the batch containing it reaches the sync policy's
+// acknowledgment point (under SyncAlways: fsynced). The transaction
+// must still hold its locks: strict 2PL releases only after the commit
+// is durable.
+func (c *commit) Commit() error {
+	if err := c.submit(); err != nil {
+		return err
+	}
+	return c.Wait()
+}
+
+// CommitPipelined frames the record, hands it to the writer goroutine
+// and returns immediately with a durability Future. Once CommitPipelined
+// returns, the record's position in the log is fixed (sequenced), so the
+// caller may release the transaction's locks: any conflicting
+// transaction can only append after it. The Future resolves when the
+// batch carrying the record is acknowledged per the sync policy.
+func (c *commit) CommitPipelined() (*Future, error) {
+	if err := c.submit(); err != nil {
+		return nil, err
+	}
+	return c.Future(), nil
+}
+
+// Sync is a hardening barrier: it blocks until everything enqueued
+// before it — including pipelined commits whose futures have not been
+// waited on — is written and fsynced, regardless of the sync policy.
+func (l *Log) Sync() error {
+	c := l.commits.Get().(*commit)
+	c.buf = c.buf[:0]
+	c.barrier = true
+	if err := c.enqueue(); err != nil {
+		return err
+	}
 	err := <-c.done
 	c.Discard()
 	return err
@@ -433,6 +696,7 @@ func (l *Log) Stats() Stats {
 	return Stats{
 		Records:     l.records.Load(),
 		Batches:     l.batches.Load(),
+		Fsyncs:      l.fsyncs.Load(),
 		Bytes:       l.bytes.Load(),
 		Checkpoints: l.checkpoints.Load(),
 	}
@@ -442,7 +706,8 @@ func (l *Log) Stats() Stats {
 func (l *Log) Dir() string { return l.dir }
 
 // Close flushes, stops the writer goroutine and closes the segment.
-// In-flight commits complete; later commits fail with ErrClosed.
+// In-flight commits complete (outstanding pipelined futures resolve);
+// later commits fail with ErrClosed.
 func (l *Log) Close() error {
 	l.ckptMu.Lock()
 	defer l.ckptMu.Unlock()

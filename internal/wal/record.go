@@ -186,7 +186,9 @@ func (d *decoder) value() storage.Value {
 		if d.err != nil {
 			return storage.Value{}
 		}
-		if d.pos+int(n) > len(d.b) {
+		// Compare in uint64 space: a near-2^64 length converted to int
+		// would wrap negative and slip past a signed bounds check.
+		if n > uint64(len(d.b)-d.pos) {
 			d.fail("wal: truncated string of %d bytes at offset %d", n, d.pos)
 			return storage.Value{}
 		}
@@ -228,6 +230,110 @@ func DecodeRecord(payload []byte) (Record, error) {
 	return rec, err
 }
 
+// maxSlotIndex bounds a decoded slot number: anything past it is
+// garbage, and letting the full uvarint range through would wrap
+// negative on conversion to int.
+const maxSlotIndex = 1 << 24
+
+// decodeOp parses one op at the decoder's position. Shared by
+// walkRecord (sequential replay, DecodeRecord) and the parallel replay
+// workers, so both paths apply byte-identical semantics.
+func decodeOp(d *decoder) RecordOp {
+	var op RecordOp
+	op.Kind = d.u8()
+	switch op.Kind {
+	case OpWrite:
+		op.OID = storage.OID(d.uvarint())
+		slot := d.uvarint()
+		if slot > maxSlotIndex {
+			d.fail("wal: write slot %d out of range", slot)
+			break
+		}
+		op.Slot = int(slot)
+		op.Val = d.value()
+	case OpCreate:
+		op.Class = uint32(d.uvarint())
+		op.OID = storage.OID(d.uvarint())
+		ns := d.uvarint()
+		if d.err != nil {
+			break
+		}
+		if ns > uint64(len(d.b)-d.pos) {
+			d.fail("wal: create claims %d slots with %d bytes left", ns, len(d.b)-d.pos)
+			break
+		}
+		op.Slots = make([]storage.Value, 0, ns)
+		for j := uint64(0); j < ns && d.err == nil; j++ {
+			op.Slots = append(op.Slots, d.value())
+		}
+	case OpDelete:
+		op.OID = storage.OID(d.uvarint())
+	default:
+		d.fail("wal: unknown op kind %d", op.Kind)
+	}
+	return op
+}
+
+// skipValue advances past one encoded value without materializing it
+// (no string allocation) — the partitioning scan of parallel replay.
+func (d *decoder) skipValue() {
+	kind := storage.ValueKind(d.u8())
+	switch kind {
+	case storage.KInt:
+		d.varint()
+	case storage.KBool:
+		d.u8()
+	case storage.KString:
+		n := d.uvarint()
+		if d.err != nil {
+			return
+		}
+		if n > uint64(len(d.b)-d.pos) {
+			d.fail("wal: truncated string of %d bytes at offset %d", n, d.pos)
+			return
+		}
+		d.pos += int(n)
+	case storage.KRef:
+		d.uvarint()
+	default:
+		d.fail("wal: unknown value kind %d at offset %d", kind, d.pos-1)
+	}
+}
+
+// skipOp advances past one op, returning only its routing key (kind and
+// OID). The byte range it covered is [start, d.pos).
+func (d *decoder) skipOp() (kind uint8, oid uint64) {
+	kind = d.u8()
+	switch kind {
+	case OpWrite:
+		oid = d.uvarint()
+		if slot := d.uvarint(); slot > maxSlotIndex {
+			d.fail("wal: write slot %d out of range", slot)
+			return
+		}
+		d.skipValue()
+	case OpCreate:
+		d.uvarint() // class
+		oid = d.uvarint()
+		ns := d.uvarint()
+		if d.err != nil {
+			return
+		}
+		if ns > uint64(len(d.b)-d.pos) {
+			d.fail("wal: create claims %d slots with %d bytes left", ns, len(d.b)-d.pos)
+			return
+		}
+		for j := uint64(0); j < ns && d.err == nil; j++ {
+			d.skipValue()
+		}
+	case OpDelete:
+		oid = d.uvarint()
+	default:
+		d.fail("wal: unknown op kind %d", kind)
+	}
+	return kind, oid
+}
+
 // walkRecord streams the ops of one commit payload through fn.
 func walkRecord(payload []byte, txnID *uint64, fn func(RecordOp) error) error {
 	d := decoder{b: payload}
@@ -239,34 +345,15 @@ func walkRecord(payload []byte, txnID *uint64, fn func(RecordOp) error) error {
 		*txnID = id
 	}
 	n := d.u32()
+	// Every op costs at least two bytes, so an op count beyond the
+	// payload size is garbage. Rejecting it up front (rather than at the
+	// first truncated op) also keeps the claimed count a trustworthy
+	// upper bound for the replay OID budget below.
+	if uint64(n) > uint64(len(payload)) {
+		return fmt.Errorf("wal: record claims %d ops in %d bytes", n, len(payload))
+	}
 	for i := uint32(0); i < n && d.err == nil; i++ {
-		var op RecordOp
-		op.Kind = d.u8()
-		switch op.Kind {
-		case OpWrite:
-			op.OID = storage.OID(d.uvarint())
-			op.Slot = int(d.uvarint())
-			op.Val = d.value()
-		case OpCreate:
-			op.Class = uint32(d.uvarint())
-			op.OID = storage.OID(d.uvarint())
-			ns := d.uvarint()
-			if d.err != nil {
-				break
-			}
-			if ns > uint64(len(d.b)-d.pos) {
-				d.fail("wal: create claims %d slots with %d bytes left", ns, len(d.b)-d.pos)
-				break
-			}
-			op.Slots = make([]storage.Value, 0, ns)
-			for j := uint64(0); j < ns && d.err == nil; j++ {
-				op.Slots = append(op.Slots, d.value())
-			}
-		case OpDelete:
-			op.OID = storage.OID(d.uvarint())
-		default:
-			d.fail("wal: unknown op kind %d", op.Kind)
-		}
+		op := decodeOp(&d)
 		if d.err != nil {
 			break
 		}
@@ -301,38 +388,57 @@ func kindMatches(t schema.FieldType, k storage.ValueKind) bool {
 	return false
 }
 
-// applyRecord replays one commit payload into the store. Apply is
-// idempotent: creates overwrite an already-live instance with the same
-// image, writes to a missing instance (possible only when a later
-// delete already ran, i.e. during a second replay of the same log) are
-// skipped, deletes of missing OIDs are no-ops.
-func applyRecord(st *storage.Store, sch *schema.Schema, payload []byte) (ops int, err error) {
+// applyOp replays one decoded op into the store. Apply is idempotent:
+// creates overwrite an already-live instance with the same image,
+// writes to a missing instance (possible only when a later delete
+// already ran, i.e. during a second replay of the same log) are
+// skipped, deletes of missing OIDs are no-ops. Ops on different OIDs
+// commute, which is what lets recovery partition them across workers.
+//
+// maxOID is the replay OID budget: the highest OID a non-corrupt log
+// could legitimately name (checkpoint watermark + every op the
+// segments claim, since each create allocates one sequential OID).
+// Ops beyond it are rejected — the store's page directory is dense, so
+// letting a corrupt record name OID 2⁵⁰ would allocate the directory
+// to match before any type check could object.
+func applyOp(st *storage.Store, sch *schema.Schema, op RecordOp, maxOID uint64) error {
+	if uint64(op.OID) > maxOID {
+		return fmt.Errorf("wal: op names OID %d beyond the replayable bound %d", op.OID, maxOID)
+	}
+	switch op.Kind {
+	case OpWrite:
+		st.EnsureOID(op.OID)
+		if in, ok := st.Get(op.OID); ok {
+			if op.Slot >= in.Class.NumSlots() {
+				return fmt.Errorf("wal: write to slot %d of %s#%d (has %d)",
+					op.Slot, in.Class.Name, op.OID, in.Class.NumSlots())
+			}
+			if f := in.Class.Fields[op.Slot]; !kindMatches(f.Type, op.Val.Kind) {
+				return fmt.Errorf("wal: write of %s into %s field %s of %s#%d",
+					op.Val, f.Type, f.Name, in.Class.Name, op.OID)
+			}
+			in.Set(op.Slot, op.Val)
+		}
+	case OpCreate:
+		cls := sch.ClassByID(op.Class)
+		if cls == nil {
+			return fmt.Errorf("wal: create references unknown class id %d", op.Class)
+		}
+		if _, err := st.Install(cls, op.OID, op.Slots); err != nil {
+			return err
+		}
+	case OpDelete:
+		st.EnsureOID(op.OID)
+		st.Delete(op.OID) //nolint:errcheck // missing OID is a no-op on replay
+	}
+	return nil
+}
+
+// applyRecord replays one commit payload into the store, sequentially.
+func applyRecord(st *storage.Store, sch *schema.Schema, payload []byte, maxOID uint64) (ops int, err error) {
 	err = walkRecord(payload, nil, func(op RecordOp) error {
-		switch op.Kind {
-		case OpWrite:
-			st.EnsureOID(op.OID)
-			if in, ok := st.Get(op.OID); ok {
-				if op.Slot >= in.Class.NumSlots() {
-					return fmt.Errorf("wal: write to slot %d of %s#%d (has %d)",
-						op.Slot, in.Class.Name, op.OID, in.Class.NumSlots())
-				}
-				if f := in.Class.Fields[op.Slot]; !kindMatches(f.Type, op.Val.Kind) {
-					return fmt.Errorf("wal: write of %s into %s field %s of %s#%d",
-						op.Val, f.Type, f.Name, in.Class.Name, op.OID)
-				}
-				in.Set(op.Slot, op.Val)
-			}
-		case OpCreate:
-			cls := sch.ClassByID(op.Class)
-			if cls == nil {
-				return fmt.Errorf("wal: create references unknown class id %d", op.Class)
-			}
-			if _, err := st.Install(cls, op.OID, op.Slots); err != nil {
-				return err
-			}
-		case OpDelete:
-			st.EnsureOID(op.OID)
-			st.Delete(op.OID) //nolint:errcheck // missing OID is a no-op on replay
+		if err := applyOp(st, sch, op, maxOID); err != nil {
+			return err
 		}
 		ops++
 		return nil

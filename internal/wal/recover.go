@@ -2,10 +2,8 @@ package wal
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -76,12 +74,15 @@ func checkFingerprint(dir string, sch *schema.Schema) error {
 // Open recovers the durable state in dir into st (which must be a fresh,
 // empty store) and returns a running log ready to append. Recovery loads
 // the checkpoint (if any), replays every later segment in sequence order
-// with idempotent apply, truncates a torn tail off the final segment (a
-// crash mid-batch leaves at most one incomplete record suffix, since
-// every batch is fsynced before its commits are acknowledged), and
-// continues appending to that segment. A missing or empty directory is a
-// fresh database.
+// with idempotent apply — partitioned by instance across
+// o.RecoveryWorkers goroutines when a segment is large enough, since
+// records touching different OIDs commute — truncates a torn tail off
+// the final segment (a crash mid-batch leaves at most one incomplete
+// record suffix, since every batch is written before any commit in it
+// is acknowledged), and continues appending to that segment. A missing
+// or empty directory is a fresh database.
 func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) {
+	o.normalize()
 	if st.Count() != 0 || st.MaxOID() != 0 {
 		return nil, RecoveryInfo{}, fmt.Errorf("wal: Open needs an empty store")
 	}
@@ -106,6 +107,8 @@ func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) 
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
+	r := newReplayer(st, sch, o.RecoveryWorkers)
+	info.Workers = r.workers
 	last := base // highest segment seen; the log appends to (or after) it
 	for i, seq := range seqs {
 		if seq <= base {
@@ -116,27 +119,29 @@ func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) 
 		if seq != last+1 {
 			return nil, RecoveryInfo{}, fmt.Errorf("wal: segment gap: %d follows %d", seq, last)
 		}
-		records, tornAt, err := replaySegmentFile(segmentPath(dir, seq), st, sch)
+		path := segmentPath(dir, seq)
+		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, RecoveryInfo{}, err
+		}
+		records, tornAt, err := r.segment(data)
+		if err != nil {
+			return nil, RecoveryInfo{}, fmt.Errorf("wal: %s %w", path, err)
 		}
 		if tornAt >= 0 {
 			if i != len(seqs)-1 {
 				return nil, RecoveryInfo{}, fmt.Errorf("wal: sealed segment %d has a torn record", seq)
 			}
-			fi, err := os.Stat(segmentPath(dir, seq))
-			if err != nil {
+			if err := truncateSegment(path, tornAt); err != nil {
 				return nil, RecoveryInfo{}, err
 			}
-			if err := truncateSegment(segmentPath(dir, seq), tornAt); err != nil {
-				return nil, RecoveryInfo{}, err
-			}
-			info.TornTailBytes = fi.Size() - tornAt
+			info.TornTailBytes = int64(len(data)) - tornAt
 		}
 		info.Segments++
 		info.Records += int64(records)
 		last = seq
 	}
+	st.SortExtents()
 
 	l := &Log{dir: dir, sch: sch, opts: o}
 	l.baseSeq.Store(base)
@@ -191,42 +196,6 @@ func listSegments(dir string) ([]uint64, error) {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	return seqs, nil
-}
-
-// replaySegmentFile applies every valid record of one segment into st.
-// It returns the number of records applied and tornAt: -1 when the
-// whole segment is valid, otherwise the byte offset at which the valid
-// prefix ends (an incomplete frame or CRC mismatch — the torn tail of a
-// crash).
-func replaySegmentFile(path string, st *storage.Store, sch *schema.Schema) (records int, tornAt int64, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return 0, -1, err
-	}
-	pos := int64(0)
-	for {
-		rest := data[pos:]
-		if len(rest) == 0 {
-			return records, -1, nil
-		}
-		if len(rest) < frameHeaderSize {
-			return records, pos, nil // torn frame header
-		}
-		size := binary.LittleEndian.Uint32(rest[0:])
-		wantCRC := binary.LittleEndian.Uint32(rest[4:])
-		if int64(size) > int64(maxRecordSize) || int64(size) > int64(len(rest)-frameHeaderSize) {
-			return records, pos, nil // torn or garbage length
-		}
-		payload := rest[frameHeaderSize : frameHeaderSize+int(size)]
-		if crc32.Checksum(payload, crcTable) != wantCRC {
-			return records, pos, nil // torn payload
-		}
-		if _, err := applyRecord(st, sch, payload); err != nil {
-			return records, -1, fmt.Errorf("wal: %s at offset %d: %w", path, pos, err)
-		}
-		records++
-		pos += frameHeaderSize + int64(size)
-	}
 }
 
 // truncateSegment drops the torn suffix so the log can append cleanly.

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -475,5 +476,130 @@ func TestRecoveryConcurrentCommitsSurvive(t *testing.T) {
 	}
 	if got != int64(workers*depositsEach) {
 		t.Fatalf("recovered balance %v, want %d", got, workers*depositsEach)
+	}
+}
+
+// UpdateAsync through the public API: pipelined sessions, futures
+// resolve durable, and a golden diff against a volatile mirror after
+// recovery — plus the everysec policy, whose Close hardens the tail.
+func TestRecoveryUpdateAsyncGolden(t *testing.T) {
+	schema, err := Compile(bankingSrc, WithCommuting("account", "deposit", "deposit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	durable, err := Open(schema, Fine, Durable(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := Open(schema, Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accounts []OID
+	for _, db := range []*Database{durable, mirror} {
+		accts := []OID{}
+		if err := db.Update(func(tx *Txn) error {
+			for i := 0; i < 8; i++ {
+				oid, err := tx.New("savings", int64(i), fmt.Sprintf("o%d", i), int64(50))
+				if err != nil {
+					return err
+				}
+				accts = append(accts, oid)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		accounts = accts
+	}
+	var futures []Future
+	for op := 0; op < 150; op++ {
+		oid := accounts[op%len(accounts)]
+		amount := int64(op % 13)
+		fut, err := durable.UpdateAsync(func(tx *Txn) error {
+			_, err := tx.Send(oid, "deposit", amount)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, fut)
+		if err := mirror.Update(func(tx *Txn) error {
+			_, err := tx.Send(oid, "deposit", amount)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := durable.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fut := range futures {
+		if err := fut.Wait(); err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+	}
+	var zero Future
+	if err := zero.Wait(); err != nil {
+		t.Fatalf("zero Future: %v", err)
+	}
+	if err := durable.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Open(schema, Fine, Durable(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	maxOID := accounts[len(accounts)-1]
+	if got, want := dumpAll(t, recovered, maxOID), dumpAll(t, mirror, maxOID); got != want {
+		t.Fatalf("UpdateAsync recovery diverged:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// The everysec sync policy through the public API: commits are
+// acknowledged without a per-batch fsync, Close hardens the tail, and
+// everything acknowledged before a clean Close recovers.
+func TestRecoverySyncEveryPolicy(t *testing.T) {
+	schema, err := Compile(bankingSrc, WithCommuting("account", "deposit", "deposit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	db, err := Open(schema, Fine, Durable(dir), SyncEvery(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oid OID
+	if err := db.Update(func(tx *Txn) error {
+		var err error
+		oid, err = tx.New("savings", int64(1), "eve", int64(10))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := db.Update(func(tx *Txn) error {
+			_, err := tx.Send(oid, "deposit", int64(1))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Open(schema, Fine, Durable(dir), SyncEvery(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	var buf bytes.Buffer
+	if err := recovered.DumpObject(&buf, oid); err != nil {
+		t.Fatal(err)
+	}
+	if want := "balance: 50"; !strings.Contains(buf.String(), want) {
+		t.Fatalf("recovered object %q, want %q", buf.String(), want)
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // Strategy selects a concurrency-control protocol.
@@ -235,7 +236,7 @@ type openConfig struct {
 	dir               string
 	groupCommitWindow time.Duration
 	checkpointBytes   int64
-	noSync            bool
+	sync              wal.SyncPolicy
 }
 
 // Durable makes the database persistent under dir: Open recovers any
@@ -264,13 +265,24 @@ func CheckpointEvery(bytes int64) OpenOption {
 	return func(c *openConfig) { c.checkpointBytes = bytes }
 }
 
+// SyncEvery bounds the durability loss window instead of paying an
+// fsync per commit batch: commits are acknowledged after the buffered
+// OS write, and the log fsyncs at most every d — even when idle, any
+// unsynced commit is hardened within d of its write. An OS crash or
+// power loss can lose at most the last d of acknowledged commits; a
+// process crash loses nothing. The Redis "everysec" middle point
+// between full sync and RelaxedSync.
+func SyncEvery(d time.Duration) OpenOption {
+	return func(c *openConfig) { c.sync = wal.SyncEvery(d) }
+}
+
 // RelaxedSync acknowledges commits after the buffered OS write without
-// waiting for fsync (the log still fsyncs on checkpoint and Close). A
-// process crash loses nothing; an OS crash or power loss may lose the
-// most recent commits. The classic durability/throughput trade-off
-// knob.
+// waiting for fsync (the log still fsyncs on checkpoint, Sync and
+// Close). A process crash loses nothing; an OS crash or power loss may
+// lose the most recent commits. The classic durability/throughput
+// trade-off knob; SyncEvery is the bounded-loss middle point.
 func RelaxedSync() OpenOption {
-	return func(c *openConfig) { c.noSync = true }
+	return func(c *openConfig) { c.sync = wal.SyncNever }
 }
 
 // Open creates a database over a compiled schema with the chosen
@@ -294,7 +306,7 @@ func Open(s *Schema, strategy Strategy, opts ...OpenOption) (*Database, error) {
 		Dir:               cfg.dir,
 		GroupCommitWindow: cfg.groupCommitWindow,
 		CheckpointBytes:   cfg.checkpointBytes,
-		NoSync:            cfg.noSync,
+		Sync:              cfg.sync,
 	})
 	if err != nil {
 		return nil, err
@@ -353,6 +365,41 @@ func (d *Database) Update(fn func(*Txn) error) error {
 		return fn(&Txn{db: d, tx: tx})
 	})
 }
+
+// Future is the durability ticket of an UpdateAsync commit. The zero
+// value — and the ticket of a read-only or volatile transaction — is
+// already resolved.
+type Future struct {
+	f txn.Future
+}
+
+// Wait blocks until the commit is hardened per the database's sync
+// policy and returns the outcome. A non-nil error means the log went
+// fail-stop underneath an acknowledged commit: its effects are visible
+// in memory but may not have reached disk.
+func (f Future) Wait() error { return f.f.Wait() }
+
+// UpdateAsync is Update with a pipelined commit: it returns as soon as
+// the transaction's commit record is sequenced in the log — the session
+// can immediately run its next transaction while the group commit's
+// fsync is in flight — together with a Future that resolves when the
+// commit is durable. Transactions still serialize through strict 2PL,
+// and a conflicting transaction can only commit after this one, so the
+// durable log prefix is always conflict-consistent; what UpdateAsync
+// relaxes is only *when the caller learns* the commit reached disk.
+// Close, Sync and Checkpoint all drain outstanding futures.
+func (d *Database) UpdateAsync(fn func(*Txn) error) (Future, error) {
+	fut, err := d.db.RunWithRetryPipelined(func(tx *txn.Txn) error {
+		return fn(&Txn{db: d, tx: tx})
+	})
+	return Future{f: fut}, err
+}
+
+// Sync is a durability barrier: it blocks until every commit
+// acknowledged so far — including UpdateAsync commits whose futures
+// have not been waited on — is fsynced, whatever the sync policy.
+// No-op for a volatile database.
+func (d *Database) Sync() error { return d.db.Sync() }
 
 // Commit makes the transaction durable and releases its locks.
 func (t *Txn) Commit() error { return t.tx.Commit() }
