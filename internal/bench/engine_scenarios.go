@@ -67,6 +67,14 @@ type EngineScenario struct {
 	Sync              wal.SyncPolicy
 	Pipelined         bool
 	PipelineDepth     int
+
+	// FaultWriteAfter, when positive, mounts a fault-injecting
+	// filesystem under the redo log: the FaultWriteAfter-th filesystem
+	// operation — and every write after it — fails with ENOSPC, as if
+	// the disk filled up mid-run. The scenario must then fail cleanly
+	// with a typed fail-stop error rather than panic or hang (Durable
+	// only).
+	FaultWriteAfter int64
 }
 
 // Name renders the scenario as a benchmark-style path segment.
@@ -406,12 +414,21 @@ func setupEngineScenario(sc EngineScenario) (*engineScenarioState, error) {
 	if err != nil {
 		return nil, err
 	}
+	var fsys wal.FS
+	if sc.FaultWriteAfter > 0 {
+		fsys = wal.NewFaultFS(nil, wal.FaultPlan{
+			FailAt:  sc.FaultWriteAfter,
+			Class:   wal.FaultENOSPC,
+			Persist: true,
+		})
+	}
 	db, err := engine.OpenWithOptions(compiled, engine.Options{
 		Strategy:          engine.FineCC{},
 		Durable:           sc.Durable,
 		Dir:               sc.Dir,
 		GroupCommitWindow: sc.GroupCommitWindow,
 		Sync:              sc.Sync,
+		FS:                fsys,
 	})
 	if err != nil {
 		return nil, err

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // Every (schema, mix, distribution) cell of the engine scenario family
@@ -61,6 +64,24 @@ func TestRecoveryEngineScenarioDurable(t *testing.T) {
 		if res.Ops != int64(sc.Workers)*int64(sc.OpsPerWorker) {
 			t.Errorf("%s: ops = %d", sc.Name(), res.Ops)
 		}
+	}
+}
+
+// A durable scenario on a disk that fills up mid-run must fail cleanly:
+// workers stop, RunEngineScenario surfaces a typed ENOSPC fail-stop
+// error, and nothing panics or hangs.
+func TestEngineScenarioDiskFull(t *testing.T) {
+	sc := DefaultEngineScenario(EngineBanking, EngineSendHeavy, DistUniform, 2)
+	sc.Objects = 32
+	sc.OpsPerWorker = 200
+	sc.Durable = true
+	sc.Dir = t.TempDir()
+	// Past the open/population ops, well inside the 400-commit workload.
+	sc.FaultWriteAfter = 40
+	if _, err := RunEngineScenario(sc); err == nil {
+		t.Fatal("scenario on a full disk reported success")
+	} else if !errors.Is(err, wal.ErrLogFailed) || !errors.Is(err, wal.ErrDiskFull) {
+		t.Fatalf("error is not a typed disk-full fail-stop: %v", err)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/paperex"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // The hot-path allocation budget (ISSUE 2 acceptance): once locks are
@@ -298,6 +300,61 @@ func TestWarmTxnReadRoundtripZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("warm read-only roundtrip allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// The PR 6 satellite: pipelined durable commits are allocation-free
+// once warm. The durability ticket a pipelined commit hands out is a
+// pooled single-waiter wal.Future recycled by its Wait, the commit
+// record is built in the transaction's pooled scratch, and the group
+// commit writer reuses its batch buffer — so a warm
+// begin→send→commit→Wait roundtrip on a logged database performs zero
+// heap allocations, same as the volatile roundtrip above.
+func TestWarmPipelinedTxnRoundtripZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under -race; exact alloc accounting needs an uninstrumented build")
+	}
+	c, err := core.CompileSource(paperex.Figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenWithOptions(c, Options{
+		Strategy: FineCC{},
+		Durable:  true,
+		Dir:      t.TempDir(),
+		Sync:     wal.SyncNever,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	oid, _ := seedC2(t, db, false)
+	mid, ok := db.MethodID("m2")
+	if !ok {
+		t.Fatal("m2 not interned")
+	}
+	args := []Value{storage.IntV(3)}
+	fn := func(tx *txn.Txn) error {
+		_, err := db.SendID(tx, oid, mid, args...)
+		return err
+	}
+	roundtrip := func() {
+		fut, err := db.RunWithRetryPipelined(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fut.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pools (txn, future, commit record) and the writer's
+	// batch buffer before counting.
+	for i := 0; i < 64; i++ {
+		roundtrip()
+	}
+	allocs := testing.AllocsPerRun(200, roundtrip)
+	if allocs != 0 {
+		t.Errorf("warm pipelined durable roundtrip allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

@@ -34,10 +34,10 @@ type Options struct {
 	// RecoveryWorkers bounds replay parallelism on Open and Checkpoint
 	// (0 = GOMAXPROCS, 1 = single-threaded).
 	RecoveryWorkers int
-	// NoSync is the deprecated all-or-nothing predecessor of Sync.
-	//
-	// Deprecated: set Sync: wal.SyncNever instead.
-	NoSync bool
+	// FS overrides the filesystem under the redo log (nil: the real
+	// OS). Fault-injection tests stand a wal.FaultFS here to torture
+	// the durable path and exercise degraded read-only mode.
+	FS wal.FS
 }
 
 // OpenWithOptions builds a database like Open and, when o.Durable is
@@ -53,7 +53,7 @@ func OpenWithOptions(c *core.Compiled, o Options) (*DB, error) {
 		CheckpointBytes:   o.CheckpointBytes,
 		Sync:              o.Sync,
 		RecoveryWorkers:   o.RecoveryWorkers,
-		NoSync:            o.NoSync,
+		FS:                o.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -74,6 +74,19 @@ func (db *DB) Recovery() wal.RecoveryInfo { return db.recovery }
 // the group commit's fsync is in flight.
 func (db *DB) RunWithRetryPipelined(fn func(*txn.Txn) error) (txn.Future, error) {
 	return db.Txns.RunWithRetryPipelined(fn)
+}
+
+// Failed reports the redo log's latched fail-stop error: nil while the
+// database is volatile or healthy, otherwise the original I/O failure
+// (matching wal.ErrLogFailed, and wal.ErrDiskFull on out-of-space).
+// Once non-nil the database is in degraded read-only mode — reads keep
+// serving the committed in-memory state, writes fail with
+// txn.ErrReadOnly — and only a reopen can clear it.
+func (db *DB) Failed() error {
+	if w := db.Txns.WAL(); w != nil {
+		return w.Failed()
+	}
+	return nil
 }
 
 // Sync is a durability barrier: it blocks until every commit sequenced

@@ -185,6 +185,9 @@ func (db *DB) SendID(tx *txn.Txn, oid storage.OID, mid schema.MethodID, args ...
 // every concurrent access to the instance and with whole-extent scans;
 // an abort re-inserts the object with its slots intact.
 func (db *DB) DeleteInstance(tx *txn.Txn, oid storage.OID) error {
+	if err := tx.Writable(); err != nil {
+		return err
+	}
 	in, ok := db.Store.Get(oid)
 	if !ok {
 		return fmt.Errorf("engine: no instance with OID %d", oid)
@@ -322,6 +325,11 @@ func (ec *execCtx) relatch(held *storage.Instance) {
 }
 
 func (ec *execCtx) create(cls *schema.Class, vals []Value) (*storage.Instance, error) {
+	if ec.tx != nil {
+		if err := ec.tx.Writable(); err != nil {
+			return nil, err
+		}
+	}
 	if err := ec.db.CC.Create(ec.acq, ec.db.rt, cls); err != nil {
 		return nil, err
 	}

@@ -156,6 +156,13 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			sp--
 			v := st[sp]
 			fld := p.Fields[ins.A]
+			if ec.tx != nil {
+				// Degraded read-only mode: refuse the mutation before it
+				// happens, not at commit with locks and undo already built.
+				if err := ec.tx.Writable(); err != nil {
+					return Value{}, err
+				}
+			}
 			if err := checkAssignable(fld, v); err != nil {
 				return Value{}, fmt.Errorf("engine: %s: %w", p.PosAt(pc-1), err)
 			}

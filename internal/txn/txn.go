@@ -52,6 +52,15 @@ func (s State) String() string {
 // ErrNotActive is returned when operating on a finished transaction.
 var ErrNotActive = errors.New("txn: transaction is not active")
 
+// ErrReadOnly is returned by write attempts after the durable log has
+// latched fail-stop: the in-memory store still serves reads (it holds
+// exactly the committed prefix recovery would reproduce), but nothing
+// further can be made durable, so mutations are refused up front rather
+// than failing at commit with work already done. It always wraps the
+// log's original failure — errors.Is(err, wal.ErrDiskFull) still tells
+// an operator the disk is full.
+var ErrReadOnly = errors.New("txn: database is read-only: durable log failed")
+
 // entryKind classifies one undo-log entry. Typed entries (rather than
 // opaque closures) are what let Commit re-project the log into redo
 // records without allocating.
@@ -105,6 +114,22 @@ func (t *Txn) State() State { return t.state }
 
 // Locks returns the lock manager (for protocol implementations).
 func (t *Txn) Locks() *lock.Manager { return t.mgr.locks }
+
+// Writable reports whether this transaction may still mutate state:
+// nil on a volatile or healthy durable database, ErrReadOnly (wrapping
+// the log's fail-stop cause) once the log has latched. The engine calls
+// it before every store/create/delete so a degraded database fails
+// writes at the first mutation instead of at commit.
+func (t *Txn) Writable() error {
+	w := t.mgr.wal
+	if w == nil {
+		return nil
+	}
+	if cause := w.Failed(); cause != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, cause)
+	}
+	return nil
+}
 
 // LogUndo captures the before-image of one slot, once per (instance,
 // slot) pair per transaction — later images would overwrite earlier
@@ -312,7 +337,8 @@ func (t *Txn) Commit() error {
 
 // Future is the durability ticket of a pipelined commit. The zero value
 // (and the ticket of a read-only or volatile commit) is already
-// resolved. Wait is safe from any goroutine, any number of times.
+// resolved. Wait may be called from any goroutine but at most once: the
+// underlying log future is pooled and recycled by its first Wait.
 type Future struct {
 	w *wal.Future
 }
@@ -321,6 +347,7 @@ type Future struct {
 // policy (under SyncAlways: hardened on disk) and returns the outcome.
 // A non-nil error means the log went fail-stop under the transaction:
 // its in-memory effects are applied and visible but may not be on disk.
+// Call at most once.
 func (f Future) Wait() error {
 	if f.w == nil {
 		return nil
@@ -523,12 +550,21 @@ func (m *Manager) ResetStats() {
 	m.retries.Store(0)
 }
 
+// retryable reports whether a transaction failure is transient lock
+// contention: a deadlock victim notice or a lock-wait timeout. Both
+// mean "another transaction was in the way, not that yours is wrong" —
+// a timeout is just a deadlock (or convoy) detected by the clock
+// instead of the waits-for graph, so the retry loop treats them alike.
+func retryable(err error) bool {
+	return lock.IsDeadlock(err) || errors.Is(err, lock.ErrTimeout)
+}
+
 // RunWithRetry executes fn inside a fresh transaction, committing on
-// success. A deadlock abort rolls back, backs off with jitter, and
-// retries with a new (younger) transaction — the standard user-level
-// reaction to a deadlock victim notice. Any other error aborts and is
-// returned. The *Txn passed to fn is recycled after the call returns
-// and must not be retained.
+// success. A deadlock abort or lock-wait timeout rolls back, backs off
+// with jitter, and retries with a new (younger) transaction — the
+// standard user-level reaction to a deadlock victim notice. Any other
+// error aborts and is returned. The *Txn passed to fn is recycled after
+// the call returns and must not be retained.
 func (m *Manager) RunWithRetry(fn func(*Txn) error) error {
 	_, err := m.runWithRetry(fn, false)
 	return err
@@ -564,11 +600,11 @@ func (m *Manager) runWithRetry(fn func(*Txn) error, pipelined bool) (Future, err
 		}
 		t.Abort()
 		m.Release(t)
-		if !lock.IsDeadlock(err) {
+		if !retryable(err) {
 			return Future{}, err
 		}
 		if attempt+1 >= m.MaxRetries {
-			return Future{}, fmt.Errorf("txn: giving up after %d deadlock retries: %w", attempt+1, err)
+			return Future{}, fmt.Errorf("txn: giving up after %d contention retries: %w", attempt+1, err)
 		}
 		m.retries.Add(1)
 		m.backoff(attempt)

@@ -2,14 +2,17 @@ package txn
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/lock"
 	"repro/internal/paperex"
 	"repro/internal/schema"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 func setup(t *testing.T) (*Manager, *storage.Store, *schema.Schema) {
@@ -310,4 +313,118 @@ func TestBackoffRNGDeterministicPerManager(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+func TestRunWithRetryRetriesTimeout(t *testing.T) {
+	m, _, _ := setup(t)
+	m.RetryBackoff = 0
+	calls := 0
+	err := m.RunWithRetry(func(tx *Txn) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("acquire c1#7: %w", lock.ErrTimeout)
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+	st := m.Snapshot()
+	if st.Retries != 2 || st.Aborted != 2 || st.Committed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRunWithRetryTimeoutGivesUp(t *testing.T) {
+	m, _, _ := setup(t)
+	m.MaxRetries = 3
+	m.RetryBackoff = 0
+	err := m.RunWithRetry(func(tx *Txn) error {
+		return lock.ErrTimeout
+	})
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Errorf("err = %v", err)
+	}
+	if !errors.Is(err, lock.ErrTimeout) {
+		t.Error("wrapped timeout must still be detectable")
+	}
+}
+
+// A real lock-wait timeout — not a mocked error — must be retried, and
+// the retry must succeed once the blocker releases.
+func TestRunWithRetryRealLockTimeout(t *testing.T) {
+	m, _, _ := setup(t)
+	lm := m.Locks()
+	lm.WaitTimeout = time.Millisecond
+	m.RetryBackoff = 0
+	blocker := m.Begin()
+	res := lock.InstanceRes(42)
+	if err := lm.Acquire(blocker.ID, res, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err := m.RunWithRetry(func(tx *Txn) error {
+		calls++
+		if calls == 2 {
+			if err := blocker.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return lm.Acquire(tx.ID, res, lock.X)
+	})
+	if err != nil || calls != 2 {
+		t.Errorf("err=%v calls=%d", err, calls)
+	}
+}
+
+// After the redo log latches fail-stop, the failed commit reports the
+// taxonomy (ErrLogFailed / ErrDiskFull), rolls back, and every later
+// transaction sees ErrReadOnly from Writable before doing any work.
+func TestWritableAfterLogFailStop(t *testing.T) {
+	// Count the ops a fresh open issues so the fault can hit the first
+	// commit's write exactly.
+	_, stRef, _ := setup(t)
+	ref := wal.NewFaultFS(nil, wal.FaultPlan{FailAt: -1})
+	lRef, _, err := wal.Open(t.TempDir(), stRef, wal.Options{FS: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+	openOps := ref.Ops()
+	lRef.Close() //nolint:errcheck
+
+	m, st, s := setup(t)
+	fault := wal.NewFaultFS(nil, wal.FaultPlan{FailAt: openOps, Class: wal.FaultENOSPC, Persist: true})
+	l, _, err := wal.Open(t.TempDir(), st, wal.Options{FS: fault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close() //nolint:errcheck
+	m.SetWAL(l)
+
+	in, err := st.NewInstance(s.Class("c1"), storage.IntV(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := m.Begin()
+	tx.LogUndo(in, 0, in.Set(0, storage.IntV(2)))
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("commit over a full disk succeeded")
+	}
+	if !errors.Is(err, wal.ErrLogFailed) || !errors.Is(err, wal.ErrDiskFull) {
+		t.Fatalf("commit error lacks taxonomy: %v", err)
+	}
+	if got := in.Get(0); got != storage.IntV(1) {
+		t.Errorf("failed commit not rolled back: slot = %v", got)
+	}
+
+	tx2 := m.Begin()
+	defer tx2.Abort()
+	werr := tx2.Writable()
+	if !errors.Is(werr, ErrReadOnly) {
+		t.Fatalf("Writable = %v, want ErrReadOnly", werr)
+	}
+	if !errors.Is(werr, wal.ErrDiskFull) {
+		t.Errorf("ErrReadOnly must carry the disk-full cause: %v", werr)
+	}
 }

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -28,24 +29,34 @@ import (
 //	count × (uvarint classID · uvarint OID · uvarint nSlots · values) ·
 //	u32 CRC-32C of everything after the magic
 //
-// The file is written to checkpoint.tmp, fsynced, renamed over
-// checkpoint, and the directory fsynced — a crash at any point leaves
-// either the old or the new checkpoint fully intact. Segments ≤ baseSeq
-// are deleted afterwards; recovery ignores them even if deletion never
-// happened.
-
+// The file is written to checkpoint.tmp, fsynced, and renamed over
+// checkpoint — after the old checkpoint was demoted to checkpoint.prev —
+// then the directory is fsynced. A crash at any point leaves an intact
+// checkpoint under one of the two names. The whole-file CRC is verified
+// on every load: a corrupt (bit-flipped, truncated) primary makes
+// recovery fall back to checkpoint.prev plus the log segments it still
+// needs, which is why Checkpoint only deletes segments at or below the
+// *previous* base — one full fallback generation is always retained.
 const (
 	checkpointName = "checkpoint"
+	checkpointPrev = "checkpoint.prev"
 	checkpointTmp  = "checkpoint.tmp"
 	checkpointSeq0 = uint64(0) // "no checkpoint": replay every segment
 )
 
 var checkpointMagic = []byte("FAVWCKP1")
 
+// errCheckpointCorrupt classifies damage the CRC trailer (or frame
+// structure around it) detects — the cases recovery can survive by
+// falling back, as opposed to I/O errors or semantic mismatches.
+var errCheckpointCorrupt = errors.New("wal: corrupt checkpoint")
+
 // writeCheckpoint serializes st (a scratch store holding only committed
-// state) with base segment sequence baseSeq, atomically replacing any
-// previous checkpoint.
-func writeCheckpoint(dir string, st *storage.Store, baseSeq uint64) error {
+// state) with base segment sequence baseSeq. demoteOld preserves the
+// current primary as checkpoint.prev; when the caller found the primary
+// corrupt it passes false so the garbage is dropped instead of
+// clobbering the intact .prev the fallback chain relies on.
+func writeCheckpoint(fsys FS, dir string, st *storage.Store, baseSeq uint64, demoteOld bool) error {
 	sch := st.Schema()
 	body := make([]byte, 0, 1<<16)
 	body = binary.LittleEndian.AppendUint64(body, baseSeq)
@@ -73,11 +84,11 @@ func writeCheckpoint(dir string, st *storage.Store, baseSeq uint64) error {
 	binary.LittleEndian.PutUint64(body[countAt:], count)
 
 	tmp := filepath.Join(dir, checkpointTmp)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp) // no-op after the rename succeeds
+	defer fsys.Remove(tmp) //nolint:errcheck // no-op after the rename succeeds
 	crc := crc32.Checksum(body, crcTable)
 	if _, err := f.Write(checkpointMagic); err != nil {
 		f.Close()
@@ -98,29 +109,77 @@ func writeCheckpoint(dir string, st *storage.Store, baseSeq uint64) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, checkpointName)); err != nil {
+	primary := filepath.Join(dir, checkpointName)
+	if demoteOld {
+		if err := fsys.Rename(primary, filepath.Join(dir, checkpointPrev)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	} else {
+		fsys.Remove(primary) //nolint:errcheck // corrupt primary; .prev stays the fallback
+	}
+	if err := fsys.Rename(tmp, primary); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
-// loadCheckpoint applies the checkpoint file (if any) into st and
+// loadCheckpoint applies the newest intact checkpoint into st and
 // returns its base segment sequence (checkpointSeq0 when none exists).
-func loadCheckpoint(dir string, st *storage.Store, sch *schema.Schema) (uint64, error) {
-	data, err := os.ReadFile(filepath.Join(dir, checkpointName))
-	if os.IsNotExist(err) {
-		return checkpointSeq0, nil
+// fellBack reports that the primary was missing or corrupt and recovery
+// used checkpoint.prev — or, before any second checkpoint existed, a
+// full log replay from the first segment.
+func loadCheckpoint(fsys FS, dir string, st *storage.Store, sch *schema.Schema) (base uint64, fellBack bool, err error) {
+	base, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointName), st, sch)
+	switch {
+	case err == nil:
+		return base, false, nil
+	case errors.Is(err, os.ErrNotExist):
+		// No primary. A .prev without a primary is the crash window of
+		// writeCheckpoint between demote and rename — .prev is intact
+		// and its replay tail is still on disk.
+		base, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointPrev), st, sch)
+		if errors.Is(err, os.ErrNotExist) {
+			return checkpointSeq0, false, nil // fresh directory
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		return base, true, nil
+	case errors.Is(err, errCheckpointCorrupt):
+		base, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointPrev), st, sch)
+		if errors.Is(err, os.ErrNotExist) {
+			// Corrupt primary, no .prev: only the first checkpoint ever
+			// taken can be in this state, and it deleted no segments —
+			// a full replay from the first segment reproduces it.
+			return checkpointSeq0, true, nil
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		return base, true, nil
+	default:
+		return 0, false, err
 	}
+}
+
+// loadCheckpointFile applies one checkpoint file into st. Corruption
+// the CRC trailer detects is reported as errCheckpointCorrupt — and
+// detected before anything is installed, so the store is untouched and
+// the caller may fall back. Semantic errors past a valid CRC (unknown
+// class, OID watermark, slot arity) stay hard failures: they mean a
+// writer bug or foreign file, not disk damage.
+func loadCheckpointFile(fsys FS, path string, st *storage.Store, sch *schema.Schema) (uint64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
 	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
-		return 0, fmt.Errorf("wal: checkpoint: bad magic")
+		return 0, fmt.Errorf("%w: %s: bad magic", errCheckpointCorrupt, path)
 	}
 	body := data[len(checkpointMagic) : len(data)-4]
 	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.Checksum(body, crcTable) != wantCRC {
-		return 0, fmt.Errorf("wal: checkpoint: CRC mismatch")
+		return 0, fmt.Errorf("%w: %s: CRC mismatch", errCheckpointCorrupt, path)
 	}
 	d := decoder{b: body}
 	baseSeq := d.u64()
@@ -173,8 +232,10 @@ func loadCheckpoint(dir string, st *storage.Store, sch *schema.Schema) (uint64, 
 // their segment is sealed), seals the live segment, replays previous
 // checkpoint + all sealed segments into a scratch store — on the same
 // instance-partitioned parallel replayer recovery uses — writes a new
-// checkpoint atomically and deletes the dead segments. Commits proceed
-// concurrently into the new segment throughout.
+// checkpoint atomically (demoting the old one to checkpoint.prev) and
+// deletes only the segments no fallback can need: those at or below the
+// demoted checkpoint's own base. Commits proceed concurrently into the
+// new segment throughout.
 func (l *Log) Checkpoint() error {
 	l.ckptMu.Lock()
 	defer l.ckptMu.Unlock()
@@ -193,14 +254,14 @@ func (l *Log) Checkpoint() error {
 	sealed := res.sealed
 
 	scratch := storage.NewStore(l.sch)
-	base, err := loadCheckpoint(l.dir, scratch, l.sch)
+	base, fellBack, err := loadCheckpoint(l.fs, l.dir, scratch, l.sch)
 	if err != nil {
 		return err
 	}
 	r := newReplayer(scratch, l.sch, l.opts.RecoveryWorkers)
 	for seq := base + 1; seq <= sealed; seq++ {
 		path := segmentPath(l.dir, seq)
-		data, err := os.ReadFile(path)
+		data, err := l.fs.ReadFile(path)
 		if err != nil {
 			return err
 		}
@@ -214,13 +275,21 @@ func (l *Log) Checkpoint() error {
 		}
 	}
 	scratch.SortExtents()
-	if err := writeCheckpoint(l.dir, scratch, sealed); err != nil {
+	if err := writeCheckpoint(l.fs, l.dir, scratch, sealed, !fellBack); err != nil {
 		return err
 	}
 	l.baseSeq.Store(sealed)
 	l.checkpoints.Add(1)
-	for seq := base; seq <= sealed; seq++ {
-		os.Remove(segmentPath(l.dir, seq)) //nolint:errcheck // stale segments are skipped anyway
+	// The checkpoint just demoted has base `base`: it needs segments
+	// (base, sealed] to replay, so only older ones are dead under every
+	// fallback. Sweep the directory rather than a range — earlier
+	// generations a crash kept alive get culled here too.
+	if seqs, err := listSegments(l.fs, l.dir); err == nil {
+		for _, seq := range seqs {
+			if seq <= base {
+				l.fs.Remove(segmentPath(l.dir, seq)) //nolint:errcheck // best-effort compaction
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,47 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// The fail-stop error taxonomy. A durable failure latches the log
+// (markBroken); every commit, checkpoint and close from then on reports
+// an error that matches ErrLogFailed under errors.Is, and additionally
+// ErrDiskFull when the root cause was out-of-space. Callers branch on
+// the class, not the concrete cause:
+//
+//	errors.Is(err, wal.ErrLogFailed)  // the log went fail-stop under this op
+//	errors.Is(err, wal.ErrDiskFull)   // ... because the disk filled up
+var (
+	// ErrLogFailed marks every error produced after the log latched
+	// fail-stop, including the one returned by the commit that caused
+	// the latch.
+	ErrLogFailed = errors.New("wal: log failed (fail-stop)")
+	// ErrDiskFull marks fail-stop errors whose root cause is ENOSPC.
+	ErrDiskFull = errors.New("wal: disk full")
+)
+
+// failStopError is the latched fail-stop error: the first write, fsync
+// or rotate failure, frozen. It classifies itself against the sentinel
+// taxonomy above while keeping the original cause unwrappable.
+type failStopError struct {
+	cause error
+}
+
+func (e *failStopError) Error() string {
+	return fmt.Sprintf("wal: log failed, rejecting further commits: %v", e.cause)
+}
+
+func (e *failStopError) Unwrap() error { return e.cause }
+
+func (e *failStopError) Is(target error) bool {
+	switch target {
+	case ErrLogFailed:
+		return true
+	case ErrDiskFull:
+		return errors.Is(e.cause, syscall.ENOSPC)
+	}
+	return false
+}

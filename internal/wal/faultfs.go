@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultFS is a deterministic fault injector: an FS that counts every
+// operation the log issues and fails exactly the one (or, persistently,
+// every write from the one) a FaultPlan names. A reference run with a
+// no-fault plan yields the op count and per-op kinds; torture suites
+// then walk index 0..N-1 the way the recovery suites walk every byte
+// offset — every I/O point the durable path touches gets to fail once.
+//
+// ErrInjected marks every injected error (ENOSPC faults additionally
+// match syscall.ENOSPC, which the log classifies as ErrDiskFull).
+var ErrInjected = errors.New("wal: injected fault")
+
+// OpKind labels one filesystem operation class, as counted by FaultFS.
+type OpKind uint8
+
+// The operation kinds FaultFS distinguishes.
+const (
+	KindOpen OpKind = iota
+	KindWrite
+	KindSync
+	KindClose
+	KindStat
+	KindFileTruncate // File.Truncate (the batch scrub)
+	KindRename
+	KindRemove
+	KindRead
+	KindReadDir
+	KindMkdir
+	KindTruncate // FS.Truncate (torn-tail repair)
+	KindSyncDir
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KindOpen:
+		return "open"
+	case KindWrite:
+		return "write"
+	case KindSync:
+		return "sync"
+	case KindClose:
+		return "close"
+	case KindStat:
+		return "stat"
+	case KindFileTruncate:
+		return "ftruncate"
+	case KindRename:
+		return "rename"
+	case KindRemove:
+		return "remove"
+	case KindRead:
+		return "read"
+	case KindReadDir:
+		return "readdir"
+	case KindMkdir:
+		return "mkdir"
+	case KindTruncate:
+		return "truncate"
+	case KindSyncDir:
+		return "syncdir"
+	}
+	return "op(?)"
+}
+
+// FaultClass selects how the targeted operation fails.
+type FaultClass uint8
+
+const (
+	// FaultErr fails the op cleanly: an error, no side effect.
+	FaultErr FaultClass = iota
+	// FaultENOSPC fails the op with ENOSPC (no side effect); the log's
+	// taxonomy classifies the resulting fail-stop as ErrDiskFull.
+	FaultENOSPC
+	// FaultShortWrite persists a prefix of the buffer and reports the
+	// short count with an error — the kernel wrote what fit. Non-write
+	// ops degrade to FaultErr.
+	FaultShortWrite
+	// FaultTornWrite persists a prefix of the buffer but reports total
+	// failure (0, err) — the write errored after bytes reached the
+	// platter. Non-write ops degrade to FaultErr.
+	FaultTornWrite
+	// FaultBitFlip lets the fsync succeed, then flips one bit of the
+	// last byte written through the handle and reports success — the
+	// firmware lied. Only sync ops fire; every other kind is a no-op
+	// (silent corruption has no meaning for them).
+	FaultBitFlip
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultErr:
+		return "err"
+	case FaultENOSPC:
+		return "enospc"
+	case FaultShortWrite:
+		return "short-write"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultBitFlip:
+		return "bit-flip"
+	}
+	return "fault(?)"
+}
+
+// FaultPlan names which operation fails and how.
+type FaultPlan struct {
+	// FailAt is the 0-based global op index to fail; negative plans
+	// never fire (pure counting).
+	FailAt int64
+	// Class is the failure behavior at FailAt.
+	Class FaultClass
+	// Persist additionally fails every write op after FailAt — a disk
+	// that filled up and stays full. Metadata ops and reads keep
+	// working, which is exactly what lets the scrub and a later clean
+	// reopen observe the acknowledged prefix.
+	Persist bool
+}
+
+// NewFaultFS wraps inner (nil: the real OS) with plan.
+func NewFaultFS(inner FS, plan FaultPlan) *FaultFS {
+	if inner == nil {
+		inner = osFS{}
+	}
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// FaultFS implements FS. See the type-level comment on the package's
+// fault model.
+type FaultFS struct {
+	inner FS
+	plan  FaultPlan
+
+	mu    sync.Mutex
+	n     int64
+	trace []OpKind
+}
+
+// Ops returns how many operations have been issued so far.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Trace returns a copy of the per-op kinds issued so far, index-aligned
+// with FaultPlan.FailAt.
+func (f *FaultFS) Trace() []OpKind {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]OpKind(nil), f.trace...)
+}
+
+// fire counts one op and reports whether (and how) it must fail.
+func (f *FaultFS) fire(kind OpKind) (FaultClass, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	i := f.n
+	f.n++
+	f.trace = append(f.trace, kind)
+	p := f.plan
+	if p.FailAt < 0 {
+		return 0, false
+	}
+	hit := i == p.FailAt || (p.Persist && i > p.FailAt && kind == KindWrite)
+	if !hit {
+		return 0, false
+	}
+	switch p.Class {
+	case FaultBitFlip:
+		if kind != KindSync {
+			return 0, false
+		}
+	}
+	return p.Class, true
+}
+
+// errFor is the error an injected non-write failure reports.
+func errFor(class FaultClass) error {
+	if class == FaultENOSPC {
+		return fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+	}
+	return ErrInjected
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if class, hit := f.fire(KindOpen); hit {
+		return nil, errFor(class)
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	ff := &faultFile{fs: f, f: inner, name: name}
+	if flag&os.O_APPEND != 0 {
+		// Track the append offset so a bit flip knows where the last
+		// write landed. Internal, uncounted: the op trace must be
+		// identical between reference and fault runs.
+		if fi, err := inner.Stat(); err == nil {
+			ff.end = fi.Size()
+		}
+	}
+	return ff, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if class, hit := f.fire(KindRename); hit {
+		return errFor(class)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if class, hit := f.fire(KindRemove); hit {
+		return errFor(class)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if class, hit := f.fire(KindRead); hit {
+		return nil, errFor(class)
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if class, hit := f.fire(KindReadDir); hit {
+		return nil, errFor(class)
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if class, hit := f.fire(KindMkdir); hit {
+		return errFor(class)
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if class, hit := f.fire(KindTruncate); hit {
+		return errFor(class)
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if class, hit := f.fire(KindSyncDir); hit {
+		return errFor(class)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile wraps one open file, tracking the end offset of bytes
+// written through it (the bit-flip target).
+type faultFile struct {
+	fs   *FaultFS
+	f    File
+	name string
+	end  int64
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	class, hit := f.fs.fire(KindWrite)
+	if !hit {
+		n, err := f.f.Write(p)
+		f.end += int64(n)
+		return n, err
+	}
+	switch class {
+	case FaultShortWrite:
+		k := len(p) / 2
+		n, _ := f.f.Write(p[:k])
+		f.end += int64(n)
+		return n, fmt.Errorf("%w: %w", ErrInjected, io.ErrShortWrite)
+	case FaultTornWrite:
+		k := (len(p) + 1) / 2
+		n, _ := f.f.Write(p[:k])
+		f.end += int64(n)
+		return 0, ErrInjected
+	case FaultBitFlip:
+		// Silent corruption belongs to fsync; the write proceeds.
+		n, err := f.f.Write(p)
+		f.end += int64(n)
+		return n, err
+	default:
+		return 0, errFor(class)
+	}
+}
+
+func (f *faultFile) Sync() error {
+	class, hit := f.fs.fire(KindSync)
+	if !hit {
+		return f.f.Sync()
+	}
+	if class == FaultBitFlip {
+		if err := f.f.Sync(); err != nil {
+			return err
+		}
+		f.flipLastByte()
+		return nil // the firmware reported success
+	}
+	return errFor(class)
+}
+
+// flipLastByte corrupts the last byte written through this handle, on
+// disk, via uncounted inner-FS operations.
+func (f *faultFile) flipLastByte() {
+	if f.end == 0 {
+		return
+	}
+	data, err := f.fs.inner.ReadFile(f.name)
+	if err != nil || int64(len(data)) < f.end {
+		return
+	}
+	w, err := f.fs.inner.OpenFile(f.name, os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	defer w.Close()
+	w.WriteAt([]byte{data[f.end-1] ^ 0x80}, f.end-1) //nolint:errcheck
+	w.Sync()                                         //nolint:errcheck
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	// Not on the log's own path; uncounted pass-through.
+	return f.f.WriteAt(p, off)
+}
+
+func (f *faultFile) Close() error {
+	class, hit := f.fs.fire(KindClose)
+	if !hit {
+		return f.f.Close()
+	}
+	// Close the real handle either way (no fd leak across a torture
+	// walk) and report a late write-back failure.
+	f.f.Close() //nolint:errcheck
+	return errFor(class)
+}
+
+func (f *faultFile) Stat() (os.FileInfo, error) {
+	if class, hit := f.fs.fire(KindStat); hit {
+		return nil, errFor(class)
+	}
+	return f.f.Stat()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	class, hit := f.fs.fire(KindFileTruncate)
+	if !hit {
+		err := f.f.Truncate(size)
+		if err == nil && f.end > size {
+			f.end = size
+		}
+		return err
+	}
+	return errFor(class)
+}

@@ -102,24 +102,20 @@ type Options struct {
 	// partitions ops by instance and applies them on this many
 	// goroutines. 0 means GOMAXPROCS; 1 forces single-threaded replay.
 	RecoveryWorkers int
-	// NoSync is the deprecated all-or-nothing predecessor of Sync.
-	//
-	// Deprecated: set Sync: SyncNever instead. When NoSync is true and
-	// Sync is the zero value (SyncAlways), the log behaves as SyncNever.
-	NoSync bool
-
-	// syncFn replaces the batch fsync (tests only: fault injection and
-	// hardened-prefix tracking). nil means (*os.File).Sync.
-	syncFn func(*os.File) error
+	// FS is the filesystem under the log (nil: the real OS). Every
+	// durable byte moves through it, so tests inject a FaultFS here to
+	// torture each I/O point the log issues. The default adapter adds
+	// no allocations to the warm commit path.
+	FS FS
 }
 
-// normalize resolves the deprecated NoSync shim into Sync.
+// normalize fills in defaults.
 func (o *Options) normalize() {
-	if o.NoSync && o.Sync == SyncAlways {
-		o.Sync = SyncNever
-	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 1024
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
 	}
 }
 
@@ -138,10 +134,15 @@ type Stats struct {
 type RecoveryInfo struct {
 	Checkpoint    bool   // a checkpoint file was loaded
 	CheckpointSeq uint64 // its base segment sequence
-	Segments      int    // log segments replayed
-	Records       int64  // commit records applied
-	TornTailBytes int64  // bytes truncated off the final segment
-	Workers       int    // replay goroutines used
+	// CheckpointFallback: the primary checkpoint was corrupt or
+	// half-renamed; recovery used checkpoint.prev (or, before a second
+	// checkpoint existed, a full log replay) instead of installing
+	// garbage.
+	CheckpointFallback bool
+	Segments           int   // log segments replayed
+	Records            int64 // commit records applied
+	TornTailBytes      int64 // bytes truncated off the final segment
+	Workers            int   // replay goroutines used
 }
 
 // rotateResult is the writer's answer to a rotation request.
@@ -169,26 +170,28 @@ type commit struct {
 
 // Future is the durability ticket of a pipelined commit: it resolves —
 // once the batch carrying the record reaches the sync policy's
-// acknowledgment point — to nil or to the log's fail-stop error. Wait
-// is safe to call any number of times from any goroutine.
+// acknowledgment point — to nil or to the log's fail-stop error.
+// Futures are pooled: Wait must be called exactly once, after which the
+// Future is recycled and must not be touched again. This is what makes
+// a pipelined session allocation-free like the blocking path.
 type Future struct {
-	once sync.Once
-	c    *commit
-	err  error
+	c *commit
 }
 
 // Wait blocks until the commit is acknowledged (under SyncAlways:
-// hardened on disk) and returns its outcome.
+// hardened on disk), returns its outcome and recycles the Future. Call
+// exactly once.
 func (f *Future) Wait() error {
-	f.once.Do(func() {
-		if f.c == nil {
-			return
-		}
-		f.err = <-f.c.done
-		f.c.Discard()
-		f.c = nil
-	})
-	return f.err
+	c := f.c
+	if c == nil {
+		return nil
+	}
+	f.c = nil
+	err := <-c.done
+	l := c.l
+	c.Discard()
+	l.futures.Put(f)
+	return err
 }
 
 // Log is an append-only redo log over numbered segment files in one
@@ -198,6 +201,7 @@ type Log struct {
 	dir  string
 	sch  *schema.Schema
 	opts Options
+	fs   FS // == opts.FS after normalize
 
 	submitCh chan *commit
 	rotateCh chan *rotateReq
@@ -216,8 +220,8 @@ type Log struct {
 
 	// Writer-goroutine-owned state.
 	seq       uint64 // current segment sequence
-	f         *os.File
-	size      int64
+	f         File
+	size      int64     // bytes in the live segment (== file size)
 	unsynced  int64     // bytes written since the last fsync
 	lastSync  time.Time // when the last fsync completed
 	scratch   []byte    // batch concatenation buffer
@@ -228,6 +232,7 @@ type Log struct {
 	baseSeq atomic.Uint64 // highest checkpointed (dead) segment
 
 	commits sync.Pool
+	futures sync.Pool
 
 	records     atomic.Int64
 	batches     atomic.Int64
@@ -238,17 +243,6 @@ type Log struct {
 
 func segmentPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", seq))
-}
-
-// syncDir fsyncs the directory so file creations and renames survive a
-// crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
 
 // newStoppedTimer returns a timer that is not running and whose channel
@@ -273,15 +267,8 @@ func (l *Log) start() {
 	l.commits.New = func() any {
 		return &commit{l: l, done: make(chan error, 1)}
 	}
+	l.futures.New = func() any { return new(Future) }
 	go l.run()
-}
-
-// fsyncFile hardens the segment via the configured sync function.
-func (l *Log) fsyncFile() error {
-	if l.opts.syncFn != nil {
-		return l.opts.syncFn(l.f)
-	}
-	return l.f.Sync()
 }
 
 // syncNow hardens everything written so far (writer goroutine only) and
@@ -290,7 +277,7 @@ func (l *Log) syncNow() error {
 	if err := l.failure(); err != nil {
 		return err
 	}
-	if err := l.fsyncFile(); err != nil {
+	if err := l.f.Sync(); err != nil {
 		return l.markBroken(fmt.Errorf("segment fsync: %w", err))
 	}
 	l.unsynced = 0
@@ -418,11 +405,11 @@ func (l *Log) collect(batch []*commit, first *commit) []*commit {
 }
 
 // markBroken latches the log into fail-stop: every later commit,
-// checkpoint and batch write reports the original failure.
+// checkpoint and batch write reports the original failure, classified
+// under the ErrLogFailed/ErrDiskFull taxonomy.
 func (l *Log) markBroken(err error) error {
-	wrapped := fmt.Errorf("wal: log failed, rejecting further commits: %w", err)
 	if l.broken.CompareAndSwap(false, true) {
-		l.brokenErr.Store(wrapped)
+		l.brokenErr.Store(&failStopError{cause: err})
 	}
 	return l.failure()
 }
@@ -432,9 +419,18 @@ func (l *Log) failure() error {
 	if !l.broken.Load() {
 		return nil
 	}
-	err, _ := l.brokenErr.Load().(error)
+	err, _ := l.brokenErr.Load().(*failStopError)
+	if err == nil {
+		return nil
+	}
 	return err
 }
+
+// Failed reports the latched fail-stop error, nil while the log is
+// healthy. A non-nil result matches ErrLogFailed (and ErrDiskFull when
+// the cause was out-of-space) and never clears: the engine polls this
+// to put itself into degraded read-only mode.
+func (l *Log) Failed() error { return l.failure() }
 
 // writeBatch concatenates the batch into one buffer, writes it with a
 // single Write call and hardens it per the sync policy (a Sync barrier
@@ -459,6 +455,7 @@ func (l *Log) writeBatch(batch []*commit) error {
 	}
 	if len(l.scratch) > 0 {
 		if _, err := l.f.Write(l.scratch); err != nil {
+			l.scrub()
 			return l.markBroken(fmt.Errorf("segment write: %w", err))
 		}
 		l.unsynced += int64(len(l.scratch))
@@ -472,6 +469,7 @@ func (l *Log) writeBatch(batch []*commit) error {
 	}
 	if mustSync {
 		if err := l.syncNow(); err != nil {
+			l.scrub()
 			return err
 		}
 	}
@@ -484,6 +482,23 @@ func (l *Log) writeBatch(batch []*commit) error {
 	return nil
 }
 
+// scrub best-effort removes the current batch's bytes from the segment
+// after a failed write or fsync (writer goroutine only; l.size is still
+// the pre-batch size at that point). No commit in the batch was
+// acknowledged, yet a partial write — or a write that succeeded before
+// its fsync failed — can leave a fully valid record on disk; replay
+// would resurrect it, handing the application a transaction it was told
+// failed. Truncating back to the acknowledged prefix keeps "recovery
+// yields exactly the committed prefix" true even through the
+// write-ok/fsync-fail window. Errors are ignored: the log is latching
+// fail-stop either way, and an unscrubbed tail only weakens the
+// guarantee when the scrub itself also fails.
+func (l *Log) scrub() {
+	if l.f.Truncate(l.size) == nil {
+		l.f.Sync() //nolint:errcheck // best-effort; the log is already broken
+	}
+}
+
 // rotate seals the current segment and opens the next one. Writer
 // goroutine only. A failure latches fail-stop: the file state is no
 // longer trustworthy for appends.
@@ -491,7 +506,7 @@ func (l *Log) rotate() (sealed uint64, err error) {
 	if err := l.failure(); err != nil {
 		return 0, err
 	}
-	if err := l.fsyncFile(); err != nil {
+	if err := l.f.Sync(); err != nil {
 		return 0, l.markBroken(fmt.Errorf("rotate fsync: %w", err))
 	}
 	l.fsyncs.Add(1)
@@ -500,11 +515,11 @@ func (l *Log) rotate() (sealed uint64, err error) {
 	}
 	sealed = l.seq
 	l.seq++
-	f, err := os.OpenFile(segmentPath(l.dir, l.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(segmentPath(l.dir, l.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return 0, l.markBroken(fmt.Errorf("rotate open: %w", err))
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		f.Close()
 		return 0, l.markBroken(fmt.Errorf("rotate dir fsync: %w", err))
 	}
@@ -647,9 +662,14 @@ func (c *commit) Wait() error {
 	return err
 }
 
-// Future wraps a submitted commit into a durability future (call once,
-// instead of Wait, after a successful Submit).
-func (c *commit) Future() *Future { return &Future{c: c} }
+// Future wraps a submitted commit into a pooled durability future (call
+// once, instead of Wait, after a successful Submit). The future's own
+// Wait must then be called exactly once — it recycles the Future.
+func (c *commit) Future() *Future {
+	f := c.l.futures.Get().(*Future)
+	f.c = c
+	return f
+}
 
 // Commit frames the record, hands it to the writer goroutine and blocks
 // until the batch containing it reaches the sync policy's

@@ -3,6 +3,7 @@ package wal
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
@@ -11,29 +12,49 @@ import (
 	"repro/internal/storage"
 )
 
-// hardenTracker is the fault-injection seam for the ack-vs-harden
-// window: it wraps the real fsync and records how many bytes of the
-// segment were on "disk" after each sync. In the crash model, a crash
-// preserves at least the hardened prefix (and some arbitrary prefix of
-// later written bytes, which the kill-at-every-byte suite covers).
+// hardenTracker is a VFS that observes the ack-vs-harden window: it
+// passes everything through to the real filesystem and records how many
+// bytes of the live segment were on "disk" after each segment fsync. In
+// the crash model, a crash preserves at least the hardened prefix (and
+// some arbitrary prefix of later written bytes, which the
+// kill-at-every-byte suite covers).
 type hardenTracker struct {
+	osFS
 	mu       sync.Mutex
 	hardened int64
 	syncs    int
 }
 
-func (h *hardenTracker) sync(f *os.File) error {
-	if err := f.Sync(); err != nil {
+func (h *hardenTracker) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := h.osFS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	var seq uint64
+	if n, _ := fmt.Sscanf(filepath.Base(name), "wal-%d.log", &seq); n == 1 {
+		return &trackedFile{File: f, h: h}, nil
+	}
+	return f, nil
+}
+
+// trackedFile snapshots the segment size after every successful fsync.
+type trackedFile struct {
+	File
+	h *hardenTracker
+}
+
+func (f *trackedFile) Sync() error {
+	if err := f.File.Sync(); err != nil {
 		return err
 	}
-	fi, err := f.Stat()
+	fi, err := f.File.Stat()
 	if err != nil {
 		return err
 	}
-	h.mu.Lock()
-	h.hardened = fi.Size()
-	h.syncs++
-	h.mu.Unlock()
+	f.h.mu.Lock()
+	f.h.hardened = fi.Size()
+	f.h.syncs++
+	f.h.mu.Unlock()
 	return nil
 }
 
@@ -54,7 +75,7 @@ func TestRecoveryPipelinedCrashWindow(t *testing.T) {
 	dir := t.TempDir()
 	st := newTestStore(t)
 	tracker := &hardenTracker{}
-	l, _, err := Open(dir, st, Options{syncFn: tracker.sync})
+	l, _, err := Open(dir, st, Options{FS: tracker})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +200,7 @@ func TestRecoverySyncEveryBoundsLossWindow(t *testing.T) {
 	st := newTestStore(t)
 	tracker := &hardenTracker{}
 	const interval = 40 * time.Millisecond
-	l, _, err := Open(dir, st, Options{Sync: SyncEvery(interval), syncFn: tracker.sync})
+	l, _, err := Open(dir, st, Options{Sync: SyncEvery(interval), FS: tracker})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +245,7 @@ func TestSyncBarrierHardensRelaxedLog(t *testing.T) {
 	dir := t.TempDir()
 	st := newTestStore(t)
 	tracker := &hardenTracker{}
-	l, _, err := Open(dir, st, Options{Sync: SyncNever, syncFn: tracker.sync})
+	l, _, err := Open(dir, st, Options{Sync: SyncNever, FS: tracker})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,21 +280,6 @@ func TestSyncBarrierHardensRelaxedLog(t *testing.T) {
 	}
 	if l.Stats().Fsyncs == 0 {
 		t.Fatal("Stats.Fsyncs did not count the barrier sync")
-	}
-}
-
-// The deprecated NoSync bool still works as a shim for SyncNever.
-func TestNoSyncShimMapsToSyncNever(t *testing.T) {
-	o := Options{NoSync: true}
-	o.normalize()
-	if o.Sync != SyncNever {
-		t.Fatalf("NoSync normalized to %v, want SyncNever", o.Sync)
-	}
-	// An explicit policy wins over the shim.
-	o = Options{NoSync: true, Sync: SyncEvery(time.Second)}
-	o.normalize()
-	if o.Sync != SyncEvery(time.Second) {
-		t.Fatalf("explicit Sync overridden by NoSync shim: %v", o.Sync)
 	}
 }
 

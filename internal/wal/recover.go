@@ -3,6 +3,7 @@ package wal
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,7 +14,10 @@ import (
 	"repro/internal/storage"
 )
 
-const fingerprintName = "schema"
+const (
+	fingerprintName = "schema"
+	fingerprintTmp  = "schema.tmp"
+)
 
 // schemaFingerprint hashes everything replay depends on — dense class
 // ID order and each class's field layout — so a log directory refuses
@@ -36,28 +40,28 @@ func schemaFingerprint(sch *schema.Schema) string {
 }
 
 // checkFingerprint verifies (or, on first open, records) the schema
-// fingerprint of a log directory.
-func checkFingerprint(dir string, sch *schema.Schema) error {
+// fingerprint of a log directory. The first write goes through a tmp
+// file + rename: a torn or empty fingerprint after a crash would lock
+// the database out of its own valid log forever.
+func checkFingerprint(fsys FS, dir string, sch *schema.Schema) error {
 	want := schemaFingerprint(sch)
 	path := filepath.Join(dir, fingerprintName)
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err == nil {
 		if got := strings.TrimSpace(string(data)); got != want {
 			return fmt.Errorf("wal: %s was written under a different schema (fingerprint %s, this schema %s); refusing to replay", dir, got, want)
 		}
 		return nil
 	}
-	if !os.IsNotExist(err) {
+	if !errors.Is(err, os.ErrNotExist) {
 		return err
 	}
-	// Durable write (content fsync, then directory fsync): a torn or
-	// empty fingerprint after power loss would lock the database out of
-	// its own valid log.
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp := filepath.Join(dir, fingerprintTmp)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteString(want + "\n"); err != nil {
+	if _, err := f.Write([]byte(want + "\n")); err != nil {
 		f.Close()
 		return err
 	}
@@ -68,13 +72,17 @@ func checkFingerprint(dir string, sch *schema.Schema) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 // Open recovers the durable state in dir into st (which must be a fresh,
 // empty store) and returns a running log ready to append. Recovery loads
-// the checkpoint (if any), replays every later segment in sequence order
-// with idempotent apply — partitioned by instance across
+// the newest intact checkpoint (falling back to checkpoint.prev when the
+// primary is corrupt or half-renamed), replays every later segment in
+// sequence order with idempotent apply — partitioned by instance across
 // o.RecoveryWorkers goroutines when a segment is large enough, since
 // records touching different OIDs commute — truncates a torn tail off
 // the final segment (a crash mid-batch leaves at most one incomplete
@@ -83,27 +91,31 @@ func checkFingerprint(dir string, sch *schema.Schema) error {
 // or empty directory is a fresh database.
 func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) {
 	o.normalize()
+	fsys := o.FS
 	if st.Count() != 0 || st.MaxOID() != 0 {
 		return nil, RecoveryInfo{}, fmt.Errorf("wal: Open needs an empty store")
 	}
 	sch := st.Schema()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, RecoveryInfo{}, err
 	}
-	if err := checkFingerprint(dir, sch); err != nil {
+	// Half-written tmp files from a crash mid-checkpoint / mid-first-open.
+	fsys.Remove(filepath.Join(dir, checkpointTmp))  //nolint:errcheck
+	fsys.Remove(filepath.Join(dir, fingerprintTmp)) //nolint:errcheck
+	if err := checkFingerprint(fsys, dir, sch); err != nil {
 		return nil, RecoveryInfo{}, err
 	}
-	os.Remove(filepath.Join(dir, checkpointTmp)) //nolint:errcheck // half-written checkpoint from a crash
 
 	var info RecoveryInfo
-	base, err := loadCheckpoint(dir, st, sch)
+	base, fellBack, err := loadCheckpoint(fsys, dir, st, sch)
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
 	info.Checkpoint = base != checkpointSeq0
 	info.CheckpointSeq = base
+	info.CheckpointFallback = fellBack
 
-	seqs, err := listSegments(dir)
+	seqs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
@@ -112,15 +124,17 @@ func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) 
 	last := base // highest segment seen; the log appends to (or after) it
 	for i, seq := range seqs {
 		if seq <= base {
-			// Dead segment a crash prevented Checkpoint from deleting.
-			os.Remove(segmentPath(dir, seq)) //nolint:errcheck
+			// Dead segment: retained as the replay tail of
+			// checkpoint.prev (or one a crash prevented Checkpoint from
+			// deleting). The next Checkpoint culls everything the
+			// fallback chain can no longer need.
 			continue
 		}
 		if seq != last+1 {
 			return nil, RecoveryInfo{}, fmt.Errorf("wal: segment gap: %d follows %d", seq, last)
 		}
 		path := segmentPath(dir, seq)
-		data, err := os.ReadFile(path)
+		data, err := fsys.ReadFile(path)
 		if err != nil {
 			return nil, RecoveryInfo{}, err
 		}
@@ -132,7 +146,7 @@ func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) 
 			if i != len(seqs)-1 {
 				return nil, RecoveryInfo{}, fmt.Errorf("wal: sealed segment %d has a torn record", seq)
 			}
-			if err := truncateSegment(path, tornAt); err != nil {
+			if err := truncateSegment(fsys, path, tornAt); err != nil {
 				return nil, RecoveryInfo{}, err
 			}
 			info.TornTailBytes = int64(len(data)) - tornAt
@@ -143,23 +157,23 @@ func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) 
 	}
 	st.SortExtents()
 
-	l := &Log{dir: dir, sch: sch, opts: o}
+	l := &Log{dir: dir, sch: sch, opts: o, fs: fsys}
 	l.baseSeq.Store(base)
 	if last == base {
 		// Fresh directory (or checkpoint with no tail): start a segment.
 		l.seq = base + 1
-		f, err := os.OpenFile(segmentPath(dir, l.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err := fsys.OpenFile(segmentPath(dir, l.seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if err != nil {
 			return nil, RecoveryInfo{}, err
 		}
-		if err := syncDir(dir); err != nil {
+		if err := fsys.SyncDir(dir); err != nil {
 			f.Close()
 			return nil, RecoveryInfo{}, err
 		}
 		l.f = f
 	} else {
 		l.seq = last
-		f, err := os.OpenFile(segmentPath(dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(segmentPath(dir, last), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, RecoveryInfo{}, err
 		}
@@ -176,8 +190,8 @@ func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) 
 }
 
 // listSegments returns the segment sequences present in dir, ascending.
-func listSegments(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -199,11 +213,11 @@ func listSegments(dir string) ([]uint64, error) {
 }
 
 // truncateSegment drops the torn suffix so the log can append cleanly.
-func truncateSegment(path string, validEnd int64) error {
-	if err := os.Truncate(path, validEnd); err != nil {
+func truncateSegment(fsys FS, path string, validEnd int64) error {
+	if err := fsys.Truncate(path, validEnd); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}

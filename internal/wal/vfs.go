@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS abstracts the filesystem under the log: every byte the WAL
+// persists — segments, checkpoints, the schema fingerprint, directory
+// metadata — moves through one of these methods, so a test can stand a
+// fault injector (FaultFS) under the whole durable path and drive it
+// through every failure a hostile disk can produce. The default, osFS,
+// is a zero-size adapter over package os whose File is *os.File
+// directly: the indirection costs one interface call and no
+// allocations, keeping the warm commit path 0-alloc.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory in name order.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// Truncate cuts the named file to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, hardening creations and renames in it.
+	SyncDir(dir string) error
+}
+
+// File is the open-file surface the log needs. WriterAt is not used by
+// the log itself; it is part of the interface so fault injectors can
+// corrupt already-written bytes (post-fsync bit flips) through the same
+// abstraction.
+type File interface {
+	io.Writer
+	io.WriterAt
+	Sync() error
+	Close() error
+	Stat() (os.FileInfo, error)
+	Truncate(size int64) error
+}
+
+// osFS is the real filesystem. The zero value is ready to use.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		// A nil *os.File inside a non-nil File interface would defeat
+		// the caller's nil check.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+// SyncDir fsyncs the directory so file creations and renames survive a
+// crash.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

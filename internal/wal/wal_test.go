@@ -317,8 +317,11 @@ func TestRecoveryCheckpointCompaction(t *testing.T) {
 	if err := l.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(segmentPath(dir, 1)); !os.IsNotExist(err) {
-		t.Fatalf("segment 1 not deleted after checkpoint: %v", err)
+	// Segment 1 is the first checkpoint's replay tail for the fallback
+	// chain (there is no checkpoint.prev yet): it must survive until the
+	// next checkpoint makes it unreachable.
+	if _, err := os.Stat(segmentPath(dir, 1)); err != nil {
+		t.Fatalf("segment 1 deleted by the first checkpoint, fallback lost: %v", err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, checkpointName)); err != nil {
 		t.Fatalf("checkpoint missing: %v", err)
@@ -330,9 +333,17 @@ func TestRecoveryCheckpointCompaction(t *testing.T) {
 	if err := c.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	// A second checkpoint folds them in too.
+	// A second checkpoint folds them in too, demotes the first
+	// checkpoint to checkpoint.prev, and culls segment 1 — no fallback
+	// can need it anymore.
 	if err := l.Checkpoint(); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := os.Stat(segmentPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("segment 1 not culled after the second checkpoint: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointPrev)); err != nil {
+		t.Fatalf("checkpoint.prev missing after the second checkpoint: %v", err)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)

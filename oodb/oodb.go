@@ -32,12 +32,14 @@
 package oodb
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/lock"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -237,6 +239,14 @@ type openConfig struct {
 	groupCommitWindow time.Duration
 	checkpointBytes   int64
 	sync              wal.SyncPolicy
+	fs                wal.FS
+}
+
+// withFS stands a filesystem (typically a wal.FaultFS) under the redo
+// log. Test-only: the failure-injection suites use it to drive the
+// public API onto a hostile disk; it is deliberately unexported.
+func withFS(fsys wal.FS) OpenOption {
+	return func(c *openConfig) { c.fs = fsys }
 }
 
 // Durable makes the database persistent under dir: Open recovers any
@@ -307,6 +317,7 @@ func Open(s *Schema, strategy Strategy, opts ...OpenOption) (*Database, error) {
 		GroupCommitWindow: cfg.groupCommitWindow,
 		CheckpointBytes:   cfg.checkpointBytes,
 		Sync:              cfg.sync,
+		FS:                cfg.fs,
 	})
 	if err != nil {
 		return nil, err
@@ -342,6 +353,53 @@ func (d *Database) Recovery() RecoveryStats {
 	}
 }
 
+// Health describes whether the database can still accept writes. A
+// durable database whose log hits an unrecoverable I/O error latches
+// fail-stop and degrades to read-only: reads keep serving the committed
+// in-memory state (exactly what recovery would reproduce), writes fail
+// with an error matching IsReadOnly. Reopening the directory — after
+// the disk is fixed — recovers the committed prefix and clears the
+// condition.
+type Health struct {
+	// ReadOnly: the log has failed and writes are refused.
+	ReadOnly bool
+	// DiskFull: the failure was out-of-space specifically.
+	DiskFull bool
+	// Err is the original I/O failure (nil while healthy).
+	Err error
+}
+
+// Health reports the database's write-availability state. A volatile
+// database is always healthy.
+func (d *Database) Health() Health {
+	err := d.db.Failed()
+	if err == nil {
+		return Health{}
+	}
+	return Health{ReadOnly: true, DiskFull: errors.Is(err, wal.ErrDiskFull), Err: err}
+}
+
+// IsReadOnly reports whether err came from a write attempted (or a
+// commit acknowledged-then-failed) on a database in degraded read-only
+// mode.
+func IsReadOnly(err error) bool {
+	return errors.Is(err, txn.ErrReadOnly) || errors.Is(err, wal.ErrLogFailed)
+}
+
+// IsDiskFull reports whether err traces back to the log running out of
+// disk space.
+func IsDiskFull(err error) bool { return errors.Is(err, wal.ErrDiskFull) }
+
+// IsDeadlock reports whether err is a deadlock-victim abort. Update and
+// UpdateAsync retry these automatically; Begin/Commit callers handle
+// them by retrying the whole transaction.
+func IsDeadlock(err error) bool { return lock.IsDeadlock(err) }
+
+// IsTimeout reports whether err is a lock-wait timeout — contention the
+// clock detected instead of the waits-for graph. Update and UpdateAsync
+// retry these exactly like deadlocks.
+func IsTimeout(err error) bool { return errors.Is(err, lock.ErrTimeout) }
+
 // Txn is an open transaction bound to its database session.
 type Txn struct {
 	db *Database
@@ -356,7 +414,8 @@ func (d *Database) Begin() *Txn {
 }
 
 // Update runs fn in a transaction, committing on success, rolling back
-// on error, and transparently retrying deadlock victims with backoff.
+// on error, and transparently retrying deadlock victims and lock-wait
+// timeouts with backoff.
 // The *Txn passed to fn is only valid inside the call: it is recycled
 // when Update returns (and fn may run more than once on deadlock), so
 // it must not be retained or used afterwards.
@@ -376,7 +435,8 @@ type Future struct {
 // Wait blocks until the commit is hardened per the database's sync
 // policy and returns the outcome. A non-nil error means the log went
 // fail-stop underneath an acknowledged commit: its effects are visible
-// in memory but may not have reached disk.
+// in memory but may not have reached disk. Call at most once — the
+// ticket is pooled and recycled by its first Wait.
 func (f Future) Wait() error { return f.f.Wait() }
 
 // UpdateAsync is Update with a pipelined commit: it returns as soon as
