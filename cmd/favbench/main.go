@@ -11,10 +11,15 @@
 //
 //	go test -bench ... | favbench -parse > BENCH.json
 //	favbench -gate BENCH_PR5.json -in BENCH.json
+//	favbench -gate . -in BENCH.json     # newest committed BENCH_PR<n>.json
 //
 // -parse turns `go test -bench` output into the machine-readable
 // trajectory JSON CI uploads; -gate compares a fresh trajectory against
-// the committed baseline and exits non-zero when allocs/op regressed.
+// the committed baseline and exits non-zero when allocs/op regressed
+// anywhere, or when ns/op regressed on the curated hot-path set. When
+// -gate names a directory, the baseline is the highest-numbered
+// BENCH_PR<n>.json inside it — CI stays pinned to "newest committed"
+// without editing the workflow every PR.
 package main
 
 import (
@@ -22,6 +27,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
 
 	"repro/internal/bench"
 )
@@ -78,9 +86,47 @@ func parseBench(r io.Reader, w io.Writer) error {
 	return tr.WriteJSON(w)
 }
 
+var benchPRRE = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// resolveBaseline maps a -gate argument to a baseline file: a file path
+// is used as is; a directory resolves to its highest-numbered
+// BENCH_PR<n>.json.
+func resolveBaseline(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if !fi.IsDir() {
+		return path, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchPRRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_PR<n>.json baseline in %s", path)
+	}
+	return filepath.Join(path, best), nil
+}
+
 // gateBench compares the current trajectory (inPath, or stdin when
 // empty) against the committed baseline.
 func gateBench(w io.Writer, basePath, inPath string) error {
+	basePath, err := resolveBaseline(basePath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "baseline: %s\n", basePath)
 	bf, err := os.Open(basePath)
 	if err != nil {
 		return err
@@ -103,5 +149,5 @@ func gateBench(w io.Writer, basePath, inPath string) error {
 	if err != nil {
 		return fmt.Errorf("current trajectory: %w", err)
 	}
-	return bench.GateAllocs(w, base, cur)
+	return bench.Gate(w, base, cur)
 }

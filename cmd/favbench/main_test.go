@@ -88,3 +88,31 @@ func TestParseRejectsEmptyInput(t *testing.T) {
 		t.Fatal("parse accepted input with no benchmark lines")
 	}
 }
+
+func TestResolveBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR5.json", "BENCH_PR7.json", "BENCH_PR12.json", "BENCH_CI.json", "notes.md"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := resolveBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR12.json" {
+		t.Errorf("resolved %s, want the highest-numbered BENCH_PR12.json", got)
+	}
+
+	// A file path passes through untouched.
+	direct := filepath.Join(dir, "BENCH_PR5.json")
+	if got, err := resolveBaseline(direct); err != nil || got != direct {
+		t.Errorf("resolveBaseline(%s) = %s, %v", direct, got, err)
+	}
+
+	// A directory with no baselines is an error, not a silent pass.
+	empty := t.TempDir()
+	if _, err := resolveBaseline(empty); err == nil {
+		t.Error("empty directory must fail to resolve")
+	}
+}

@@ -246,6 +246,14 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				if _, _, _, err := st.runEngineWorkers(int64(b.N)); err != nil {
 					b.Fatal(err)
 				}
+				b.StopTimer()
+				// Per-txn latency quantiles as custom metrics: they ride
+				// the benchmark line into the parsed trajectory JSON.
+				if st.hist.Count() > 0 {
+					b.ReportMetric(float64(st.hist.Quantile(0.50)), "p50-ns")
+					b.ReportMetric(float64(st.hist.Quantile(0.95)), "p95-ns")
+					b.ReportMetric(float64(st.hist.Quantile(0.99)), "p99-ns")
+				}
 			})
 		}
 	}

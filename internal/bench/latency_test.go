@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bucket mapping must be monotone and self-consistent: every value
+// lands in a valid bucket whose representative is within the bucket's
+// ~±6% resolution of the value.
+func TestLatBucketRoundtrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 7, 8, 9, 100, 1023, 1024, 4096, 1e6, 1e9, 1 << 62} {
+		idx := latBucketOf(v)
+		if idx < 0 || idx >= latBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, idx)
+		}
+		mid := latBucketMid(idx)
+		if v >= latSub {
+			lo, hi := float64(v)*0.85, float64(v)*1.15
+			if float64(mid) < lo || float64(mid) > hi {
+				t.Errorf("value %d: representative %d outside ±15%%", v, mid)
+			}
+		} else if mid != v {
+			t.Errorf("small value %d: representative %d, want exact", v, mid)
+		}
+	}
+	prev := -1
+	for v := uint64(1); v < 1<<20; v = v*2 + 3 {
+		idx := latBucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucket index not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// Quantiles over a known uniform distribution land near the analytic
+// values, within bucket resolution.
+func TestLatHistQuantiles(t *testing.T) {
+	var h LatHist
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5000 * time.Microsecond},
+		{0.95, 9500 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		lo := time.Duration(float64(c.want) * 0.85)
+		hi := time.Duration(float64(c.want) * 1.15)
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+	var empty LatHist
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+}
+
+// Concurrent recording loses nothing (wait-free atomic adds).
+func TestLatHistConcurrent(t *testing.T) {
+	var h LatHist
+	var wg sync.WaitGroup
+	const workers, each = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < each; i++ {
+				h.Record(time.Duration(r.Intn(1_000_000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*each)
+	}
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p50 <= 0 || p99 < p50 {
+		t.Errorf("quantiles not ordered: p50=%v p99=%v", p50, p99)
+	}
+}
+
+// The scenario result carries ordered, plausible percentiles.
+func TestEngineScenarioLatencyPercentiles(t *testing.T) {
+	sc := DefaultEngineScenario(EngineBanking, EngineSendHeavy, DistUniform, 2)
+	sc.Objects = 64
+	sc.OpsPerWorker = 100
+	res, err := RunEngineScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50 <= 0 {
+		t.Fatalf("p50 = %v, want > 0", res.P50)
+	}
+	if res.P95 < res.P50 || res.P99 < res.P95 {
+		t.Errorf("percentiles not ordered: p50=%v p95=%v p99=%v", res.P50, res.P95, res.P99)
+	}
+	if res.P99 > res.Wall {
+		t.Errorf("p99 %v exceeds total wall %v", res.P99, res.Wall)
+	}
+}

@@ -171,11 +171,88 @@ func CompareAllocs(base, cur *Trajectory) []AllocRegression {
 	return out
 }
 
-// GateAllocs renders a comparison report to w and returns an error when
-// any baseline benchmark regressed. ns/op drift is reported for
-// context but never fails the gate — CI wall clocks are too noisy; the
-// trajectory file is what makes the drift visible over PRs.
-func GateAllocs(w io.Writer, base, cur *Trajectory) error {
+// nsGated is the curated hot-path set whose wall-clock trajectory IS
+// gated (everywhere else ns/op stays report-only): the two benchmarks
+// the dispatch-fusion and seqlock work optimised, where an accidental
+// lock, map lookup or allocation on the path shows up as a multiple,
+// not a percentage.
+var nsGated = []string{"BenchmarkHotStoreGet", "BenchmarkHotSend"}
+
+// nsAllowance is the wall-clock gate's tolerance: 4× the baseline plus
+// 100ns absolute. Deliberately loose — CI clocks are noisy and the
+// fixed -benchtime=100x makes nanosecond-scale benchmarks quantize
+// coarsely (100 iterations of a ~1.5ns store load measure near the
+// timer's resolution) — yet still far below the cost of reintroducing a
+// mutex, a per-send frame allocation or an unfused dispatch loop, which
+// is the class of regression this gate exists to catch.
+func nsAllowance(base float64) float64 { return base*4 + 100 }
+
+// NsRegression is one gated benchmark whose ns/op exceeded the
+// baseline allowance.
+type NsRegression struct {
+	Name    string
+	Base    float64
+	Current float64
+	Allowed float64
+}
+
+func (r NsRegression) String() string {
+	return fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (allowed ≤ %.1f)",
+		r.Name, r.Current, r.Base, r.Allowed)
+}
+
+// CompareNsOp gates the curated nsGated benchmarks of cur against base.
+// A gated benchmark missing from either trajectory is skipped (the
+// allocs gate already fails on vanished baselines; un-benchmem or
+// partial runs should not double-report).
+func CompareNsOp(base, cur *Trajectory) []NsRegression {
+	baseBy, curBy := base.byName(), cur.byName()
+	var out []NsRegression
+	for _, name := range nsGated {
+		b, okB := baseBy[name]
+		c, okC := curBy[name]
+		if !okB || !okC {
+			continue
+		}
+		baseNs, okB := b.Metrics["ns/op"]
+		curNs, okC := c.Metrics["ns/op"]
+		if !okB || !okC || baseNs <= 0 {
+			continue
+		}
+		if allowed := nsAllowance(baseNs); curNs > allowed {
+			out = append(out, NsRegression{Name: name, Base: baseNs, Current: curNs, Allowed: allowed})
+		}
+	}
+	return out
+}
+
+// Gate renders a full comparison report to w and returns an error when
+// any baseline benchmark regressed allocs/op, or a curated hot-path
+// benchmark regressed ns/op. Everywhere outside the curated set ns/op
+// drift is reported for context but never fails the gate — CI wall
+// clocks are too noisy; the trajectory file is what makes the drift
+// visible over PRs.
+func Gate(w io.Writer, base, cur *Trajectory) error {
+	driftReport(w, base, cur)
+	allocRegs := CompareAllocs(base, cur)
+	nsRegs := CompareNsOp(base, cur)
+	if len(allocRegs) == 0 && len(nsRegs) == 0 {
+		fmt.Fprintf(w, "alloc gate: %d baseline benchmarks within allowance\n", len(base.Benchmarks))
+		fmt.Fprintf(w, "ns/op gate: %d hot-path benchmarks within allowance\n", len(nsGated))
+		return nil
+	}
+	for _, r := range allocRegs {
+		fmt.Fprintf(w, "REGRESSION %s\n", r)
+	}
+	for _, r := range nsRegs {
+		fmt.Fprintf(w, "REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("bench: %d benchmark(s) regressed vs the committed baseline",
+		len(allocRegs)+len(nsRegs))
+}
+
+// driftReport prints the per-benchmark ns/op drift for context.
+func driftReport(w io.Writer, base, cur *Trajectory) {
 	curBy := cur.byName()
 	for _, b := range base.Benchmarks {
 		c, ok := curBy[b.Name]
@@ -189,6 +266,12 @@ func GateAllocs(w io.Writer, base, cur *Trajectory) error {
 				b.Name, baseNs, curNs, 100*(curNs-baseNs)/baseNs)
 		}
 	}
+}
+
+// GateAllocs is the allocs-only gate, kept for callers that measure
+// without stable wall clocks (see Gate for the full check).
+func GateAllocs(w io.Writer, base, cur *Trajectory) error {
+	driftReport(w, base, cur)
 	regs := CompareAllocs(base, cur)
 	if len(regs) == 0 {
 		fmt.Fprintf(w, "alloc gate: %d baseline benchmarks within allowance\n", len(base.Benchmarks))

@@ -143,3 +143,49 @@ BenchmarkGone-8 	 100	 500 ns/op	 0 B/op	 0 allocs/op
 		t.Fatalf("gate report missing ns/op context:\n%s", buf.String())
 	}
 }
+
+// The curated wall-clock gate: hot-path benchmarks fail only past the
+// generous 4×+100ns allowance; everything else stays report-only no
+// matter how much it drifts.
+func TestCompareNsOpGate(t *testing.T) {
+	base := trajectoryOf(t, `
+BenchmarkHotStoreGet-8 	 100	 1.5 ns/op	 0 B/op	 0 allocs/op
+BenchmarkHotSend-8 	 100	 450 ns/op	 0 B/op	 0 allocs/op
+BenchmarkOther-8 	 100	 500 ns/op	 0 B/op	 0 allocs/op
+`)
+	// Within allowance: noise-level drift on the gated pair, a 10×
+	// blow-up on an ungated benchmark.
+	ok := trajectoryOf(t, `
+BenchmarkHotStoreGet-8 	 100	 40 ns/op	 0 B/op	 0 allocs/op
+BenchmarkHotSend-8 	 100	 700 ns/op	 0 B/op	 0 allocs/op
+BenchmarkOther-8 	 100	 5000 ns/op	 0 B/op	 0 allocs/op
+`)
+	if regs := CompareNsOp(base, ok); len(regs) != 0 {
+		t.Fatalf("regressions = %v, want none", regs)
+	}
+	// A mutex or allocation back on the Send path is a multiple, not a
+	// percentage: 450 → 2500 clears 4×450+100.
+	bad := trajectoryOf(t, `
+BenchmarkHotStoreGet-8 	 100	 1.4 ns/op	 0 B/op	 0 allocs/op
+BenchmarkHotSend-8 	 100	 2500 ns/op	 0 B/op	 0 allocs/op
+BenchmarkOther-8 	 100	 500 ns/op	 0 B/op	 0 allocs/op
+`)
+	regs := CompareNsOp(base, bad)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkHotSend" {
+		t.Fatalf("regressions = %v, want BenchmarkHotSend only", regs)
+	}
+	var buf bytes.Buffer
+	if err := Gate(&buf, base, bad); err == nil {
+		t.Fatal("combined gate passed an ns/op regression")
+	}
+	if !strings.Contains(buf.String(), "REGRESSION BenchmarkHotSend") {
+		t.Fatalf("gate report missing ns/op regression:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Gate(&buf, base, ok); err != nil {
+		t.Fatalf("combined gate failed a clean trajectory: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ns/op gate") {
+		t.Fatalf("gate report missing ns/op gate summary:\n%s", buf.String())
+	}
+}

@@ -91,6 +91,7 @@ func Compile(s *schema.Schema, opts ...Option) (*Compiled, error) {
 			if err != nil {
 				return nil, err
 			}
+			prog.Fused = schema.Fuse(prog)
 			m.Program = prog
 		}
 	}

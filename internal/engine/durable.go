@@ -38,6 +38,12 @@ type Options struct {
 	// OS). Fault-injection tests stand a wal.FaultFS here to torture
 	// the durable path and exercise degraded read-only mode.
 	FS wal.FS
+	// Unfused dispatches the compiler's base programs instead of the
+	// optimised pipeline (no superinstruction fusion, no nested-send
+	// inlining). It exists for the differential golden suite, which
+	// replays every transcript through both modes and pins them
+	// byte-for-byte equal; production opens never set it.
+	Unfused bool
 }
 
 // OpenWithOptions builds a database like Open and, when o.Durable is
@@ -45,6 +51,10 @@ type Options struct {
 // through the transaction manager.
 func OpenWithOptions(c *core.Compiled, o Options) (*DB, error) {
 	db := Open(c, o.Strategy)
+	if o.Unfused {
+		db.rt = newRuntimeModes(c, false, false)
+		db.useFused = false
+	}
 	if !o.Durable {
 		return db, nil
 	}

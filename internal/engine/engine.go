@@ -45,12 +45,28 @@ type DB struct {
 
 	rt       *Runtime
 	ecPool   sync.Pool // *execCtx, so a send allocates no context
+
+	// activeECs counts execution contexts currently checked out of the
+	// pool: > 1 means another session is mid-operation right now, and
+	// the message-boundary yield should fire on every send so the
+	// sessions interleave tightly (see execCtx.yieldMaybe). sendSeq
+	// numbers top-level sends DB-wide to pace the solo-session yield —
+	// it lives here, not on execCtx, because pooled contexts have no
+	// stable identity (sync.Pool may drop or duplicate them freely).
+	activeECs atomic.Int64
+	sendSeq   atomic.Uint64
+
 	recovery wal.RecoveryInfo
 
 	// latchWriters caches CC.ConcurrentWriters(): under protocols that
 	// grant commuting writers concurrently, field-storing activations
 	// hold the receiver's execution latch (see vm.go).
 	latchWriters bool
+
+	// useFused routes statically-bound super-send fallbacks through the
+	// fused twin of the target program (false only under
+	// Options.Unfused, the differential suite's reference mode).
+	useFused bool
 
 	topSends         atomic.Int64
 	nestedSends      atomic.Int64
@@ -63,7 +79,11 @@ type DB struct {
 }
 
 // Open builds a database around a compiled schema with fresh store, lock
-// and transaction managers, precomputing the run-time tables.
+// and transaction managers, precomputing the run-time tables. The
+// dispatch tables run the full program pipeline (lower → inline → fuse):
+// superinstruction fusion always, nested-send inlining only when the
+// strategy's ConcurrentWriters capability says nested self-sends are
+// lock-free (see schema.InlineSends).
 func Open(c *core.Compiled, strategy Strategy) *DB {
 	lm := lock.NewManager()
 	db := &DB{
@@ -71,9 +91,10 @@ func Open(c *core.Compiled, strategy Strategy) *DB {
 		Store:    storage.NewStore(c.Schema),
 		Txns:     txn.NewManager(lm),
 		CC:       strategy,
-		rt:       NewRuntime(c),
+		rt:       newRuntimeModes(c, strategy.ConcurrentWriters(), true),
 		MaxSteps: 1_000_000,
 		MaxDepth: 256,
+		useFused: true,
 	}
 	db.latchWriters = strategy.ConcurrentWriters()
 	db.Txns.LatchWrites = db.latchWriters
@@ -127,6 +148,7 @@ func (db *DB) ClassID(name string) (uint32, bool) {
 // getEC takes a pooled execution context bound to tx (nil in recording
 // mode, in which case acq must be set by the caller).
 func (db *DB) getEC(tx *txn.Txn) *execCtx {
+	db.activeECs.Add(1)
 	ec := db.ecPool.Get().(*execCtx)
 	ec.db = db
 	ec.tx = tx
@@ -149,6 +171,7 @@ func (db *DB) putEC(ec *execCtx) {
 	ec.ticks = 0
 	ec.depth = 0
 	db.ecPool.Put(ec)
+	db.activeECs.Add(-1)
 }
 
 // NewInstance creates an instance of the named class inside tx.
@@ -166,18 +189,18 @@ func (db *DB) NewInstance(tx *txn.Txn, class string, vals ...Value) (*storage.In
 // is resolved by late binding against the instance's proper class; the
 // strategy locks before the first instruction executes.
 func (db *DB) Send(tx *txn.Txn, oid storage.OID, method string, args ...Value) (Value, error) {
-	runtime.Gosched() // message boundary: let concurrent sessions interleave
 	ec := db.getEC(tx)
 	defer db.putEC(ec)
+	ec.yieldMaybe() // message boundary: let concurrent sessions interleave
 	return ec.topSendName(oid, method, args)
 }
 
 // SendID is Send with a pre-interned method ID: the string-free fast
 // path for hot loops (benchmarks, servers dispatching a fixed API).
 func (db *DB) SendID(tx *txn.Txn, oid storage.OID, mid schema.MethodID, args ...Value) (Value, error) {
-	runtime.Gosched() // message boundary: let concurrent sessions interleave
 	ec := db.getEC(tx)
 	defer db.putEC(ec)
+	ec.yieldMaybe() // message boundary: let concurrent sessions interleave
 	return ec.topSend(oid, mid, args)
 }
 
@@ -302,6 +325,28 @@ type execCtx struct {
 	steps int
 	ticks int
 	depth int
+
+}
+
+// yieldSends is the solo-session yield period (power of two).
+const yieldSends = 32
+
+// yieldMaybe is the message-boundary scheduling point. When another
+// session is mid-operation (activeECs > 1, which includes sessions
+// parked on the lock manager) it yields on every send so concurrent
+// sessions interleave as tightly as they always have; a session running
+// alone pays the Gosched only every yieldSends-th send, which also
+// bootstraps fairness on GOMAXPROCS=1 — a queued-but-unstarted peer
+// gets the processor within yieldSends sends. One Gosched costs ~100ns
+// of scheduler bookkeeping, a quarter of a warm Send, and an
+// uncontended session has nothing to interleave with. Liveness between
+// solo yields is covered by the VM's tick yield (vm.go, every 64
+// instructions), blocking lock-manager waits, and the runtime's
+// asynchronous preemption.
+func (ec *execCtx) yieldMaybe() {
+	if ec.db.sendSeq.Add(1)%yieldSends == 0 || ec.db.activeECs.Load() > 1 {
+		runtime.Gosched()
+	}
 }
 
 // unlatch releases the held execution latch before an operation that

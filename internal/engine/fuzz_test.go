@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/paperex"
+	"repro/internal/storage"
+)
+
+// FuzzFuseDifferential is the adversarial twin of the golden
+// differential: arbitrary source that survives the build pipeline is
+// executed through both the optimised dispatch (fusion + inlining) and
+// the unfused reference, and the transcripts must agree. The two
+// documented divergences are normalized away — the step budget is
+// charged per spliced instruction instead of per send dispatch, and
+// inlined sends do not push frames, so budget- and depth-exceeded
+// errors may name different positions or fire at different points —
+// everything else (values, error text, counters, final state) must be
+// byte-for-byte identical.
+//
+// CI runs this as a short smoke (-fuzz=FuzzFuseDifferential
+// -fuzztime=30s); run it longer when touching fuse.go, inline.go or
+// the VM dispatch loop.
+func FuzzFuseDifferential(f *testing.F) {
+	f.Add(paperex.Figure1)
+	f.Add(`
+class account is
+    instance variables are
+        balance : integer
+    method deposit(n) is
+        balance := balance + n
+    end
+    method deposit2(n) is
+        send deposit(n) to self
+        send deposit(n) to self
+    end
+    method getbalance is
+        return balance
+    end
+end`)
+	f.Add(`
+class k is
+    instance variables are
+        x : integer
+        s : string
+    method m(p) is
+        var i := 0
+        while i < p do
+            i := i + 1
+            x := x + i
+        end
+        return x
+    end
+    method t is
+        s := concat(s, "tail")
+        return len(s)
+    end
+    method w(p) is
+        var r := send m(p) to self
+        send t to self
+        return r
+    end
+end`)
+	f.Add(`class z is method m is send m to self end end`)
+	f.Add(`class z is method m is return 1 / 0 end end`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8<<10 {
+			t.Skip("oversized input")
+		}
+		c, err := core.CompileSource(src)
+		if err != nil {
+			return // rejected by the pipeline: FuzzParse's territory
+		}
+		fused := Open(c, FineCC{})
+		ref, err := OpenWithOptions(c, Options{Strategy: FineCC{}, Unfused: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A small budget keeps adversarial loops cheap; both modes get
+		// the same one, and budget-error divergence is normalized.
+		fused.MaxSteps, ref.MaxSteps = 20_000, 20_000
+
+		got := normalizeLimits(fuzzScript(t, fused))
+		want := normalizeLimits(fuzzScript(t, ref))
+		// The step budget is the one place the modes may legitimately
+		// part ways: near exhaustion, a send can complete under one
+		// charging scheme and die under the other, after which state and
+		// counters diverge by design. Everything before the first limit
+		// hit must still match exactly; transcripts with no limit hit
+		// must match in full.
+		gl, gcut := truncateAtLimit(got)
+		wl, wcut := truncateAtLimit(want)
+		if !gcut && !wcut && len(gl) != len(wl) {
+			t.Errorf("transcript lengths diverge: fused %d lines, unfused %d", len(gl), len(wl))
+			return
+		}
+		n := len(gl)
+		if len(wl) < n {
+			n = len(wl)
+		}
+		for i := 0; i < n; i++ {
+			if gl[i] != wl[i] {
+				t.Errorf("fused and unfused transcripts diverge at line %d.\nfused:   %s\nunfused: %s", i, gl[i], wl[i])
+				return
+			}
+		}
+	})
+}
+
+// truncateAtLimit cuts a normalized transcript at the first step-budget
+// or nesting-limit error, reporting whether it cut anything.
+func truncateAtLimit(s string) ([]string, bool) {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "ERR engine: <limit>") {
+			return lines[:i], true
+		}
+	}
+	return lines, false
+}
+
+// fuzzScript drives a fixed deterministic probe over every class and
+// method of db's schema and returns the transcript.
+func fuzzScript(t *testing.T, db *DB) string {
+	t.Helper()
+	r := &rec{t: t, db: db}
+	s := db.Compiled.Schema
+	argSets := [][]Value{
+		nil,
+		{storage.IntV(3)},
+		{storage.IntV(2), storage.StrV("x")},
+	}
+	created := 0
+	for ci, cls := range s.Order {
+		if ci >= 4 {
+			break
+		}
+		r.new(cls.Name)
+		if len(r.oids) == created {
+			continue // creation failed; logged
+		}
+		obj := created
+		created++
+		for mi, name := range cls.MethodList {
+			if mi >= 8 {
+				break
+			}
+			for _, args := range argSets {
+				r.send(obj, name, args...)
+			}
+			r.sendAbort(obj, name, storage.IntV(1))
+		}
+	}
+	r.dump()
+	return r.buf.String()
+}
+
+// normalizeLimits folds the two documented fused/unfused divergences
+// out of a transcript: step-budget and send-nesting errors keep their
+// kind but lose position/site (see the FuzzFuseDifferential comment).
+func normalizeLimits(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		idx := strings.Index(l, "-> ERR engine: ")
+		if idx < 0 {
+			continue
+		}
+		switch {
+		case strings.Contains(l, "execution exceeded step budget"):
+			lines[i] = l[:idx] + "-> ERR engine: <limit>"
+		case strings.Contains(l, "send nesting exceeds"):
+			lines[i] = l[:idx] + "-> ERR engine: <limit>"
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+var _ = fmt.Sprintf // keep fmt linked for future debug prints

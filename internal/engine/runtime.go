@@ -61,8 +61,21 @@ type classRT struct {
 	hierModes   []lock.Mode // ClassMode{…, Hier: true}
 }
 
-// NewRuntime precomputes the run-time tables for a compiled schema.
+// NewRuntime precomputes the run-time tables for a compiled schema,
+// dispatching superinstruction-fused programs (semantics-identical to
+// the compiler's output — see schema.Fuse).
 func NewRuntime(c *core.Compiled) *Runtime {
+	return newRuntimeModes(c, false, true)
+}
+
+// newRuntimeModes builds the tables with the program pipeline chosen by
+// the caller: inline splices statically-bound nested sends per receiver
+// class (schema.InlineSends — only sound for strategies whose
+// NestedSend hook is a no-op, i.e. ConcurrentWriters protocols), fuse
+// runs the superinstruction peephole. (false, false) dispatches the
+// compiler's base programs — the reference semantics the differential
+// golden suite replays.
+func newRuntimeModes(c *core.Compiled, inline, fuse bool) *Runtime {
 	s := c.Schema
 	nm := s.NumMethodNames()
 	rt := &Runtime{Compiled: c, classes: make([]classRT, s.NumClasses())}
@@ -92,25 +105,74 @@ func NewRuntime(c *core.Compiled) *Runtime {
 		crt.tavWrite = make([]bool, nm)
 		crt.relPlans = make([][]relLock, nm)
 		crt.progs = make([]*schema.Program, nm)
+		// resolveBase maps a MethodID to the base program this class
+		// binds it to: the late-bound dispatch of OpSendSelf made static,
+		// which is what licenses splicing the callee into its caller.
+		resolveBase := func(mid schema.MethodID) *schema.Program {
+			if m := cls.ResolveID(mid); m != nil {
+				return m.Program
+			}
+			return nil
+		}
 		for _, name := range cls.MethodList {
 			mid, ok := s.MethodID(name)
 			if !ok {
 				continue
 			}
-			if m := cls.Resolve(name); m != nil {
-				crt.progs[mid] = m.Program
-			}
 			if dav, ok := c.DAV(cls, name); ok {
 				crt.davWrite[mid] = dav.HasWrite()
 			}
-			tav, ok := c.TAV(cls, name)
-			if ok {
+			tav, tavOK := c.TAV(cls, name)
+			if tavOK {
 				crt.tavWrite[mid] = tav.HasWrite()
 			}
 			crt.relPlans[mid] = buildRelPlan(c, cls, tav)
+			if m := cls.Resolve(name); m != nil {
+				crt.progs[mid] = buildProg(m.Program, inline && tavOK, fuse, resolveBase, tav)
+			}
 		}
 	}
 	return rt
+}
+
+// buildProg runs one method's base program through the configured
+// pipeline stages (inline → fuse), reusing the precomputed fused twin
+// when inlining left the program untouched.
+func buildProg(base *schema.Program, inline, fuse bool,
+	resolve func(schema.MethodID) *schema.Program, callerTAV core.Vector) *schema.Program {
+	prog := base
+	if inline {
+		// The definition-10 gate: a callee may only be spliced if the
+		// caller's transitive access vector covers every field access the
+		// callee's code performs, at the mode it performs it — the
+		// precise condition under which the skipped NestedSend lock
+		// request was already redundant. TAV extraction guarantees this
+		// for well-formed schemas; the check makes the pass locally safe
+		// instead of trusting that invariant.
+		allow := func(callee *schema.Program) bool {
+			for _, ins := range callee.Code {
+				switch ins.Op {
+				case schema.OpLoadField:
+					if callerTAV.Get(callee.Fields[ins.A].ID) == core.Null {
+						return false
+					}
+				case schema.OpStoreField:
+					if callerTAV.Get(callee.Fields[ins.A].ID) != core.Write {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		prog = schema.InlineSends(prog, resolve, allow)
+	}
+	if fuse {
+		if prog == base && base.Fused != nil {
+			return base.Fused
+		}
+		return schema.Fuse(prog)
+	}
+	return prog
 }
 
 // class returns the run-time slice of a class.

@@ -301,8 +301,12 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 				return Value{}, err
 			}
 			db.nestedSends.Add(1)
+			callee := sc.Method.Program
+			if db.useFused && callee.Fused != nil {
+				callee = callee.Fused
+			}
 			ec.steps, ec.ticks = steps, ticks
-			v, err := ec.invokeProg(self, sc.Method.Program, st[sp-argc:sp])
+			v, err := ec.invokeProg(self, callee, st[sp-argc:sp])
 			if err != nil {
 				return Value{}, err
 			}
@@ -372,6 +376,138 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 		case schema.OpReturnNil:
 			ec.steps, ec.ticks = steps, ticks
 			return Value{}, nil
+
+		// Superinstructions (see schema.Fuse). Each case replays the
+		// effects of the base sequence it replaces in the exact order —
+		// hooks, counters, undo logging and error sites included — and
+		// charges the sequence's full step count, so execution is
+		// indistinguishable from the unfused program apart from dispatch
+		// cost. Operand kinds: FuseConst (C is the value), FuseSlot (C is
+		// a frame slot), FuseField (C is a Fields index).
+
+		case schema.OpIncField:
+			steps -= 3 // 4-instruction sequence, one dispatch
+			fld := p.Fields[ins.A]
+			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
+				return Value{}, err
+			}
+			db.fieldReads.Add(1)
+			slot := self.Class.Slot(fld.ID)
+			l := self.Get(slot)
+			var r Value
+			if ins.FusedKind() == schema.FuseConst {
+				r = storage.IntV(int64(ins.C))
+			} else {
+				r = st[base+int(ins.C)]
+			}
+			v, err := binOp(p, pc-1, ins.FusedOp(), l, r)
+			if err != nil {
+				return Value{}, err
+			}
+			if ec.tx != nil {
+				if err := ec.tx.Writable(); err != nil {
+					return Value{}, err
+				}
+			}
+			// Unreachable for the arithmetic operators Fuse folds (the
+			// result kind equals the field's stored kind), kept as a guard.
+			if err := checkAssignable(fld, v); err != nil {
+				return Value{}, fmt.Errorf("engine: %s: %w", p.PosAt(pc-1), err)
+			}
+			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, true); err != nil {
+				return Value{}, err
+			}
+			old := self.Set(slot, v)
+			if ec.tx != nil {
+				ec.tx.LogUndo(self, slot, old)
+			}
+			db.fieldWrites.Add(1)
+
+		case schema.OpIncSlot:
+			steps -= 3
+			l := st[base+int(ins.A)]
+			var r Value
+			if ins.FusedKind() == schema.FuseConst {
+				r = storage.IntV(int64(ins.C))
+			} else {
+				r = st[base+int(ins.C)]
+			}
+			v, err := binOp(p, pc-1, ins.FusedOp(), l, r)
+			if err != nil {
+				return Value{}, err
+			}
+			st[base+int(ins.A)] = v
+
+		case schema.OpLoadFieldOp:
+			steps -= 2
+			fld := p.Fields[ins.A]
+			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
+				return Value{}, err
+			}
+			db.fieldReads.Add(1)
+			l := self.Get(self.Class.Slot(fld.ID))
+			var r Value
+			if ins.FusedKind() == schema.FuseConst {
+				r = storage.IntV(int64(ins.C))
+			} else {
+				r = st[base+int(ins.C)]
+			}
+			v, err := binOp(p, pc-1, ins.FusedOp(), l, r)
+			if err != nil {
+				return Value{}, err
+			}
+			st[sp] = v
+			sp++
+
+		case schema.OpLoadSlotOp:
+			steps -= 2
+			l := st[base+int(ins.A)]
+			var r Value
+			switch ins.FusedKind() {
+			case schema.FuseConst:
+				r = storage.IntV(int64(ins.C))
+			case schema.FuseSlot:
+				r = st[base+int(ins.C)]
+			default: // FuseField: the operand is a hooked field read
+				fld := p.Fields[ins.C]
+				if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
+					return Value{}, err
+				}
+				db.fieldReads.Add(1)
+				r = self.Get(self.Class.Slot(fld.ID))
+			}
+			v, err := binOp(p, pc-1, ins.FusedOp(), l, r)
+			if err != nil {
+				return Value{}, err
+			}
+			st[sp] = v
+			sp++
+
+		case schema.OpReturnField:
+			steps--
+			fld := p.Fields[ins.A]
+			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
+				return Value{}, err
+			}
+			db.fieldReads.Add(1)
+			ec.steps, ec.ticks = steps, ticks
+			return self.Get(self.Class.Slot(fld.ID)), nil
+
+		case schema.OpReturnSlot:
+			steps--
+			ec.steps, ec.ticks = steps, ticks
+			return st[base+int(ins.A)], nil
+
+		// Inlining support (see schema.InlineSends): an inlined nested
+		// self-send skips the NestedSend hook (a no-op under every
+		// protocol that allows inlining) and the frame push, but still
+		// counts as a nested send in the engine's statistics.
+
+		case schema.OpNestedMark:
+			db.nestedSends.Add(1)
+
+		case schema.OpZeroSlots:
+			clear(st[base+int(ins.A) : base+int(ins.A)+int(ins.B)])
 
 		default:
 			return Value{}, fmt.Errorf("engine: %s: unknown opcode %d", p.PosAt(pc-1), ins.Op)

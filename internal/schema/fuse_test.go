@@ -1,0 +1,272 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/mdl"
+)
+
+// fuseOne compiles class.method and returns (base, fused).
+func fuseOne(t *testing.T, src, class, method string) (*Program, *Program) {
+	t.Helper()
+	p := compileOne(t, src, class, method)
+	return p, Fuse(p)
+}
+
+func countOp(p *Program, op Op) int {
+	n := 0
+	for _, ins := range p.Code {
+		if ins.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func findOp(t *testing.T, p *Program, op Op) Instr {
+	t.Helper()
+	for _, ins := range p.Code {
+		if ins.Op == op {
+			return ins
+		}
+	}
+	t.Fatalf("no %d opcode in %v", op, p.Code)
+	return Instr{}
+}
+
+// The deposit shape: `balance := balance + n` must fold into one
+// OpIncField with a slot operand, consuming the load/push/add/store
+// quartet, and the fused instruction must carry the operator's source
+// position (the only remaining failure site — see the file comment in
+// fuse.go).
+func TestFuseIncFieldSlotOperand(t *testing.T) {
+	base, fused := fuseOne(t, `
+class account is
+    instance variables are
+        balance : integer
+    method deposit(n) is
+        balance := balance + n
+    end
+end`, "account", "deposit")
+	ins := findOp(t, fused, OpIncField)
+	if ins.FusedOp() != OpAdd || ins.FusedKind() != FuseSlot || ins.C != 0 {
+		t.Errorf("OpIncField = op %d kind %d C %d, want OpAdd/FuseSlot/slot0", ins.FusedOp(), ins.FusedKind(), ins.C)
+	}
+	if countOp(fused, OpLoadField)+countOp(fused, OpStoreField) != 0 {
+		t.Errorf("fused code still has raw field ops: %v", fused.Code)
+	}
+	if len(fused.Code) != len(base.Code)-3 {
+		t.Errorf("fused %d instrs, base %d: expected exactly one 4→1 fold", len(fused.Code), len(base.Code))
+	}
+	// Position parity: the OpIncField inherits the `+` position, which
+	// is where a type-mismatch error must still point.
+	var wantPos mdl.Pos
+	for pc, bi := range base.Code {
+		if bi.Op == OpAdd {
+			wantPos = base.pos[pc]
+		}
+	}
+	for pc, fi := range fused.Code {
+		if fi.Op == OpIncField && fused.pos[pc] != wantPos {
+			t.Errorf("OpIncField pos = %v, want operator pos %v", fused.pos[pc], wantPos)
+		}
+	}
+}
+
+// Inline int32 constants ride in C directly: `x := x + 1`.
+func TestFuseIncSlotConstOperand(t *testing.T) {
+	_, fused := fuseOne(t, `
+class k is
+    method m is
+        var i := 0
+        while i < 10 do
+            i := i + 1
+        end
+        return i
+    end
+end`, "k", "m")
+	ins := findOp(t, fused, OpIncSlot)
+	if ins.FusedOp() != OpAdd || ins.FusedKind() != FuseConst || ins.C != 1 {
+		t.Errorf("OpIncSlot = op %d kind %d C %d, want OpAdd/FuseConst/1", ins.FusedOp(), ins.FusedKind(), ins.C)
+	}
+	// The loop guard `i < 10` folds too (slot ⊙ const), and the loop
+	// still terminates structurally: the back-edge must target the
+	// fused guard, not the middle of a dead sequence.
+	g := findOp(t, fused, OpLoadSlotOp)
+	if g.FusedOp() != OpLt || g.FusedKind() != FuseConst || g.C != 10 {
+		t.Errorf("guard = op %d kind %d C %d, want OpLt/FuseConst/10", g.FusedOp(), g.FusedKind(), g.C)
+	}
+	if ins := findOp(t, fused, OpJump); int(ins.A) >= len(fused.Code) {
+		t.Errorf("back-edge %d out of range after compaction (%d instrs)", ins.A, len(fused.Code))
+	}
+}
+
+// Accessor tails: `return balance` becomes one OpReturnField.
+func TestFuseReturnField(t *testing.T) {
+	_, fused := fuseOne(t, `
+class k is
+    instance variables are
+        f : integer
+    method get is
+        return f
+    end
+end`, "k", "get")
+	// The body folds to OpReturnField; only the compiler's implicit
+	// fall-through OpReturnNil may follow it.
+	if fused.Code[0].Op != OpReturnField || fused.Code[0].A != 0 {
+		t.Errorf("accessor = %v, want OpReturnField f0 first", fused.Code)
+	}
+	if countOp(fused, OpLoadField)+countOp(fused, OpReturn) != 0 {
+		t.Errorf("accessor tail not folded: %v", fused.Code)
+	}
+}
+
+// The compare-guard shape with a *field* operand: `n <= balance` pushes
+// the slot first, then the field — OpLoadSlotOp with FuseField kind,
+// which the VM routes through the field-read hook exactly like the
+// unfused OpLoadField.
+func TestFuseLoadSlotOpFieldOperand(t *testing.T) {
+	_, fused := fuseOne(t, `
+class account is
+    instance variables are
+        balance : integer
+    method can(n) is
+        return n <= balance
+    end
+end`, "account", "can")
+	ins := findOp(t, fused, OpLoadSlotOp)
+	if ins.FusedOp() != OpLeq || ins.FusedKind() != FuseField || ins.C != 0 {
+		t.Errorf("guard = op %d kind %d C %d, want OpLeq/FuseField/f0", ins.FusedOp(), ins.FusedKind(), ins.C)
+	}
+	if countOp(fused, OpLoadField) != 0 {
+		t.Errorf("field operand not folded: %v", fused.Code)
+	}
+}
+
+// Two field loads in one candidate sequence must NOT fold into one
+// instruction (two hook sites, two error positions), and equality
+// operators stay unfused (the VM dispatches any-kind equality outside
+// binOp).
+func TestFuseRefusals(t *testing.T) {
+	_, fused := fuseOne(t, `
+class k is
+    instance variables are
+        a : integer
+        b : integer
+    method m is
+        return a + b
+    end
+    method eq(n) is
+        return n = a
+    end
+end`, "k", "m")
+	if got := countOp(fused, OpLoadFieldOp); got != 0 {
+		t.Errorf("field⊙field folded (%d sites); must stay unfused", got)
+	}
+	if countOp(fused, OpLoadField) != 2 {
+		t.Errorf("expected both raw field loads to survive: %v", fused.Code)
+	}
+	_, fusedEq := fuseOne(t, `
+class k is
+    instance variables are
+        a : integer
+    method eq(n) is
+        return n = a
+    end
+end`, "k", "eq")
+	if countOp(fusedEq, OpLoadSlotOp) != 0 {
+		t.Errorf("equality folded; OpEq must stay unfused: %v", fusedEq.Code)
+	}
+}
+
+// A jump target interior to a candidate sequence blocks the fold — a
+// hand-built program, because the surface language cannot place a
+// leader mid-assignment. The jump operand must also survive compaction
+// pointing at the same instruction.
+func TestFuseInteriorLeaderBlocks(t *testing.T) {
+	p := &Program{
+		Code: []Instr{
+			{Op: OpLoadSlot, A: 0},
+			{Op: OpConstI32, A: 1},
+			{Op: OpAdd},
+			{Op: OpStoreSlot, A: 0},
+			{Op: OpJump, A: 2}, // lands on the OpAdd: mid-sequence
+		},
+		pos:      make([]mdl.Pos, 5),
+		NumSlots: 1,
+		MaxStack: 2,
+	}
+	fused := Fuse(p)
+	if countOp(fused, OpIncSlot) != 0 {
+		t.Fatalf("sequence with interior leader was fused: %v", fused.Code)
+	}
+	if ins := findOp(t, fused, OpJump); ins.A != 2 || fused.Code[2].Op != OpAdd {
+		t.Errorf("jump target mangled: A=%d code=%v", ins.A, fused.Code)
+	}
+}
+
+// Head leaders are fine: the while back-edge targets the first
+// instruction of the fused guard, and Fuse remaps it to the compacted
+// index.
+func TestFuseHeadLeaderAllowed(t *testing.T) {
+	base, fused := fuseOne(t, `
+class k is
+    instance variables are
+        x : integer
+    method m(n) is
+        while x < n do
+            x := x + 1
+        end
+    end
+end`, "k", "m")
+	if countOp(fused, OpIncField) != 1 {
+		t.Errorf("loop body not fused: %v", fused.Code)
+	}
+	if countOp(fused, OpLoadFieldOp) != 1 {
+		t.Errorf("loop guard not fused: %v", fused.Code)
+	}
+	if len(base.Code) == len(fused.Code) {
+		t.Error("no compaction happened")
+	}
+}
+
+// The fused twin shares the base program's resolved tables — fusion
+// re-addresses code, it must never re-intern.
+func TestFuseSharesTables(t *testing.T) {
+	base, fused := fuseOne(t, `
+class k is
+    instance variables are
+        f : integer
+    method m(n) is
+        f := f + n
+        return concat("a", "b")
+    end
+end`, "k", "m")
+	if &base.Fields[0] != &fused.Fields[0] || &base.Strs[0] != &fused.Strs[0] {
+		t.Error("fused program re-interned tables; must share the base's")
+	}
+	if base.NumSlots != fused.NumSlots || base.MaxStack != fused.MaxStack {
+		t.Error("frame geometry changed")
+	}
+}
+
+// Width must agree with the patterns match() emits: the VM uses it to
+// charge fused instructions the step count of the sequence they
+// replace, keeping the execution budget identical across modes.
+func TestFuseWidthAccounting(t *testing.T) {
+	base, fused := fuseOne(t, `
+class account is
+    instance variables are
+        balance : integer
+    method deposit(n) is
+        balance := balance + n
+    end
+end`, "account", "deposit")
+	steps := 0
+	for _, ins := range fused.Code {
+		steps += Width(ins.Op)
+	}
+	if steps != len(base.Code) {
+		t.Errorf("fused width sum %d != base instruction count %d", steps, len(base.Code))
+	}
+}

@@ -1,0 +1,202 @@
+package schema
+
+import "testing"
+
+// compileClass builds the schema and compiles every method of class,
+// returning a resolve function like the engine's per-class dispatch
+// table plus the programs by name.
+func compileClass(t *testing.T, src, class string) (map[string]*Program, func(MethodID) *Program) {
+	t.Helper()
+	s, err := FromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := s.Class(class)
+	if cls == nil {
+		t.Fatalf("no class %s", class)
+	}
+	byName := make(map[string]*Program)
+	byID := make(map[MethodID]*Program)
+	for _, name := range cls.MethodList {
+		m := cls.Resolve(name)
+		if m == nil {
+			continue
+		}
+		p, err := CompileBody(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName[name] = p
+		if mid, ok := s.MethodID(name); ok {
+			byID[mid] = p
+		}
+	}
+	return byName, func(mid MethodID) *Program { return byID[mid] }
+}
+
+func allowAll(*Program) bool { return true }
+
+const inlineSrc = `
+class account is
+    instance variables are
+        balance : integer
+    method deposit(n) is
+        balance := balance + n
+    end
+    method deposit2(n) is
+        send deposit(n) to self
+        send deposit(n) to self
+    end
+    method getbalance is
+        return balance
+    end
+    method audit(n) is
+        var b := send getbalance to self
+        if n <= b then
+            return b
+        end
+        return 0 - 1
+    end
+    method fact(n) is
+        if n <= 1 then
+            return 1
+        end
+        var rest := send fact(n - 1) to self
+        return n * rest
+    end
+end`
+
+// The splice shape: both nested sends vanish, each replaced by an
+// OpNestedMark (transcript counter parity), the callee gets its own
+// slot window, and the merged program still declares its field stores.
+func TestInlineSpliceShape(t *testing.T) {
+	progs, resolve := compileClass(t, inlineSrc, "account")
+	base := progs["deposit2"]
+	p := InlineSends(base, resolve, allowAll)
+	if p == base {
+		t.Fatal("no inlining happened")
+	}
+	if countOp(p, OpSendSelf) != 0 {
+		t.Errorf("self-sends survive: %v", p.Code)
+	}
+	if countOp(p, OpNestedMark) != 2 {
+		t.Errorf("OpNestedMark count = %d, want 2 (counter parity)", countOp(p, OpNestedMark))
+	}
+	callee := progs["deposit"]
+	if want := base.NumSlots + 2*callee.NumSlots; p.NumSlots != want {
+		t.Errorf("NumSlots = %d, want %d (caller + two callee windows)", p.NumSlots, want)
+	}
+	if !p.StoresFields {
+		t.Error("merged program lost StoresFields (execution latch would be skipped)")
+	}
+	if base.NumParams != p.NumParams {
+		t.Error("arity changed")
+	}
+}
+
+// Early returns inside a spliced callee become jumps to the join point,
+// so control flow after the send site still runs.
+func TestInlineReturnRewrite(t *testing.T) {
+	progs, resolve := compileClass(t, inlineSrc, "account")
+	p := InlineSends(progs["audit"], resolve, allowAll)
+	if p == progs["audit"] {
+		t.Fatal("no inlining happened")
+	}
+	if countOp(p, OpSendSelf) != 0 {
+		t.Errorf("self-send survives: %v", p.Code)
+	}
+	// The spliced getbalance body must not return from audit: its
+	// OpReturn is rewritten (only audit's own returns remain).
+	wantReturns := countOp(progs["audit"], OpReturn)
+	if got := countOp(p, OpReturn); got != wantReturns {
+		t.Errorf("OpReturn count = %d, want caller's own %d", got, wantReturns)
+	}
+	for _, ins := range p.Code {
+		if ins.Op == OpJump && (int(ins.A) > len(p.Code) || int(ins.A) < 0) {
+			t.Errorf("rewritten return jumps out of range: %d/%d", ins.A, len(p.Code))
+		}
+	}
+}
+
+// Recursive sends are never spliced — the chain check leaves them to
+// the VM's frame machinery and its MaxDepth guard.
+func TestInlineRecursionExcluded(t *testing.T) {
+	progs, resolve := compileClass(t, inlineSrc, "account")
+	p := InlineSends(progs["fact"], resolve, allowAll)
+	if p != progs["fact"] {
+		t.Fatalf("recursive fact was rewritten")
+	}
+	if countOp(p, OpSendSelf) != 1 {
+		t.Errorf("recursive send count = %d, want 1", countOp(p, OpSendSelf))
+	}
+}
+
+// The definition-10 gate: when the allow predicate rejects the callee
+// (caller's TAV does not cover its accesses), the send must stay a real
+// send — the lock request it would have skipped is load-bearing there.
+func TestInlineAllowGate(t *testing.T) {
+	progs, resolve := compileClass(t, inlineSrc, "account")
+	base := progs["deposit2"]
+	p := InlineSends(base, resolve, func(*Program) bool { return false })
+	if p != base {
+		t.Fatal("allow=false still rewrote the program")
+	}
+}
+
+// Unresolvable callees (dispatch would fail at run time) stay unfused
+// so the run-time error survives unchanged.
+func TestInlineUnresolvedExcluded(t *testing.T) {
+	progs, _ := compileClass(t, inlineSrc, "account")
+	base := progs["deposit2"]
+	p := InlineSends(base, func(MethodID) *Program { return nil }, allowAll)
+	if p != base {
+		t.Fatal("nil-resolving sends were rewritten")
+	}
+}
+
+// Spliced code composes with fusion: the deposit body inside deposit2
+// still folds to OpIncField, and the operand slot is the *callee's*
+// shifted window, not the caller's parameter.
+func TestInlineThenFuse(t *testing.T) {
+	progs, resolve := compileClass(t, inlineSrc, "account")
+	base := progs["deposit2"]
+	p := Fuse(InlineSends(base, resolve, allowAll))
+	if countOp(p, OpIncField) != 2 {
+		t.Errorf("OpIncField count = %d, want 2 (both spliced bodies fused): %v", countOp(p, OpIncField), p.Code)
+	}
+	for _, ins := range p.Code {
+		if ins.Op == OpIncField {
+			if ins.FusedKind() != FuseSlot || ins.C < int32(base.NumSlots) {
+				t.Errorf("OpIncField operand kind %d slot %d: must address a spliced window >= %d",
+					ins.FusedKind(), ins.C, base.NumSlots)
+			}
+		}
+	}
+}
+
+// Stack safety: the conservative needStack bound covers a callee whose
+// rewritten OpReturnNil pushes at a point the callee's own simulation
+// never reserved.
+func TestInlineStackBound(t *testing.T) {
+	progs, resolve := compileClass(t, `
+class k is
+    instance variables are
+        f : integer
+    method noop is
+    end
+    method m(a, b) is
+        var x := a + b
+        send noop to self
+        return x + (a * b)
+    end
+end`, "k")
+	base := progs["m"]
+	p := InlineSends(base, resolve, allowAll)
+	if p == base {
+		t.Fatal("no inlining happened")
+	}
+	if p.MaxStack < base.MaxStack+1 {
+		t.Errorf("MaxStack = %d, want >= %d (OpReturnNil rewrite pushes above the caller's bound)",
+			p.MaxStack, base.MaxStack+1)
+	}
+}

@@ -76,14 +76,49 @@ const (
 	// Returns.
 	OpReturn    // return pop
 	OpReturnNil // return the zero value
+
+	// Superinstructions: peephole fusions of the dominant sequences,
+	// produced by Fuse — CompileBody never emits them. The fused binary
+	// operator and the operand addressing kind are packed into B (see
+	// FuseB); the operand payload rides in C.
+	OpIncField    // field Fields[A] := Fields[A] ⊙ operand  (the deposit shape)
+	OpIncSlot     // slot A := slot A ⊙ operand
+	OpLoadFieldOp // push Fields[A] ⊙ operand                (compare/arith guards)
+	OpLoadSlotOp  // push slot A ⊙ operand
+	OpReturnField // return Fields[A]                        (getter tail)
+	OpReturnSlot  // return slot A
+
+	// Inlining support, produced by InlineSends — CompileBody never
+	// emits them either.
+	OpNestedMark // count one inlined nested self-send (transcript parity)
+	OpZeroSlots  // zero slots [A, A+B): re-arm an inlined callee's locals
 )
 
-// Instr is one 8-byte instruction.
+// Instr is one compact 12-byte instruction.
 type Instr struct {
 	Op Op
-	B  uint16 // argument count for call-family ops
+	B  uint16 // argument count for call-family ops; packed operator/kind for fused ops
 	A  int32  // wide operand
+	C  int32  // fused-operand payload (inline constant, slot, or field index)
 }
+
+// Fused-operand addressing kinds, packed into bits 8–9 of B on the
+// fused ops; the low 8 bits of B carry the folded binary operator.
+const (
+	FuseConst = iota // C is the operand itself (an int32 integer literal)
+	FuseSlot         // C is a frame slot index
+	FuseField        // C is a Fields table index
+)
+
+// FuseB packs a folded binary operator and an operand kind into the B
+// operand of a fused instruction.
+func FuseB(sub Op, kind int) uint16 { return uint16(sub) | uint16(kind)<<8 }
+
+// FusedOp unpacks the folded binary operator of a fused instruction.
+func (i Instr) FusedOp() Op { return Op(i.B & 0xff) }
+
+// FusedKind unpacks the operand addressing kind of a fused instruction.
+func (i Instr) FusedKind() int { return int(i.B >> 8) }
 
 // BuiltinID identifies a builtin function, resolved at build time. The
 // engine owns the implementations; BuiltinUnknown preserves the
@@ -161,6 +196,11 @@ type Program struct {
 	// like `balance := balance + n` is only atomic if the frame
 	// serializes physically with other writing frames on the instance.
 	StoresFields bool
+
+	// Fused is the superinstruction twin of this program — identical
+	// semantics in fewer dispatches — built by Fuse at schema compile.
+	// It is nil on programs that are themselves pass products.
+	Fused *Program
 
 	pos []mdl.Pos // per-instruction source positions, diagnostics only
 }

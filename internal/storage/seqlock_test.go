@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The seqlock torture suite: writers storm Set/SetSlots while readers
+// storm Get/AppendSlots, asserting no reader ever materializes a torn
+// Value. Strings are the sharpest probe — a Value's string is two words
+// (pointer, length), so a torn read would pair one write's pointer with
+// another's length and either crash or produce a string belonging to
+// neither write. Refs and ints probe the kind/num pairing. Runs at
+// GOMAXPROCS 1 and 4: on one processor the reader's retry loop must
+// yield for a preempted writer to ever finish (liveness), on four the
+// races are physical.
+
+func runSeqlockStorm(t *testing.T, procs int) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+
+	s := fig1(t)
+	st := NewStore(s)
+	in, err := st.NewInstance(s.Class("c2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The legal value set per slot. Writers only ever store these;
+	// readers assert set membership. Values differ in length and
+	// pointer so torn pairings are detectable.
+	strs := []Value{StrV(""), StrV("short"), StrV("a much longer string value"), StrV("mid-size")}
+	refs := []Value{RefV(0), RefV(7), RefV(1 << 40), RefV(42)}
+	ints := []Value{IntV(0), IntV(-1), IntV(1 << 60), IntV(123456789)}
+
+	const (
+		intSlot = 0 // f1 integer
+		refSlot = 2 // f3 reference
+		strSlot = 5 // f6 string
+	)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	report := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Sprintf(format, args...):
+		default:
+		}
+		stop.Store(true)
+	}
+
+	const writers, readers = 3, 5
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := seed; !stop.Load(); i++ {
+				in.Set(strSlot, strs[i%len(strs)])
+				in.Set(refSlot, refs[i%len(refs)])
+				in.Set(intSlot, ints[i%len(ints)])
+				if i%64 == 0 {
+					// Full-image writes exercise the SetSlots window.
+					img := in.Snapshot()
+					img[strSlot] = strs[(i+1)%len(strs)]
+					in.SetSlots(img)
+				}
+			}
+		}(w * 13)
+	}
+
+	member := func(v Value, set []Value) bool {
+		for _, m := range set {
+			if v == m {
+				return true
+			}
+		}
+		return false
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []Value
+			for i := 0; !stop.Load(); i++ {
+				if sv := in.Get(strSlot); !member(sv, strs) {
+					report("torn string read: %v", sv)
+					return
+				}
+				if rv := in.Get(refSlot); !member(rv, refs) {
+					report("torn ref read: %v", rv)
+					return
+				}
+				if iv := in.Get(intSlot); !member(iv, ints) {
+					report("torn int read: %v", iv)
+					return
+				}
+				buf = in.AppendSlots(buf[:0])
+				if sv := buf[strSlot]; !member(sv, strs) {
+					report("torn string in snapshot: %v", sv)
+					return
+				}
+			}
+		}()
+	}
+
+	// Run the storm for a bounded wall-clock window.
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestSeqlockTortureP1(t *testing.T) { runSeqlockStorm(t, 1) }
+func TestSeqlockTortureP4(t *testing.T) { runSeqlockStorm(t, 4) }
+
+// TestSeqlockPairConsistency drives pairs through SetSlots (two slots
+// always written to the same value inside one sequence window) and
+// asserts AppendSlots never observes a mixed image — the full-image
+// read is one atomic unit, not a per-slot one.
+func TestSeqlockPairConsistency(t *testing.T) {
+	s := fig1(t)
+	st := NewStore(s)
+	in, err := st.NewInstance(s.Class("c1")) // f1 int, f2 bool
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		img := make([]Value, 2)
+		for i := int64(0); !stop.Load(); i++ {
+			img[0] = IntV(i)
+			img[1] = BoolV(i%2 == 1)
+			in.SetSlots(img)
+		}
+	}()
+
+	var buf []Value
+	for i := 0; i < 20000; i++ {
+		buf = in.AppendSlots(buf[:0])
+		n, b := buf[0].I, buf[1].B
+		if (n%2 == 1) != b {
+			stop.Store(true)
+			t.Fatalf("mixed image: f1=%d f2=%t", n, b)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

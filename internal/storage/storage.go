@@ -16,9 +16,11 @@ package storage
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/schema"
 )
@@ -92,15 +94,98 @@ func (v Value) String() string {
 	return "value(?)"
 }
 
-// Instance is one stored object. Slots follow cls.Fields order; access
-// goes through Get/Set which take a short latch (physical consistency
-// only — transactional isolation comes from the lock manager).
+// aslot is the stored form of one slot: the fields of a Value split
+// into atomic cells so readers never observe a torn word and the race
+// detector sees every access as synchronized. The kind tag gates which
+// cell is meaningful, so a writer only needs to publish the cells its
+// kind reads back — stale bytes in the other cells are unreachable.
+//
+// Strings are two words (pointer, length); the pair is stored as a raw
+// *byte plus a length and only rejoined with unsafe.String after the
+// instance's sequence counter has validated that both cells came from
+// the same committed write. The atomic.Pointer keeps the backing bytes
+// reachable for the GC.
+type aslot struct {
+	kind atomic.Uint32
+	num  atomic.Int64        // KInt: I · KBool: 0/1 · KRef: OID · KString: byte length
+	sp   atomic.Pointer[byte] // KString: data pointer (nil when empty)
+}
+
+// store publishes v into the slot. Callers serialize writers (Instance
+// writes hold in.mu) and bracket the store with seq bumps.
+func (sl *aslot) store(v Value) {
+	switch v.Kind {
+	case KInt:
+		sl.num.Store(v.I)
+	case KBool:
+		var n int64
+		if v.B {
+			n = 1
+		}
+		sl.num.Store(n)
+	case KString:
+		sl.num.Store(int64(len(v.S)))
+		if len(v.S) > 0 {
+			sl.sp.Store(unsafe.StringData(v.S))
+		} else {
+			sl.sp.Store(nil)
+		}
+	default:
+		sl.num.Store(int64(v.R))
+	}
+	sl.kind.Store(uint32(v.Kind))
+}
+
+// load reads the raw cells. The caller must re-validate the sequence
+// counter before materializing the result (see mkValue) — until then
+// the triple may mix words from two different writes.
+func (sl *aslot) load() (k ValueKind, num int64, sp *byte) {
+	k = ValueKind(sl.kind.Load())
+	num = sl.num.Load()
+	if k == KString {
+		sp = sl.sp.Load()
+	}
+	return k, num, sp
+}
+
+// mkValue rejoins raw cells into a Value. Only call it on a triple that
+// a sequence-counter check has proven coherent: for strings it trusts
+// that sp and num describe the same backing array.
+func mkValue(k ValueKind, num int64, sp *byte) Value {
+	switch k {
+	case KInt:
+		return Value{Kind: KInt, I: num}
+	case KBool:
+		return Value{Kind: KBool, B: num != 0}
+	case KString:
+		if sp == nil {
+			return Value{Kind: KString}
+		}
+		return Value{Kind: KString, S: unsafe.String(sp, num)}
+	default:
+		return Value{Kind: KRef, R: OID(num)}
+	}
+}
+
+// seqSpins bounds the optimistic retries of a seqlock reader before it
+// yields the processor. On GOMAXPROCS=1 a writer preempted mid-write
+// (seq odd) can only finish if the reader yields, so the Gosched is a
+// liveness requirement, not a tuning knob.
+const seqSpins = 128
+
+// Instance is one stored object. Slots follow cls.Fields order. Reads
+// (Get/GetField/Snapshot/AppendSlots) are lock-free seqlock reads:
+// writers bump seq to odd before mutating and back to even after, and
+// readers retry until they observe a stable even count around the whole
+// read. Writes still serialize on mu (physical consistency only —
+// transactional isolation comes from the lock manager).
 type Instance struct {
 	OID   OID
 	Class *schema.Class
 
-	mu    sync.Mutex
-	slots []Value
+	mu    sync.Mutex // serializes writers
+	seq   atomic.Uint32
+	slots []aslot
 
 	// execMu serializes writing method activations on this instance
 	// (LockExec/UnlockExec). Separate from mu — it is held for the span
@@ -126,19 +211,37 @@ func (in *Instance) LockExec() { in.execMu.Lock() }
 // UnlockExec releases the execution latch.
 func (in *Instance) UnlockExec() { in.execMu.Unlock() }
 
-// Get returns the value in slot i.
+// Get returns the value in slot i without taking any lock: it reads the
+// slot's atomic cells under a seqlock and retries if a concurrent Set
+// overlapped the read (the sequence counter moved or was odd).
 func (in *Instance) Get(i int) Value {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.slots[i]
+	sl := &in.slots[i]
+	for spins := 0; ; spins++ {
+		s1 := in.seq.Load()
+		if s1&1 == 0 {
+			k, num, sp := sl.load()
+			if in.seq.Load() == s1 {
+				return mkValue(k, num, sp)
+			}
+		}
+		if spins >= seqSpins {
+			runtime.Gosched()
+		}
+	}
 }
 
-// Set stores v into slot i and returns the previous value.
+// Set stores v into slot i and returns the previous value. Writers
+// serialize on mu and bump the sequence counter to odd for the span of
+// the mutation so concurrent readers discard anything they saw.
 func (in *Instance) Set(i int, v Value) Value {
 	in.mu.Lock()
-	defer in.mu.Unlock()
-	old := in.slots[i]
-	in.slots[i] = v
+	sl := &in.slots[i]
+	k, num, sp := sl.load() // coherent: mu excludes other writers
+	old := mkValue(k, num, sp)
+	in.seq.Add(1)
+	sl.store(v)
+	in.seq.Add(1)
+	in.mu.Unlock()
 	return old
 }
 
@@ -154,27 +257,54 @@ func (in *Instance) GetField(id schema.FieldID) (Value, error) {
 
 // Snapshot copies all slots (for undo capture and assertions).
 func (in *Instance) Snapshot() []Value {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return append([]Value(nil), in.slots...)
+	return in.AppendSlots(make([]Value, 0, len(in.slots)))
 }
 
-// AppendSlots appends all slots to buf under one latch acquisition, so a
-// caller gets a consistent full image without allocating (pass a reused
-// buffer). The redo log uses it to serialize create records.
+// AppendSlots appends all slots to buf as one consistent image without
+// taking any lock: the whole copy runs under one seqlock read, so a
+// concurrent Set restarts it (pass a reused buffer to avoid
+// allocating). The redo log uses it to serialize create records.
 func (in *Instance) AppendSlots(buf []Value) []Value {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return append(buf, in.slots...)
+	n := len(buf)
+	for spins := 0; ; spins++ {
+		s1 := in.seq.Load()
+		if s1&1 == 0 {
+			buf = buf[:n]
+			ok := true
+			for i := range in.slots {
+				// Validate before materializing: mkValue must only see
+				// cells proven to come from one committed write.
+				k, num, sp := in.slots[i].load()
+				if in.seq.Load() != s1 {
+					ok = false
+					break
+				}
+				buf = append(buf, mkValue(k, num, sp))
+			}
+			if ok {
+				return buf
+			}
+		}
+		if spins >= seqSpins {
+			runtime.Gosched()
+		}
+	}
 }
 
-// SetSlots overwrites every slot from vals under one latch acquisition —
-// the idempotent-replay path of recovery (re-applying a create record to
-// an instance that already exists).
+// SetSlots overwrites every slot from vals under one writer latch and
+// one sequence-counter window — the idempotent-replay path of recovery
+// (re-applying a create record to an instance that already exists).
 func (in *Instance) SetSlots(vals []Value) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
-	copy(in.slots, vals)
+	in.seq.Add(1)
+	for i := range in.slots {
+		if i >= len(vals) {
+			break
+		}
+		in.slots[i].store(vals[i])
+	}
+	in.seq.Add(1)
+	in.mu.Unlock()
 }
 
 // Page geometry: 4096 instance slots per slab.
@@ -283,15 +413,15 @@ func (s *Store) NewInstance(cls *schema.Class, vals ...Value) (*Instance, error)
 		return nil, fmt.Errorf("storage: class %s has %d fields, got %d values",
 			cls.Name, cls.NumSlots(), len(vals))
 	}
-	slots := make([]Value, cls.NumSlots())
+	slots := make([]aslot, cls.NumSlots())
 	for i, f := range cls.Fields {
 		if i < len(vals) {
 			if err := checkKind(f, vals[i]); err != nil {
 				return nil, err
 			}
-			slots[i] = vals[i]
+			slots[i].store(vals[i])
 		} else {
-			slots[i] = Zero(f.Type)
+			slots[i].store(Zero(f.Type))
 		}
 	}
 	oid := OID(s.nextOID.Add(1))
@@ -378,7 +508,10 @@ func (s *Store) Install(cls *schema.Class, oid OID, vals []Value) (*Instance, er
 		in.SetSlots(vals)
 		return in, nil
 	}
-	in := &Instance{OID: oid, Class: cls, slots: append([]Value(nil), vals...)}
+	in := &Instance{OID: oid, Class: cls, slots: make([]aslot, len(vals))}
+	for i := range vals {
+		in.slots[i].store(vals[i])
+	}
 	sl := s.slot(oid)
 	if sl == nil {
 		sl = s.grow(oid)
