@@ -8,6 +8,8 @@
 //	favbench -list                      # list experiment IDs
 //	favbench -run all                   # run everything (default)
 //	favbench -run scenario52            # run one experiment
+//	favbench -run snapshotreads -duration 2s -warmup 500ms
+//	                                    # duration-based scenario runs
 //
 //	go test -bench ... | favbench -parse > BENCH.json
 //	favbench -gate BENCH_PR5.json -in BENCH.json
@@ -36,13 +38,16 @@ import (
 
 func main() {
 	var (
-		runID = flag.String("run", "all", "experiment ID to run, or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		parse = flag.Bool("parse", false, "parse `go test -bench` output from stdin into trajectory JSON on stdout")
-		gate  = flag.String("gate", "", "baseline trajectory JSON: gate the -in trajectory's allocs/op against it")
-		in    = flag.String("in", "", "current trajectory JSON for -gate (default stdin)")
+		runID    = flag.String("run", "all", "experiment ID to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parse    = flag.Bool("parse", false, "parse `go test -bench` output from stdin into trajectory JSON on stdout")
+		gate     = flag.String("gate", "", "baseline trajectory JSON: gate the -in trajectory's allocs/op against it")
+		in       = flag.String("in", "", "current trajectory JSON for -gate (default stdin)")
+		duration = flag.Duration("duration", 0, "run each scenario experiment for this wall-clock duration instead of a fixed op budget")
+		warmup   = flag.Duration("warmup", 0, "uncounted warmup before each duration-based scenario run")
 	)
 	flag.Parse()
+	bench.SetDurations(*duration, *warmup)
 
 	var err error
 	switch {

@@ -39,9 +39,10 @@ type EngineWorkload string
 // intentional domain scans (instances locked individually); churn is
 // create+delete pairs on worker-private objects.
 const (
-	EngineSendHeavy EngineWorkload = "send-heavy" // 100% sends
-	EngineScanMix   EngineWorkload = "scan-mix"   // 95% sends, 5% domain scans
-	EngineChurn     EngineWorkload = "churn"      // 80% sends, 20% create+delete
+	EngineSendHeavy  EngineWorkload = "send-heavy"  // 100% sends
+	EngineScanMix    EngineWorkload = "scan-mix"    // 95% sends, 5% domain scans
+	EngineChurn      EngineWorkload = "churn"       // 80% sends, 20% create+delete
+	EngineReadMostly EngineWorkload = "read-mostly" // 5% scans, sends split by ReadRatio (default 90)
 )
 
 // EngineScenario is one end-to-end engine workload configuration.
@@ -54,6 +55,26 @@ type EngineScenario struct {
 	OpsPerWorker int // transactions per worker (RunEngineScenario only)
 	ZipfSkew     float64
 	Seed         int64
+
+	// Duration switches RunEngineScenario from a fixed op budget to a
+	// fixed wall-clock run: workers commit transactions until Duration
+	// elapses, after an uncounted Warmup phase whose latencies are
+	// discarded. Duration-based runs make tail-latency quantiles
+	// comparable across machines of different speeds.
+	Duration time.Duration
+	Warmup   time.Duration
+
+	// ReadRatio, when positive, overrides the profile's send mix: that
+	// percentage of send transactions use a statically read-only method,
+	// the rest a writing one. Zero keeps the profile weights.
+	ReadRatio int
+
+	// SnapshotReads routes statically read-only transactions (read-only
+	// sends and scans of read-only methods, per the schema's TAVs)
+	// through the engine's lock-free snapshot path instead of the lock
+	// table. The golden differential suite proves the two paths
+	// equivalent; this knob measures what that equivalence buys.
+	SnapshotReads bool
 
 	// Durable runs the scenario on a write-ahead-logged engine rooted
 	// at Dir, with the given group-commit window and sync policy — the
@@ -84,14 +105,15 @@ func (sc EngineScenario) Name() string {
 
 // EngineScenarioResult is one measured engine scenario outcome.
 type EngineScenarioResult struct {
-	Scenario  EngineScenario
-	Ops       int64 // committed transactions
-	Sends     int64
-	Scans     int64
-	Churns    int64
-	Deadlocks int64
-	Wall      time.Duration
-	PerSec    float64
+	Scenario     EngineScenario
+	Ops          int64 // committed transactions
+	Sends        int64
+	Scans        int64
+	Churns       int64
+	Deadlocks    int64
+	LockRequests int64 // total lock-table requests (snapshot reads issue none)
+	Wall         time.Duration
+	PerSec       float64
 	// Per-transaction commit-to-commit latency quantiles, recorded by
 	// every worker into a shared log-bucket histogram (~±6%): the
 	// convoy-effect view throughput alone hides.
@@ -186,21 +208,26 @@ class assembly inherits part is
 end
 `
 
-// engineSendOp is one weighted message type of a profile.
+// engineSendOp is one weighted message type of a profile. readOnly
+// marks methods whose TAV is write-free (setup cross-checks the marker
+// against engine.DB.SnapshotSafe): only those may take the snapshot
+// path.
 type engineSendOp struct {
-	method string
-	weight int
-	args   func(r *rand.Rand) []engine.Value
+	method   string
+	weight   int
+	readOnly bool
+	args     func(r *rand.Rand) []engine.Value
 }
 
 // engineProfile binds a schema source to its population and mix.
 type engineProfile struct {
-	source     string
-	overrides  func() *core.Overrides // nil for none
-	classes    []string               // population classes, round-robin
-	scanRoot   string                 // intentional-scan domain root
-	scanMethod string
-	sends      []engineSendOp
+	source       string
+	overrides    func() *core.Overrides // nil for none
+	classes      []string               // population classes, round-robin
+	scanRoot     string                 // intentional-scan domain root
+	scanMethod   string
+	scanReadOnly bool // scanMethod's TAV is write-free (cross-checked in setup)
+	sends        []engineSendOp
 }
 
 func engineProfileFor(name EngineSchemaName) (*engineProfile, error) {
@@ -214,23 +241,25 @@ func engineProfileFor(name EngineSchemaName) (*engineProfile, error) {
 				ov.Declare("account", "deposit", "deposit")
 				return ov
 			},
-			classes:    []string{"savings", "checking"},
-			scanRoot:   "savings",
-			scanMethod: "getbalance",
+			classes:      []string{"savings", "checking"},
+			scanRoot:     "savings",
+			scanMethod:   "getbalance",
+			scanReadOnly: true,
 			sends: []engineSendOp{
 				{method: "deposit", weight: 50, args: one},
-				{method: "getbalance", weight: 30, args: nil},
+				{method: "getbalance", weight: 30, readOnly: true, args: nil},
 				{method: "withdraw", weight: 20, args: one},
 			},
 		}, nil
 	case EngineCAD:
 		return &engineProfile{
-			source:     cadSchema,
-			classes:    []string{"part", "assembly"},
-			scanRoot:   "assembly",
-			scanMethod: "inspect",
+			source:       cadSchema,
+			classes:      []string{"part", "assembly"},
+			scanRoot:     "assembly",
+			scanMethod:   "inspect",
+			scanReadOnly: true,
 			sends: []engineSendOp{
-				{method: "inspect", weight: 60, args: func(r *rand.Rand) []engine.Value {
+				{method: "inspect", weight: 60, readOnly: true, args: func(r *rand.Rand) []engine.Value {
 					return []engine.Value{storage.IntV(8)}
 				}},
 				{method: "revise", weight: 25, args: one},
@@ -250,6 +279,8 @@ type engineWorker struct {
 	sc      EngineScenario
 	cumW    []int // cumulative send weights
 	totW    int
+	roOps   []int // indices of read-only sends (ReadRatio partition)
+	wrOps   []int // indices of writing sends
 	private []storage.OID // churn pool, owned by this worker
 	futures []txn.Future  // outstanding pipelined commits, oldest first
 }
@@ -302,6 +333,14 @@ func (w *engineWorker) pickObject(objects []storage.OID) storage.OID {
 }
 
 func (w *engineWorker) pickSend() *engineSendOp {
+	if r := w.readRatio(); r > 0 && len(w.roOps) > 0 && len(w.wrOps) > 0 {
+		// The ReadRatio override: r% of sends are read-only, picked
+		// uniformly within their partition.
+		if w.rng.Intn(100) < r {
+			return &w.prof.sends[w.roOps[w.rng.Intn(len(w.roOps))]]
+		}
+		return &w.prof.sends[w.wrOps[w.rng.Intn(len(w.wrOps))]]
+	}
 	n := w.rng.Intn(w.totW)
 	for i := range w.prof.sends {
 		if n < w.cumW[i] {
@@ -309,6 +348,18 @@ func (w *engineWorker) pickSend() *engineSendOp {
 		}
 	}
 	return &w.prof.sends[len(w.prof.sends)-1]
+}
+
+// readRatio resolves the effective read-only send percentage: the
+// explicit knob, or 90 for the read-mostly workload.
+func (w *engineWorker) readRatio() int {
+	if w.sc.ReadRatio > 0 {
+		return w.sc.ReadRatio
+	}
+	if w.sc.Workload == EngineReadMostly {
+		return 90
+	}
+	return 0
 }
 
 // opKind classifies one transaction of the mix.
@@ -322,7 +373,7 @@ const (
 
 func (w *engineWorker) pickOp() opKind {
 	switch w.sc.Workload {
-	case EngineScanMix:
+	case EngineScanMix, EngineReadMostly:
 		if w.rng.Intn(100) < 5 {
 			return opScan
 		}
@@ -341,6 +392,14 @@ func (w *engineWorker) runOp(db *engine.DB, objects []storage.OID,
 	case opScan:
 		*scans++
 		scanArgs := sendArgs(w.prof, w.rng, w.prof.scanMethod)
+		if w.sc.SnapshotReads && w.prof.scanReadOnly {
+			// Lock-free snapshot scan: never blocks (or is blocked by) the
+			// writing workers — the tentpole's payoff case.
+			return db.RunReadOnly(func(tx *txn.Txn) error {
+				_, err := db.DomainScan(tx, w.prof.scanRoot, w.prof.scanMethod, false, nil, scanArgs...)
+				return err
+			})
+		}
 		return w.runTxn(db, func(tx *txn.Txn) error {
 			_, err := db.DomainScan(tx, w.prof.scanRoot, w.prof.scanMethod, false, nil, scanArgs...)
 			return err
@@ -375,6 +434,12 @@ func (w *engineWorker) runOp(db *engine.DB, objects []storage.OID,
 			args = op.args(w.rng)
 		}
 		oid := w.pickObject(objects)
+		if w.sc.SnapshotReads && op.readOnly {
+			return db.RunReadOnly(func(tx *txn.Txn) error {
+				_, err := db.Send(tx, oid, op.method, args...)
+				return err
+			})
+		}
 		return w.runTxn(db, func(tx *txn.Txn) error {
 			_, err := db.Send(tx, oid, op.method, args...)
 			return err
@@ -452,6 +517,27 @@ func setupEngineScenario(sc EngineScenario) (*engineScenarioState, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Cross-check the profile's static read-only markers against the
+	// engine's TAV-derived classification: a marker that disagrees would
+	// silently route writers through the snapshot path (rejected at run
+	// time) or readers through the lock table (benchmarking the wrong
+	// thing).
+	for _, clsName := range prof.classes {
+		cid, ok := db.ClassID(clsName)
+		if !ok {
+			return nil, fmt.Errorf("bench: class %q not interned", clsName)
+		}
+		for _, op := range prof.sends {
+			mid, ok := db.MethodID(op.method)
+			if !ok {
+				return nil, fmt.Errorf("bench: method %q not interned", op.method)
+			}
+			if got := db.SnapshotSafe(cid, mid); got != op.readOnly {
+				return nil, fmt.Errorf("bench: %s.%s readOnly marker %t disagrees with TAV classification %t",
+					clsName, op.method, op.readOnly, got)
+			}
+		}
+	}
 	for i := 0; i < sc.Workers; i++ {
 		w := &engineWorker{
 			id:   i,
@@ -459,9 +545,14 @@ func setupEngineScenario(sc EngineScenario) (*engineScenarioState, error) {
 			prof: prof,
 			sc:   sc,
 		}
-		for _, op := range prof.sends {
+		for j, op := range prof.sends {
 			w.totW += op.weight
 			w.cumW = append(w.cumW, w.totW)
+			if op.readOnly {
+				w.roOps = append(w.roOps, j)
+			} else {
+				w.wrOps = append(w.wrOps, j)
+			}
 		}
 		switch sc.Dist {
 		case DistUniform:
@@ -536,33 +627,104 @@ func (st *engineScenarioState) runEngineWorkers(totalOps int64) (sends, scans, c
 	return sendN.Load(), scanN.Load(), churnN.Load(), nil
 }
 
+// runEngineWorkersFor drives the workers for a fixed wall-clock
+// duration (after an uncounted warmup whose latencies are discarded)
+// and returns per-kind counters.
+func (st *engineScenarioState) runEngineWorkersFor(warmup, duration time.Duration) (sends, scans, churns int64, err error) {
+	phase := func(d time.Duration) (int64, int64, int64, error) {
+		var (
+			sendN, scanN, churnN atomic.Int64
+			wg                   sync.WaitGroup
+		)
+		stop := make(chan struct{})
+		timer := time.AfterFunc(d, func() { close(stop) })
+		defer timer.Stop()
+		errs := make(chan error, len(st.workers))
+		for _, w := range st.workers {
+			wg.Add(1)
+			go func(w *engineWorker) {
+				defer wg.Done()
+				var s, sc2, ch int64
+				for {
+					select {
+					case <-stop:
+						if err := w.drain(); err != nil {
+							errs <- err
+							return
+						}
+						sendN.Add(s)
+						scanN.Add(sc2)
+						churnN.Add(ch)
+						return
+					default:
+					}
+					t0 := time.Now()
+					if err := w.runOp(st.db, st.objects, &s, &sc2, &ch); err != nil {
+						errs <- err
+						return
+					}
+					st.hist.Record(time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			return 0, 0, 0, e
+		}
+		return sendN.Load(), scanN.Load(), churnN.Load(), nil
+	}
+	if warmup > 0 {
+		if _, _, _, err := phase(warmup); err != nil {
+			return 0, 0, 0, err
+		}
+		st.hist.Reset()
+	}
+	return phase(duration)
+}
+
 // RunEngineScenario runs the scenario on a fresh database and reports
-// committed transactions per second.
+// committed transactions per second — over a fixed op budget
+// (Workers×OpsPerWorker), or for Scenario.Duration when set.
 func RunEngineScenario(sc EngineScenario) (EngineScenarioResult, error) {
 	st, err := setupEngineScenario(sc)
 	if err != nil {
 		return EngineScenarioResult{}, err
 	}
 	defer st.db.Close() //nolint:errcheck // benchmark database
-	total := int64(sc.Workers) * int64(sc.OpsPerWorker)
-	start := time.Now()
-	sends, scans, churns, err := st.runEngineWorkers(total)
+	var (
+		sends, scans, churns int64
+		total                int64
+		wall                 time.Duration
+	)
+	if sc.Duration > 0 {
+		start := time.Now()
+		sends, scans, churns, err = st.runEngineWorkersFor(sc.Warmup, sc.Duration)
+		wall = time.Since(start) - sc.Warmup
+		total = sends + scans + churns
+	} else {
+		total = int64(sc.Workers) * int64(sc.OpsPerWorker)
+		start := time.Now()
+		sends, scans, churns, err = st.runEngineWorkers(total)
+		wall = time.Since(start)
+	}
 	if err != nil {
 		return EngineScenarioResult{}, err
 	}
-	wall := time.Since(start)
+	ls := st.db.Locks().Snapshot()
 	return EngineScenarioResult{
-		Scenario:  sc,
-		Ops:       total,
-		Sends:     sends,
-		Scans:     scans,
-		Churns:    churns,
-		Deadlocks: st.db.Locks().Snapshot().Deadlocks,
-		Wall:      wall,
-		PerSec:    float64(total) / wall.Seconds(),
-		P50:       st.hist.Quantile(0.50),
-		P95:       st.hist.Quantile(0.95),
-		P99:       st.hist.Quantile(0.99),
+		Scenario:     sc,
+		Ops:          total,
+		Sends:        sends,
+		Scans:        scans,
+		Churns:       churns,
+		Deadlocks:    ls.Deadlocks,
+		LockRequests: ls.Requests,
+		Wall:         wall,
+		PerSec:       float64(total) / wall.Seconds(),
+		P50:          st.hist.Quantile(0.50),
+		P95:          st.hist.Quantile(0.95),
+		P99:          st.hist.Quantile(0.99),
 	}, nil
 }
 
@@ -578,6 +740,11 @@ func DefaultEngineScenario(schema EngineSchemaName, wl EngineWorkload,
 		OpsPerWorker: 1500,
 		ZipfSkew:     1.5,
 		Seed:         42,
+		// Statically read-only transactions take the lock-free snapshot
+		// path by default: it is the production configuration the golden
+		// differential proves equivalent, and the trajectory tracks its
+		// payoff PR over PR (scan-mix no longer stalls writers).
+		SnapshotReads: true,
 	}
 }
 
@@ -587,13 +754,34 @@ func DefaultEngineScenario(schema EngineSchemaName, wl EngineWorkload,
 func EngineScenarioFamily(workers int) []EngineScenario {
 	var out []EngineScenario
 	for _, schema := range []EngineSchemaName{EngineBanking, EngineCAD} {
-		for _, wl := range []EngineWorkload{EngineSendHeavy, EngineScanMix, EngineChurn} {
+		for _, wl := range []EngineWorkload{EngineSendHeavy, EngineScanMix, EngineChurn, EngineReadMostly} {
 			for _, dist := range []LockDistribution{DistUniform, DistZipf} {
 				out = append(out, DefaultEngineScenario(schema, wl, dist, workers))
 			}
 		}
 	}
 	return out
+}
+
+// Experiment duration overrides, set by favbench's -duration/-warmup
+// flags: when positive, scenario-driving experiments run each scenario
+// for a fixed wall-clock duration (with warmup) instead of a fixed op
+// budget, which makes the latency quantiles comparable across machines.
+var runDuration, runWarmup time.Duration
+
+// SetDurations installs the duration-based run mode for scenario
+// experiments (zero duration restores the op-budget mode).
+func SetDurations(duration, warmup time.Duration) {
+	runDuration, runWarmup = duration, warmup
+}
+
+// applyDurations folds the favbench-level duration flags into one
+// scenario.
+func applyDurations(sc EngineScenario) EngineScenario {
+	if runDuration > 0 {
+		sc.Duration, sc.Warmup = runDuration, runWarmup
+	}
+	return sc
 }
 
 func init() {
@@ -609,7 +797,7 @@ func runEngineScenarios(w io.Writer) error {
 	t := NewTable("schema", "workload", "distribution", "workers", "txns", "deadlocks", "wall", "txn/s", "p50", "p95", "p99")
 	for _, workers := range []int{1, 2, 4, 8} {
 		for _, sc := range EngineScenarioFamily(workers) {
-			res, err := RunEngineScenario(sc)
+			res, err := RunEngineScenario(applyDurations(sc))
 			if err != nil {
 				return err
 			}

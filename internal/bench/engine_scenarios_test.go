@@ -39,10 +39,64 @@ func TestEngineScenarioFamilySmoke(t *testing.T) {
 			if res.Scans != 0 {
 				t.Errorf("%s: churn ran %d scans", sc.Name(), res.Scans)
 			}
+		case EngineReadMostly:
+			if res.Churns != 0 {
+				t.Errorf("%s: read-mostly ran %d churns", sc.Name(), res.Churns)
+			}
 		}
 		if res.PerSec <= 0 {
 			t.Errorf("%s: throughput %f", sc.Name(), res.PerSec)
 		}
+	}
+}
+
+// Duration-based runs: workers commit until the wall clock expires
+// (after an uncounted warmup), op counts are whatever was achieved, and
+// the latency histogram only holds the measured phase.
+func TestEngineScenarioDurationRun(t *testing.T) {
+	sc := DefaultEngineScenario(EngineBanking, EngineReadMostly, DistUniform, 2)
+	sc.Objects = 64
+	sc.Duration = 80 * time.Millisecond
+	sc.Warmup = 20 * time.Millisecond
+	res, err := RunEngineScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops <= 0 || res.Ops != res.Sends+res.Scans+res.Churns {
+		t.Errorf("timed run ops = %d (sends %d scans %d churns %d)", res.Ops, res.Sends, res.Scans, res.Churns)
+	}
+	if res.PerSec <= 0 || res.P50 <= 0 {
+		t.Errorf("timed run throughput %f p50 %v", res.PerSec, res.P50)
+	}
+}
+
+// The ReadRatio knob with snapshot routing: at 100% read sends every
+// send transaction is read-only, so with SnapshotReads on, the send
+// share of the workload issues zero lock-table requests.
+func TestEngineScenarioSnapshotRouting(t *testing.T) {
+	base := DefaultEngineScenario(EngineBanking, EngineSendHeavy, DistUniform, 2)
+	base.Objects = 64
+	base.OpsPerWorker = 100
+	base.ReadRatio = 100
+
+	locked := base
+	locked.SnapshotReads = false
+	lockRes, err := RunEngineScenario(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapRes, err := RunEngineScenario(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lockRes.LockRequests == 0 {
+		t.Error("locking run issued no lock requests; the control is broken")
+	}
+	// The only lock traffic left in the snapshot run is the population
+	// setup transaction.
+	if snapRes.LockRequests >= lockRes.LockRequests/2 {
+		t.Errorf("snapshot run issued %d lock requests vs locking %d; reads still on the lock table",
+			snapRes.LockRequests, lockRes.LockRequests)
 	}
 }
 

@@ -65,6 +65,15 @@ func (h *LatHist) Record(d time.Duration) {
 // Count returns the number of recorded durations.
 func (h *LatHist) Count() int64 { return h.count.Load() }
 
+// Reset zeroes the histogram. Only call while no Record is in flight
+// (between a warmup and a measured phase).
+func (h *LatHist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+}
+
 // Quantile returns the q-th (0 < q ≤ 1) latency quantile, or 0 when the
 // histogram is empty. Resolution is the bucket width (~±6%).
 func (h *LatHist) Quantile(q float64) time.Duration {

@@ -51,6 +51,15 @@ type Strategy interface {
 	// never acquire lock-manager locks from their NestedSend or
 	// FieldAccess hooks — those run while the latch is held.
 	ConcurrentWriters() bool
+	// SnapshotReads reports whether statically read-only transactions
+	// may bypass this protocol entirely and run on the multiversion
+	// snapshot path (engine.DB.RunReadOnly): zero lock-manager
+	// requests, reading the newest committed version at or below the
+	// transaction's begin epoch. Sound for every protocol here —
+	// writers publish versions at commit independently of how they
+	// lock — so all built-in strategies answer true; the capability
+	// exists so an experiment can pin the locking read path.
+	SnapshotReads() bool
 	TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error
 	NestedSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error
 	FieldAccess(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, f *schema.Field, write bool) error

@@ -98,6 +98,10 @@ func Open(c *core.Compiled, strategy Strategy) *DB {
 	}
 	db.latchWriters = strategy.ConcurrentWriters()
 	db.Txns.LatchWrites = db.latchWriters
+	// Wire the store into the transaction manager: commits allocate a
+	// commit epoch and publish per-instance versions, which is what the
+	// snapshot read path consumes.
+	db.Txns.SetStore(db.Store)
 	db.ecPool.New = func() any { return &execCtx{} }
 	return db
 }
@@ -114,6 +118,113 @@ func (db *DB) Begin() *txn.Txn { return db.Txns.Begin() }
 // RunWithRetry executes fn transactionally, retrying deadlock victims.
 func (db *DB) RunWithRetry(fn func(*txn.Txn) error) error {
 	return db.Txns.RunWithRetry(fn)
+}
+
+// RunReadOnly executes fn as a snapshot transaction when the strategy
+// allows it: zero lock-manager requests, no blocking, no deadlock (so
+// no retry loop), reading the newest committed state at or below the
+// transaction's begin epoch. Only methods whose transitive access
+// vectors are write-free may be sent (others fail with
+// txn.ErrSnapshotWrite). When the strategy pins the locking read path
+// (SnapshotReads false), fn runs under RunWithRetry instead — same
+// results, read locks taken.
+func (db *DB) RunReadOnly(fn func(*txn.Txn) error) error {
+	if !db.CC.SnapshotReads() {
+		return db.RunWithRetry(fn)
+	}
+	return db.Txns.RunReadOnly(fn)
+}
+
+// SnapshotSafe reports whether a method is statically read-only per its
+// transitive access vector — the schema-build-time classification that
+// licenses running it on the snapshot path. Callers routing whole
+// transactions (e.g. the benchmark driver) ask this once per method,
+// not per send.
+func (db *DB) SnapshotSafe(classID uint32, mid schema.MethodID) bool {
+	if int(classID) >= len(db.rt.classes) {
+		return false
+	}
+	crt := &db.rt.classes[classID]
+	return int(mid) < len(crt.snapRead) && crt.snapRead[mid]
+}
+
+// Snap is a snapshot read session: one snapshot transaction bound to a
+// dedicated execution context. It exists for hot read loops — the
+// context is owned, not pooled, so a warm Send or scan performs zero
+// heap allocations deterministically (sync.Pool may drop recycled
+// contexts, e.g. under the race detector). A Snap is single-goroutine,
+// like a Txn; concurrent readers each open their own.
+type Snap struct {
+	db *DB
+	tx *txn.Txn
+	ec execCtx
+}
+
+// BeginSnapshot opens a snapshot read session at the current stable
+// epoch. The caller must Close it — the session pins versions at its
+// epoch against reclamation while open. Panics if the strategy pins the
+// locking read path; callers gate on CC.SnapshotReads (RunReadOnly
+// handles the fallback automatically).
+func (db *DB) BeginSnapshot() *Snap {
+	if !db.CC.SnapshotReads() {
+		panic("engine: BeginSnapshot under a strategy that pins the locking read path")
+	}
+	s := &Snap{db: db, tx: db.Txns.BeginSnapshot()}
+	db.activeECs.Add(1)
+	s.ec.db = db
+	s.ec.tx = s.tx
+	s.ec.snapshot = true
+	s.ec.snapEpoch = s.tx.SnapshotEpoch()
+	return s
+}
+
+// Epoch returns the frozen begin epoch all reads of this session see.
+func (s *Snap) Epoch() uint64 { return s.tx.SnapshotEpoch() }
+
+// Txn exposes the underlying snapshot transaction.
+func (s *Snap) Txn() *txn.Txn { return s.tx }
+
+// Send delivers a read-only message at the snapshot's epoch.
+func (s *Snap) Send(oid storage.OID, method string, args ...Value) (Value, error) {
+	s.ec.steps = s.db.MaxSteps
+	return s.ec.topSendName(oid, method, args)
+}
+
+// SendID is Send with a pre-interned method ID.
+func (s *Snap) SendID(oid storage.OID, mid schema.MethodID, args ...Value) (Value, error) {
+	s.ec.steps = s.db.MaxSteps
+	return s.ec.topSend(oid, mid, args)
+}
+
+// DomainScanID runs a lock-free snapshot scan over the domain rooted at
+// classID. The hier flag of the locking scan does not apply — there are
+// no locks to choose a granularity for. filter, when non-nil, sees the
+// live instance (not the versioned image): use it for class dispatch,
+// not value predicates.
+func (s *Snap) DomainScanID(classID uint32, mid schema.MethodID,
+	filter func(*storage.Instance) bool, args ...Value) (int, error) {
+	root := s.db.Compiled.Schema.ClassByID(classID)
+	if root == nil {
+		return 0, fmt.Errorf("engine: unknown class id %d", classID)
+	}
+	if root.ResolveID(mid) == nil {
+		return 0, fmt.Errorf("engine: class %s has no method %q", root.Name, s.db.rt.MethodName(mid))
+	}
+	s.ec.steps = s.db.MaxSteps
+	return s.ec.scanDomainSnapshot(root, mid, filter, args)
+}
+
+// Close ends the session, releasing its epoch pin so reclamation can
+// advance past it. Idempotent.
+func (s *Snap) Close() {
+	if s.tx == nil {
+		return
+	}
+	s.tx.Commit() //nolint:errcheck // snapshot commit cannot fail
+	s.db.Txns.Release(s.tx)
+	s.db.activeECs.Add(-1)
+	s.tx = nil
+	s.ec = execCtx{}
 }
 
 // Snapshot returns the engine counters.
@@ -153,8 +264,16 @@ func (db *DB) getEC(tx *txn.Txn) *execCtx {
 	ec.db = db
 	ec.tx = tx
 	if tx != nil {
-		ec.live = liveAcquirer{locks: db.Txns.Locks(), txn: tx.ID}
-		ec.acq = &ec.live
+		if tx.IsSnapshot() {
+			// Snapshot mode: every CC hook is skipped, so no acquirer
+			// is bound — the context reads committed versions at the
+			// transaction's frozen begin epoch.
+			ec.snapshot = true
+			ec.snapEpoch = tx.SnapshotEpoch()
+		} else {
+			ec.live = liveAcquirer{locks: db.Txns.Locks(), txn: tx.ID}
+			ec.acq = &ec.live
+		}
 	}
 	ec.steps = db.MaxSteps
 	return ec
@@ -170,6 +289,8 @@ func (db *DB) putEC(ec *execCtx) {
 	ec.execHeld = nil       // balanced activations released it already
 	ec.ticks = 0
 	ec.depth = 0
+	ec.snapshot = false
+	ec.snapEpoch = 0
 	db.ecPool.Put(ec)
 	db.activeECs.Add(-1)
 }
@@ -326,6 +447,12 @@ type execCtx struct {
 	ticks int
 	depth int
 
+	// snapshot routes execution to the multiversion read path: CC hooks
+	// are skipped, field reads resolve against the newest committed
+	// version at or below snapEpoch, and any mutation fails with
+	// txn.ErrSnapshotWrite (through tx.Writable).
+	snapshot  bool
+	snapEpoch uint64
 }
 
 // yieldSends is the solo-session yield period (power of two).
@@ -411,12 +538,28 @@ func (ec *execCtx) topSend(oid storage.OID, mid schema.MethodID, args []Value) (
 	}
 	// The Runtime's per-(class,method) program table goes straight from
 	// the interned ID to compiled code — dispatch is one array load.
-	prog := ec.db.rt.classes[in.Class.ID].progAt(mid)
+	crt := &ec.db.rt.classes[in.Class.ID]
+	prog := crt.progAt(mid)
 	if prog == nil {
 		return Value{}, fmt.Errorf("engine: class %s has no method %q",
 			in.Class.Name, ec.db.rt.MethodName(mid))
 	}
-	if err := ec.db.CC.TopSend(ec.acq, ec.db.rt, uint64(oid), in.Class, mid); err != nil {
+	if ec.snapshot {
+		// No locks: eligibility is one bool load from the table the
+		// schema build filled from the method's transitive access
+		// vector. Writing methods are rejected here — before any
+		// instruction runs — and remote sends re-enter through this
+		// same gate, so a snapshot transaction can never reach a
+		// mutation with hooks skipped.
+		if int(mid) >= len(crt.snapRead) || !crt.snapRead[mid] {
+			return Value{}, fmt.Errorf("engine: %s.%s writes per its access vector: %w",
+				in.Class.Name, ec.db.rt.MethodName(mid), txn.ErrSnapshotWrite)
+		}
+		if !in.SnapshotVisible(ec.snapEpoch) {
+			// Created after this snapshot began: not there yet.
+			return Value{}, fmt.Errorf("engine: no instance with OID %d", oid)
+		}
+	} else if err := ec.db.CC.TopSend(ec.acq, ec.db.rt, uint64(oid), in.Class, mid); err != nil {
 		return Value{}, err
 	}
 	ec.db.topSends.Add(1)
@@ -441,6 +584,9 @@ func (ec *execCtx) domainScan(class, method string, hier bool,
 // allocates nothing.
 func (ec *execCtx) scanDomain(root *schema.Class, mid schema.MethodID, hier bool,
 	filter func(*storage.Instance) bool, args []Value) (int, error) {
+	if ec.snapshot {
+		return ec.scanDomainSnapshot(root, mid, filter, args)
+	}
 	if err := ec.db.CC.Scan(ec.acq, ec.db.rt, root, mid, hier); err != nil {
 		return 0, err
 	}
@@ -461,6 +607,43 @@ func (ec *execCtx) scanDomain(root *schema.Class, mid schema.MethodID, hier bool
 				if err := ec.db.CC.ScanInstance(ec.acq, ec.db.rt, uint64(oid), in.Class, mid); err != nil {
 					return count, err
 				}
+			}
+			prog := ec.db.rt.classes[in.Class.ID].progAt(mid)
+			if _, err := ec.invokeProg(in, prog, args); err != nil {
+				return count, err
+			}
+			ec.db.instancesVisited.Add(1)
+			count++
+		}
+	}
+	return count, nil
+}
+
+// scanDomainSnapshot is the lock-free domain scan: no Scan or
+// ScanInstance hooks, no class or instance locks, each visited instance
+// read at the snapshot's begin epoch. Instances created after the
+// snapshot began have no version at or below it and are skipped;
+// instances deleted after it began have left the extent and are simply
+// missed — the documented staleness of the snapshot contract (there are
+// no tombstones).
+func (ec *execCtx) scanDomainSnapshot(root *schema.Class, mid schema.MethodID,
+	filter func(*storage.Instance) bool, args []Value) (int, error) {
+	crt := ec.db.rt.class(root)
+	if int(mid) >= len(crt.snapRead) || !crt.snapRead[mid] {
+		return 0, fmt.Errorf("engine: %s.%s writes per its access vector: %w",
+			root.Name, ec.db.rt.MethodName(mid), txn.ErrSnapshotWrite)
+	}
+	ec.db.scans.Add(1)
+	count := 0
+	ec.snap = ec.db.Store.DomainSnapshotInto(ec.snap[:0], crt.domain)
+	for _, part := range ec.snap {
+		for _, oid := range part {
+			in, ok := ec.db.Store.Get(oid)
+			if !ok || !in.SnapshotVisible(ec.snapEpoch) {
+				continue
+			}
+			if filter != nil && !filter(in) {
+				continue
 			}
 			prog := ec.db.rt.classes[in.Class.ID].progAt(mid)
 			if _, err := ec.invokeProg(in, prog, args); err != nil {

@@ -64,6 +64,25 @@ class k is
         return r
     end
 end`)
+	f.Add(`
+class tag is
+    instance variables are
+        s : string
+        n : integer
+    method bang is
+        s := s + "!"
+        return s + "?"
+    end
+    method cmp(x) is
+        if x >= "m" then
+            return s + x
+        end
+        return x + s
+    end
+    method bad is
+        n := n + "oops"
+    end
+end`)
 	f.Add(`class z is method m is send m to self end end`)
 	f.Add(`class z is method m is return 1 / 0 end end`)
 	f.Fuzz(func(t *testing.T, src string) {

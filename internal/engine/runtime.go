@@ -47,6 +47,7 @@ type classRT struct {
 	// (core.Table.ModeIndexID), built once at compile time.
 	davWrite []bool      // method's direct classification (writer?)
 	tavWrite []bool      // method's transitive classification
+	snapRead []bool      // method statically read-only per its TAV: eligible for the snapshot path
 	relPlans [][]relLock // relational lock plan, key-write cascade folded in
 
 	// progs is the compiled dispatch table: METHODS(C) as slot-addressed
@@ -103,6 +104,7 @@ func newRuntimeModes(c *core.Compiled, inline, fuse bool) *Runtime {
 
 		crt.davWrite = make([]bool, nm)
 		crt.tavWrite = make([]bool, nm)
+		crt.snapRead = make([]bool, nm)
 		crt.relPlans = make([][]relLock, nm)
 		crt.progs = make([]*schema.Program, nm)
 		// resolveBase maps a MethodID to the base program this class
@@ -125,6 +127,13 @@ func newRuntimeModes(c *core.Compiled, inline, fuse bool) *Runtime {
 			tav, tavOK := c.TAV(cls, name)
 			if tavOK {
 				crt.tavWrite[mid] = tav.HasWrite()
+				// The access-vector payoff the snapshot path rides on:
+				// a write-free TAV proves the method's whole transitive
+				// closure of self-sends never mutates, so a transaction
+				// built from such methods can run lock-free against
+				// committed versions. Decided here, at schema build —
+				// the run-time check is one bool load.
+				crt.snapRead[mid] = !tav.HasWrite()
 			}
 			crt.relPlans[mid] = buildRelPlan(c, cls, tav)
 			if m := cls.Resolve(name); m != nil {

@@ -145,6 +145,16 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 
 		case schema.OpLoadField:
 			fld := p.Fields[ins.A]
+			if ec.snapshot {
+				v, err := ec.snapshotRead(self, fld, p, pc-1)
+				if err != nil {
+					return Value{}, err
+				}
+				db.fieldReads.Add(1)
+				st[sp] = v
+				sp++
+				continue
+			}
 			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
 				return Value{}, err
 			}
@@ -279,8 +289,10 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			if callee == nil {
 				return Value{}, fmt.Errorf("engine: %s: no method %q", p.PosAt(pc-1), db.rt.MethodName(mid))
 			}
-			if err := db.CC.NestedSend(ec.acq, db.rt, uint64(self.OID), self.Class, mid); err != nil {
-				return Value{}, err
+			if !ec.snapshot {
+				if err := db.CC.NestedSend(ec.acq, db.rt, uint64(self.OID), self.Class, mid); err != nil {
+					return Value{}, err
+				}
 			}
 			db.nestedSends.Add(1)
 			ec.steps, ec.ticks = steps, ticks
@@ -297,8 +309,10 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 		case schema.OpSendSuper:
 			argc := int(ins.B)
 			sc := &p.Supers[ins.A]
-			if err := db.CC.NestedSend(ec.acq, db.rt, uint64(self.OID), self.Class, sc.MID); err != nil {
-				return Value{}, err
+			if !ec.snapshot {
+				if err := db.CC.NestedSend(ec.acq, db.rt, uint64(self.OID), self.Class, sc.MID); err != nil {
+					return Value{}, err
+				}
 			}
 			db.nestedSends.Add(1)
 			callee := sc.Method.Program
@@ -383,21 +397,39 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 		// charges the sequence's full step count, so execution is
 		// indistinguishable from the unfused program apart from dispatch
 		// cost. Operand kinds: FuseConst (C is the value), FuseSlot (C is
-		// a frame slot), FuseField (C is a Fields index).
+		// a frame slot), FuseField (C is a Fields index), FuseStr (C is a
+		// Strs index — string-literal concat and compare tails).
 
 		case schema.OpIncField:
 			steps -= 3 // 4-instruction sequence, one dispatch
 			fld := p.Fields[ins.A]
-			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
-				return Value{}, err
-			}
-			db.fieldReads.Add(1)
+			var l Value
 			slot := self.Class.Slot(fld.ID)
-			l := self.Get(slot)
-			var r Value
-			if ins.FusedKind() == schema.FuseConst {
-				r = storage.IntV(int64(ins.C))
+			if ec.snapshot {
+				// Unreachable from a method the snapshot gate admitted
+				// (IncField implies a field store, hence a writing TAV),
+				// but the branch keeps fused/unfused error order
+				// identical: read succeeds, then the store fails
+				// Writable below — exactly like the unfused sequence.
+				var err error
+				if l, err = ec.snapshotRead(self, fld, p, pc-1); err != nil {
+					return Value{}, err
+				}
+				db.fieldReads.Add(1)
 			} else {
+				if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
+					return Value{}, err
+				}
+				db.fieldReads.Add(1)
+				l = self.Get(slot)
+			}
+			var r Value
+			switch ins.FusedKind() {
+			case schema.FuseConst:
+				r = storage.IntV(int64(ins.C))
+			case schema.FuseStr:
+				r = storage.StrV(p.Strs[ins.C])
+			default: // FuseSlot (FuseField is excluded by match)
 				r = st[base+int(ins.C)]
 			}
 			v, err := binOp(p, pc-1, ins.FusedOp(), l, r)
@@ -427,9 +459,12 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			steps -= 3
 			l := st[base+int(ins.A)]
 			var r Value
-			if ins.FusedKind() == schema.FuseConst {
+			switch ins.FusedKind() {
+			case schema.FuseConst:
 				r = storage.IntV(int64(ins.C))
-			} else {
+			case schema.FuseStr:
+				r = storage.StrV(p.Strs[ins.C])
+			default: // FuseSlot (FuseField is excluded by match)
 				r = st[base+int(ins.C)]
 			}
 			v, err := binOp(p, pc-1, ins.FusedOp(), l, r)
@@ -441,15 +476,27 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 		case schema.OpLoadFieldOp:
 			steps -= 2
 			fld := p.Fields[ins.A]
-			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
-				return Value{}, err
-			}
-			db.fieldReads.Add(1)
-			l := self.Get(self.Class.Slot(fld.ID))
-			var r Value
-			if ins.FusedKind() == schema.FuseConst {
-				r = storage.IntV(int64(ins.C))
+			var l Value
+			if ec.snapshot {
+				var err error
+				if l, err = ec.snapshotRead(self, fld, p, pc-1); err != nil {
+					return Value{}, err
+				}
+				db.fieldReads.Add(1)
 			} else {
+				if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
+					return Value{}, err
+				}
+				db.fieldReads.Add(1)
+				l = self.Get(self.Class.Slot(fld.ID))
+			}
+			var r Value
+			switch ins.FusedKind() {
+			case schema.FuseConst:
+				r = storage.IntV(int64(ins.C))
+			case schema.FuseStr:
+				r = storage.StrV(p.Strs[ins.C])
+			default: // FuseSlot (FuseField is excluded by match)
 				r = st[base+int(ins.C)]
 			}
 			v, err := binOp(p, pc-1, ins.FusedOp(), l, r)
@@ -466,10 +513,20 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			switch ins.FusedKind() {
 			case schema.FuseConst:
 				r = storage.IntV(int64(ins.C))
+			case schema.FuseStr:
+				r = storage.StrV(p.Strs[ins.C])
 			case schema.FuseSlot:
 				r = st[base+int(ins.C)]
 			default: // FuseField: the operand is a hooked field read
 				fld := p.Fields[ins.C]
+				if ec.snapshot {
+					var err error
+					if r, err = ec.snapshotRead(self, fld, p, pc-1); err != nil {
+						return Value{}, err
+					}
+					db.fieldReads.Add(1)
+					break
+				}
 				if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
 					return Value{}, err
 				}
@@ -486,6 +543,15 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 		case schema.OpReturnField:
 			steps--
 			fld := p.Fields[ins.A]
+			if ec.snapshot {
+				v, err := ec.snapshotRead(self, fld, p, pc-1)
+				if err != nil {
+					return Value{}, err
+				}
+				db.fieldReads.Add(1)
+				ec.steps, ec.ticks = steps, ticks
+				return v, nil
+			}
 			if err := db.CC.FieldAccess(ec.acq, db.rt, uint64(self.OID), self.Class, fld, false); err != nil {
 				return Value{}, err
 			}
@@ -513,6 +579,20 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			return Value{}, fmt.Errorf("engine: %s: unknown opcode %d", p.PosAt(pc-1), ins.Op)
 		}
 	}
+}
+
+// snapshotRead resolves one field read against the newest committed
+// version at or below the snapshot's begin epoch — no CC hook, no lock,
+// no seqlock retry loop; the version chain is immutable once published.
+// Invisible is unreachable for a receiver that passed the topSend
+// visibility gate, but a torn invariant must surface, not misread.
+func (ec *execCtx) snapshotRead(self *storage.Instance, fld *schema.Field, p *schema.Program, pc int) (Value, error) {
+	v, ok := self.SnapshotGet(self.Class.Slot(fld.ID), ec.snapEpoch)
+	if !ok {
+		return Value{}, fmt.Errorf("engine: %s: instance %d invisible at snapshot epoch %d",
+			p.PosAt(pc), self.OID, ec.snapEpoch)
+	}
+	return v, nil
 }
 
 func typeMismatch(p *schema.Program, pc int, op schema.Op, l, r Value) error {

@@ -68,8 +68,9 @@ func Width(op Op) int {
 }
 
 // operand classifies an instruction as a fusable operand push: an
-// inline int32 constant, a slot load, or a field load. Wide constants
-// (OpConstInt) stay unfused — C cannot carry them.
+// inline int32 constant, a slot load, a field load, or a string
+// literal (a Strs index — the concat-tail shape `s + "suffix"`). Wide
+// constants (OpConstInt) stay unfused — C cannot carry them.
 func operand(ins Instr) (kind int, c int32, ok bool) {
 	switch ins.Op {
 	case OpConstI32:
@@ -78,6 +79,8 @@ func operand(ins Instr) (kind int, c int32, ok bool) {
 		return FuseSlot, ins.A, true
 	case OpLoadField:
 		return FuseField, ins.A, true
+	case OpConstStr:
+		return FuseStr, ins.A, true
 	}
 	return 0, 0, false
 }

@@ -270,3 +270,46 @@ end`, "account", "deposit")
 		t.Errorf("fused width sum %d != base instruction count %d", steps, len(base.Code))
 	}
 }
+
+// String-literal operands — the concat tail `s + "!"` and its guard
+// forms — fold with FuseStr kind: C indexes the shared Strs table, so
+// the VM materializes the literal without a separate push.
+func TestFuseStrOperand(t *testing.T) {
+	src := `
+class tag is
+    instance variables are
+        s : string
+    method bang is
+        s := s + "!"
+    end
+    method ask is
+        return s + "?"
+    end
+    method islate(x) is
+        return x >= "m"
+    end
+end`
+	_, fused := fuseOne(t, src, "tag", "bang")
+	inc := findOp(t, fused, OpIncField)
+	if inc.FusedOp() != OpAdd || inc.FusedKind() != FuseStr || fused.Strs[inc.C] != "!" {
+		t.Errorf("bang = op %d kind %d Strs[C] %q, want OpAdd/FuseStr/%q",
+			inc.FusedOp(), inc.FusedKind(), fused.Strs[inc.C], "!")
+	}
+	if countOp(fused, OpConstStr) != 0 {
+		t.Errorf("string literal not folded: %v", fused.Code)
+	}
+
+	_, fused = fuseOne(t, src, "tag", "ask")
+	lf := findOp(t, fused, OpLoadFieldOp)
+	if lf.FusedOp() != OpAdd || lf.FusedKind() != FuseStr || fused.Strs[lf.C] != "?" {
+		t.Errorf("ask = op %d kind %d Strs[C] %q, want OpAdd/FuseStr/%q",
+			lf.FusedOp(), lf.FusedKind(), fused.Strs[lf.C], "?")
+	}
+
+	_, fused = fuseOne(t, src, "tag", "islate")
+	g := findOp(t, fused, OpLoadSlotOp)
+	if g.FusedOp() != OpGeq || g.FusedKind() != FuseStr || fused.Strs[g.C] != "m" {
+		t.Errorf("islate = op %d kind %d Strs[C] %q, want OpGeq/FuseStr/%q",
+			g.FusedOp(), g.FusedKind(), fused.Strs[g.C], "m")
+	}
+}

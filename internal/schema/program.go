@@ -108,6 +108,7 @@ const (
 	FuseConst = iota // C is the operand itself (an int32 integer literal)
 	FuseSlot         // C is a frame slot index
 	FuseField        // C is a Fields table index
+	FuseStr          // C is a Strs table index (string literal operand)
 )
 
 // FuseB packs a folded binary operator and an operand kind into the B

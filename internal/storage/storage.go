@@ -196,6 +196,13 @@ type Instance struct {
 	// extentPos is the instance's index in its class extent, kept
 	// current by swap-removal. Guarded by the extent latch.
 	extentPos int
+
+	// verHead is the newest published committed version (see
+	// version.go). nil until the first commit publishes — which is
+	// also how snapshot readers skip uncommitted creations. verFree is
+	// the recycle list for pruned versions, guarded by mu.
+	verHead atomic.Pointer[version]
+	verFree *version
 }
 
 // LockExec acquires the instance's execution latch. The engine holds it
@@ -243,6 +250,29 @@ func (in *Instance) Set(i int, v Value) Value {
 	in.seq.Add(1)
 	in.mu.Unlock()
 	return old
+}
+
+// AddInt adds delta to the integer in slot i under the writer latch and
+// one sequence-counter window, returning the resulting value. This is
+// the delta-undo primitive for declared-commuting slots: an aborting
+// transaction subtracts exactly its own contribution, so a concurrent
+// commuting writer's interleaved update survives the abort (a plain
+// pre-image restore would erase it). Non-integer slots are returned
+// unchanged — the caller only records deltas for integer writes.
+func (in *Instance) AddInt(i int, delta int64) Value {
+	in.mu.Lock()
+	sl := &in.slots[i]
+	k, num, sp := sl.load() // coherent: mu excludes other writers
+	if k != KInt {
+		in.mu.Unlock()
+		return mkValue(k, num, sp)
+	}
+	v := Value{Kind: KInt, I: num + delta}
+	in.seq.Add(1)
+	sl.store(v)
+	in.seq.Add(1)
+	in.mu.Unlock()
+	return v
 }
 
 // GetField returns the value of a field by global ID.
@@ -361,6 +391,14 @@ type Store struct {
 
 	schema  *schema.Schema
 	extents []extent // by schema.Class.ID
+
+	// Multiversion read state (see version.go): commit-epoch counters
+	// and the active snapshot-reader registry that drives version
+	// reclamation.
+	epochNext   atomic.Uint64
+	epochStable atomic.Uint64
+	snapshots   snapReg
+	versions    verArena
 }
 
 // NewStore returns an empty store for instances of the given schema.

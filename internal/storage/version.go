@@ -1,0 +1,330 @@
+// Multiversion read support: the storage half of the snapshot read
+// path. Writers publish an immutable per-instance version record at
+// commit, stamped with a commit epoch drawn from a global counter, and
+// snapshot readers walk the per-instance chain for the newest version
+// at or below their begin epoch — no lock-table traffic at all. The
+// paper's transitive access vectors decide *which* transactions may
+// read this way (statically read-only method sets, see
+// engine.Runtime); this file only provides the mechanism:
+//
+//   - Two counters: epochNext hands out commit epochs, epochStable is
+//     the highest epoch whose commit (and every earlier one) is fully
+//     published. Commits finish publication in epoch order through a
+//     turnstile (FinishEpoch), so a reader that begins at
+//     B = epochStable is guaranteed to find every version ≤ B already
+//     hanging off its instance — the snapshot is a consistent prefix
+//     of the commit order.
+//   - Version records are immutable once published and linked newest
+//     first. A chain with no version ≤ B means the instance did not
+//     exist (was not yet committed) at B, which is how snapshot scans
+//     skip uncommitted creations without consulting any lock.
+//   - Reclamation is watermark-driven: the newest version at or below
+//     the minimum begin epoch of all active snapshot readers satisfies
+//     every current and future reader, so everything older is
+//     unlinked and recycled onto a per-instance free list. Both the
+//     watermark and a reader's begin epoch are taken under one
+//     registry mutex, which is what makes the no-reader-left-behind
+//     argument airtight: a pruner's watermark can never exceed the
+//     begin epoch of any reader registered before or after it.
+package storage
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// version is one published committed image of an instance. vals is
+// immutable between publication and reclamation; next links to the
+// previous (older) version. The next pointer is atomic only so prune
+// unlinking is unambiguously race-free — by the watermark argument no
+// reader ever traverses past the version a prune cuts at.
+type version struct {
+	epoch uint64
+	vals  []Value
+	next  atomic.Pointer[version]
+}
+
+// SnapshotReader is one active snapshot transaction's registration in
+// the reclamation watermark. Embed it (zero value) and pass it to
+// BeginSnapshot/EndSnapshot; it allocates nothing.
+type SnapshotReader struct {
+	epoch      uint64
+	prev, next *SnapshotReader
+}
+
+// Epoch returns the reader's begin epoch (valid between BeginSnapshot
+// and EndSnapshot).
+func (r *SnapshotReader) Epoch() uint64 { return r.epoch }
+
+// snapReg tracks active snapshot readers as an intrusive list so
+// registration is allocation-free. The mutex also covers the begin
+// epoch read in BeginSnapshot — see the watermark argument above.
+type snapReg struct {
+	mu   sync.Mutex
+	head *SnapshotReader
+}
+
+// Arena block sizes: version records and their vals backing are carved
+// out of shared blocks so the one-time first-publication cost of an
+// instance is ~2 heap allocations per block of instances, not per
+// instance. Steady state never touches the arena — recycled records
+// circulate on per-instance free lists.
+const (
+	arenaRecs = 256
+	arenaVals = 1024
+)
+
+// verArena is the store-wide slab allocator behind first-time version
+// publication (commit of an instance's first overwrite, recovery
+// seeding). Blocks are never reclaimed: every record handed out lives
+// for the store's lifetime on some instance's chain or free list, and
+// record count is bounded by live instances × chain depth.
+type verArena struct {
+	mu   sync.Mutex
+	recs []version
+	vals []Value
+}
+
+// get returns a fresh version record whose vals slice has capacity for
+// exactly slots values (len 0).
+func (a *verArena) get(slots int) *version {
+	a.mu.Lock()
+	if len(a.recs) == 0 {
+		a.recs = make([]version, arenaRecs)
+	}
+	v := &a.recs[0]
+	a.recs = a.recs[1:]
+	if len(a.vals) < slots {
+		a.vals = make([]Value, max(arenaVals, slots))
+	}
+	v.vals = a.vals[0:0:slots]
+	a.vals = a.vals[slots:]
+	a.mu.Unlock()
+	return v
+}
+
+// AllocEpoch draws the next commit epoch. Every allocated epoch MUST be
+// retired with FinishEpoch (publish first, then finish), even if the
+// commit fails after allocation — later commits wait in epoch order.
+func (s *Store) AllocEpoch() uint64 { return s.epochNext.Add(1) }
+
+// FinishEpoch marks epoch e fully published. Commits retire in epoch
+// order: the caller spins until every earlier epoch has retired. The
+// critical section between AllocEpoch and FinishEpoch is a handful of
+// pointer publishes, so the wait is short; the Gosched keeps a
+// preempted predecessor schedulable on GOMAXPROCS=1.
+func (s *Store) FinishEpoch(e uint64) {
+	for !s.epochStable.CompareAndSwap(e-1, e) {
+		runtime.Gosched()
+	}
+}
+
+// StableEpoch returns the highest fully published commit epoch.
+func (s *Store) StableEpoch() uint64 { return s.epochStable.Load() }
+
+// SetRecoveredEpoch restores the epoch counters after recovery so the
+// first post-recovery commit continues above everything the log ever
+// stamped. Only call on a store that is not yet serving transactions.
+func (s *Store) SetRecoveredEpoch(e uint64) {
+	s.epochNext.Store(e)
+	s.epochStable.Store(e)
+}
+
+// BeginSnapshot registers r as an active snapshot reader and returns
+// its begin epoch. The epoch is read under the registry mutex so a
+// concurrent pruner either saw r (watermark ≤ r's epoch) or computed
+// its watermark from a stable epoch no newer than r's.
+func (s *Store) BeginSnapshot(r *SnapshotReader) uint64 {
+	reg := &s.snapshots
+	reg.mu.Lock()
+	r.epoch = s.epochStable.Load()
+	r.prev = nil
+	r.next = reg.head
+	if reg.head != nil {
+		reg.head.prev = r
+	}
+	reg.head = r
+	reg.mu.Unlock()
+	return r.epoch
+}
+
+// EndSnapshot removes r from the active-reader registry.
+func (s *Store) EndSnapshot(r *SnapshotReader) {
+	reg := &s.snapshots
+	reg.mu.Lock()
+	if r.prev == nil && r.next == nil && reg.head != r {
+		// Already deregistered (a finished transaction's Commit and
+		// Abort are both safe to call): unlinking again would clobber
+		// the registry head.
+		reg.mu.Unlock()
+		return
+	}
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		reg.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	}
+	r.prev, r.next = nil, nil
+	reg.mu.Unlock()
+}
+
+// SnapshotWatermark returns the reclamation watermark: the minimum
+// begin epoch over all active snapshot readers, or the stable epoch
+// when none are active. Versions strictly older than the newest
+// version ≤ watermark are unreachable by every active and future
+// reader.
+func (s *Store) SnapshotWatermark() uint64 {
+	reg := &s.snapshots
+	reg.mu.Lock()
+	w := s.epochStable.Load()
+	for r := reg.head; r != nil; r = r.next {
+		if r.epoch < w {
+			w = r.epoch
+		}
+	}
+	reg.mu.Unlock()
+	return w
+}
+
+// PublishVersion captures the instance's current slots as the committed
+// image of commit epoch e, pushes it as the newest version, and prunes
+// versions no reader at or above watermark can reach, recycling them
+// onto the instance's free list. The caller must have applied every
+// slot write of the committing transaction and still exclude new
+// writers (the lock manager or exec latch does); in.mu serializes the
+// physical publish against concurrent publishers and Set.
+func (s *Store) PublishVersion(in *Instance, e, watermark uint64) {
+	in.mu.Lock()
+	v := in.verFree
+	if v != nil {
+		in.verFree = v.next.Load()
+		v.next.Store(nil)
+	} else {
+		v = s.versions.get(len(in.slots))
+	}
+	v.epoch = e
+	vals := v.vals[:0]
+	for i := range in.slots {
+		k, num, sp := in.slots[i].load() // coherent: mu excludes writers
+		vals = append(vals, mkValue(k, num, sp))
+	}
+	v.vals = vals
+	head := in.verHead.Load()
+	v.next.Store(head)
+	in.verHead.Store(v)
+	in.pruneVersions(v, watermark)
+	in.mu.Unlock()
+}
+
+// pruneVersions unlinks every version older than the newest one at or
+// below the watermark and recycles it. Requires in.mu held.
+func (in *Instance) pruneVersions(head *version, watermark uint64) {
+	keep := head
+	for keep.epoch > watermark {
+		n := keep.next.Load()
+		if n == nil {
+			return
+		}
+		keep = n
+	}
+	// keep is the newest version ≤ watermark: everything older is
+	// unreachable (active readers all have begin epoch ≥ watermark and
+	// stop at keep or newer).
+	dead := keep.next.Load()
+	if dead == nil {
+		return
+	}
+	keep.next.Store(nil)
+	for dead != nil {
+		n := dead.next.Load()
+		dead.next.Store(in.verFree)
+		in.verFree = dead
+		dead = n
+	}
+}
+
+// seedVersion publishes the instance's current slots as a version
+// visible to every snapshot (epoch 0) if it has no versions yet —
+// recovery and direct-install seeding. Idempotent.
+func (s *Store) seedVersion(in *Instance) {
+	in.mu.Lock()
+	if in.verHead.Load() == nil {
+		v := s.versions.get(len(in.slots))
+		v.epoch = 0
+		for i := range in.slots {
+			k, num, sp := in.slots[i].load()
+			v.vals = append(v.vals, mkValue(k, num, sp))
+		}
+		in.verHead.Store(v)
+	}
+	in.mu.Unlock()
+}
+
+// versionAt returns the newest version with epoch ≤ b, or nil when the
+// instance has no committed state at b (not yet created, or created by
+// a commit after b). Lock-free: the chain is immutable behind the head
+// and the watermark protocol keeps every reachable version alive.
+func (in *Instance) versionAt(b uint64) *version {
+	for v := in.verHead.Load(); v != nil; v = v.next.Load() {
+		if v.epoch <= b {
+			return v
+		}
+	}
+	return nil
+}
+
+// SnapshotGet returns the value of slot i as of begin epoch b. ok is
+// false when the instance is not visible at b.
+func (in *Instance) SnapshotGet(i int, b uint64) (Value, bool) {
+	v := in.versionAt(b)
+	if v == nil {
+		return Value{}, false
+	}
+	return v.vals[i], true
+}
+
+// SnapshotVisible reports whether the instance has committed state at
+// begin epoch b.
+func (in *Instance) SnapshotVisible(b uint64) bool {
+	return in.versionAt(b) != nil
+}
+
+// SnapshotImage returns the full committed image as of begin epoch b
+// (nil, false when invisible). The returned slice is the version's
+// immutable backing array — do not modify, do not hold past the
+// enclosing snapshot transaction.
+func (in *Instance) SnapshotImage(b uint64) ([]Value, bool) {
+	v := in.versionAt(b)
+	if v == nil {
+		return nil, false
+	}
+	return v.vals, true
+}
+
+// VersionCount returns the current length of the version chain
+// (diagnostics and reclamation tests).
+func (in *Instance) VersionCount() int {
+	n := 0
+	for v := in.verHead.Load(); v != nil; v = v.next.Load() {
+		n++
+	}
+	return n
+}
+
+// SeedVersions publishes an epoch-0 version for every instance that has
+// none. Recovery calls it after replay (and after SetRecoveredEpoch) so
+// the recovered state is visible to every snapshot; tests that build
+// stores by hand can use it the same way.
+func (s *Store) SeedVersions() {
+	for i := range s.extents {
+		for _, oid := range s.extents[i].snapshot() {
+			if in, ok := s.Get(oid); ok {
+				s.seedVersion(in)
+			}
+		}
+	}
+}

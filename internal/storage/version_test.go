@@ -1,0 +1,242 @@
+package storage
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func newC1(t *testing.T, st *Store, s *schema.Schema, vals ...Value) *Instance {
+	t.Helper()
+	in, err := st.NewInstance(s.Class("c1"), vals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// publish is the commit protocol in miniature: allocate an epoch,
+// publish, retire through the turnstile.
+func publish(st *Store, in *Instance) uint64 {
+	e := st.AllocEpoch()
+	st.PublishVersion(in, e, st.SnapshotWatermark())
+	st.FinishEpoch(e)
+	return e
+}
+
+func TestVersionChainNewestAtOrBelow(t *testing.T) {
+	s := fig1(t)
+	st := NewStore(s)
+	in := newC1(t, st, s, IntV(0), BoolV(false))
+
+	if in.SnapshotVisible(0) {
+		t.Fatal("unpublished instance must be invisible to snapshots")
+	}
+
+	// Pin a reader at epoch 0 so no version is reclaimed while the
+	// test inspects the whole history.
+	var pin SnapshotReader
+	st.BeginSnapshot(&pin)
+	defer st.EndSnapshot(&pin)
+
+	var epochs []uint64
+	for i := 1; i <= 5; i++ {
+		in.Set(0, IntV(int64(i*10)))
+		epochs = append(epochs, publish(st, in))
+	}
+	for i, e := range epochs {
+		v, ok := in.SnapshotGet(0, e)
+		if !ok {
+			t.Fatalf("epoch %d: invisible", e)
+		}
+		if want := int64((i + 1) * 10); v.I != want {
+			t.Errorf("epoch %d: got %d, want %d", e, v.I, want)
+		}
+	}
+	// A begin epoch between two commits sees the older one; before the
+	// first commit sees nothing.
+	if _, ok := in.SnapshotGet(0, epochs[0]-1); ok {
+		t.Error("pre-first-commit snapshot must not see the instance")
+	}
+}
+
+func TestVersionReclamationWatermark(t *testing.T) {
+	s := fig1(t)
+	st := NewStore(s)
+	in := newC1(t, st, s, IntV(0), BoolV(false))
+
+	// Hold a snapshot open at the epoch of the first commit: every
+	// later publish must keep a version that reader can still reach.
+	in.Set(0, IntV(1))
+	publish(st, in)
+	var rd SnapshotReader
+	b := st.BeginSnapshot(&rd)
+	for i := 2; i <= 20; i++ {
+		in.Set(0, IntV(int64(i)))
+		publish(st, in)
+	}
+	if got := in.VersionCount(); got < 20 {
+		t.Errorf("with a pinned reader the chain must retain history, got %d versions", got)
+	}
+	if v, ok := in.SnapshotGet(0, b); !ok || v.I != 1 {
+		t.Fatalf("pinned reader sees %v (ok=%t), want 1", v, ok)
+	}
+	st.EndSnapshot(&rd)
+
+	// With the reader gone the next two publishes collapse the chain:
+	// the first prunes against a watermark just below its own epoch,
+	// the second against one that covers it.
+	in.Set(0, IntV(21))
+	publish(st, in)
+	in.Set(0, IntV(22))
+	publish(st, in)
+	if got := in.VersionCount(); got > 2 {
+		t.Errorf("after release the chain must collapse, got %d versions", got)
+	}
+}
+
+func TestVersionPublishRecyclesSteadyState(t *testing.T) {
+	s := fig1(t)
+	st := NewStore(s)
+	in := newC1(t, st, s, IntV(0), BoolV(false))
+	for i := 0; i < 4; i++ {
+		in.Set(0, IntV(int64(i)))
+		publish(st, in)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		in.Set(0, IntV(7))
+		publish(st, in)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state publish allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSeedVersions(t *testing.T) {
+	s := fig1(t)
+	st := NewStore(s)
+	in := newC1(t, st, s, IntV(42), BoolV(true))
+	st.SeedVersions()
+	if v, ok := in.SnapshotGet(0, 0); !ok || v.I != 42 {
+		t.Fatalf("seeded instance invisible at epoch 0: %v ok=%t", v, ok)
+	}
+	// Idempotent, and a later commit still supersedes the seed.
+	st.SeedVersions()
+	if in.VersionCount() != 1 {
+		t.Errorf("re-seed grew the chain to %d", in.VersionCount())
+	}
+	in.Set(0, IntV(43))
+	e := publish(st, in)
+	if v, _ := in.SnapshotGet(0, e); v.I != 43 {
+		t.Errorf("post-seed commit invisible: %v", v)
+	}
+}
+
+func TestSetRecoveredEpoch(t *testing.T) {
+	s := fig1(t)
+	st := NewStore(s)
+	st.SetRecoveredEpoch(41)
+	if st.StableEpoch() != 41 {
+		t.Fatalf("stable = %d", st.StableEpoch())
+	}
+	if e := st.AllocEpoch(); e != 42 {
+		t.Fatalf("first post-recovery epoch = %d, want 42", e)
+	}
+	st.FinishEpoch(42)
+	if st.StableEpoch() != 42 {
+		t.Fatalf("stable after finish = %d", st.StableEpoch())
+	}
+}
+
+// TestTortureVersionReclamation hammers one hot instance with
+// publishing writers while snapshot readers continuously register,
+// read their frozen value, and deregister. The invariants: a reader
+// always finds a version at its begin epoch, the value it reads is the
+// one its epoch froze (monotone counter ≤ begin epoch semantics), and
+// the chain length stays bounded once readers drain.
+func TestTortureVersionReclamation(t *testing.T) {
+	s := fig1(t)
+	st := NewStore(s)
+	in, err := st.NewInstance(s.Class("c1"), IntV(0), BoolV(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Set(0, IntV(0))
+	publish(st, in)
+
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	// Writers: each commit stores its own epoch into the slot before
+	// publishing, so value == some epoch ≤ the publishing epoch, and a
+	// snapshot at B must read a value ≤ B.
+	var mu sync.Mutex // one writer at a time, as the lock manager would
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				mu.Lock()
+				e := st.AllocEpoch()
+				in.Set(0, IntV(int64(e)))
+				st.PublishVersion(in, e, st.SnapshotWatermark())
+				st.FinishEpoch(e)
+				mu.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rd SnapshotReader
+			for !stop.Load() {
+				b := st.BeginSnapshot(&rd)
+				v, ok := in.SnapshotGet(0, b)
+				if !ok {
+					t.Errorf("reader at epoch %d: instance invisible", b)
+					st.EndSnapshot(&rd)
+					return
+				}
+				if uint64(v.I) > b {
+					t.Errorf("reader at epoch %d read value from the future: %d", b, v.I)
+					st.EndSnapshot(&rd)
+					return
+				}
+				st.EndSnapshot(&rd)
+				runtime.Gosched()
+			}
+		}()
+	}
+	// Wait for writers, then release readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if st.StableEpoch() >= uint64(writers*rounds) {
+			break
+		}
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	<-done
+
+	// With no readers left, two more publishes collapse the chain.
+	mu.Lock()
+	for i := 0; i < 2; i++ {
+		e := st.AllocEpoch()
+		in.Set(0, IntV(int64(e)))
+		st.PublishVersion(in, e, st.SnapshotWatermark())
+		st.FinishEpoch(e)
+	}
+	mu.Unlock()
+	if got := in.VersionCount(); got > 2 {
+		t.Errorf("chain did not collapse after readers drained: %d versions", got)
+	}
+}

@@ -61,6 +61,13 @@ var ErrNotActive = errors.New("txn: transaction is not active")
 // an operator the disk is full.
 var ErrReadOnly = errors.New("txn: database is read-only: durable log failed")
 
+// ErrSnapshotWrite is returned when a snapshot transaction attempts a
+// mutation. It should be unreachable through the engine: snapshot
+// transactions are only begun for method sets the transitive access
+// vectors prove read-only at schema build, so this is the runtime
+// backstop for that static classification.
+var ErrSnapshotWrite = errors.New("txn: snapshot transaction is read-only")
+
 // entryKind classifies one undo-log entry. Typed entries (rather than
 // opaque closures) are what let Commit re-project the log into redo
 // records without allocating.
@@ -68,6 +75,7 @@ type entryKind uint8
 
 const (
 	entrySlot   entryKind = iota // slot before-image
+	entryDelta                   // slot integer delta (undo: subtract it)
 	entryCreate                  // instance created (undo: delete it)
 	entryDelete                  // instance deleted (undo: restore it)
 	entryAction                  // opaque compensation, not durable
@@ -82,6 +90,7 @@ type undoEntry struct {
 	store  *storage.Store // create/delete entries
 	slot   int
 	old    storage.Value
+	delta  int64  // entryDelta: net integer contribution of this txn
 	action func() // entryAction only
 }
 
@@ -101,16 +110,31 @@ type Txn struct {
 
 	mu      sync.Mutex
 	undo    []undoEntry
-	undoSet map[undoKey]bool
-	created []storage.OID // OIDs created by this txn (redo skips their slot writes)
+	undoSet map[undoKey]int // index into undo of the slot's entry
+	created []storage.OID   // OIDs created by this txn (redo skips their slot writes)
 
 	// execSet is the reused buffer of instances whose execution latches
 	// logCommit holds across the after-image reads and the log submit.
 	execSet []*storage.Instance
+
+	// Snapshot-transaction state: a snapshot txn registers in the
+	// store's reader watermark at begin, reads versions ≤ snapEpoch,
+	// and never touches the lock table, the undo log, or the redo log.
+	snapshot  bool
+	snapEpoch uint64
+	snapNode  storage.SnapshotReader
 }
 
 // State returns the lifecycle state.
 func (t *Txn) State() State { return t.state }
+
+// IsSnapshot reports whether this is a snapshot (multiversion read)
+// transaction.
+func (t *Txn) IsSnapshot() bool { return t.snapshot }
+
+// SnapshotEpoch returns the begin epoch of a snapshot transaction
+// (0 for ordinary locking transactions — real epochs start at 1).
+func (t *Txn) SnapshotEpoch() uint64 { return t.snapEpoch }
 
 // Locks returns the lock manager (for protocol implementations).
 func (t *Txn) Locks() *lock.Manager { return t.mgr.locks }
@@ -121,6 +145,9 @@ func (t *Txn) Locks() *lock.Manager { return t.mgr.locks }
 // it before every store/create/delete so a degraded database fails
 // writes at the first mutation instead of at commit.
 func (t *Txn) Writable() error {
+	if t.snapshot {
+		return ErrSnapshotWrite
+	}
 	w := t.mgr.wal
 	if w == nil {
 		return nil
@@ -138,11 +165,51 @@ func (t *Txn) LogUndo(in *storage.Instance, slot int, old storage.Value) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	k := undoKey{oid: in.OID, slot: slot}
-	if t.undoSet[k] {
+	if i, ok := t.undoSet[k]; ok {
+		if e := &t.undo[i]; e.kind == entryDelta {
+			// A full overwrite landed on a slot this transaction so far
+			// only touched with commuting deltas. The captured
+			// before-image includes our own accumulated delta — fold it
+			// back out so a single value entry restores the true
+			// pre-transaction value. (Sound because a non-commuting
+			// overwrite excludes concurrent escrow writers from here on.)
+			e.kind = entrySlot
+			e.old = old
+			if old.Kind == storage.KInt {
+				e.old.I = old.I - e.delta
+			}
+			e.delta = 0
+		}
 		return
 	}
-	t.undoSet[k] = true
+	t.undoSet[k] = len(t.undo)
 	t.undo = append(t.undo, undoEntry{kind: entrySlot, inst: in, slot: slot, old: old})
+}
+
+// LogUndoDelta records an integer slot write as a delta instead of a
+// before-image: rollback subtracts the transaction's accumulated net
+// contribution rather than restoring a stale pre-image. This is the
+// sound undo form for declared-commuting (escrow) slots — under
+// commutativity another writer of the same slot is not excluded by
+// 2PL, so by abort time the pre-image may be stale and restoring it
+// would erase the concurrent writer's update. Repeated writes of one
+// slot accumulate into a single entry, so the net delta is exactly
+// final − pre-transaction and undo is exact regardless of how the
+// writes interleaved.
+func (t *Txn) LogUndoDelta(in *storage.Instance, slot int, delta int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := undoKey{oid: in.OID, slot: slot}
+	if i, ok := t.undoSet[k]; ok {
+		if t.undo[i].kind == entryDelta {
+			t.undo[i].delta += delta
+		}
+		// A before-image entry already covers the slot: its restore
+		// subsumes every later write by this transaction.
+		return
+	}
+	t.undoSet[k] = len(t.undo)
+	t.undo = append(t.undo, undoEntry{kind: entryDelta, inst: in, slot: slot, delta: delta})
 }
 
 // LogCreate records that this transaction created in: Abort removes it
@@ -205,7 +272,7 @@ func (t *Txn) lockExecSet() {
 	es := t.execSet[:0]
 	for i := range t.undo {
 		e := &t.undo[i]
-		if e.kind != entrySlot {
+		if e.kind != entrySlot && e.kind != entryDelta {
 			continue
 		}
 		dup := false
@@ -254,8 +321,14 @@ func (t *Txn) unlockExecSet() {
 // point still puts any conflicting later transaction after this one in
 // the log (strictness extends to the log order), while the fsync
 // proceeds in the background.
-func (t *Txn) logCommit(w *wal.Log, pipelined bool) (*wal.Future, error) {
-	c := w.BeginCommit(uint64(t.ID))
+// When epoch is non-zero, logCommit also publishes the transaction's
+// version records and retires the epoch through the store's turnstile,
+// both after the submit and before the ticket wait: publication happens
+// under the same latches as the after-image reads (so the version image
+// matches the record under escrow), and the turnstile never waits on an
+// fsync.
+func (t *Txn) logCommit(w *wal.Log, epoch uint64, pipelined bool) (*wal.Future, error) {
+	c := w.BeginCommit(uint64(t.ID), epoch)
 	if t.mgr.LatchWrites {
 		t.lockExecSet()
 	}
@@ -274,7 +347,7 @@ func (t *Txn) logCommit(w *wal.Log, pipelined bool) (*wal.Future, error) {
 	for i := range t.undo {
 		e := &t.undo[i]
 		switch e.kind {
-		case entrySlot:
+		case entrySlot, entryDelta:
 			if createdSet != nil {
 				if createdSet[e.inst.OID] {
 					continue // the create record carries the final image
@@ -292,6 +365,7 @@ func (t *Txn) logCommit(w *wal.Log, pipelined bool) (*wal.Future, error) {
 		}
 	}
 	if c.Ops() == 0 {
+		t.finishEpoch(epoch, true)
 		t.unlockExecSet()
 		c.Discard()
 		return nil, nil
@@ -300,6 +374,7 @@ func (t *Txn) logCommit(w *wal.Log, pipelined bool) (*wal.Future, error) {
 	// outside them — the ticket wait is the long part, and commuting
 	// writers only need to be excluded until the log order is fixed.
 	err := c.Submit()
+	t.finishEpoch(epoch, err == nil)
 	t.unlockExecSet()
 	if err != nil {
 		return nil, err
@@ -319,14 +394,21 @@ func (t *Txn) Commit() error {
 	if t.state != Active {
 		return ErrNotActive
 	}
+	if t.snapshot {
+		t.endSnapshot()
+		return nil
+	}
+	epoch := t.allocEpoch()
 	if w := t.mgr.wal; w != nil && len(t.undo) > 0 {
-		if _, err := t.logCommit(w, false); err != nil {
+		if _, err := t.logCommit(w, epoch, false); err != nil {
 			t.rollback()
 			t.state = Aborted
 			t.mgr.locks.ReleaseAll(t.ID)
 			t.mgr.noteDone(false)
 			return fmt.Errorf("txn: commit log append: %w", err)
 		}
+	} else {
+		t.finishEpoch(epoch, true)
 	}
 	t.state = Committed
 	t.clearUndo()
@@ -367,9 +449,14 @@ func (t *Txn) CommitPipelined() (Future, error) {
 	if t.state != Active {
 		return Future{}, ErrNotActive
 	}
+	if t.snapshot {
+		t.endSnapshot()
+		return Future{}, nil
+	}
 	var fut Future
+	epoch := t.allocEpoch()
 	if w := t.mgr.wal; w != nil && len(t.undo) > 0 {
-		wf, err := t.logCommit(w, true)
+		wf, err := t.logCommit(w, epoch, true)
 		if err != nil {
 			t.rollback()
 			t.state = Aborted
@@ -378,6 +465,8 @@ func (t *Txn) CommitPipelined() (Future, error) {
 			return Future{}, fmt.Errorf("txn: commit log append: %w", err)
 		}
 		fut.w = wf
+	} else {
+		t.finishEpoch(epoch, true)
 	}
 	t.state = Committed
 	t.clearUndo()
@@ -386,14 +475,86 @@ func (t *Txn) CommitPipelined() (Future, error) {
 	return fut, nil
 }
 
-// rollback plays the undo log backwards and clears it.
-func (t *Txn) rollback() {
+// allocEpoch draws a commit epoch when the transaction has versioned
+// effects and a store is attached (0 otherwise — real epochs start at
+// 1). Every non-zero epoch must be retired through finishEpoch.
+func (t *Txn) allocEpoch() uint64 {
+	st := t.mgr.store
+	if st == nil {
+		return 0
+	}
+	t.mu.Lock()
+	effects := false
+	for i := range t.undo {
+		switch t.undo[i].kind {
+		case entrySlot, entryDelta, entryCreate:
+			effects = true
+		}
+	}
+	t.mu.Unlock()
+	if !effects {
+		return 0
+	}
+	return st.AllocEpoch()
+}
+
+// finishEpoch publishes the transaction's version records (when the
+// commit succeeded) and retires the epoch through the store's
+// turnstile. No-op for epoch 0.
+func (t *Txn) finishEpoch(epoch uint64, publish bool) {
+	if epoch == 0 {
+		return
+	}
+	st := t.mgr.store
+	if publish {
+		t.publishTo(st, epoch)
+	}
+	st.FinishEpoch(epoch)
+}
+
+// publishTo publishes one version record per distinct instance this
+// transaction wrote or created, stamped with the commit epoch. Callers
+// still hold every lock (and, under escrow, the execution latches), so
+// the captured images are the committed values.
+func (t *Txn) publishTo(st *storage.Store, epoch uint64) {
+	w := st.SnapshotWatermark()
+	t.mu.Lock()
+	for i := range t.undo {
+		e := &t.undo[i]
+		switch e.kind {
+		case entrySlot, entryDelta, entryCreate:
+		default:
+			continue
+		}
+		// Publish on the entry's first appearance only: undoSet maps a
+		// slot to its first entry, and creates are unique per instance,
+		// so scanning for an earlier entry of the same instance
+		// deduplicates without allocating.
+		first := true
+		for j := 0; j < i; j++ {
+			p := &t.undo[j]
+			if p.inst == e.inst && (p.kind == entrySlot || p.kind == entryDelta || p.kind == entryCreate) {
+				first = false
+				break
+			}
+		}
+		if first {
+			st.PublishVersion(e.inst, epoch, w)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// undoAll plays the undo log backwards, leaving it in place.
+func (t *Txn) undoAll() {
 	t.mu.Lock()
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		e := &t.undo[i]
 		switch e.kind {
 		case entrySlot:
 			e.inst.Set(e.slot, e.old)
+		case entryDelta:
+			e.inst.AddInt(e.slot, -e.delta)
 		case entryCreate:
 			e.store.Delete(e.inst.OID) //nolint:errcheck // already gone is fine
 		case entryDelete:
@@ -403,6 +564,11 @@ func (t *Txn) rollback() {
 		}
 	}
 	t.mu.Unlock()
+}
+
+// rollback plays the undo log backwards and clears it.
+func (t *Txn) rollback() {
+	t.undoAll()
 	t.clearUndo()
 }
 
@@ -425,9 +591,54 @@ func (t *Txn) Abort() {
 		return
 	}
 	t.state = Aborted
-	t.rollback()
+	if t.snapshot {
+		// A snapshot txn holds no locks and wrote nothing: just leave
+		// the reader registry. Counted as aborted — the caller bailed.
+		t.mgr.store.EndSnapshot(&t.snapNode)
+		t.mgr.noteDone(false)
+		return
+	}
+	// Under declared commutativity a concurrent writer may have
+	// committed (and published) a version that includes this
+	// transaction's now-undone delta. Republish the corrected image
+	// after rollback so the version chain converges back to the
+	// committed state.
+	fix := false
+	if t.mgr.store != nil {
+		t.mu.Lock()
+		for i := range t.undo {
+			if t.undo[i].kind == entryDelta {
+				fix = true
+				break
+			}
+		}
+		t.mu.Unlock()
+	}
+	if fix {
+		if t.mgr.LatchWrites {
+			t.lockExecSet()
+		}
+		st := t.mgr.store
+		epoch := st.AllocEpoch()
+		t.undoAll()
+		t.publishTo(st, epoch)
+		st.FinishEpoch(epoch)
+		t.unlockExecSet()
+		t.clearUndo()
+	} else {
+		t.rollback()
+	}
 	t.mgr.locks.ReleaseAll(t.ID)
 	t.mgr.noteDone(false)
+}
+
+// endSnapshot finishes a snapshot transaction: deregister from the
+// reclamation watermark and count the commit. No lock-table or log
+// interaction of any kind.
+func (t *Txn) endSnapshot() {
+	t.mgr.store.EndSnapshot(&t.snapNode)
+	t.state = Committed
+	t.mgr.noteDone(true)
 }
 
 // Stats counts transaction outcomes.
@@ -436,6 +647,7 @@ type Stats struct {
 	Committed int64
 	Aborted   int64
 	Retries   int64
+	Snapshots int64 // transactions that ran on the lock-free snapshot path
 }
 
 // Manager hands out transactions with monotonically increasing IDs.
@@ -445,12 +657,14 @@ type Stats struct {
 type Manager struct {
 	locks *lock.Manager
 	wal   *wal.Log
+	store *storage.Store // version publication target; nil disables multiversioning
 
 	next      atomic.Uint64
 	begun     atomic.Int64
 	committed atomic.Int64
 	aborted   atomic.Int64
 	retries   atomic.Int64
+	snapshots atomic.Int64
 
 	// MaxRetries bounds RunWithRetry (default 100).
 	MaxRetries int
@@ -496,6 +710,17 @@ func (m *Manager) Locks() *lock.Manager { return m.locks }
 // its group-commit ticket. Attach before serving transactions.
 func (m *Manager) SetWAL(w *wal.Log) { m.wal = w }
 
+// SetStore attaches the object store for multiversion publication:
+// every later commit with effects publishes version records stamped
+// with a commit epoch, and BeginSnapshot hands out lock-free snapshot
+// transactions over them. Attach before serving transactions; without
+// it, commits publish nothing and snapshot transactions are
+// unavailable.
+func (m *Manager) SetStore(st *storage.Store) { m.store = st }
+
+// Store returns the attached object store (nil when none).
+func (m *Manager) Store() *storage.Store { return m.store }
+
 // WAL returns the attached redo log (nil when volatile).
 func (m *Manager) WAL() *wal.Log { return m.wal }
 
@@ -503,13 +728,45 @@ func (m *Manager) WAL() *wal.Log { return m.wal }
 func (m *Manager) Begin() *Txn {
 	t, _ := m.pool.Get().(*Txn)
 	if t == nil {
-		t = &Txn{undoSet: make(map[undoKey]bool)}
+		t = &Txn{undoSet: make(map[undoKey]int)}
 	}
 	t.ID = lock.TxnID(m.next.Add(1))
 	t.mgr = m
 	t.state = Active
+	t.snapshot = false
+	t.snapEpoch = 0
 	m.begun.Add(1)
 	return t
+}
+
+// BeginSnapshot starts a snapshot transaction: it registers in the
+// store's reclamation watermark, freezes its begin epoch, and from then
+// on reads only published versions ≤ that epoch. It acquires no locks,
+// writes nothing, can never deadlock, and never blocks or aborts a
+// writer. Requires an attached store.
+func (m *Manager) BeginSnapshot() *Txn {
+	t := m.Begin()
+	t.snapshot = true
+	t.snapEpoch = m.store.BeginSnapshot(&t.snapNode)
+	m.snapshots.Add(1)
+	return t
+}
+
+// RunReadOnly executes fn inside a snapshot transaction — the
+// read-only fast path of RunWithRetry. There is no retry loop because
+// there is nothing to retry: a snapshot transaction takes no locks, so
+// it cannot deadlock, time out, or be chosen as a victim. fn must only
+// perform reads (the engine enforces this statically via the access
+// vectors; Writable is the runtime backstop). The *Txn is recycled
+// after the call returns and must not be retained.
+func (m *Manager) RunReadOnly(fn func(*Txn) error) error {
+	t := m.BeginSnapshot()
+	err := fn(t)
+	if t.state == Active {
+		t.endSnapshot()
+	}
+	m.Release(t)
+	return err
 }
 
 // Release returns a finished transaction to the pool. Only call when no
@@ -538,6 +795,7 @@ func (m *Manager) Snapshot() Stats {
 		Committed: m.committed.Load(),
 		Aborted:   m.aborted.Load(),
 		Retries:   m.retries.Load(),
+		Snapshots: m.snapshots.Load(),
 	}
 }
 
@@ -548,6 +806,7 @@ func (m *Manager) ResetStats() {
 	m.committed.Store(0)
 	m.aborted.Store(0)
 	m.retries.Store(0)
+	m.snapshots.Store(0)
 }
 
 // retryable reports whether a transaction failure is transient lock

@@ -25,7 +25,7 @@ import (
 //
 // Checkpoint file, little-endian:
 //
-//	magic "FAVWCKP1" · u64 baseSeq · u64 nextOID · u64 count ·
+//	magic "FAVWCKP2" · u64 baseSeq · u64 nextOID · u64 epoch · u64 count ·
 //	count × (uvarint classID · uvarint OID · uvarint nSlots · values) ·
 //	u32 CRC-32C of everything after the magic
 //
@@ -44,7 +44,7 @@ const (
 	checkpointSeq0 = uint64(0) // "no checkpoint": replay every segment
 )
 
-var checkpointMagic = []byte("FAVWCKP1")
+var checkpointMagic = []byte("FAVWCKP2")
 
 // errCheckpointCorrupt classifies damage the CRC trailer (or frame
 // structure around it) detects — the cases recovery can survive by
@@ -55,12 +55,16 @@ var errCheckpointCorrupt = errors.New("wal: corrupt checkpoint")
 // state) with base segment sequence baseSeq. demoteOld preserves the
 // current primary as checkpoint.prev; when the caller found the primary
 // corrupt it passes false so the garbage is dropped instead of
-// clobbering the intact .prev the fallback chain relies on.
-func writeCheckpoint(fsys FS, dir string, st *storage.Store, baseSeq uint64, demoteOld bool) error {
+// clobbering the intact .prev the fallback chain relies on. epoch is
+// the highest commit epoch covered by the checkpoint image, so a
+// recovery that replays no tail still restarts the epoch clock past
+// every commit it contains.
+func writeCheckpoint(fsys FS, dir string, st *storage.Store, baseSeq, epoch uint64, demoteOld bool) error {
 	sch := st.Schema()
 	body := make([]byte, 0, 1<<16)
 	body = binary.LittleEndian.AppendUint64(body, baseSeq)
 	body = binary.LittleEndian.AppendUint64(body, uint64(st.MaxOID()))
+	body = binary.LittleEndian.AppendUint64(body, epoch)
 	count := uint64(0)
 	countAt := len(body)
 	body = binary.LittleEndian.AppendUint64(body, 0) // patched below
@@ -124,41 +128,42 @@ func writeCheckpoint(fsys FS, dir string, st *storage.Store, baseSeq uint64, dem
 }
 
 // loadCheckpoint applies the newest intact checkpoint into st and
-// returns its base segment sequence (checkpointSeq0 when none exists).
-// fellBack reports that the primary was missing or corrupt and recovery
-// used checkpoint.prev — or, before any second checkpoint existed, a
-// full log replay from the first segment.
-func loadCheckpoint(fsys FS, dir string, st *storage.Store, sch *schema.Schema) (base uint64, fellBack bool, err error) {
-	base, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointName), st, sch)
+// returns its base segment sequence (checkpointSeq0 when none exists)
+// and the commit epoch its image covers. fellBack reports that the
+// primary was missing or corrupt and recovery used checkpoint.prev —
+// or, before any second checkpoint existed, a full log replay from the
+// first segment.
+func loadCheckpoint(fsys FS, dir string, st *storage.Store, sch *schema.Schema) (base, epoch uint64, fellBack bool, err error) {
+	base, epoch, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointName), st, sch)
 	switch {
 	case err == nil:
-		return base, false, nil
+		return base, epoch, false, nil
 	case errors.Is(err, os.ErrNotExist):
 		// No primary. A .prev without a primary is the crash window of
 		// writeCheckpoint between demote and rename — .prev is intact
 		// and its replay tail is still on disk.
-		base, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointPrev), st, sch)
+		base, epoch, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointPrev), st, sch)
 		if errors.Is(err, os.ErrNotExist) {
-			return checkpointSeq0, false, nil // fresh directory
+			return checkpointSeq0, 0, false, nil // fresh directory
 		}
 		if err != nil {
-			return 0, false, err
+			return 0, 0, false, err
 		}
-		return base, true, nil
+		return base, epoch, true, nil
 	case errors.Is(err, errCheckpointCorrupt):
-		base, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointPrev), st, sch)
+		base, epoch, err = loadCheckpointFile(fsys, filepath.Join(dir, checkpointPrev), st, sch)
 		if errors.Is(err, os.ErrNotExist) {
 			// Corrupt primary, no .prev: only the first checkpoint ever
 			// taken can be in this state, and it deleted no segments —
 			// a full replay from the first segment reproduces it.
-			return checkpointSeq0, true, nil
+			return checkpointSeq0, 0, true, nil
 		}
 		if err != nil {
-			return 0, false, err
+			return 0, 0, false, err
 		}
-		return base, true, nil
+		return base, epoch, true, nil
 	default:
-		return 0, false, err
+		return 0, 0, false, err
 	}
 }
 
@@ -168,22 +173,23 @@ func loadCheckpoint(fsys FS, dir string, st *storage.Store, sch *schema.Schema) 
 // the caller may fall back. Semantic errors past a valid CRC (unknown
 // class, OID watermark, slot arity) stay hard failures: they mean a
 // writer bug or foreign file, not disk damage.
-func loadCheckpointFile(fsys FS, path string, st *storage.Store, sch *schema.Schema) (uint64, error) {
+func loadCheckpointFile(fsys FS, path string, st *storage.Store, sch *schema.Schema) (uint64, uint64, error) {
 	data, err := fsys.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
-		return 0, fmt.Errorf("%w: %s: bad magic", errCheckpointCorrupt, path)
+		return 0, 0, fmt.Errorf("%w: %s: bad magic", errCheckpointCorrupt, path)
 	}
 	body := data[len(checkpointMagic) : len(data)-4]
 	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
 	if crc32.Checksum(body, crcTable) != wantCRC {
-		return 0, fmt.Errorf("%w: %s: CRC mismatch", errCheckpointCorrupt, path)
+		return 0, 0, fmt.Errorf("%w: %s: CRC mismatch", errCheckpointCorrupt, path)
 	}
 	d := decoder{b: body}
 	baseSeq := d.u64()
 	nextOID := d.u64()
+	epoch := d.u64()
 	count := d.u64()
 	for i := uint64(0); i < count && d.err == nil; i++ {
 		clsID := d.uvarint()
@@ -194,16 +200,16 @@ func loadCheckpointFile(fsys FS, path string, st *storage.Store, sch *schema.Sch
 		}
 		cls := sch.ClassByID(uint32(clsID))
 		if cls == nil {
-			return 0, fmt.Errorf("wal: checkpoint: unknown class id %d", clsID)
+			return 0, 0, fmt.Errorf("wal: checkpoint: unknown class id %d", clsID)
 		}
 		// OIDs are allocated below the watermark; an instance above it is
 		// corruption, and installing it would size the dense page
 		// directory to match.
 		if oid == 0 || oid > nextOID {
-			return 0, fmt.Errorf("wal: checkpoint: instance OID %d outside (0, %d]", oid, nextOID)
+			return 0, 0, fmt.Errorf("wal: checkpoint: instance OID %d outside (0, %d]", oid, nextOID)
 		}
 		if ns != uint64(cls.NumSlots()) {
-			return 0, fmt.Errorf("wal: checkpoint: %s#%d has %d slots, file says %d",
+			return 0, 0, fmt.Errorf("wal: checkpoint: %s#%d has %d slots, file says %d",
 				cls.Name, oid, cls.NumSlots(), ns)
 		}
 		vals := make([]storage.Value, 0, ns)
@@ -214,17 +220,17 @@ func loadCheckpointFile(fsys FS, path string, st *storage.Store, sch *schema.Sch
 			break
 		}
 		if _, err := st.Install(cls, storage.OID(oid), vals); err != nil {
-			return 0, fmt.Errorf("wal: checkpoint: %w", err)
+			return 0, 0, fmt.Errorf("wal: checkpoint: %w", err)
 		}
 	}
 	if d.err != nil {
-		return 0, fmt.Errorf("wal: checkpoint: %w", d.err)
+		return 0, 0, fmt.Errorf("wal: checkpoint: %w", d.err)
 	}
 	if d.pos != len(body) {
-		return 0, fmt.Errorf("wal: checkpoint: %d trailing bytes", len(body)-d.pos)
+		return 0, 0, fmt.Errorf("wal: checkpoint: %d trailing bytes", len(body)-d.pos)
 	}
 	st.EnsureOID(storage.OID(nextOID))
-	return baseSeq, nil
+	return baseSeq, epoch, nil
 }
 
 // Checkpoint compacts the log: it drains and hardens everything
@@ -254,11 +260,12 @@ func (l *Log) Checkpoint() error {
 	sealed := res.sealed
 
 	scratch := storage.NewStore(l.sch)
-	base, fellBack, err := loadCheckpoint(l.fs, l.dir, scratch, l.sch)
+	base, ckptEpoch, fellBack, err := loadCheckpoint(l.fs, l.dir, scratch, l.sch)
 	if err != nil {
 		return err
 	}
 	r := newReplayer(scratch, l.sch, l.opts.RecoveryWorkers)
+	r.maxEpoch = ckptEpoch
 	for seq := base + 1; seq <= sealed; seq++ {
 		path := segmentPath(l.dir, seq)
 		data, err := l.fs.ReadFile(path)
@@ -275,7 +282,7 @@ func (l *Log) Checkpoint() error {
 		}
 	}
 	scratch.SortExtents()
-	if err := writeCheckpoint(l.fs, l.dir, scratch, sealed, !fellBack); err != nil {
+	if err := writeCheckpoint(l.fs, l.dir, scratch, sealed, r.maxEpoch, !fellBack); err != nil {
 		return err
 	}
 	l.baseSeq.Store(sealed)

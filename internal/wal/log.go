@@ -139,10 +139,11 @@ type RecoveryInfo struct {
 	// checkpoint existed, a full log replay) instead of installing
 	// garbage.
 	CheckpointFallback bool
-	Segments           int   // log segments replayed
-	Records            int64 // commit records applied
-	TornTailBytes      int64 // bytes truncated off the final segment
-	Workers            int   // replay goroutines used
+	Segments           int    // log segments replayed
+	Records            int64  // commit records applied
+	TornTailBytes      int64  // bytes truncated off the final segment
+	Workers            int    // replay goroutines used
+	Epoch              uint64 // highest commit epoch recovered; the store's clock restarts past it
 }
 
 // rotateResult is the writer's answer to a rotation request.
@@ -545,15 +546,19 @@ func (l *Log) maybeAutoCheckpoint() {
 	}()
 }
 
-// BeginCommit starts encoding one transaction's commit record. The
-// returned commit must finish with Commit or CommitPipelined (which
-// wait for / hand out the group-commit ticket) or Discard.
-func (l *Log) BeginCommit(txnID uint64) *commit {
+// BeginCommit starts encoding one transaction's commit record, stamped
+// with its multiversion commit epoch (0 when the committer publishes no
+// versions) — recovery rebuilds the epoch counter from the maximum over
+// all records. The returned commit must finish with Commit or
+// CommitPipelined (which wait for / hand out the group-commit ticket)
+// or Discard.
+func (l *Log) BeginCommit(txnID, epoch uint64) *commit {
 	c := l.commits.Get().(*commit)
 	b := c.buf[:0]
 	b = append(b, make([]byte, frameHeaderSize)...) // patched at submit
 	b = append(b, recCommit)
 	b = binary.LittleEndian.AppendUint64(b, txnID)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
 	b = append(b, 0, 0, 0, 0) // nOps, patched at submit
 	c.buf = b
 	c.ops = 0

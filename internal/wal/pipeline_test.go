@@ -83,7 +83,7 @@ func TestRecoveryPipelinedCrashWindow(t *testing.T) {
 	const workers = 4
 	const commitsEach = 40
 	insts := make([]*storage.Instance, workers)
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	for i := range insts {
 		in, err := st.NewInstance(cls, storage.IntV(0))
 		if err != nil {
@@ -115,7 +115,7 @@ func TestRecoveryPipelinedCrashWindow(t *testing.T) {
 			var values []int64
 			for i := 1; i <= commitsEach; i++ {
 				in.Set(0, storage.IntV(int64(i)))
-				c := l.BeginCommit(uint64(100 + w*1000 + i))
+				c := l.BeginCommit(uint64(100 + w*1000 + i), 0)
 				c.Write(uint64(in.OID), 0, in.Get(0))
 				fut, err := c.CommitPipelined()
 				if err != nil {
@@ -210,7 +210,7 @@ func TestRecoverySyncEveryBoundsLossWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	c.Create(cls.ID, uint64(in.OID), in)
 	start := time.Now()
 	if err := c.Commit(); err != nil { // acknowledged after the OS write
@@ -255,7 +255,7 @@ func TestSyncBarrierHardensRelaxedLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	c.Create(cls.ID, uint64(in.OID), in)
 	fut, err := c.CommitPipelined()
 	if err != nil {
@@ -297,7 +297,7 @@ func TestRecoveryPipelinedFuturesResolveOnClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	c.Create(cls.ID, uint64(in.OID), in)
 	if err := c.Commit(); err != nil {
 		t.Fatal(err)
@@ -306,7 +306,7 @@ func TestRecoveryPipelinedFuturesResolveOnClose(t *testing.T) {
 	futures := make([]*Future, 0, commits)
 	for i := 1; i <= commits; i++ {
 		in.Set(0, storage.IntV(int64(i)))
-		c := l.BeginCommit(uint64(1 + i))
+		c := l.BeginCommit(uint64(1 + i), 0)
 		c.Write(uint64(in.OID), 0, in.Get(0))
 		fut, err := c.CommitPipelined()
 		if err != nil {
@@ -343,7 +343,7 @@ func TestPipelinedCommitAfterCloseFails(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	c.Delete(42)
 	if _, err := c.CommitPipelined(); err != ErrClosed {
 		t.Fatalf("pipelined commit after close = %v, want ErrClosed", err)
@@ -371,7 +371,7 @@ func bigWorkload(t *testing.T, dir string, n int) {
 			victim := oids[i%len(oids)]
 			if victim != 0 {
 				if _, err := st.Delete(victim); err == nil {
-					c := l.BeginCommit(uint64(i))
+					c := l.BeginCommit(uint64(i), 0)
 					c.Delete(uint64(victim))
 					if err := c.Commit(); err != nil {
 						t.Fatal(err)
@@ -386,7 +386,7 @@ func bigWorkload(t *testing.T, dir string, n int) {
 				t.Fatal(err)
 			}
 			oids = append(oids, in.OID)
-			c := l.BeginCommit(uint64(i))
+			c := l.BeginCommit(uint64(i), 0)
 			c.Create(cls.ID, uint64(in.OID), in)
 			if err := c.Commit(); err != nil {
 				t.Fatal(err)
@@ -401,7 +401,7 @@ func bigWorkload(t *testing.T, dir string, n int) {
 				continue
 			}
 			in.Set(1, storage.IntV(int64(i)))
-			c := l.BeginCommit(uint64(i))
+			c := l.BeginCommit(uint64(i), 0)
 			c.Write(uint64(target), 1, in.Get(1))
 			if err := c.Commit(); err != nil {
 				t.Fatal(err)

@@ -21,7 +21,7 @@
 //	│     length  │ of payload  │                               │
 //	└─────────────┴─────────────┴───────────────────────────────┘
 //
-//	payload: u8 type (=commit) · u64 txnID · u32 nOps · ops
+//	payload: u8 type (=commit) · u64 txnID · u64 epoch · u32 nOps · ops
 //	op:      u8 OpWrite  · uvarint OID · uvarint slot · value
 //	         u8 OpCreate · uvarint classID · uvarint OID ·
 //	                       uvarint nSlots · values
@@ -63,12 +63,17 @@ const (
 	OpDelete = uint8(0x03) // instance deletion
 )
 
-// Payload offsets of the fixed commit-record header.
+// Payload offsets of the fixed commit-record header. The epoch is the
+// transaction's multiversion commit epoch (0 when the committing
+// manager had no store attached): recovery takes the maximum over all
+// replayed records to re-seed the epoch counter, so post-recovery
+// commit epochs continue above everything the log ever stamped.
 const (
 	offType    = 0
 	offTxnID   = 1
-	offNumOps  = 9
-	hdrPayload = 13 // type + txnID + nOps
+	offEpoch   = 9
+	offNumOps  = 17
+	hdrPayload = 21 // type + txnID + epoch + nOps
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -206,6 +211,7 @@ func (d *decoder) value() storage.Value {
 // tooling (replay streams through applyRecord without building it).
 type Record struct {
 	TxnID uint64
+	Epoch uint64
 	Ops   []RecordOp
 }
 
@@ -223,7 +229,7 @@ type RecordOp struct {
 // header) into a Record.
 func DecodeRecord(payload []byte) (Record, error) {
 	var rec Record
-	err := walkRecord(payload, &rec.TxnID, func(op RecordOp) error {
+	err := walkRecord(payload, &rec.TxnID, &rec.Epoch, func(op RecordOp) error {
 		rec.Ops = append(rec.Ops, op)
 		return nil
 	})
@@ -335,7 +341,7 @@ func (d *decoder) skipOp() (kind uint8, oid uint64) {
 }
 
 // walkRecord streams the ops of one commit payload through fn.
-func walkRecord(payload []byte, txnID *uint64, fn func(RecordOp) error) error {
+func walkRecord(payload []byte, txnID, epoch *uint64, fn func(RecordOp) error) error {
 	d := decoder{b: payload}
 	if typ := d.u8(); d.err == nil && typ != recCommit {
 		return fmt.Errorf("wal: unknown record type %d", typ)
@@ -343,6 +349,10 @@ func walkRecord(payload []byte, txnID *uint64, fn func(RecordOp) error) error {
 	id := d.u64()
 	if txnID != nil {
 		*txnID = id
+	}
+	e := d.u64()
+	if epoch != nil {
+		*epoch = e
 	}
 	n := d.u32()
 	// Every op costs at least two bytes, so an op count beyond the
@@ -434,14 +444,15 @@ func applyOp(st *storage.Store, sch *schema.Schema, op RecordOp, maxOID uint64) 
 	return nil
 }
 
-// applyRecord replays one commit payload into the store, sequentially.
-func applyRecord(st *storage.Store, sch *schema.Schema, payload []byte, maxOID uint64) (ops int, err error) {
-	err = walkRecord(payload, nil, func(op RecordOp) error {
+// applyRecord replays one commit payload into the store, sequentially,
+// returning the op count and the record's commit epoch.
+func applyRecord(st *storage.Store, sch *schema.Schema, payload []byte, maxOID uint64) (ops int, epoch uint64, err error) {
+	err = walkRecord(payload, nil, &epoch, func(op RecordOp) error {
 		if err := applyOp(st, sch, op, maxOID); err != nil {
 			return err
 		}
 		ops++
 		return nil
 	})
-	return ops, err
+	return ops, epoch, err
 }

@@ -107,7 +107,7 @@ func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) 
 	}
 
 	var info RecoveryInfo
-	base, fellBack, err := loadCheckpoint(fsys, dir, st, sch)
+	base, ckptEpoch, fellBack, err := loadCheckpoint(fsys, dir, st, sch)
 	if err != nil {
 		return nil, RecoveryInfo{}, err
 	}
@@ -156,6 +156,17 @@ func Open(dir string, st *storage.Store, o Options) (*Log, RecoveryInfo, error) 
 		last = seq
 	}
 	st.SortExtents()
+	// Restart the epoch clock past every commit recovery saw — from the
+	// checkpoint image or a replayed record — then seed an epoch-0
+	// version for each recovered instance so snapshot readers begun
+	// before the first post-recovery commit see the recovered state.
+	epoch := ckptEpoch
+	if r.maxEpoch > epoch {
+		epoch = r.maxEpoch
+	}
+	st.SetRecoveredEpoch(epoch)
+	st.SeedVersions()
+	info.Epoch = epoch
 
 	l := &Log{dir: dir, sch: sch, opts: o, fs: fsys}
 	l.baseSeq.Store(base)

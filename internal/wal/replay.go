@@ -45,11 +45,12 @@ type opRef struct {
 // replayer applies segments into a store, parallelizing across
 // instances when a segment is large enough.
 type replayer struct {
-	st      *storage.Store
-	sch     *schema.Schema
-	workers int
-	maxOID  uint64    // replay OID budget; grows with each segment's op count
-	buckets [][]opRef // per-worker op lists, reused across segments
+	st       *storage.Store
+	sch      *schema.Schema
+	workers  int
+	maxOID   uint64    // replay OID budget; grows with each segment's op count
+	maxEpoch uint64    // highest commit epoch seen across all replayed records
+	buckets  [][]opRef // per-worker op lists, reused across segments
 }
 
 func newReplayer(st *storage.Store, sch *schema.Schema, workers int) *replayer {
@@ -114,13 +115,18 @@ func scanFrames(data []byte) (payloads []opRef, ops int64, tornAt int64) {
 
 // scanRecordOps validates one payload's record header and walks its ops
 // without materializing values, emitting each op's routing OID and byte
-// range (relative to the payload).
-func scanRecordOps(payload []byte, emit func(oid uint64, off, end int64)) error {
+// range (relative to the payload). The record's commit epoch is written
+// through epoch when non-nil.
+func scanRecordOps(payload []byte, epoch *uint64, emit func(oid uint64, off, end int64)) error {
 	d := decoder{b: payload}
 	if typ := d.u8(); d.err == nil && typ != recCommit {
 		return fmt.Errorf("wal: unknown record type %d", typ)
 	}
 	d.u64() // txnID
+	e := d.u64()
+	if epoch != nil {
+		*epoch = e
+	}
 	n := d.u32()
 	if uint64(n) > uint64(len(payload)) {
 		return fmt.Errorf("wal: record claims %d ops in %d bytes", n, len(payload))
@@ -155,8 +161,12 @@ func (r *replayer) segment(data []byte) (records int, tornAt int64, err error) {
 	r.maxOID += uint64(ops)
 	if r.workers <= 1 || ops < int64(minParallelReplayOps) {
 		for _, p := range payloads {
-			if _, err := applyRecord(r.st, r.sch, data[p.off:p.end], r.maxOID); err != nil {
+			_, epoch, err := applyRecord(r.st, r.sch, data[p.off:p.end], r.maxOID)
+			if err != nil {
 				return records, tornAt, fmt.Errorf("at offset %d: %w", p.off-frameHeaderSize, err)
+			}
+			if epoch > r.maxEpoch {
+				r.maxEpoch = epoch
 			}
 			records++
 		}
@@ -172,12 +182,16 @@ func (r *replayer) segment(data []byte) (records int, tornAt int64, err error) {
 		r.buckets[i] = r.buckets[i][:0]
 	}
 	for _, p := range payloads {
-		err := scanRecordOps(data[p.off:p.end], func(oid uint64, off, end int64) {
+		var epoch uint64
+		err := scanRecordOps(data[p.off:p.end], &epoch, func(oid uint64, off, end int64) {
 			w := oidHash(oid) % uint64(r.workers)
 			r.buckets[w] = append(r.buckets[w], opRef{off: p.off + off, end: p.off + end})
 		})
 		if err != nil {
 			return records, tornAt, fmt.Errorf("at offset %d: %w", p.off-frameHeaderSize, err)
+		}
+		if epoch > r.maxEpoch {
+			r.maxEpoch = epoch
 		}
 		records++
 	}

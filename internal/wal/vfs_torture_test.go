@@ -56,7 +56,7 @@ func (ts *tortureState) commitOnce(l *Log, st *storage.Store) {
 	ts.g++
 	g := ts.g
 	cls := st.Schema().Class("item")
-	c := l.BeginCommit(uint64(g))
+	c := l.BeginCommit(uint64(g), 0)
 	var apply []func()
 
 	in, err := st.NewInstance(cls,

@@ -85,7 +85,7 @@ func workload(t *testing.T, dir string) (snaps []image, data []byte) {
 		return in
 	}
 	commitRec := func(build func(c *commit)) {
-		c := l.BeginCommit(uint64(len(snaps)))
+		c := l.BeginCommit(uint64(len(snaps)), 0)
 		build(c)
 		if err := c.Commit(); err != nil {
 			t.Fatal(err)
@@ -255,7 +255,7 @@ func TestRecoveryAppendAfterTorn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := l.BeginCommit(99)
+	c := l.BeginCommit(99, 0)
 	c.Create(cls.ID, uint64(in.OID), in)
 	if err := c.Commit(); err != nil {
 		t.Fatal(err)
@@ -309,7 +309,7 @@ func TestRecoveryCheckpointCompaction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	c.Create(cls.ID, uint64(in.OID), in)
 	if err := c.Commit(); err != nil {
 		t.Fatal(err)
@@ -328,7 +328,7 @@ func TestRecoveryCheckpointCompaction(t *testing.T) {
 	}
 	// Post-checkpoint commits land in segment 2.
 	in.Set(0, storage.IntV(5))
-	c = l.BeginCommit(2)
+	c = l.BeginCommit(2, 0)
 	c.Write(uint64(in.OID), 0, in.Get(0))
 	if err := c.Commit(); err != nil {
 		t.Fatal(err)
@@ -416,7 +416,7 @@ func TestRecoveryGroupCommitConcurrent(t *testing.T) {
 	const workers = 8
 	const commitsEach = 50
 	insts := make([]*storage.Instance, workers)
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	for i := range insts {
 		in, err := st.NewInstance(cls, storage.IntV(0))
 		if err != nil {
@@ -437,7 +437,7 @@ func TestRecoveryGroupCommitConcurrent(t *testing.T) {
 			in := insts[w]
 			for i := 1; i <= commitsEach; i++ {
 				in.Set(0, storage.IntV(int64(i)))
-				c := l.BeginCommit(uint64(100 + w*1000 + i))
+				c := l.BeginCommit(uint64(100 + w*1000 + i), 0)
 				c.Write(uint64(in.OID), 0, in.Get(0))
 				if err := c.Commit(); err != nil {
 					errs <- fmt.Errorf("worker %d commit %d: %w", w, i, err)
@@ -485,7 +485,7 @@ func TestCommitAfterCloseFails(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	c.Delete(42)
 	if err := c.Commit(); err != ErrClosed {
 		t.Fatalf("commit after close = %v, want ErrClosed", err)
@@ -549,7 +549,7 @@ func TestFailStopAfterWriteError(t *testing.T) {
 	defer l.Close()
 	wantErr := fmt.Errorf("injected disk failure")
 	l.markBroken(wantErr) //nolint:errcheck
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	c.Delete(42)
 	if err := c.Commit(); err == nil {
 		t.Fatal("commit succeeded on a failed log")
@@ -574,7 +574,7 @@ func TestOversizedCommitRejected(t *testing.T) {
 	}
 	defer l.Close()
 	huge := string(make([]byte, 1<<15))
-	c := l.BeginCommit(1)
+	c := l.BeginCommit(1, 0)
 	for i := 0; i < 5; i++ {
 		c.Write(1, 2, storage.StrV(huge))
 	}
@@ -582,7 +582,7 @@ func TestOversizedCommitRejected(t *testing.T) {
 		t.Fatal("oversized record accepted")
 	}
 	// The log is still healthy for normal commits.
-	c = l.BeginCommit(2)
+	c = l.BeginCommit(2, 0)
 	c.Delete(42)
 	if err := c.Commit(); err != nil {
 		t.Fatal(err)
@@ -613,4 +613,85 @@ func TestValueRoundtrip(t *testing.T) {
 	if d.pos != len(b) {
 		t.Fatalf("trailing bytes: %d of %d", d.pos, len(b))
 	}
+}
+
+// TestRecoveryEpochRoundTrip verifies the commit-epoch clock survives a
+// restart through both durability paths: replayed log records carry
+// their epoch, and a checkpoint carries the highest epoch it compacted
+// away. Recovery must restart the store's clock past everything it saw
+// and seed snapshot versions for the recovered instances.
+func TestRecoveryEpochRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := newTestStore(t)
+	l, _, err := Open(dir, st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := st.Schema().Class("item")
+	in, err := st.NewInstance(cls, storage.IntV(0), storage.IntV(0), storage.StrV("x"), storage.BoolV(false), storage.RefV(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const commits = 7
+	for e := uint64(1); e <= commits; e++ {
+		in.Set(0, storage.IntV(int64(e)))
+		c := l.BeginCommit(e, e)
+		if e == 1 {
+			c.Create(cls.ID, uint64(in.OID), in)
+		} else {
+			c.Write(uint64(in.OID), 0, in.Get(0))
+		}
+		if err := c.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the replayed records must push the clock to `commits`.
+	st2 := newTestStore(t)
+	l2, info, err := Open(dir, st2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != commits {
+		t.Fatalf("recovered epoch %d, want %d", info.Epoch, commits)
+	}
+	if got := st2.StableEpoch(); got != commits {
+		t.Fatalf("stable epoch after recovery = %d, want %d", got, commits)
+	}
+	// Recovered instances are seeded for snapshot readers.
+	in2, ok := st2.Get(in.OID)
+	if !ok {
+		t.Fatal("instance lost in recovery")
+	}
+	if v, ok := in2.SnapshotGet(0, commits); !ok || v.I != commits {
+		t.Fatalf("snapshot of recovered instance: %v ok=%t, want %d", v, ok, commits)
+	}
+
+	// Compact everything into a checkpoint, then commit nothing more:
+	// the epoch must now ride the checkpoint alone.
+	if err := l2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := newTestStore(t)
+	l3, info3, err := Open(dir, st3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if info3.Records != 0 {
+		t.Fatalf("checkpoint did not absorb the records: %d replayed", info3.Records)
+	}
+	if info3.Epoch != commits {
+		t.Fatalf("epoch from checkpoint = %d, want %d", info3.Epoch, commits)
+	}
+	if e := st3.AllocEpoch(); e != commits+1 {
+		t.Fatalf("first post-recovery epoch = %d, want %d", e, commits+1)
+	}
+	st3.FinishEpoch(commits + 1)
 }

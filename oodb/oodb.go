@@ -425,6 +425,23 @@ func (d *Database) Update(fn func(*Txn) error) error {
 	})
 }
 
+// View runs fn in a read-only transaction. Under strategies with
+// snapshot-read support (all of the built-in ones) the transaction runs
+// on the lock-free multiversion read path: it takes no locks, never
+// blocks or aborts a writer, and observes the consistent committed
+// state as of its begin epoch. Sends that could write — per the
+// method's transitive access vector, decided at compile time — fail
+// with an error matching IsSnapshotWrite, as do New and Delete.
+func (d *Database) View(fn func(*Txn) error) error {
+	return d.db.RunReadOnly(func(tx *txn.Txn) error {
+		return fn(&Txn{db: d, tx: tx})
+	})
+}
+
+// IsSnapshotWrite reports whether err came from a write attempted
+// inside a View transaction.
+func IsSnapshotWrite(err error) bool { return errors.Is(err, txn.ErrSnapshotWrite) }
+
 // Future is the durability ticket of an UpdateAsync commit. The zero
 // value — and the ticket of a read-only or volatile transaction — is
 // already resolved.
@@ -523,6 +540,7 @@ type Stats struct {
 	Committed           int64
 	Aborted             int64
 	Retries             int64
+	Snapshots           int64
 	TopSends            int64
 	NestedSends         int64
 }
@@ -541,6 +559,7 @@ func (d *Database) Stats() Stats {
 		Committed:           ts.Committed,
 		Aborted:             ts.Aborted,
 		Retries:             ts.Retries,
+		Snapshots:           ts.Snapshots,
 		TopSends:            es.TopSends,
 		NestedSends:         es.NestedSends,
 	}

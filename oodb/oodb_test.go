@@ -353,3 +353,79 @@ func TestDeleteThroughFacade(t *testing.T) {
 		t.Errorf("scan visited %d, want 0", n)
 	}
 }
+
+// View runs on the lock-free snapshot path: reads see committed state,
+// writes of any kind are rejected with IsSnapshotWrite, and the whole
+// transaction issues zero lock-table requests.
+func TestViewSnapshotReads(t *testing.T) {
+	s, err := Compile(`
+class account is
+    instance variables are
+        balance : integer
+    method deposit(n) is
+        balance := balance + n
+    end
+    method getbalance is
+        return balance
+    end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(s, Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acct OID
+	if err := db.Update(func(tx *Txn) error {
+		var err error
+		acct, err = tx.New("account", int64(100))
+		if err != nil {
+			return err
+		}
+		_, err = tx.Send(acct, "deposit", int64(10))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := db.Stats()
+	if err := db.View(func(tx *Txn) error {
+		got, err := tx.Send(acct, "getbalance")
+		if err != nil {
+			return err
+		}
+		if got != int64(110) {
+			t.Errorf("getbalance = %v, want 110", got)
+		}
+		if _, err := tx.Send(acct, "deposit", int64(1)); !IsSnapshotWrite(err) {
+			t.Errorf("snapshot deposit err = %v", err)
+		}
+		if _, err := tx.New("account", int64(0)); !IsSnapshotWrite(err) {
+			t.Errorf("snapshot New err = %v", err)
+		}
+		if err := tx.Delete(acct); !IsSnapshotWrite(err) {
+			t.Errorf("snapshot Delete err = %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Stats()
+	if after.LockRequests != before.LockRequests {
+		t.Errorf("View issued %d lock requests", after.LockRequests-before.LockRequests)
+	}
+	if after.Snapshots != before.Snapshots+1 {
+		t.Errorf("Snapshots = %d, want %d", after.Snapshots, before.Snapshots+1)
+	}
+	// The rejected writes left nothing behind.
+	if err := db.View(func(tx *Txn) error {
+		got, err := tx.Send(acct, "getbalance")
+		if got != int64(110) {
+			t.Errorf("balance after rejected writes = %v, want 110", got)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
