@@ -55,10 +55,14 @@ type Strategy interface {
 	// may bypass this protocol entirely and run on the multiversion
 	// snapshot path (engine.DB.RunReadOnly): zero lock-manager
 	// requests, reading the newest committed version at or below the
-	// transaction's begin epoch. Sound for every protocol here —
-	// writers publish versions at commit independently of how they
-	// lock — so all built-in strategies answer true; the capability
-	// exists so an experiment can pin the locking read path.
+	// transaction's begin epoch. Sound for slot values under every
+	// protocol here — writers publish versions at commit independently
+	// of how they lock — so all built-in strategies answer true; the
+	// capability exists so an experiment can pin the locking read
+	// path. Deletions are weaker than the slot guarantee: they are not
+	// versioned, so a delete committed after a snapshot began removes
+	// the instance from that snapshot's view immediately (see
+	// DB.RunReadOnly).
 	SnapshotReads() bool
 	TopSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error
 	NestedSend(a Acquirer, rt *Runtime, oid uint64, cls *schema.Class, mid schema.MethodID) error

@@ -122,9 +122,12 @@ func (db *DB) RunWithRetry(fn func(*txn.Txn) error) error {
 
 // RunReadOnly executes fn as a snapshot transaction when the strategy
 // allows it: zero lock-manager requests, no blocking, no deadlock (so
-// no retry loop), reading the newest committed state at or below the
-// transaction's begin epoch. Only methods whose transitive access
-// vectors are write-free may be sent (others fail with
+// no retry loop), reading the newest committed slot values at or below
+// the transaction's begin epoch. Deletions are not versioned: an
+// instance deleted by a transaction committing after this one began
+// disappears from its view (lookups fail, scans skip it) instead of
+// staying visible at the begin epoch. Only methods whose transitive
+// access vectors are write-free may be sent (others fail with
 // txn.ErrSnapshotWrite). When the strategy pins the locking read path
 // (SnapshotReads false), fn runs under RunWithRetry instead — same
 // results, read locks taken.
@@ -291,6 +294,7 @@ func (db *DB) putEC(ec *execCtx) {
 	ec.depth = 0
 	ec.snapshot = false
 	ec.snapEpoch = 0
+	ec.escrowMask = nil
 	db.ecPool.Put(ec)
 	db.activeECs.Add(-1)
 }
@@ -453,6 +457,14 @@ type execCtx struct {
 	// txn.ErrSnapshotWrite (through tx.Writable).
 	snapshot  bool
 	snapEpoch uint64
+
+	// escrowMask is the current top-level method's escrow-slot mask on
+	// the receiver's class (runtime buildEscrowSlots), bound by topSend
+	// and the scan loop only under latchWriters protocols. A store to a
+	// masked slot is undone — and redo-logged — as an integer delta
+	// rather than a before/after image, because a commuting writer is
+	// not excluded by 2PL. nil everywhere else.
+	escrowMask []bool
 }
 
 // yieldSends is the solo-session yield period (power of two).
@@ -563,6 +575,16 @@ func (ec *execCtx) topSend(oid storage.OID, mid schema.MethodID, args []Value) (
 		return Value{}, err
 	}
 	ec.db.topSends.Add(1)
+	if ec.db.latchWriters {
+		// Bind the method's escrow-slot mask for the activation, saving
+		// the caller's: a nested remote send re-enters here, and its
+		// receiver's mask must not leak back into the outer frame.
+		prev := ec.escrowMask
+		ec.escrowMask = crt.escrowMaskAt(mid)
+		v, err := ec.invokeProg(in, prog, args)
+		ec.escrowMask = prev
+		return v, err
+	}
 	return ec.invokeProg(in, prog, args)
 }
 
@@ -605,17 +627,25 @@ func (ec *execCtx) scanDomain(root *schema.Class, mid schema.MethodID, hier bool
 					continue
 				}
 				if err := ec.db.CC.ScanInstance(ec.acq, ec.db.rt, uint64(oid), in.Class, mid); err != nil {
+					ec.escrowMask = nil
 					return count, err
 				}
 			}
-			prog := ec.db.rt.classes[in.Class.ID].progAt(mid)
-			if _, err := ec.invokeProg(in, prog, args); err != nil {
+			vcrt := &ec.db.rt.classes[in.Class.ID]
+			if ec.db.latchWriters {
+				// Per-instance bind: the mask is per (class, method), and
+				// a hierarchical scan visits subclasses too.
+				ec.escrowMask = vcrt.escrowMaskAt(mid)
+			}
+			if _, err := ec.invokeProg(in, vcrt.progAt(mid), args); err != nil {
+				ec.escrowMask = nil
 				return count, err
 			}
 			ec.db.instancesVisited.Add(1)
 			count++
 		}
 	}
+	ec.escrowMask = nil
 	return count, nil
 }
 

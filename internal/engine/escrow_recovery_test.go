@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+const escrowAccountSrc = `
+class account is
+    instance variables are
+        balance : integer
+    method deposit(n) is
+        balance := balance + n
+    end
+    method getbalance is
+        return balance
+    end
+end
+`
+
+// openEscrowDurable compiles the account class with deposit/deposit
+// declared commuting and opens a durable FineCC DB at dir.
+func openEscrowDurable(t *testing.T, dir string) *DB {
+	t.Helper()
+	ov := core.NewOverrides()
+	ov.Declare("account", "deposit", "deposit")
+	c, err := core.CompileSource(escrowAccountSrc, core.WithOverrides(ov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenWithOptions(c, Options{Strategy: FineCC{}, Durable: true, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func escrowBalance(t *testing.T, db *DB, oid storage.OID) int64 {
+	t.Helper()
+	var got Value
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		var err error
+		got, err = db.Send(tx, oid, "getbalance")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got.I
+}
+
+// A committed deposit that overlapped an in-flight (later aborted)
+// commuting deposit must log its own net delta, not the live
+// after-image: the after-image embeds the aborted transaction's
+// uncommitted contribution, and aborts write no compensation record,
+// so replay would resurrect it. Deterministic interleaving: T2
+// deposits 3 (uncommitted), T1 deposits 5 and commits, T2 aborts.
+// After recovery the balance must be 5 — after-image logging would
+// recover 8.
+func TestEscrowAbortedDeltaNotReplayed(t *testing.T) {
+	dir := t.TempDir()
+	db := openEscrowDurable(t, dir)
+	var oid storage.OID
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "account")
+		oid = in.OID
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	t2 := db.Begin()
+	if _, err := db.Send(t2, oid, "deposit", storage.IntV(3)); err != nil {
+		t.Fatal(err)
+	}
+	t1 := db.Begin()
+	if _, err := db.Send(t1, oid, "deposit", storage.IntV(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2.Abort()
+
+	if got := escrowBalance(t, db, oid); got != 5 {
+		t.Fatalf("live balance after abort = %d, want 5", got)
+	}
+
+	// The commit's record must carry the deposit as a delta op for its
+	// own contribution, not an after-image of the (then 8) live slot.
+	var deltas []int64
+	data := segmentBytes(t, dir)
+	for len(data) >= 8 {
+		size := binary.LittleEndian.Uint32(data[0:])
+		rec, err := wal.DecodeRecord(data[8 : 8+int(size)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range rec.Ops {
+			switch op.Kind {
+			case wal.OpDeltaI:
+				deltas = append(deltas, op.Delta)
+			case wal.OpWrite:
+				t.Fatalf("escrow commit logged after-image op %+v", op)
+			}
+		}
+		data = data[8+int(size):]
+	}
+	if len(deltas) != 1 || deltas[0] != 5 {
+		t.Fatalf("logged deltas = %v, want [5]", deltas)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openEscrowDurable(t, dir)
+	defer db2.Close()
+	if got := escrowBalance(t, db2, oid); got != 5 {
+		t.Fatalf("recovered balance = %d, want 5 (aborted delta replayed?)", got)
+	}
+}
+
+// Satellite regression: concurrent commuting deposits with aborts mixed
+// in land on exactly the committed sum — live, and again after a full
+// close/recover cycle.
+func TestEscrowAbortConcurrentDepositsDurable(t *testing.T) {
+	dir := t.TempDir()
+	db := openEscrowDurable(t, dir)
+	var oid storage.OID
+	if err := db.RunWithRetry(func(tx *txn.Txn) error {
+		in, err := db.NewInstance(tx, "account")
+		oid = in.OID
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		committers   = 6
+		aborters     = 3
+		depositsEach = 50
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, committers+aborters)
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < depositsEach; i++ {
+				if err := db.RunWithRetry(func(tx *txn.Txn) error {
+					_, err := db.Send(tx, oid, "deposit", storage.IntV(1))
+					return err
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < aborters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < depositsEach; i++ {
+				tx := db.Begin()
+				if _, err := db.Send(tx, oid, "deposit", storage.IntV(1)); err != nil {
+					tx.Abort()
+					errs <- err
+					return
+				}
+				tx.Abort()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	const want = committers * depositsEach
+	if got := escrowBalance(t, db, oid); got != want {
+		t.Fatalf("live balance = %d, want %d", got, want)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openEscrowDurable(t, dir)
+	defer db2.Close()
+	if got := escrowBalance(t, db2, oid); got != want {
+		t.Fatalf("recovered balance = %d, want %d", got, want)
+	}
+}

@@ -50,6 +50,14 @@ type classRT struct {
 	snapRead []bool      // method statically read-only per its TAV: eligible for the snapshot path
 	relPlans [][]relLock // relational lock plan, key-write cascade folded in
 
+	// escrowSlots[mid] marks, per storage slot, the integer fields the
+	// method writes under declared (escrow) commutativity: some mode
+	// that commutes with the method's own also writes the field, so the
+	// lock manager admits two such writers of one instance at once.
+	// Writes to these slots are undone and redo-logged as deltas, not
+	// images. nil when the method has none (the common case).
+	escrowSlots [][]bool
+
 	// progs is the compiled dispatch table: METHODS(C) as slot-addressed
 	// programs, indexed by MethodID. SendID goes from the interned ID to
 	// compiled code with one array load — no resolution, no names.
@@ -140,8 +148,66 @@ func newRuntimeModes(c *core.Compiled, inline, fuse bool) *Runtime {
 				crt.progs[mid] = buildProg(m.Program, inline && tavOK, fuse, resolveBase, tav)
 			}
 		}
+		crt.escrowSlots = buildEscrowSlots(c, cls, crt.table, nm)
 	}
 	return rt
+}
+
+// buildEscrowSlots classifies, per method, the slots whose writes run
+// under declared (escrow) commutativity: slot s is escrow for method m
+// iff m's transitive vector writes s's field, some mode that commutes
+// with m's also writes it, and the field is an integer (the only type
+// with a delta form — declarations over other types fall back to
+// before-image undo, which is sound there because nothing admits a
+// second writer without a declaration). Decided here, at schema build,
+// like the snapshot classification: the run-time check is one mask
+// load per field store.
+func buildEscrowSlots(c *core.Compiled, cls *schema.Class, table *core.Table, nm int) [][]bool {
+	n := table.NumModes()
+	if n == 0 {
+		return nil
+	}
+	tavs := make([]core.Vector, n)
+	for j, name := range table.Methods {
+		tavs[j], _ = c.TAV(cls, name)
+	}
+	var out [][]bool
+	s := c.Schema
+	for _, name := range cls.MethodList {
+		mid, ok := s.MethodID(name)
+		if !ok {
+			continue
+		}
+		i := table.ModeIndexID(mid)
+		if i < 0 {
+			continue
+		}
+		var mask []bool
+		for slot, f := range cls.Fields {
+			if f.Type != schema.TInt || tavs[i].Get(f.ID) != core.Write {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				// Two writers of one field only commute when declared:
+				// the derived relation would conflict them. So this
+				// conjunction is exactly "slot written under escrow".
+				if table.CommutesIdx(i, j) && tavs[j].Get(f.ID) == core.Write {
+					if mask == nil {
+						mask = make([]bool, len(cls.Fields))
+					}
+					mask[slot] = true
+					break
+				}
+			}
+		}
+		if mask != nil {
+			if out == nil {
+				out = make([][]bool, nm)
+			}
+			out[mid] = mask
+		}
+	}
+	return out
 }
 
 // buildProg runs one method's base program through the configured
@@ -195,6 +261,15 @@ func (crt *classRT) progAt(mid schema.MethodID) *schema.Program {
 		return nil
 	}
 	return crt.progs[mid]
+}
+
+// escrowMaskAt returns the method's escrow-slot mask in this class, or
+// nil when no slot it writes has a declared-commuting co-writer.
+func (crt *classRT) escrowMaskAt(mid schema.MethodID) []bool {
+	if crt.escrowSlots == nil || int(mid) >= len(crt.escrowSlots) {
+		return nil
+	}
+	return crt.escrowSlots[mid]
 }
 
 // MethodID interns a method name (one map lookup — the only string

@@ -79,6 +79,23 @@ func (ec *execCtx) invokeProg(in *storage.Instance, p *schema.Program, args []Va
 	return v, err
 }
 
+// logFieldUndo records the undo entry for one field store. Slots under
+// declared (escrow) commutativity — the bound escrowMask, built from
+// the class's commute table — log the write as an integer delta:
+// another writer of the slot is not excluded by 2PL, so a before-image
+// would be stale by abort time, and the commit path logs the delta (not
+// an after-image) for the same reason. The delta is exact because the
+// enclosing writing frame holds the receiver's execution latch.
+// Everything else logs the before-image.
+func (ec *execCtx) logFieldUndo(self *storage.Instance, slot int, old, v Value) {
+	if m := ec.escrowMask; m != nil && slot < len(m) && m[slot] &&
+		old.Kind == storage.KInt && v.Kind == storage.KInt {
+		ec.tx.LogUndoDelta(self, slot, v.I-old.I)
+		return
+	}
+	ec.tx.LogUndo(self, slot, old)
+}
+
 // exec is the dispatch loop of one activation. The frame lives at
 // ec.stack[base : base+p.FrameSize()]; all accesses go through absolute
 // indexes so that nested activations growing the shared stack (which
@@ -182,7 +199,7 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			slot := self.Class.Slot(fld.ID)
 			old := self.Set(slot, v)
 			if ec.tx != nil {
-				ec.tx.LogUndo(self, slot, old)
+				ec.logFieldUndo(self, slot, old, v)
 			}
 			db.fieldWrites.Add(1)
 
@@ -451,7 +468,7 @@ func (ec *execCtx) exec(base int, self *storage.Instance, p *schema.Program, arg
 			}
 			old := self.Set(slot, v)
 			if ec.tx != nil {
-				ec.tx.LogUndo(self, slot, old)
+				ec.logFieldUndo(self, slot, old, v)
 			}
 			db.fieldWrites.Add(1)
 

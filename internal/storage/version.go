@@ -9,11 +9,15 @@
 //
 //   - Two counters: epochNext hands out commit epochs, epochStable is
 //     the highest epoch whose commit (and every earlier one) is fully
-//     published. Commits finish publication in epoch order through a
-//     turnstile (FinishEpoch), so a reader that begins at
-//     B = epochStable is guaranteed to find every version ≤ B already
-//     hanging off its instance — the snapshot is a consistent prefix
-//     of the commit order.
+//     published. Commits publish and retire in epoch order through a
+//     turnstile (AwaitEpochTurn … FinishEpoch), so a reader that
+//     begins at B = epochStable is guaranteed to find every version
+//     ≤ B already hanging off its instance, and every per-instance
+//     chain is strictly epoch-descending — the snapshot is a
+//     consistent prefix of the commit order over surviving instances.
+//     (Deletions are not versioned: an instance deleted after B
+//     disappears from a snapshot begun at B. See the contract notes on
+//     engine scanDomainSnapshot and oodb.View.)
 //   - Version records are immutable once published and linked newest
 //     first. A chain with no version ≤ B means the instance did not
 //     exist (was not yet committed) at B, which is how snapshot scans
@@ -105,15 +109,32 @@ func (a *verArena) get(slots int) *version {
 }
 
 // AllocEpoch draws the next commit epoch. Every allocated epoch MUST be
-// retired with FinishEpoch (publish first, then finish), even if the
-// commit fails after allocation — later commits wait in epoch order.
+// retired with FinishEpoch (await the turn, publish, then finish), even
+// if the commit fails after allocation — later commits wait in epoch
+// order. Callers that block on other commits' resources (execution
+// latches, lock-manager queues) must acquire those resources BEFORE
+// allocating: a holder of epoch e must be able to reach FinishEpoch(e)
+// without waiting on the holder of any later epoch, or the turnstile
+// deadlocks.
 func (s *Store) AllocEpoch() uint64 { return s.epochNext.Add(1) }
 
+// AwaitEpochTurn spins until every epoch earlier than e has retired.
+// Publishing after AwaitEpochTurn(e) and before FinishEpoch(e) keeps
+// per-instance version chains strictly epoch-descending: no commit with
+// a later epoch can have published yet, and every earlier one already
+// has. The Gosched keeps a preempted predecessor schedulable on
+// GOMAXPROCS=1.
+func (s *Store) AwaitEpochTurn(e uint64) {
+	for s.epochStable.Load() != e-1 {
+		runtime.Gosched()
+	}
+}
+
 // FinishEpoch marks epoch e fully published. Commits retire in epoch
-// order: the caller spins until every earlier epoch has retired. The
-// critical section between AllocEpoch and FinishEpoch is a handful of
-// pointer publishes, so the wait is short; the Gosched keeps a
-// preempted predecessor schedulable on GOMAXPROCS=1.
+// order: the caller spins until every earlier epoch has retired (a
+// no-op after AwaitEpochTurn(e)). The critical section between
+// AwaitEpochTurn and FinishEpoch is a handful of pointer publishes, so
+// the wait is short.
 func (s *Store) FinishEpoch(e uint64) {
 	for !s.epochStable.CompareAndSwap(e-1, e) {
 		runtime.Gosched()
@@ -190,14 +211,28 @@ func (s *Store) SnapshotWatermark() uint64 {
 	return w
 }
 
-// PublishVersion captures the instance's current slots as the committed
-// image of commit epoch e, pushes it as the newest version, and prunes
-// versions no reader at or above watermark can reach, recycling them
-// onto the instance's free list. The caller must have applied every
-// slot write of the committing transaction and still exclude new
-// writers (the lock manager or exec latch does); in.mu serializes the
-// physical publish against concurrent publishers and Set.
-func (s *Store) PublishVersion(in *Instance, e, watermark uint64) {
+// PublishVersion publishes the committed image of commit epoch e as the
+// instance's newest version and prunes versions no reader at or above
+// watermark can reach, recycling them onto the instance's free list.
+//
+// written lists the slots the committing transaction wrote. When
+// non-nil and a previous version exists, unwritten slots are
+// copy-forwarded from that version rather than read from the live
+// cells — a protocol that admits concurrent same-instance writers
+// (FieldCC's disjoint-field locks, escrow under FineCC) may have
+// another transaction's uncommitted value sitting in a live slot, and
+// that value must never enter a published image. A nil written (or a
+// first publication with no prior version) captures the full live
+// image; those callers must exclude concurrent writers entirely
+// (creation, recovery seeding, the escrow abort-republish path under
+// the exec latches).
+//
+// Callers publish inside the epoch turnstile (after AwaitEpochTurn(e)),
+// which both keeps the chain strictly epoch-descending and guarantees
+// the previous head is exactly the committed image as of e-1 — the
+// correct copy-forward source. in.mu serializes the physical publish
+// against Set and prune.
+func (s *Store) PublishVersion(in *Instance, e, watermark uint64, written []int) {
 	in.mu.Lock()
 	v := in.verFree
 	if v != nil {
@@ -207,13 +242,21 @@ func (s *Store) PublishVersion(in *Instance, e, watermark uint64) {
 		v = s.versions.get(len(in.slots))
 	}
 	v.epoch = e
+	head := in.verHead.Load()
 	vals := v.vals[:0]
-	for i := range in.slots {
-		k, num, sp := in.slots[i].load() // coherent: mu excludes writers
-		vals = append(vals, mkValue(k, num, sp))
+	if written != nil && head != nil && len(head.vals) == len(in.slots) {
+		vals = append(vals, head.vals...)
+		for _, i := range written {
+			k, num, sp := in.slots[i].load() // committed: caller wrote it
+			vals[i] = mkValue(k, num, sp)
+		}
+	} else {
+		for i := range in.slots {
+			k, num, sp := in.slots[i].load() // coherent: mu excludes writers
+			vals = append(vals, mkValue(k, num, sp))
+		}
 	}
 	v.vals = vals
-	head := in.verHead.Load()
 	v.next.Store(head)
 	in.verHead.Store(v)
 	in.pruneVersions(v, watermark)

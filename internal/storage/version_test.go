@@ -18,11 +18,12 @@ func newC1(t *testing.T, st *Store, s *schema.Schema, vals ...Value) *Instance {
 	return in
 }
 
-// publish is the commit protocol in miniature: allocate an epoch,
-// publish, retire through the turnstile.
+// publish is the commit protocol in miniature: allocate an epoch, wait
+// for its turn, publish the full image, retire.
 func publish(st *Store, in *Instance) uint64 {
 	e := st.AllocEpoch()
-	st.PublishVersion(in, e, st.SnapshotWatermark())
+	st.AwaitEpochTurn(e)
+	st.PublishVersion(in, e, st.SnapshotWatermark(), nil)
 	st.FinishEpoch(e)
 	return e
 }
@@ -186,7 +187,8 @@ func TestTortureVersionReclamation(t *testing.T) {
 				mu.Lock()
 				e := st.AllocEpoch()
 				in.Set(0, IntV(int64(e)))
-				st.PublishVersion(in, e, st.SnapshotWatermark())
+				st.AwaitEpochTurn(e)
+				st.PublishVersion(in, e, st.SnapshotWatermark(), []int{0})
 				st.FinishEpoch(e)
 				mu.Unlock()
 			}
@@ -232,7 +234,8 @@ func TestTortureVersionReclamation(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		e := st.AllocEpoch()
 		in.Set(0, IntV(int64(e)))
-		st.PublishVersion(in, e, st.SnapshotWatermark())
+		st.AwaitEpochTurn(e)
+		st.PublishVersion(in, e, st.SnapshotWatermark(), []int{0})
 		st.FinishEpoch(e)
 	}
 	mu.Unlock()

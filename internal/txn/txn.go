@@ -10,9 +10,13 @@
 // images back in reverse order. When a redo log is attached, Commit
 // reads the same projected (instance, slot) pairs back as after-images
 // and appends one commit record — the lock plan, the undo log and the
-// redo record all derive from the same compile-time analysis. Abort
-// never touches the log: undo is entirely in-memory, so only committed
-// transactions pay any I/O.
+// redo record all derive from the same compile-time analysis. Slots
+// written under declared (escrow) commutativity are the one exception:
+// they are logged as integer deltas, not after-images, because a
+// concurrent escrow writer's uncommitted contribution may be sitting in
+// the live cell and must not become durable through someone else's
+// record. Abort never touches the log: undo is entirely in-memory, so
+// only committed transactions pay any I/O.
 package txn
 
 import (
@@ -116,6 +120,10 @@ type Txn struct {
 	// execSet is the reused buffer of instances whose execution latches
 	// logCommit holds across the after-image reads and the log submit.
 	execSet []*storage.Instance
+
+	// pubSlots is the reused scratch for one instance's written-slot
+	// list during version publication.
+	pubSlots []int
 
 	// Snapshot-transaction state: a snapshot txn registers in the
 	// store's reader watermark at begin, reads versions ≤ snapEpoch,
@@ -321,19 +329,30 @@ func (t *Txn) unlockExecSet() {
 // point still puts any conflicting later transaction after this one in
 // the log (strictness extends to the log order), while the fsync
 // proceeds in the background.
-// When epoch is non-zero, logCommit also publishes the transaction's
-// version records and retires the epoch through the store's turnstile,
-// both after the submit and before the ticket wait: publication happens
-// under the same latches as the after-image reads (so the version image
-// matches the record under escrow), and the turnstile never waits on an
-// fsync.
-func (t *Txn) logCommit(w *wal.Log, epoch uint64, pipelined bool) (*wal.Future, error) {
-	c := w.BeginCommit(uint64(t.ID), epoch)
+// When the transaction has versioned effects, logCommit also publishes
+// its version records and retires its commit epoch through the store's
+// turnstile, both after the submit and before the ticket wait:
+// publication happens under the same latches as the after-image reads
+// (so the version image matches the record under escrow), and the
+// turnstile never waits on an fsync.
+//
+// Ordering is load-bearing: the latches are acquired BEFORE the epoch
+// is allocated. Retiring an epoch waits on every earlier epoch, so a
+// transaction that blocks on a latch while holding an epoch would
+// deadlock against a latch holder spinning on a later epoch — under
+// escrow, FineCC grants two committers of one instance concurrently,
+// making exactly that interleaving reachable. Latch-first means an
+// epoch holder never blocks on another transaction's latch: it builds
+// its record, sequences it, and retires, so the turnstile always
+// drains.
+func (t *Txn) logCommit(w *wal.Log, pipelined bool) (*wal.Future, error) {
 	if t.mgr.LatchWrites {
 		t.lockExecSet()
 	}
 	// unlockExecSet below is a no-op when lockExecSet did not run (the
 	// set stays empty).
+	epoch := t.allocEpoch()
+	c := w.BeginCommit(uint64(t.ID), epoch)
 	// The created-OID check runs once per slot entry; beyond a handful
 	// of creates the linear scan is replaced by a set so a bulk-load
 	// commit stays O(creates + writes) while it holds every lock.
@@ -355,7 +374,18 @@ func (t *Txn) logCommit(w *wal.Log, epoch uint64, pipelined bool) (*wal.Future, 
 			} else if t.createdHere(e.inst.OID) {
 				continue // the create record carries the final image
 			}
-			c.Write(uint64(e.inst.OID), e.slot, e.inst.Get(e.slot))
+			if e.kind == entryDelta {
+				// Commuting slot: log the transaction's net delta, not
+				// an after-image. The live value may include a
+				// concurrent escrow writer's uncommitted contribution,
+				// and aborts write no compensation record — an
+				// after-image here would resurrect an aborted delta on
+				// replay. Delta replay applies exactly the committed
+				// contributions, in any order.
+				c.WriteDelta(uint64(e.inst.OID), e.slot, e.delta)
+			} else {
+				c.Write(uint64(e.inst.OID), e.slot, e.inst.Get(e.slot))
+			}
 		case entryCreate:
 			c.Create(e.inst.Class.ID, uint64(e.inst.OID), e.inst)
 		case entryDelete:
@@ -398,9 +428,8 @@ func (t *Txn) Commit() error {
 		t.endSnapshot()
 		return nil
 	}
-	epoch := t.allocEpoch()
 	if w := t.mgr.wal; w != nil && len(t.undo) > 0 {
-		if _, err := t.logCommit(w, epoch, false); err != nil {
+		if _, err := t.logCommit(w, false); err != nil {
 			t.rollback()
 			t.state = Aborted
 			t.mgr.locks.ReleaseAll(t.ID)
@@ -408,7 +437,7 @@ func (t *Txn) Commit() error {
 			return fmt.Errorf("txn: commit log append: %w", err)
 		}
 	} else {
-		t.finishEpoch(epoch, true)
+		t.publishVolatile()
 	}
 	t.state = Committed
 	t.clearUndo()
@@ -454,9 +483,8 @@ func (t *Txn) CommitPipelined() (Future, error) {
 		return Future{}, nil
 	}
 	var fut Future
-	epoch := t.allocEpoch()
 	if w := t.mgr.wal; w != nil && len(t.undo) > 0 {
-		wf, err := t.logCommit(w, epoch, true)
+		wf, err := t.logCommit(w, true)
 		if err != nil {
 			t.rollback()
 			t.state = Aborted
@@ -466,7 +494,7 @@ func (t *Txn) CommitPipelined() (Future, error) {
 		}
 		fut.w = wf
 	} else {
-		t.finishEpoch(epoch, true)
+		t.publishVolatile()
 	}
 	t.state = Committed
 	t.clearUndo()
@@ -498,14 +526,37 @@ func (t *Txn) allocEpoch() uint64 {
 	return st.AllocEpoch()
 }
 
-// finishEpoch publishes the transaction's version records (when the
-// commit succeeded) and retires the epoch through the store's
-// turnstile. No-op for epoch 0.
+// publishVolatile publishes version records for a commit that writes no
+// redo record (volatile database, or an undo log with no durable
+// effects). Latch order matches logCommit — latches before the epoch —
+// so the turnstile can never invert against the latch queue, and a
+// commuting writer mid-frame can never be captured in the published
+// image.
+func (t *Txn) publishVolatile() {
+	if t.mgr.store == nil {
+		return
+	}
+	if t.mgr.LatchWrites {
+		t.lockExecSet()
+	}
+	epoch := t.allocEpoch()
+	t.finishEpoch(epoch, true)
+	t.unlockExecSet()
+}
+
+// finishEpoch waits for the epoch's turn in the store's turnstile,
+// publishes the transaction's version records (when the commit
+// succeeded), and retires the epoch. Publishing inside the turnstile
+// keeps every per-instance version chain strictly epoch-descending and
+// makes the previous chain head exactly the committed image as of
+// epoch-1 — the copy-forward source PublishVersion requires. No-op for
+// epoch 0.
 func (t *Txn) finishEpoch(epoch uint64, publish bool) {
 	if epoch == 0 {
 		return
 	}
 	st := t.mgr.store
+	st.AwaitEpochTurn(epoch)
 	if publish {
 		t.publishTo(st, epoch)
 	}
@@ -515,7 +566,12 @@ func (t *Txn) finishEpoch(epoch uint64, publish bool) {
 // publishTo publishes one version record per distinct instance this
 // transaction wrote or created, stamped with the commit epoch. Callers
 // still hold every lock (and, under escrow, the execution latches), so
-// the captured images are the committed values.
+// the written slots' live cells hold the committed values. For an
+// instance this transaction did not create, only its own written slots
+// are taken from the live cells — every other slot copy-forwards from
+// the previous version, so a concurrent writer's uncommitted value
+// (FieldCC grants disjoint-field writers of one instance concurrently)
+// never enters the published image.
 func (t *Txn) publishTo(st *storage.Store, epoch uint64) {
 	w := st.SnapshotWatermark()
 	t.mu.Lock()
@@ -538,8 +594,32 @@ func (t *Txn) publishTo(st *storage.Store, epoch uint64) {
 				break
 			}
 		}
-		if first {
-			st.PublishVersion(e.inst, epoch, w)
+		if !first {
+			continue
+		}
+		// Gather this transaction's written slots on the instance
+		// (undoSet keeps one entry per slot, so no duplicates). A
+		// create publishes the full image: there is no previous version
+		// to copy-forward from and no concurrent writer to exclude.
+		created := e.kind == entryCreate
+		slots := t.pubSlots[:0]
+		for j := i; j < len(t.undo); j++ {
+			p := &t.undo[j]
+			if p.inst != e.inst {
+				continue
+			}
+			switch p.kind {
+			case entryCreate:
+				created = true
+			case entrySlot, entryDelta:
+				slots = append(slots, p.slot)
+			}
+		}
+		t.pubSlots = slots
+		if created {
+			st.PublishVersion(e.inst, epoch, w, nil)
+		} else {
+			st.PublishVersion(e.inst, epoch, w, slots)
 		}
 	}
 	t.mu.Unlock()
@@ -615,14 +695,15 @@ func (t *Txn) Abort() {
 		t.mu.Unlock()
 	}
 	if fix {
+		// Latch before allocating, like logCommit — an epoch holder
+		// must never block on another transaction's latch or the
+		// turnstile deadlocks.
 		if t.mgr.LatchWrites {
 			t.lockExecSet()
 		}
-		st := t.mgr.store
-		epoch := st.AllocEpoch()
+		epoch := t.mgr.store.AllocEpoch()
 		t.undoAll()
-		t.publishTo(st, epoch)
-		st.FinishEpoch(epoch)
+		t.finishEpoch(epoch, true)
 		t.unlockExecSet()
 		t.clearUndo()
 	} else {

@@ -575,6 +575,19 @@ func (c *commit) Write(oid uint64, slot int, v storage.Value) {
 	c.ops++
 }
 
+// WriteDelta appends one escrow integer delta: the transaction's net
+// contribution to a declared-commuting slot. Replay adds it instead of
+// overwriting, so a concurrent escrow writer's uncommitted value never
+// becomes durable through this record and an aborted writer leaves no
+// durable trace.
+func (c *commit) WriteDelta(oid uint64, slot int, delta int64) {
+	c.buf = append(c.buf, OpDeltaI)
+	c.buf = binary.AppendUvarint(c.buf, oid)
+	c.buf = binary.AppendUvarint(c.buf, uint64(slot))
+	c.buf = binary.AppendVarint(c.buf, delta)
+	c.ops++
+}
+
 // Create appends a creation record carrying the instance's full image as
 // of commit time (the creator still holds its locks, so the image is the
 // transaction's own final state).

@@ -23,11 +23,20 @@
 //
 //	payload: u8 type (=commit) · u64 txnID · u64 epoch · u32 nOps · ops
 //	op:      u8 OpWrite  · uvarint OID · uvarint slot · value
+//	         u8 OpDeltaI · uvarint OID · uvarint slot · varint delta
 //	         u8 OpCreate · uvarint classID · uvarint OID ·
 //	                       uvarint nSlots · values
 //	         u8 OpDelete · uvarint OID
 //	value:   u8 kind · varint int | u8 bool | uvarint len + bytes |
 //	         uvarint ref OID
+//
+// OpDeltaI carries a slot write made under declared (escrow)
+// commutativity as the transaction's net integer delta rather than an
+// after-image: the live cell at commit time may contain a concurrent
+// escrow writer's uncommitted contribution, which must not become
+// durable through this record. Replay adds the delta, so the recovered
+// value is exactly the sum of committed contributions regardless of how
+// the writers interleaved.
 //
 // A record is valid iff its frame is complete and the CRC matches;
 // recovery stops at the first invalid record of the final segment (a
@@ -61,6 +70,7 @@ const (
 	OpWrite  = uint8(0x01) // TAV-projected field after-image
 	OpCreate = uint8(0x02) // instance creation, full initial image
 	OpDelete = uint8(0x03) // instance deletion
+	OpDeltaI = uint8(0x04) // escrow integer delta (replay adds it)
 )
 
 // Payload offsets of the fixed commit-record header. The epoch is the
@@ -220,8 +230,9 @@ type RecordOp struct {
 	Kind  uint8
 	OID   storage.OID
 	Class uint32          // OpCreate only
-	Slot  int             // OpWrite only
+	Slot  int             // OpWrite, OpDeltaI
 	Val   storage.Value   // OpWrite only
+	Delta int64           // OpDeltaI only
 	Slots []storage.Value // OpCreate only
 }
 
@@ -257,6 +268,15 @@ func decodeOp(d *decoder) RecordOp {
 		}
 		op.Slot = int(slot)
 		op.Val = d.value()
+	case OpDeltaI:
+		op.OID = storage.OID(d.uvarint())
+		slot := d.uvarint()
+		if slot > maxSlotIndex {
+			d.fail("wal: delta slot %d out of range", slot)
+			break
+		}
+		op.Slot = int(slot)
+		op.Delta = d.varint()
 	case OpCreate:
 		op.Class = uint32(d.uvarint())
 		op.OID = storage.OID(d.uvarint())
@@ -318,6 +338,13 @@ func (d *decoder) skipOp() (kind uint8, oid uint64) {
 			return
 		}
 		d.skipValue()
+	case OpDeltaI:
+		oid = d.uvarint()
+		if slot := d.uvarint(); slot > maxSlotIndex {
+			d.fail("wal: delta slot %d out of range", slot)
+			return
+		}
+		d.varint()
 	case OpCreate:
 		d.uvarint() // class
 		oid = d.uvarint()
@@ -398,12 +425,18 @@ func kindMatches(t schema.FieldType, k storage.ValueKind) bool {
 	return false
 }
 
-// applyOp replays one decoded op into the store. Apply is idempotent:
-// creates overwrite an already-live instance with the same image,
-// writes to a missing instance (possible only when a later delete
-// already ran, i.e. during a second replay of the same log) are
-// skipped, deletes of missing OIDs are no-ops. Ops on different OIDs
-// commute, which is what lets recovery partition them across workers.
+// applyOp replays one decoded op into the store. Creates overwrite an
+// already-live instance with the same image, writes to a missing
+// instance (possible only when a later delete already ran, i.e. during
+// a second replay of the same log) are skipped, deletes of missing OIDs
+// are no-ops — so image-carrying ops tolerate re-replay. OpDeltaI does
+// NOT: adding a delta twice double-counts, which is fine because
+// recovery applies each log segment exactly once per pass (segments at
+// or below the checkpoint base are never replayed over the checkpoint
+// image that already contains them — see checkpoint.go). Ops on
+// different OIDs commute, which is what lets recovery partition them
+// across workers; delta ops additionally commute with each other on the
+// same slot, so per-OID log order is more than strong enough.
 //
 // maxOID is the replay OID budget: the highest OID a non-corrupt log
 // could legitimately name (checkpoint watermark + every op the
@@ -428,6 +461,19 @@ func applyOp(st *storage.Store, sch *schema.Schema, op RecordOp, maxOID uint64) 
 					op.Val, f.Type, f.Name, in.Class.Name, op.OID)
 			}
 			in.Set(op.Slot, op.Val)
+		}
+	case OpDeltaI:
+		st.EnsureOID(op.OID)
+		if in, ok := st.Get(op.OID); ok {
+			if op.Slot >= in.Class.NumSlots() {
+				return fmt.Errorf("wal: delta to slot %d of %s#%d (has %d)",
+					op.Slot, in.Class.Name, op.OID, in.Class.NumSlots())
+			}
+			if f := in.Class.Fields[op.Slot]; f.Type != schema.TInt {
+				return fmt.Errorf("wal: integer delta into %s field %s of %s#%d",
+					f.Type, f.Name, in.Class.Name, op.OID)
+			}
+			in.AddInt(op.Slot, op.Delta)
 		}
 	case OpCreate:
 		cls := sch.ClassByID(op.Class)

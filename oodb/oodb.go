@@ -428,10 +428,14 @@ func (d *Database) Update(fn func(*Txn) error) error {
 // View runs fn in a read-only transaction. Under strategies with
 // snapshot-read support (all of the built-in ones) the transaction runs
 // on the lock-free multiversion read path: it takes no locks, never
-// blocks or aborts a writer, and observes the consistent committed
-// state as of its begin epoch. Sends that could write — per the
-// method's transitive access vector, decided at compile time — fail
-// with an error matching IsSnapshotWrite, as do New and Delete.
+// blocks or aborts a writer, and observes the committed slot values as
+// of its begin epoch. Deletions are the one exception to snapshot
+// isolation: deletes are not versioned, so an instance deleted by a
+// transaction that commits after the View began disappears from the
+// View mid-flight (a lookup fails; a scan skips it) rather than
+// remaining visible at the begin epoch. Sends that could write — per
+// the method's transitive access vector, decided at compile time —
+// fail with an error matching IsSnapshotWrite, as do New and Delete.
 func (d *Database) View(fn func(*Txn) error) error {
 	return d.db.RunReadOnly(func(tx *txn.Txn) error {
 		return fn(&Txn{db: d, tx: tx})
