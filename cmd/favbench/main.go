@@ -10,6 +10,10 @@
 //	favbench -run scenario52            # run one experiment
 //	favbench -run snapshotreads -duration 2s -warmup 500ms
 //	                                    # duration-based scenario runs
+//	favbench -run enginescenarios -metrics metrics.prom
+//	                                    # dump each scenario's final
+//	                                    # registry snapshot (Prometheus
+//	                                    # text) next to the results
 //
 //	go test -bench ... | favbench -parse > BENCH.json
 //	favbench -gate BENCH_PR5.json -in BENCH.json
@@ -45,9 +49,19 @@ func main() {
 		in       = flag.String("in", "", "current trajectory JSON for -gate (default stdin)")
 		duration = flag.Duration("duration", 0, "run each scenario experiment for this wall-clock duration instead of a fixed op budget")
 		warmup   = flag.Duration("warmup", 0, "uncounted warmup before each duration-based scenario run")
+		metrics  = flag.String("metrics", "", "append each engine scenario's final metrics-registry snapshot (Prometheus text) to this file")
 	)
 	flag.Parse()
 	bench.SetDurations(*duration, *warmup)
+	if *metrics != "" {
+		mf, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "favbench:", err)
+			os.Exit(1)
+		}
+		defer mf.Close()
+		bench.SetMetricsSink(mf)
+	}
 
 	var err error
 	switch {

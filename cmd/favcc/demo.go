@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 
 	"repro/oodb"
 )
@@ -27,8 +29,11 @@ end
 // runDurableDemo exercises the public durable API end to end: recover
 // whatever a previous invocation left under dir, deposit into the
 // persistent account, report, close. Run it repeatedly and the balance
-// keeps climbing across processes.
-func runDurableDemo(w io.Writer, dir string) error {
+// keeps climbing across processes. With debugAddr non-empty the
+// database's debug handler (metrics + pprof) serves on that address
+// throughout, and the process stays up after the demo so the endpoints
+// can be scraped.
+func runDurableDemo(w io.Writer, dir, debugAddr string) error {
 	schema, err := oodb.Compile(demoSchema)
 	if err != nil {
 		return err
@@ -38,6 +43,17 @@ func runDurableDemo(w io.Writer, dir string) error {
 		return err
 	}
 	defer db.Close()
+
+	var debugLn net.Listener
+	if debugAddr != "" {
+		debugLn, err = net.Listen("tcp", debugAddr)
+		if err != nil {
+			return err
+		}
+		go http.Serve(debugLn, db.DebugHandler()) //nolint:errcheck // dies with the process
+		fmt.Fprintf(w, "debug handler on http://%s/ (metrics, vars, slowtxns, debug/pprof)\n",
+			debugLn.Addr())
+	}
 
 	rec := db.Recovery()
 	switch {
@@ -79,5 +95,9 @@ func runDurableDemo(w io.Writer, dir string) error {
 		return err
 	}
 	fmt.Fprintf(w, "deposited 10; balance is now %v (fsynced to %s)\n", balance, dir)
+	if debugLn != nil {
+		fmt.Fprintln(w, "demo done; debug handler still serving — interrupt to exit")
+		select {}
+	}
 	return nil
 }

@@ -9,6 +9,8 @@
 //	favcc [-class NAME] [-dot] [-davs] <schema.mdl>
 //	favcc -example            # run on the paper's Figure 1
 //	favcc -durable -dir DIR   # durability demo: persist and recover
+//	favcc -durable -dir DIR -debug 127.0.0.1:6060
+//	                          # …and serve metrics + pprof over HTTP
 //
 // With -dot the late-binding resolution graphs are printed in Graphviz
 // syntax (the paper's Figure 2 for class c2 of the example).
@@ -17,7 +19,10 @@
 // public oodb API with a write-ahead log rooted at -dir: every
 // invocation recovers the previous state, deposits into a persistent
 // account and prints the balance — run it twice and watch the balance
-// survive the process.
+// survive the process. Adding -debug ADDR serves the database's debug
+// handler (Prometheus /metrics, expvar-style /vars, /slowtxns,
+// /debug/pprof) on ADDR while the demo runs, then keeps serving until
+// interrupted so the endpoints can be inspected.
 package main
 
 import (
@@ -39,6 +44,7 @@ type config struct {
 	example   bool
 	durable   bool
 	dir       string
+	debug     string
 	args      []string
 }
 
@@ -50,6 +56,7 @@ func main() {
 	flag.BoolVar(&cfg.example, "example", false, "compile the paper's Figure 1 instead of a file")
 	flag.BoolVar(&cfg.durable, "durable", false, "run the persistent banking demo (with -dir)")
 	flag.StringVar(&cfg.dir, "dir", "", "write-ahead-log directory for -durable")
+	flag.StringVar(&cfg.debug, "debug", "", "serve the metrics/pprof debug handler on this address during -durable (blocks after the demo)")
 	flag.Parse()
 	cfg.args = flag.Args()
 
@@ -65,7 +72,7 @@ func run(w io.Writer, cfg config) error {
 		if cfg.dir == "" {
 			return fmt.Errorf("-durable needs -dir DIR (the log directory)")
 		}
-		return runDurableDemo(w, cfg.dir)
+		return runDurableDemo(w, cfg.dir, cfg.debug)
 	}
 	src, err := loadSource(cfg.example, cfg.args)
 	if err != nil {

@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestRunExample(t *testing.T) {
@@ -114,5 +119,75 @@ func TestRunDurableDemoPersistsAcrossRuns(t *testing.T) {
 	}
 	if err := run(&second, config{durable: true}); err == nil {
 		t.Error("-durable without -dir must fail")
+	}
+}
+
+// safeBuf is a mutex-guarded buffer: the -debug demo keeps running in
+// a background goroutine while the test reads its output.
+type safeBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *safeBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var debugAddrRE = regexp.MustCompile(`debug handler on http://([^/\s]+)/`)
+
+func TestRunDurableDemoDebugHandler(t *testing.T) {
+	dir := t.TempDir()
+	var out safeBuf
+	// The -debug demo intentionally never returns (it serves until
+	// interrupted); run it in a goroutine and scrape it live.
+	go func() {
+		if err := run(&out, config{durable: true, dir: dir, debug: "127.0.0.1:0"}); err != nil {
+			t.Errorf("debug demo: %v", err)
+		}
+	}()
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("debug address never printed; output:\n%s", out.String())
+		}
+		if m := debugAddrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"favcc_send_latency_seconds", "favcc_wal_fsyncs_total", "favcc_txns_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if resp, err := http.Get("http://" + addr + "/slowtxns"); err != nil {
+		t.Error(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/slowtxns status %d", resp.StatusCode)
+		}
 	}
 }

@@ -96,6 +96,11 @@ type EngineScenario struct {
 	// with a typed fail-stop error rather than panic or hang (Durable
 	// only).
 	FaultWriteAfter int64
+
+	// NoMetrics opens the engine with the observability registry
+	// stripped (engine.Options.NoMetrics). The obsoverhead experiment
+	// runs each scenario both ways to price the instrumentation.
+	NoMetrics bool
 }
 
 // Name renders the scenario as a benchmark-style path segment.
@@ -499,6 +504,7 @@ func setupEngineScenario(sc EngineScenario) (*engineScenarioState, error) {
 		GroupCommitWindow: sc.GroupCommitWindow,
 		Sync:              sc.Sync,
 		FS:                fsys,
+		NoMetrics:         sc.NoMetrics,
 	})
 	if err != nil {
 		return nil, err
@@ -711,6 +717,7 @@ func RunEngineScenario(sc EngineScenario) (EngineScenarioResult, error) {
 	if err != nil {
 		return EngineScenarioResult{}, err
 	}
+	dumpMetrics(sc, st.db)
 	ls := st.db.Locks().Snapshot()
 	return EngineScenarioResult{
 		Scenario:     sc,
@@ -761,6 +768,26 @@ func EngineScenarioFamily(workers int) []EngineScenario {
 		}
 	}
 	return out
+}
+
+// metricsSink, set by favbench's -metrics flag, receives one
+// Prometheus-text registry snapshot per finished engine scenario so a
+// run leaves its full telemetry (per-method latency quantiles, lock
+// waits, WAL batching, MVCC churn) next to the throughput numbers.
+var metricsSink io.Writer
+
+// SetMetricsSink installs the post-scenario registry dump destination
+// (nil disables it).
+func SetMetricsSink(w io.Writer) { metricsSink = w }
+
+// dumpMetrics writes one scenario's final registry snapshot to the
+// sink, delimited by a comment naming the scenario.
+func dumpMetrics(sc EngineScenario, db *engine.DB) {
+	if metricsSink == nil || db.Metrics() == nil {
+		return
+	}
+	fmt.Fprintf(metricsSink, "# scenario %s\n", sc.Name())
+	db.WriteMetrics(metricsSink) //nolint:errcheck // best-effort diagnostic dump
 }
 
 // Experiment duration overrides, set by favbench's -duration/-warmup

@@ -1,96 +1,30 @@
 package bench
 
-// Per-operation latency percentiles for the engine-scenario harness: a
-// lock-free log-bucketed histogram (8 sub-buckets per power of two,
-// ~±6% value resolution) that every worker records into concurrently.
-// Throughput alone hides convoy effects — a mix can keep its txn/s
-// while its p99 collapses under lock queueing — so the scenario results
-// carry p50/p95/p99 alongside ops/s, and the benchmarks publish them as
-// custom metrics that flow into the parsed trajectory JSON.
+// Per-operation latency percentiles for the engine-scenario harness.
+// The log-bucketed histogram itself was promoted to internal/obs (PR 9)
+// so the engine's own telemetry shares one implementation; LatHist
+// remains as a thin duration-typed wrapper so scenario code keeps
+// reading p50/p95/p99 as time.Duration. Throughput alone hides convoy
+// effects — a mix can keep its txn/s while its p99 collapses under lock
+// queueing — so the scenario results carry p50/p95/p99 alongside ops/s,
+// and the benchmarks publish them as custom metrics that flow into the
+// parsed trajectory JSON.
 
 import (
-	"math/bits"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-const (
-	latSubBits = 3 // sub-buckets per octave: 2^3 = 8, ~±6% resolution
-	latSub     = 1 << latSubBits
-	latBuckets = latSub + (64-latSubBits)*latSub // small-exact + octaves
-)
-
-// LatHist is a concurrent log-bucketed duration histogram. The zero
-// value is ready to use; Record is wait-free (one atomic add).
+// LatHist is a concurrent log-bucketed duration histogram (8 sub-buckets
+// per power of two, ~±6% value resolution). The zero value is ready to
+// use; Record is wait-free.
 type LatHist struct {
-	buckets [latBuckets]atomic.Int64
-	count   atomic.Int64
-}
-
-// latBucketOf maps a nanosecond value to its bucket index: values below
-// latSub are exact, above that the top latSubBits mantissa bits select
-// a sub-bucket within the value's octave.
-func latBucketOf(v uint64) int {
-	if v < latSub {
-		return int(v)
-	}
-	e := bits.Len64(v) - 1
-	mant := (v >> (uint(e) - latSubBits)) - latSub
-	return latSub + (e-latSubBits)<<latSubBits + int(mant)
-}
-
-// latBucketMid returns a representative (midpoint) nanosecond value for
-// a bucket index — the inverse of latBucketOf up to bucket width.
-func latBucketMid(idx int) uint64 {
-	if idx < latSub {
-		return uint64(idx)
-	}
-	k := idx - latSub
-	e := k>>latSubBits + latSubBits
-	mant := uint64(k & (latSub - 1))
-	lo := (latSub + mant) << (uint(e) - latSubBits)
-	return lo + (1<<(uint(e)-latSubBits))/2
-}
-
-// Record adds one measured duration.
-func (h *LatHist) Record(d time.Duration) {
-	v := uint64(d)
-	if d < 0 {
-		v = 0
-	}
-	h.buckets[latBucketOf(v)].Add(1)
-	h.count.Add(1)
-}
-
-// Count returns the number of recorded durations.
-func (h *LatHist) Count() int64 { return h.count.Load() }
-
-// Reset zeroes the histogram. Only call while no Record is in flight
-// (between a warmup and a measured phase).
-func (h *LatHist) Reset() {
-	for i := range h.buckets {
-		h.buckets[i].Store(0)
-	}
-	h.count.Store(0)
+	obs.Hist
 }
 
 // Quantile returns the q-th (0 < q ≤ 1) latency quantile, or 0 when the
 // histogram is empty. Resolution is the bucket width (~±6%).
 func (h *LatHist) Quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q * float64(total))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			return time.Duration(latBucketMid(i))
-		}
-	}
-	return time.Duration(latBucketMid(latBuckets - 1))
+	return h.QuantileDuration(q)
 }

@@ -1,0 +1,128 @@
+package bench
+
+// The benchmark-backed acceptance proof for the observability layer:
+// the warm *instrumented* send — metrics registry live, every dispatch
+// recorded into its per-(class,method) histogram — must stay 0
+// allocs/op and pass the exact ns/op hot-path gate CI applies against
+// the newest committed BENCH_PR<n>.json baseline. A telemetry design
+// that cost a map lookup, a label render, or a lock on the send path
+// would fail here before it ever reached the CI gate.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+var baselineRE = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// loadNewestBaseline reads the highest-numbered committed
+// BENCH_PR<n>.json from the repository root (the same resolution rule
+// favbench -gate uses).
+func loadNewestBaseline(t *testing.T) *Trajectory {
+	t.Helper()
+	root := filepath.Join("..", "..")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := baselineRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if best == "" {
+		t.Skip("no committed BENCH_PR<n>.json baseline")
+	}
+	f, err := os.Open(filepath.Join(root, best))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadTrajectory(f)
+	if err != nil {
+		t.Fatalf("%s: %v", best, err)
+	}
+	t.Logf("baseline: %s (%d benchmarks)", best, len(tr.Benchmarks))
+	return tr
+}
+
+// record converts one in-process testing.Benchmark result into the
+// trajectory shape the gate compares.
+func record(name string, r testing.BenchmarkResult) BenchRecord {
+	return BenchRecord{
+		Name:  name,
+		Procs: 1,
+		Iters: int64(r.N),
+		Metrics: map[string]float64{
+			"ns/op":     float64(r.NsPerOp()),
+			"B/op":      float64(r.AllocedBytesPerOp()),
+			"allocs/op": float64(r.AllocsPerOp()),
+		},
+	}
+}
+
+// TestInstrumentedSendPassesGate re-measures the two ns/op-gated hot
+// paths with metrics enabled (the default open) and holds them to the
+// committed baseline's allowance, plus the hard zero-allocation bar.
+func TestInstrumentedSendPassesGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed proof; skipped in -short")
+	}
+	// The default open must be the instrumented one, or this proof
+	// would measure the stripped path.
+	db := engine.Open(mustCompileFig1(t), engine.FineCC{})
+	if db.Metrics() == nil {
+		t.Fatal("default engine.Open must enable the metrics registry")
+	}
+
+	sendRes := testing.Benchmark(BenchmarkHotSend)
+	getRes := testing.Benchmark(BenchmarkHotStoreGet)
+	if a := sendRes.AllocsPerOp(); a != 0 {
+		t.Errorf("warm instrumented send: %d allocs/op, want 0", a)
+	}
+	if a := getRes.AllocsPerOp(); a != 0 {
+		t.Errorf("warm store get: %d allocs/op, want 0", a)
+	}
+	if raceEnabled {
+		// The allocation bar above still holds; wall-clock allowances
+		// recorded without the race detector do not.
+		t.Log("race detector on: skipping the ns/op comparison")
+		return
+	}
+
+	base := loadNewestBaseline(t)
+	cur := &Trajectory{Benchmarks: []BenchRecord{
+		record("BenchmarkHotSend", sendRes),
+		record("BenchmarkHotStoreGet", getRes),
+	}}
+	for _, r := range CompareNsOp(base, cur) {
+		t.Errorf("instrumented hot path regressed: %s", r)
+	}
+	for _, r := range CompareAllocs(base, cur) {
+		if !r.Missing {
+			t.Errorf("instrumented hot path regressed: %s", r)
+		}
+	}
+	t.Logf("instrumented HotSend: %.1f ns/op, HotStoreGet: %.1f ns/op",
+		float64(sendRes.NsPerOp()), float64(getRes.NsPerOp()))
+}
+
+func mustCompileFig1(t *testing.T) *core.Compiled {
+	t.Helper()
+	c, err := compiledFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -74,13 +75,23 @@ type Strategy interface {
 }
 
 // liveAcquirer locks through the lock manager on behalf of one txn.
+// trace, non-nil only while the flight recorder is armed for this
+// transaction, receives a lock-wait event for every acquire that queued.
 type liveAcquirer struct {
 	locks *lock.Manager
 	txn   lock.TxnID
+	trace *obs.TxnTrace
 }
 
 // Acquire implements Acquirer.
 func (l liveAcquirer) Acquire(res lock.ResourceID, mode lock.Mode) error {
+	if l.trace != nil {
+		waited, err := l.locks.AcquireWait(l.txn, res, mode)
+		if waited > 0 {
+			l.trace.Add(obs.EvLockWait, waited, res.OID)
+		}
+		return err
+	}
 	return l.locks.Acquire(l.txn, res, mode)
 }
 

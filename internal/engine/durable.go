@@ -44,16 +44,29 @@ type Options struct {
 	// replays every transcript through both modes and pins them
 	// byte-for-byte equal; production opens never set it.
 	Unfused bool
+	// NoMetrics strips the observability registry entirely: no
+	// per-method series, no lock-wait or WAL histograms, Metrics()
+	// returns nil. The instrumented paths reduce to one nil check; the
+	// overhead experiments open both ways and diff the throughput.
+	NoMetrics bool
+	// SlowTxnThreshold arms the transaction flight recorder from the
+	// start: transactions slower than this capture their event traces
+	// for SlowTxns. Zero leaves the recorder disarmed (it can still be
+	// armed later via SetSlowTxnThreshold).
+	SlowTxnThreshold time.Duration
 }
 
 // OpenWithOptions builds a database like Open and, when o.Durable is
 // set, recovers the durable state under o.Dir and wires the redo log
 // through the transaction manager.
 func OpenWithOptions(c *core.Compiled, o Options) (*DB, error) {
-	db := Open(c, o.Strategy)
+	db := openDB(c, o.Strategy, o.NoMetrics)
 	if o.Unfused {
 		db.rt = newRuntimeModes(c, false, false)
 		db.useFused = false
+	}
+	if o.SlowTxnThreshold > 0 {
+		db.flight.SetThreshold(o.SlowTxnThreshold)
 	}
 	if !o.Durable {
 		return db, nil
@@ -69,6 +82,9 @@ func OpenWithOptions(c *core.Compiled, o Options) (*DB, error) {
 		return nil, err
 	}
 	db.Txns.SetWAL(log)
+	if db.metrics != nil {
+		db.metrics.registerWAL(log)
+	}
 	db.recovery = info
 	return db, nil
 }

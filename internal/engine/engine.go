@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -43,8 +45,16 @@ type DB struct {
 	// MaxDepth bounds send nesting (default 256).
 	MaxDepth int
 
-	rt       *Runtime
-	ecPool   sync.Pool // *execCtx, so a send allocates no context
+	rt     *Runtime
+	ecPool sync.Pool // *execCtx, so a send allocates no context
+
+	// metrics is the observability registry and its dense
+	// per-(class,method) arrays (metrics.go); nil under
+	// Options.NoMetrics, which strips every instrumented path to a
+	// single nil check. flight is the transaction flight recorder —
+	// always present, disarmed until SetSlowTxnThreshold.
+	metrics *dbMetrics
+	flight  obs.FlightRecorder
 
 	// activeECs counts execution contexts currently checked out of the
 	// pool: > 1 means another session is mid-operation right now, and
@@ -85,6 +95,13 @@ type DB struct {
 // strategy's ConcurrentWriters capability says nested self-sends are
 // lock-free (see schema.InlineSends).
 func Open(c *core.Compiled, strategy Strategy) *DB {
+	return openDB(c, strategy, false)
+}
+
+// openDB is Open with the metrics switch: noMetrics strips the
+// observability registry (Options.NoMetrics — overhead experiments),
+// leaving only the pre-existing raw atomic counters.
+func openDB(c *core.Compiled, strategy Strategy, noMetrics bool) *DB {
 	lm := lock.NewManager()
 	db := &DB{
 		Compiled: c,
@@ -102,6 +119,13 @@ func Open(c *core.Compiled, strategy Strategy) *DB {
 	// commit epoch and publish per-instance versions, which is what the
 	// snapshot read path consumes.
 	db.Txns.SetStore(db.Store)
+	// The flight recorder is always attached (it is one atomic load per
+	// Begin while disarmed); the metrics registry is the default but can
+	// be stripped.
+	db.Txns.SetFlight(&db.flight)
+	if !noMetrics {
+		db.metrics = newDBMetrics(db)
+	}
 	db.ecPool.New = func() any { return &execCtx{} }
 	return db
 }
@@ -274,7 +298,7 @@ func (db *DB) getEC(tx *txn.Txn) *execCtx {
 			ec.snapshot = true
 			ec.snapEpoch = tx.SnapshotEpoch()
 		} else {
-			ec.live = liveAcquirer{locks: db.Txns.Locks(), txn: tx.ID}
+			ec.live = liveAcquirer{locks: db.Txns.Locks(), txn: tx.ID, trace: tx.Trace()}
 			ec.acq = &ec.live
 		}
 	}
@@ -340,7 +364,7 @@ func (db *DB) DeleteInstance(tx *txn.Txn, oid storage.OID) error {
 	if !ok {
 		return fmt.Errorf("engine: no instance with OID %d", oid)
 	}
-	acq := liveAcquirer{locks: db.Locks(), txn: tx.ID}
+	acq := liveAcquirer{locks: db.Locks(), txn: tx.ID, trace: tx.Trace()}
 	if err := db.CC.Delete(&acq, db.rt, uint64(oid), in.Class); err != nil {
 		return err
 	}
@@ -543,7 +567,28 @@ func (ec *execCtx) topSendName(oid storage.OID, method string, args []Value) (Va
 	return Value{}, fmt.Errorf("engine: class %s has no method %q", in.Class.Name, method)
 }
 
+// topSend wraps the raw send with the per-(class,method) telemetry:
+// when the registry is live, the receiver's class resolves first (one
+// extra directory load) so the finished send lands in its dense metric
+// slot with the measured latency. Recording mode (tx == nil) and
+// stripped databases skip straight through on a nil check.
 func (ec *execCtx) topSend(oid storage.OID, mid schema.MethodID, args []Value) (Value, error) {
+	m := ec.db.metrics
+	if m == nil || ec.tx == nil {
+		return ec.topSendRaw(oid, mid, args)
+	}
+	in, ok := ec.db.Store.Get(oid)
+	if !ok {
+		return ec.topSendRaw(oid, mid, args)
+	}
+	cls := in.Class
+	start := time.Now()
+	v, err := ec.topSendRaw(oid, mid, args)
+	m.noteSend(cls, mid, ec.snapshot, err, time.Since(start))
+	return v, err
+}
+
+func (ec *execCtx) topSendRaw(oid storage.OID, mid schema.MethodID, args []Value) (Value, error) {
 	in, ok := ec.db.Store.Get(oid)
 	if !ok {
 		return Value{}, fmt.Errorf("engine: no instance with OID %d", oid)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TxnID identifies a transaction to the lock manager. IDs are assigned
@@ -98,6 +100,13 @@ type Manager struct {
 	detMu sync.Mutex   // serializes deadlock detection and victim choice
 
 	stats statsCounters
+
+	// waitHist, when set, receives the wall time of every blocking
+	// acquire (queue wait through grant, deadlock abort, or timeout).
+	// Atomic so it can be attached after construction without racing
+	// in-flight acquires; nil (the default) costs one predictable
+	// branch on the block path and nothing on the grant fast path.
+	waitHist atomic.Pointer[obs.Hist]
 
 	waiterPool sync.Pool
 	statePool  sync.Pool
@@ -224,6 +233,19 @@ func (m *Manager) dropStateIfEmpty(txn TxnID, s *txnState) {
 // If waiting would close a waits-for cycle, Acquire aborts the request
 // with *DeadlockError instead of sleeping.
 func (m *Manager) Acquire(txn TxnID, res ResourceID, mode Mode) error {
+	_, err := m.AcquireWait(txn, res, mode)
+	return err
+}
+
+// SetWaitHist attaches a histogram that receives the wall time of every
+// blocking acquire. Safe to call concurrently with acquires; nil detaches.
+func (m *Manager) SetWaitHist(h *obs.Hist) { m.waitHist.Store(h) }
+
+// AcquireWait is Acquire, additionally reporting how long the request
+// waited in the queue (0 for reentrant and immediately granted
+// requests). Callers instrumenting lock convoys (the engine's flight
+// recorder) use the duration; everyone else goes through Acquire.
+func (m *Manager) AcquireWait(txn TxnID, res ResourceID, mode Mode) (time.Duration, error) {
 	m.stats.requests.Add(1)
 	sh, h := m.shardFor(res)
 	sh.mu.Lock()
@@ -236,7 +258,7 @@ func (m *Manager) Acquire(txn TxnID, res ResourceID, mode Mode) error {
 	if gs.redundant(mode) {
 		m.stats.reentrant.Add(1)
 		sh.mu.Unlock()
-		return nil
+		return 0, nil
 	}
 	upgrade := gs.first != nil
 	if upgrade {
@@ -248,7 +270,7 @@ func (m *Manager) Acquire(txn TxnID, res ResourceID, mode Mode) error {
 		sh.grant(e, txn, state, res, mode)
 		m.stats.immediateGrants.Add(1)
 		sh.mu.Unlock()
-		return nil
+		return 0, nil
 	}
 
 	// Must wait. Conversions go to the front of the queue, after any
@@ -260,6 +282,18 @@ func (m *Manager) Acquire(txn TxnID, res ResourceID, mode Mode) error {
 	m.reg.add(txn, w) // publish the waits-for edge before detecting
 	sh.mu.Unlock()
 
+	start := time.Now()
+	err := m.block(txn, w, sh, res, h)
+	waited := time.Since(start)
+	if hist := m.waitHist.Load(); hist != nil {
+		hist.Record(waited)
+	}
+	return waited, err
+}
+
+// block runs the slow half of an acquire — deadlock detection, then the
+// grant/timeout wait — after the waiter has been enqueued.
+func (m *Manager) block(txn TxnID, w *waiter, sh *shard, res ResourceID, h uint64) error {
 	if err := m.detectDeadlock(txn, w, sh); err != nil {
 		return err
 	}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugHandler mounts the observability surface on one http.Handler:
+//
+//	/metrics          Prometheus text exposition
+//	/vars             expvar-style JSON snapshot
+//	/slowtxns         flight-recorder contents, newest first (plain text)
+//	/debug/pprof/...  the standard runtime profiles
+//
+// fr may be nil, in which case /slowtxns reports the recorder absent.
+// The handler is opt-in: nothing in the engine starts a server; favcc
+// and favbench mount this on a loopback listener when asked.
+func NewDebugHandler(reg *Registry, fr *FlightRecorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/slowtxns", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if fr == nil {
+			fmt.Fprintln(w, "flight recorder not attached")
+			return
+		}
+		fmt.Fprintf(w, "threshold=%s captured=%d\n", fr.Threshold(), fr.Captured())
+		for _, st := range fr.SlowTxns() {
+			fmt.Fprintf(w, "txn %d start=%s elapsed=%s dropped=%d\n",
+				st.TxnID, st.Start.Format("15:04:05.000000"), st.Elapsed, st.Dropped)
+			for _, ev := range st.Events {
+				fmt.Fprintf(w, "  +%-12s %-10s dur=%-12s arg=%d\n", ev.At, ev.Kind, ev.Dur, ev.Arg)
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

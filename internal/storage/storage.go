@@ -399,6 +399,11 @@ type Store struct {
 	epochStable atomic.Uint64
 	snapshots   snapReg
 	versions    verArena
+
+	// MVCC telemetry: lifetime version publications and reclamations
+	// (chain recycling), read by the engine's metrics registry.
+	versionsPublished atomic.Int64
+	versionsReclaimed atomic.Int64
 }
 
 // NewStore returns an empty store for instances of the given schema.
@@ -679,6 +684,12 @@ func (s *Store) DomainExtent(cls *schema.Class) []OID {
 // Count returns the total number of instances.
 func (s *Store) Count() int {
 	return int(s.count.Load())
+}
+
+// Pages returns the number of slab pages in the OID directory — the
+// store's coarse memory footprint for the occupancy gauge.
+func (s *Store) Pages() int {
+	return len(*s.dir.Load())
 }
 
 // SortExtents normalizes every class extent to ascending OID order and

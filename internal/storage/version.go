@@ -211,6 +211,27 @@ func (s *Store) SnapshotWatermark() uint64 {
 	return w
 }
 
+// VersionsPublished returns the lifetime count of published version
+// records (commit publications plus recovery/creation seeding).
+func (s *Store) VersionsPublished() int64 { return s.versionsPublished.Load() }
+
+// VersionsReclaimed returns the lifetime count of version records
+// recycled by watermark-driven pruning.
+func (s *Store) VersionsReclaimed() int64 { return s.versionsReclaimed.Load() }
+
+// ActiveSnapshots returns the number of currently registered snapshot
+// readers — the population the reclamation watermark ranges over.
+func (s *Store) ActiveSnapshots() int {
+	reg := &s.snapshots
+	reg.mu.Lock()
+	n := 0
+	for r := reg.head; r != nil; r = r.next {
+		n++
+	}
+	reg.mu.Unlock()
+	return n
+}
+
 // PublishVersion publishes the committed image of commit epoch e as the
 // instance's newest version and prunes versions no reader at or above
 // watermark can reach, recycling them onto the instance's free list.
@@ -259,18 +280,22 @@ func (s *Store) PublishVersion(in *Instance, e, watermark uint64, written []int)
 	v.vals = vals
 	v.next.Store(head)
 	in.verHead.Store(v)
-	in.pruneVersions(v, watermark)
+	if n := in.pruneVersions(v, watermark); n > 0 {
+		s.versionsReclaimed.Add(int64(n))
+	}
+	s.versionsPublished.Add(1)
 	in.mu.Unlock()
 }
 
 // pruneVersions unlinks every version older than the newest one at or
-// below the watermark and recycles it. Requires in.mu held.
-func (in *Instance) pruneVersions(head *version, watermark uint64) {
+// below the watermark and recycles it, returning how many versions were
+// reclaimed. Requires in.mu held.
+func (in *Instance) pruneVersions(head *version, watermark uint64) int {
 	keep := head
 	for keep.epoch > watermark {
 		n := keep.next.Load()
 		if n == nil {
-			return
+			return 0
 		}
 		keep = n
 	}
@@ -279,15 +304,18 @@ func (in *Instance) pruneVersions(head *version, watermark uint64) {
 	// stop at keep or newer).
 	dead := keep.next.Load()
 	if dead == nil {
-		return
+		return 0
 	}
 	keep.next.Store(nil)
+	reclaimed := 0
 	for dead != nil {
 		n := dead.next.Load()
 		dead.next.Store(in.verFree)
 		in.verFree = dead
 		dead = n
+		reclaimed++
 	}
+	return reclaimed
 }
 
 // seedVersion publishes the instance's current slots as a version
@@ -303,6 +331,7 @@ func (s *Store) seedVersion(in *Instance) {
 			v.vals = append(v.vals, mkValue(k, num, sp))
 		}
 		in.verHead.Store(v)
+		s.versionsPublished.Add(1)
 	}
 	in.mu.Unlock()
 }

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -131,6 +132,15 @@ type Txn struct {
 	snapshot  bool
 	snapEpoch uint64
 	snapNode  storage.SnapshotReader
+
+	// Flight-recorder state (see internal/obs): the trace is embedded —
+	// a fixed event array inside the pooled Txn — so an armed recorder
+	// still costs zero allocations per transaction. traceOn latches the
+	// recorder's Enabled() answer at Begin; abortReason carries the
+	// obs.Abort* code the retry loop classified for the EvAbort event.
+	trace       obs.TxnTrace
+	traceOn     bool
+	abortReason uint64
 }
 
 // State returns the lifecycle state.
@@ -143,6 +153,27 @@ func (t *Txn) IsSnapshot() bool { return t.snapshot }
 // SnapshotEpoch returns the begin epoch of a snapshot transaction
 // (0 for ordinary locking transactions — real epochs start at 1).
 func (t *Txn) SnapshotEpoch() uint64 { return t.snapEpoch }
+
+// Trace returns the transaction's flight-recorder trace, or nil when
+// tracing is disabled (no recorder attached, or the threshold was zero
+// at Begin). The engine records lock-wait events into it.
+func (t *Txn) Trace() *obs.TxnTrace {
+	if !t.traceOn {
+		return nil
+	}
+	return &t.trace
+}
+
+// finishTrace offers a completed transaction's trace to the flight
+// recorder (which keeps it only when the transaction ran slow). Called
+// from every commit/abort completion path; idempotent per transaction.
+func (t *Txn) finishTrace() {
+	if !t.traceOn {
+		return
+	}
+	t.traceOn = false
+	t.mgr.flight.Note(uint64(t.ID), &t.trace)
+}
 
 // Locks returns the lock manager (for protocol implementations).
 func (t *Txn) Locks() *lock.Manager { return t.mgr.locks }
@@ -409,8 +440,17 @@ func (t *Txn) logCommit(w *wal.Log, pipelined bool) (*wal.Future, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t.traceOn {
+		t.trace.Add(obs.EvCommit, 0, epoch)
+	}
 	if pipelined {
 		return c.Future(), nil
+	}
+	if t.traceOn {
+		start := time.Now()
+		err := c.Wait()
+		t.trace.Add(obs.EvFsyncWait, time.Since(start), 0)
+		return nil, err
 	}
 	return nil, c.Wait()
 }
@@ -434,6 +474,7 @@ func (t *Txn) Commit() error {
 			t.state = Aborted
 			t.mgr.locks.ReleaseAll(t.ID)
 			t.mgr.noteDone(false)
+			t.finishTrace()
 			return fmt.Errorf("txn: commit log append: %w", err)
 		}
 	} else {
@@ -443,6 +484,7 @@ func (t *Txn) Commit() error {
 	t.clearUndo()
 	t.mgr.locks.ReleaseAll(t.ID)
 	t.mgr.noteDone(true)
+	t.finishTrace()
 	return nil
 }
 
@@ -490,6 +532,7 @@ func (t *Txn) CommitPipelined() (Future, error) {
 			t.state = Aborted
 			t.mgr.locks.ReleaseAll(t.ID)
 			t.mgr.noteDone(false)
+			t.finishTrace()
 			return Future{}, fmt.Errorf("txn: commit log append: %w", err)
 		}
 		fut.w = wf
@@ -500,6 +543,7 @@ func (t *Txn) CommitPipelined() (Future, error) {
 	t.clearUndo()
 	t.mgr.locks.ReleaseAll(t.ID)
 	t.mgr.noteDone(true)
+	t.finishTrace()
 	return fut, nil
 }
 
@@ -671,11 +715,15 @@ func (t *Txn) Abort() {
 		return
 	}
 	t.state = Aborted
+	if t.traceOn {
+		t.trace.Add(obs.EvAbort, 0, t.abortReason)
+	}
 	if t.snapshot {
 		// A snapshot txn holds no locks and wrote nothing: just leave
 		// the reader registry. Counted as aborted — the caller bailed.
 		t.mgr.store.EndSnapshot(&t.snapNode)
 		t.mgr.noteDone(false)
+		t.finishTrace()
 		return
 	}
 	// Under declared commutativity a concurrent writer may have
@@ -711,6 +759,7 @@ func (t *Txn) Abort() {
 	}
 	t.mgr.locks.ReleaseAll(t.ID)
 	t.mgr.noteDone(false)
+	t.finishTrace()
 }
 
 // endSnapshot finishes a snapshot transaction: deregister from the
@@ -720,6 +769,7 @@ func (t *Txn) endSnapshot() {
 	t.mgr.store.EndSnapshot(&t.snapNode)
 	t.state = Committed
 	t.mgr.noteDone(true)
+	t.finishTrace()
 }
 
 // Stats counts transaction outcomes.
@@ -736,9 +786,10 @@ type Stats struct {
 // finishing transactions never serialize behind a manager mutex, which
 // matters once the sharded lock table stops being the bottleneck.
 type Manager struct {
-	locks *lock.Manager
-	wal   *wal.Log
-	store *storage.Store // version publication target; nil disables multiversioning
+	locks  *lock.Manager
+	wal    *wal.Log
+	store  *storage.Store // version publication target; nil disables multiversioning
+	flight *obs.FlightRecorder
 
 	next      atomic.Uint64
 	begun     atomic.Int64
@@ -805,6 +856,14 @@ func (m *Manager) Store() *storage.Store { return m.store }
 // WAL returns the attached redo log (nil when volatile).
 func (m *Manager) WAL() *wal.Log { return m.wal }
 
+// SetFlight attaches a flight recorder: every Begin while the recorder
+// is armed (threshold > 0) traces its transaction's events, and slow
+// completions are captured. Attach before serving transactions.
+func (m *Manager) SetFlight(fr *obs.FlightRecorder) { m.flight = fr }
+
+// Flight returns the attached flight recorder (nil when none).
+func (m *Manager) Flight() *obs.FlightRecorder { return m.flight }
+
 // Begin starts a transaction, reusing a pooled one when available.
 func (m *Manager) Begin() *Txn {
 	t, _ := m.pool.Get().(*Txn)
@@ -816,6 +875,12 @@ func (m *Manager) Begin() *Txn {
 	t.state = Active
 	t.snapshot = false
 	t.snapEpoch = 0
+	t.traceOn = false
+	if fr := m.flight; fr != nil && fr.Enabled() {
+		t.traceOn = true
+		t.abortReason = obs.AbortOther
+		t.trace.Start(time.Now())
+	}
 	m.begun.Add(1)
 	return t
 }
@@ -937,6 +1002,14 @@ func (m *Manager) runWithRetry(fn func(*Txn) error, pipelined bool) (Future, err
 				return fut, nil
 			}
 			return Future{}, err // log-append failure; commit already rolled back
+		}
+		if t.traceOn {
+			switch {
+			case lock.IsDeadlock(err):
+				t.abortReason = obs.AbortDeadlock
+			case errors.Is(err, lock.ErrTimeout):
+				t.abortReason = obs.AbortTimeout
+			}
 		}
 		t.Abort()
 		m.Release(t)

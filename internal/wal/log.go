@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/storage"
 )
@@ -240,6 +241,12 @@ type Log struct {
 	fsyncs      atomic.Int64
 	bytes       atomic.Int64
 	checkpoints atomic.Int64
+
+	// Group-commit telemetry, attached by the engine's metrics registry
+	// (SetMetrics). Atomic pointers: attachment happens after the writer
+	// goroutine is already serving commits. Nil = not attached.
+	fsyncHist atomic.Pointer[obs.Hist] // fsync wall time (ns)
+	batchHist atomic.Pointer[obs.Hist] // records per group-commit batch
 }
 
 func segmentPath(dir string, seq uint64) string {
@@ -278,8 +285,16 @@ func (l *Log) syncNow() error {
 	if err := l.failure(); err != nil {
 		return err
 	}
+	var start time.Time
+	hist := l.fsyncHist.Load()
+	if hist != nil {
+		start = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return l.markBroken(fmt.Errorf("segment fsync: %w", err))
+	}
+	if hist != nil {
+		hist.Record(time.Since(start))
 	}
 	l.unsynced = 0
 	l.lastSync = time.Now()
@@ -478,6 +493,9 @@ func (l *Log) writeBatch(batch []*commit) error {
 	l.records.Add(int64(records))
 	if records > 0 {
 		l.batches.Add(1)
+		if hist := l.batchHist.Load(); hist != nil {
+			hist.Observe(uint64(records))
+		}
 	}
 	l.bytes.Add(int64(len(l.scratch)))
 	return nil
@@ -739,6 +757,18 @@ func (l *Log) Stats() Stats {
 		Checkpoints: l.checkpoints.Load(),
 	}
 }
+
+// SetMetrics attaches group-commit histograms: fsync receives the wall
+// time of every group-commit fsync, batch the record count of every
+// non-empty batch. Either may be nil; safe concurrently with commits.
+func (l *Log) SetMetrics(fsync, batch *obs.Hist) {
+	l.fsyncHist.Store(fsync)
+	l.batchHist.Store(batch)
+}
+
+// QueueDepth returns the number of commits waiting in the writer's
+// submit queue — the group-commit backpressure gauge.
+func (l *Log) QueueDepth() int { return len(l.submitCh) }
 
 // Dir returns the log directory.
 func (l *Log) Dir() string { return l.dir }

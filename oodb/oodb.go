@@ -35,11 +35,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -240,6 +242,8 @@ type openConfig struct {
 	checkpointBytes   int64
 	sync              wal.SyncPolicy
 	fs                wal.FS
+	noMetrics         bool
+	slowTxnThreshold  time.Duration
 }
 
 // withFS stands a filesystem (typically a wal.FaultFS) under the redo
@@ -295,6 +299,23 @@ func RelaxedSync() OpenOption {
 	return func(c *openConfig) { c.sync = wal.SyncNever }
 }
 
+// NoMetrics strips the observability registry: Metrics returns nil and
+// the instrumented hot paths reduce to a nil check. The default keeps
+// metrics on — the overhead is a clock read and a few atomic adds per
+// send (measured in EXPERIMENTS.md).
+func NoMetrics() OpenOption {
+	return func(c *openConfig) { c.noMetrics = true }
+}
+
+// SlowTxnThreshold arms the transaction flight recorder from the start:
+// any transaction slower than d captures its typed event trace (begin,
+// lock waits, abort reason, commit epoch, fsync wait) for SlowTxns.
+// The recorder can also be armed or re-tuned later with
+// SetSlowTxnThreshold.
+func SlowTxnThreshold(d time.Duration) OpenOption {
+	return func(c *openConfig) { c.slowTxnThreshold = d }
+}
+
 // Open creates a database over a compiled schema with the chosen
 // concurrency-control strategy. With no options the database is
 // volatile; Durable(dir) adds the write-ahead log, checkpoints and
@@ -318,6 +339,8 @@ func Open(s *Schema, strategy Strategy, opts ...OpenOption) (*Database, error) {
 		CheckpointBytes:   cfg.checkpointBytes,
 		Sync:              cfg.sync,
 		FS:                cfg.fs,
+		NoMetrics:         cfg.noMetrics,
+		SlowTxnThreshold:  cfg.slowTxnThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -534,19 +557,30 @@ func (t *Txn) ScanSend(class, method string, hierarchical bool, args ...any) (in
 	return t.db.db.DomainScan(t.tx, class, method, hierarchical, nil, vals...)
 }
 
-// Stats aggregates lock-manager and engine counters.
+// Stats aggregates lock-manager, transaction, engine and WAL counters.
 type Stats struct {
 	LockRequests        int64
 	Blocks              int64
 	Deadlocks           int64
 	EscalationDeadlocks int64
 	Upgrades            int64
+	Timeouts            int64
+	ImmediateGrants     int64
+	Reentrant           int64
+	Releases            int64
 	Committed           int64
 	Aborted             int64
 	Retries             int64
 	Snapshots           int64
 	TopSends            int64
 	NestedSends         int64
+
+	// WAL counters: zero on a volatile database.
+	WALRecords     int64
+	WALBatches     int64
+	WALFsyncs      int64
+	WALBytes       int64
+	WALCheckpoints int64
 }
 
 // Stats returns cumulative counters for the database.
@@ -554,12 +588,16 @@ func (d *Database) Stats() Stats {
 	ls := d.db.Locks().Snapshot()
 	ts := d.db.Txns.Snapshot()
 	es := d.db.Snapshot()
-	return Stats{
+	s := Stats{
 		LockRequests:        ls.Requests,
 		Blocks:              ls.Blocks,
 		Deadlocks:           ls.Deadlocks,
 		EscalationDeadlocks: ls.EscalationDeadlocks,
 		Upgrades:            ls.Upgrades,
+		Timeouts:            ls.Timeouts,
+		ImmediateGrants:     ls.ImmediateGrants,
+		Reentrant:           ls.Reentrant,
+		Releases:            ls.Releases,
 		Committed:           ts.Committed,
 		Aborted:             ts.Aborted,
 		Retries:             ts.Retries,
@@ -567,12 +605,75 @@ func (d *Database) Stats() Stats {
 		TopSends:            es.TopSends,
 		NestedSends:         es.NestedSends,
 	}
+	if w := d.db.Txns.WAL(); w != nil {
+		ws := w.Stats()
+		s.WALRecords = ws.Records
+		s.WALBatches = ws.Batches
+		s.WALFsyncs = ws.Fsyncs
+		s.WALBytes = ws.Bytes
+		s.WALCheckpoints = ws.Checkpoints
+	}
+	return s
 }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the lock, transaction and engine counters (the WAL
+// counters are cumulative log totals and are not reset).
 func (d *Database) ResetStats() {
 	d.db.Locks().ResetStats()
 	d.db.Txns.ResetStats()
+	d.db.ResetStats()
+}
+
+// Metrics returns the database's metrics registry — per-method latency
+// histograms, abort/deadlock counters, WAL and MVCC telemetry — or nil
+// when the database was opened with NoMetrics. The registry snapshots
+// without stopping writers; render it with WriteMetrics/MetricsJSON or
+// mount it with DebugHandler.
+func (d *Database) Metrics() *obs.Registry { return d.db.Metrics() }
+
+// WriteMetrics renders the full metrics registry in Prometheus text
+// exposition format (histograms as summaries with p50/p95/p99, _sum and
+// _count; durations in seconds). No-op under NoMetrics.
+func (d *Database) WriteMetrics(w io.Writer) error { return d.db.WriteMetrics(w) }
+
+// MetricsJSON renders the registry as one flat expvar-style JSON
+// object. No-op under NoMetrics.
+func (d *Database) MetricsJSON(w io.Writer) error {
+	reg := d.db.Metrics()
+	if reg == nil {
+		return nil
+	}
+	return reg.WriteJSON(w)
+}
+
+// SlowTxn is a captured slow-transaction trace (see SlowTxns).
+type SlowTxn = obs.SlowTxn
+
+// SetSlowTxnThreshold arms (or re-tunes) the transaction flight
+// recorder at run time; zero disarms it. While armed, every transaction
+// traces its events into a fixed in-transaction buffer (no allocation),
+// and completions at or above the threshold are captured.
+func (d *Database) SetSlowTxnThreshold(threshold time.Duration) {
+	d.db.SetSlowTxnThreshold(threshold)
+}
+
+// SlowTxns returns the flight recorder's captured transactions, newest
+// first: transaction ID, total latency, and the typed event trace
+// (begin, lock waits over their resource, abort with reason, commit
+// epoch, fsync wait). Empty until the recorder is armed and a slow
+// transaction completes.
+func (d *Database) SlowTxns() []SlowTxn { return d.db.SlowTxns() }
+
+// DebugHandler returns an http.Handler exposing the observability
+// surface — /metrics (Prometheus), /vars (JSON), /slowtxns, and
+// /debug/pprof/* — for favcc/favbench's opt-in debug listener. Nothing
+// starts a server unless the caller mounts this.
+func (d *Database) DebugHandler() http.Handler {
+	reg := d.db.Metrics()
+	if reg == nil {
+		reg = obs.NewRegistry() // NoMetrics: serve an empty page, not a panic
+	}
+	return obs.NewDebugHandler(reg, d.db.Flight())
 }
 
 // DumpObject writes a labelled snapshot of an object's fields, for
