@@ -50,9 +50,11 @@ func main() {
 		duration = flag.Duration("duration", 0, "run each scenario experiment for this wall-clock duration instead of a fixed op budget")
 		warmup   = flag.Duration("warmup", 0, "uncounted warmup before each duration-based scenario run")
 		metrics  = flag.String("metrics", "", "append each engine scenario's final metrics-registry snapshot (Prometheus text) to this file")
+		addr     = flag.String("addr", "", "favserv address (unix socket path or host:port): wire experiments drive this server instead of an in-process one")
 	)
 	flag.Parse()
 	bench.SetDurations(*duration, *warmup)
+	bench.SetWireAddr(*addr)
 	if *metrics != "" {
 		mf, err := os.Create(*metrics)
 		if err != nil {

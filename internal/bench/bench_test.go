@@ -243,7 +243,7 @@ func TestRegistryComplete(t *testing.T) {
 		"escalation": true, "pseudo": true, "compile": true,
 		"runtime": true, "throughput": true, "conservative": true,
 		"locktable": true, "enginescenarios": true, "durability": true,
-		"snapshotreads": true, "obsoverhead": true,
+		"snapshotreads": true, "obsoverhead": true, "networktax": true,
 	}
 	got := Experiments()
 	if len(got) != len(want) {

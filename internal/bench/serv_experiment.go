@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serv"
+	"repro/oodb"
+	"repro/oodb/client"
+)
+
+// The networktax experiment prices the wire: the same banking send-heavy
+// mix that the durability experiments run embedded, driven through
+// favserv's protocol over a unix socket on the same machine. The
+// interesting comparisons are embedded vs wire at the same concurrency
+// (protocol + syscall tax) and wire pipelined vs wire blocking (what
+// riding the group commit instead of waiting out each fsync buys once a
+// network round trip sits in the loop).
+
+// EngineSchemaSource exposes a scenario schema's source text and its
+// commutativity declarations (class, method, method triples) so servers
+// and clients outside this package can open the exact database the
+// embedded scenarios run against.
+func EngineSchemaSource(name EngineSchemaName) (source string, commuting [][3]string, err error) {
+	switch name {
+	case EngineBanking:
+		return bankingSchema, [][3]string{{"account", "deposit", "deposit"}}, nil
+	case EngineCAD:
+		return cadSchema, nil, nil
+	}
+	return "", nil, fmt.Errorf("bench: unknown engine schema %q", name)
+}
+
+// wireAddr, set by favbench's -addr flag, redirects scenario-driving
+// experiments at an already-running favserv instead of an embedded
+// engine, where the redirection is implemented (networktax's wire rows).
+var wireAddr string
+
+// SetWireAddr installs the external server address ("" restores
+// in-process servers).
+func SetWireAddr(addr string) { wireAddr = addr }
+
+// WireScenario is one wire-driven banking run.
+type WireScenario struct {
+	Workers   int
+	Objects   int
+	Duration  time.Duration
+	Warmup    time.Duration
+	Pipelined bool // Start/Wait window vs Do per txn
+	Depth     int  // outstanding Pendings per worker (pipelined only)
+	Seed      int64
+}
+
+// WireResult is one measured wire run.
+type WireResult struct {
+	Ops           int64
+	Wall          time.Duration
+	PerSec        float64
+	P50, P95, P99 time.Duration
+}
+
+// openWireServer starts an in-process favserv on a temp unix socket
+// over a fresh durable full-sync banking database, mirroring the
+// embedded durable scenario's configuration.
+func openWireServer() (addr string, shutdown func() error, err error) {
+	src, comm, err := EngineSchemaSource(EngineBanking)
+	if err != nil {
+		return "", nil, err
+	}
+	var opts []oodb.Option
+	for _, c := range comm {
+		opts = append(opts, oodb.WithCommuting(c[0], c[1], c[2]))
+	}
+	schema, err := oodb.Compile(src, opts...)
+	if err != nil {
+		return "", nil, err
+	}
+	dir, err := os.MkdirTemp("", "favserv-bench-*")
+	if err != nil {
+		return "", nil, err
+	}
+	db, err := oodb.OpenWith(schema, oodb.Fine, oodb.Options{
+		Dir:               dir,
+		GroupCommitWindow: 200 * time.Microsecond,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	sock := filepath.Join(dir, "serv.sock")
+	srv, err := serv.Listen(db, "unix", sock, serv.Config{})
+	if err != nil {
+		db.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	return sock, func() error {
+		err := srv.Close()
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
+		os.RemoveAll(dir)
+		return err
+	}, nil
+}
+
+// populateWire creates the shared account population through the wire
+// and returns the OIDs.
+func populateWire(c *client.Client, objects int) ([]oodb.OID, error) {
+	oids := make([]oodb.OID, 0, objects)
+	classes := []string{"savings", "checking"}
+	for created := 0; created < objects; {
+		tx := client.NewTx()
+		n := objects - created
+		if n > 128 {
+			n = 128
+		}
+		refs := make([]client.Ref, 0, n)
+		for i := 0; i < n; i++ {
+			// Zero-valued fields, matching the embedded scenarios'
+			// population exactly.
+			refs = append(refs, tx.New(classes[(created+i)%len(classes)]))
+		}
+		res, err := c.Do(context.Background(), tx)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range refs {
+			oid, err := res.OID(r.Index())
+			if err != nil {
+				return nil, err
+			}
+			oids = append(oids, oid)
+		}
+		created += n
+	}
+	return oids, nil
+}
+
+// wireWorker drives the banking send-heavy mix (50% deposit, 30%
+// getbalance as a view, 20% withdraw) through one connectionful of
+// pipelined or blocking transactions.
+type wireWorker struct {
+	c       *client.Client
+	rng     *rand.Rand
+	objects []oodb.OID
+	sc      WireScenario
+	update  *client.Tx
+	view    *client.Tx
+	window  []*client.Pending
+	hist    *LatHist
+	ops     int64
+}
+
+func (w *wireWorker) runOne(ctx context.Context) error {
+	oid := w.objects[w.rng.Intn(len(w.objects))]
+	var tx *client.Tx
+	switch n := w.rng.Intn(100); {
+	case n < 50:
+		tx = w.update.Reset()
+		tx.Send(oid, "deposit", int64(1))
+	case n < 80:
+		tx = w.view.Reset()
+		tx.Send(oid, "getbalance")
+	default:
+		tx = w.update.Reset()
+		tx.Send(oid, "withdraw", int64(1))
+	}
+	t0 := time.Now()
+	if !w.sc.Pipelined {
+		if _, err := w.c.Do(ctx, tx); err != nil {
+			return err
+		}
+		w.hist.Record(time.Since(t0))
+		w.ops++
+		return nil
+	}
+	p, err := w.c.Start(ctx, tx)
+	if err != nil {
+		return err
+	}
+	w.window = append(w.window, p)
+	depth := w.sc.Depth
+	if depth <= 0 {
+		depth = 64
+	}
+	if len(w.window) >= depth {
+		oldest := w.window[0]
+		copy(w.window, w.window[1:])
+		w.window = w.window[:len(w.window)-1]
+		if _, err := oldest.Wait(); err != nil {
+			return err
+		}
+	}
+	w.hist.Record(time.Since(t0))
+	w.ops++
+	return nil
+}
+
+func (w *wireWorker) drain() error {
+	var first error
+	for _, p := range w.window {
+		if _, err := p.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	w.window = w.window[:0]
+	return first
+}
+
+// RunWireScenario drives the banking send-heavy mix over the wire —
+// against favbench's -addr server when set, else an in-process one on
+// a temp unix socket — and reports committed transactions per second.
+func RunWireScenario(sc WireScenario) (WireResult, error) {
+	addr := wireAddr
+	if addr == "" {
+		a, shutdown, err := openWireServer()
+		if err != nil {
+			return WireResult{}, err
+		}
+		defer shutdown() //nolint:errcheck // benchmark server
+		addr = a
+	}
+	if sc.Objects <= 0 {
+		sc.Objects = 4096
+	}
+	setup, err := client.Dial(addr)
+	if err != nil {
+		return WireResult{}, err
+	}
+	objects, err := populateWire(setup, sc.Objects)
+	setup.Close()
+	if err != nil {
+		return WireResult{}, err
+	}
+
+	workers := make([]*wireWorker, sc.Workers)
+	var hist LatHist
+	for i := range workers {
+		c, err := client.Dial(addr)
+		if err != nil {
+			return WireResult{}, err
+		}
+		defer c.Close()
+		workers[i] = &wireWorker{
+			c:       c,
+			rng:     rand.New(rand.NewSource(sc.Seed + int64(i)*104729)),
+			objects: objects,
+			sc:      sc,
+			update:  client.NewTx(),
+			view:    client.NewView(),
+			hist:    &hist,
+		}
+	}
+
+	phase := func(d time.Duration) (int64, time.Duration, error) {
+		stop := make(chan struct{})
+		timer := time.AfterFunc(d, func() { close(stop) })
+		defer timer.Stop()
+		var (
+			wg    sync.WaitGroup
+			total atomic.Int64
+		)
+		errs := make(chan error, len(workers))
+		start := time.Now()
+		for _, w := range workers {
+			wg.Add(1)
+			go func(w *wireWorker) {
+				defer wg.Done()
+				w.ops = 0
+				for {
+					select {
+					case <-stop:
+						if err := w.drain(); err != nil {
+							errs <- err
+							return
+						}
+						total.Add(w.ops)
+						return
+					default:
+					}
+					if err := w.runOne(context.Background()); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		close(errs)
+		for e := range errs {
+			return 0, 0, e
+		}
+		return total.Load(), wall, nil
+	}
+
+	if sc.Warmup > 0 {
+		if _, _, err := phase(sc.Warmup); err != nil {
+			return WireResult{}, err
+		}
+		hist.Reset()
+	}
+	dur := sc.Duration
+	if dur <= 0 {
+		dur = 2 * time.Second
+	}
+	ops, wall, err := phase(dur)
+	if err != nil {
+		return WireResult{}, err
+	}
+	return WireResult{
+		Ops:    ops,
+		Wall:   wall,
+		PerSec: float64(ops) / wall.Seconds(),
+		P50:    hist.Quantile(0.50),
+		P95:    hist.Quantile(0.95),
+		P99:    hist.Quantile(0.99),
+	}, nil
+}
+
+// runEmbeddedBaseline runs the matching embedded durable scenario (same
+// schema, mix, population, sync policy) for the experiment's embedded
+// rows.
+func runEmbeddedBaseline(workers int, pipelined bool, d, warmup time.Duration) (EngineScenarioResult, error) {
+	dir, err := os.MkdirTemp("", "favserv-embed-*")
+	if err != nil {
+		return EngineScenarioResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	sc := DefaultEngineScenario(EngineBanking, EngineSendHeavy, DistUniform, workers)
+	sc.Durable = true
+	sc.Dir = dir
+	sc.GroupCommitWindow = 200 * time.Microsecond
+	sc.Pipelined = pipelined
+	sc.Duration = d
+	sc.Warmup = warmup
+	return RunEngineScenario(sc)
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "networktax",
+		Title: "Network tax: embedded vs wire (unix socket), pipelined vs blocking",
+		Paper: "section 7: the protocol only wins if its per-message cost stays small — here measured with a client/server hop and full-sync durability in the loop",
+		Run:   runNetworkTax,
+	})
+}
+
+func runNetworkTax(w io.Writer) error {
+	d, warm := runDuration, runWarmup
+	if d <= 0 {
+		d, warm = 2*time.Second, 300*time.Millisecond
+	}
+	t := NewTable("path", "commit", "workers", "txns", "txn/s", "p50", "p95", "p99")
+	row := func(path, commit string, workers int, ops int64, perSec float64, p50, p95, p99 time.Duration) {
+		t.AddF(path, commit, workers, ops, fmt.Sprintf("%.0f", perSec),
+			p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+	}
+	for _, workers := range []int{1, 64} {
+		for _, pipelined := range []bool{false, true} {
+			commit := "blocking"
+			if pipelined {
+				commit = "pipelined"
+			}
+			er, err := runEmbeddedBaseline(workers, pipelined, d, warm)
+			if err != nil {
+				return err
+			}
+			row("embedded", commit, workers, er.Ops, er.PerSec, er.P50, er.P95, er.P99)
+			wr, err := RunWireScenario(WireScenario{
+				Workers: workers, Duration: d, Warmup: warm,
+				Pipelined: pipelined, Seed: 42,
+			})
+			if err != nil {
+				return err
+			}
+			row("wire", commit, workers, wr.Ops, wr.PerSec, wr.P50, wr.P95, wr.P99)
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "  shape: at w1 the wire pays a full round trip per transaction, so")
+	fmt.Fprintln(w, "  blocking embedded vs wire isolates the protocol+syscall tax; at w64")
+	fmt.Fprintln(w, "  pipelined, one group-commit fsync carries many sockets' transactions")
+	fmt.Fprintln(w, "  and the wire approaches the embedded pipelined rate")
+	return nil
+}

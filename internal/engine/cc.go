@@ -76,18 +76,21 @@ type Strategy interface {
 
 // liveAcquirer locks through the lock manager on behalf of one txn.
 // trace, non-nil only while the flight recorder is armed for this
-// transaction, receives a lock-wait event for every acquire that queued.
+// transaction, receives a lock-wait event for every acquire that
+// queued. done, non-nil only when the caller bound a cancellable
+// context to the transaction, withdraws queued waits on cancellation.
 type liveAcquirer struct {
 	locks *lock.Manager
 	txn   lock.TxnID
 	trace *obs.TxnTrace
+	done  <-chan struct{}
 }
 
 // Acquire implements Acquirer.
 func (l liveAcquirer) Acquire(res lock.ResourceID, mode lock.Mode) error {
-	if l.trace != nil {
-		waited, err := l.locks.AcquireWait(l.txn, res, mode)
-		if waited > 0 {
+	if l.trace != nil || l.done != nil {
+		waited, err := l.locks.AcquireWaitDone(l.txn, res, mode, l.done)
+		if l.trace != nil && waited > 0 {
 			l.trace.Add(obs.EvLockWait, waited, res.OID)
 		}
 		return err

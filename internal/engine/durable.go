@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -100,6 +101,14 @@ func (db *DB) Recovery() wal.RecoveryInfo { return db.recovery }
 // the group commit's fsync is in flight.
 func (db *DB) RunWithRetryPipelined(fn func(*txn.Txn) error) (txn.Future, error) {
 	return db.Txns.RunWithRetryPipelined(fn)
+}
+
+// RunWithRetryPipelinedCtx is RunWithRetryPipelined honoring ctx before
+// each attempt, during lock waits and across the retry backoff. The
+// returned future is not bound to ctx; bound the wait with
+// Future.WaitDone(ctx.Done()) if needed.
+func (db *DB) RunWithRetryPipelinedCtx(ctx context.Context, fn func(*txn.Txn) error) (txn.Future, error) {
+	return db.Txns.RunWithRetryPipelinedCtx(ctx, fn)
 }
 
 // Failed reports the redo log's latched fail-stop error: nil while the

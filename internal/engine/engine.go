@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -144,6 +145,13 @@ func (db *DB) RunWithRetry(fn func(*txn.Txn) error) error {
 	return db.Txns.RunWithRetry(fn)
 }
 
+// RunWithRetryCtx is RunWithRetry honoring ctx at every blocking point:
+// lock waits, the retry backoff, and the commit's durability wait (see
+// txn.Manager.RunWithRetryCtx for the unacked-commit caveat).
+func (db *DB) RunWithRetryCtx(ctx context.Context, fn func(*txn.Txn) error) error {
+	return db.Txns.RunWithRetryCtx(ctx, fn)
+}
+
 // RunReadOnly executes fn as a snapshot transaction when the strategy
 // allows it: zero lock-manager requests, no blocking, no deadlock (so
 // no retry loop), reading the newest committed slot values at or below
@@ -160,6 +168,16 @@ func (db *DB) RunReadOnly(fn func(*txn.Txn) error) error {
 		return db.RunWithRetry(fn)
 	}
 	return db.Txns.RunReadOnly(fn)
+}
+
+// RunReadOnlyCtx is RunReadOnly honoring ctx: on the snapshot path the
+// only cancellation points are before begin (snapshot reads never
+// block); on the locking fallback ctx bounds lock waits too.
+func (db *DB) RunReadOnlyCtx(ctx context.Context, fn func(*txn.Txn) error) error {
+	if !db.CC.SnapshotReads() {
+		return db.RunWithRetryCtx(ctx, fn)
+	}
+	return db.Txns.RunReadOnlyCtx(ctx, fn)
 }
 
 // SnapshotSafe reports whether a method is statically read-only per its
@@ -298,7 +316,7 @@ func (db *DB) getEC(tx *txn.Txn) *execCtx {
 			ec.snapshot = true
 			ec.snapEpoch = tx.SnapshotEpoch()
 		} else {
-			ec.live = liveAcquirer{locks: db.Txns.Locks(), txn: tx.ID, trace: tx.Trace()}
+			ec.live = liveAcquirer{locks: db.Txns.Locks(), txn: tx.ID, trace: tx.Trace(), done: tx.Done()}
 			ec.acq = &ec.live
 		}
 	}
@@ -364,7 +382,7 @@ func (db *DB) DeleteInstance(tx *txn.Txn, oid storage.OID) error {
 	if !ok {
 		return fmt.Errorf("engine: no instance with OID %d", oid)
 	}
-	acq := liveAcquirer{locks: db.Locks(), txn: tx.ID, trace: tx.Trace()}
+	acq := liveAcquirer{locks: db.Locks(), txn: tx.ID, trace: tx.Trace(), done: tx.Done()}
 	if err := db.CC.Delete(&acq, db.rt, uint64(oid), in.Class); err != nil {
 		return err
 	}

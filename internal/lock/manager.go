@@ -41,6 +41,12 @@ func IsDeadlock(err error) bool {
 // ErrTimeout is returned when a configured wait timeout elapses.
 var ErrTimeout = errors.New("lock: wait timeout")
 
+// ErrCanceled is returned by AcquireWaitDone when the caller's
+// cancellation channel fires before the lock is granted. Unlike
+// ErrTimeout it is not retryable: the caller gave up, the lock manager
+// didn't.
+var ErrCanceled = errors.New("lock: wait canceled")
+
 // Stats are cumulative lock-manager counters. They feed the paper-shape
 // experiments: Requests and Blocks quantify the locking-overhead problem
 // (section 3, problem "locking overhead"), Upgrades and
@@ -246,6 +252,16 @@ func (m *Manager) SetWaitHist(h *obs.Hist) { m.waitHist.Store(h) }
 // requests). Callers instrumenting lock convoys (the engine's flight
 // recorder) use the duration; everyone else goes through Acquire.
 func (m *Manager) AcquireWait(txn TxnID, res ResourceID, mode Mode) (time.Duration, error) {
+	return m.AcquireWaitDone(txn, res, mode, nil)
+}
+
+// AcquireWaitDone is AcquireWait bounded by a cancellation channel: if
+// done fires while the request is queued, the waiter is withdrawn and
+// ErrCanceled returned. The fast path (reentrant or immediate grant)
+// never consults done — cancellation is only observed at points where
+// the request would sleep, matching context semantics on the facade. A
+// nil done is exactly AcquireWait.
+func (m *Manager) AcquireWaitDone(txn TxnID, res ResourceID, mode Mode, done <-chan struct{}) (time.Duration, error) {
 	m.stats.requests.Add(1)
 	sh, h := m.shardFor(res)
 	sh.mu.Lock()
@@ -283,7 +299,7 @@ func (m *Manager) AcquireWait(txn TxnID, res ResourceID, mode Mode) (time.Durati
 	sh.mu.Unlock()
 
 	start := time.Now()
-	err := m.block(txn, w, sh, res, h)
+	err := m.block(txn, w, sh, res, h, done)
 	waited := time.Since(start)
 	if hist := m.waitHist.Load(); hist != nil {
 		hist.Record(waited)
@@ -292,36 +308,53 @@ func (m *Manager) AcquireWait(txn TxnID, res ResourceID, mode Mode) (time.Durati
 }
 
 // block runs the slow half of an acquire — deadlock detection, then the
-// grant/timeout wait — after the waiter has been enqueued.
-func (m *Manager) block(txn TxnID, w *waiter, sh *shard, res ResourceID, h uint64) error {
+// grant/timeout/cancellation wait — after the waiter has been enqueued.
+func (m *Manager) block(txn TxnID, w *waiter, sh *shard, res ResourceID, h uint64, done <-chan struct{}) error {
 	if err := m.detectDeadlock(txn, w, sh); err != nil {
 		return err
 	}
 
-	if m.WaitTimeout <= 0 {
+	if m.WaitTimeout <= 0 && done == nil {
 		return m.await(w)
 	}
-	timer := time.NewTimer(m.WaitTimeout)
-	defer timer.Stop()
+	// A select on a nil channel blocks forever, so an unset timeout or
+	// an absent done channel simply drops out of the race.
+	var timeout <-chan time.Time
+	if m.WaitTimeout > 0 {
+		timer := time.NewTimer(m.WaitTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	select {
 	case err := <-w.ready:
 		m.recycleWaiter(w)
 		return err
-	case <-timer.C:
-		sh.mu.Lock()
-		if e := sh.table.get(res, h); e != nil && e.removeWaiter(w) {
-			m.reg.remove(txn)
-			m.stats.timeouts.Add(1)
-			sh.promote(m, e)
-			sh.mu.Unlock()
-			m.dropStateIfEmpty(txn, w.state)
-			m.recycleWaiter(w)
-			return ErrTimeout
-		}
-		// Granted between timeout and lock: consume the grant.
-		sh.mu.Unlock()
-		return m.await(w)
+	case <-timeout:
+		return m.withdraw(txn, w, sh, res, h, ErrTimeout)
+	case <-done:
+		return m.withdraw(txn, w, sh, res, h, ErrCanceled)
 	}
+}
+
+// withdraw removes a waiter whose timeout or cancellation fired. If the
+// grant raced ahead of the withdrawal, the grant wins and cause is
+// dropped — the lock is held, the caller proceeds.
+func (m *Manager) withdraw(txn TxnID, w *waiter, sh *shard, res ResourceID, h uint64, cause error) error {
+	sh.mu.Lock()
+	if e := sh.table.get(res, h); e != nil && e.removeWaiter(w) {
+		m.reg.remove(txn)
+		if cause == ErrTimeout {
+			m.stats.timeouts.Add(1)
+		}
+		sh.promote(m, e)
+		sh.mu.Unlock()
+		m.dropStateIfEmpty(txn, w.state)
+		m.recycleWaiter(w)
+		return cause
+	}
+	// Granted between the wakeup and the lock: consume the grant.
+	sh.mu.Unlock()
+	return m.await(w)
 }
 
 // await consumes the grant signal and recycles the waiter.

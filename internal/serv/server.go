@@ -1,0 +1,477 @@
+package serv
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/oodb"
+)
+
+// Config tunes a Server beyond its listener.
+type Config struct {
+	// MaxFrame bounds request payloads (0: DefaultMaxFrame).
+	MaxFrame int
+	// Logf, when non-nil, receives connection-level diagnostics
+	// (handshake failures, protocol errors). The data path never logs.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of the server's cumulative counters.
+type Stats struct {
+	SessionsTotal int64 // connections accepted over the server's lifetime
+	ConnsActive   int64 // sessions currently open
+	Inflight      int64 // requests read but not yet responded to
+	Requests      int64 // requests executed, by op
+	Txns          int64 // OpTxn updates (pipelined + blocking)
+	Views         int64 // OpTxn views
+	Errors        int64 // requests answered with a non-OK status
+}
+
+// Server owns a listener and its sessions. One Server serves one
+// Database; sessions share the engine directly, so a group-commit
+// fsync amortizes across every connection with a commit in flight.
+type Server struct {
+	db  *oodb.Database
+	ln  net.Listener
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	closing  atomic.Bool
+	acceptWG sync.WaitGroup
+	sessWG   sync.WaitGroup
+
+	sessionsTotal atomic.Int64
+	connsActive   atomic.Int64
+	inflight      atomic.Int64
+	requests      atomic.Int64
+	txns          atomic.Int64
+	views         atomic.Int64
+	errorsTotal   atomic.Int64
+
+	// Request-latency histograms per command type, registered on the
+	// database's obs registry (nil under NoMetrics). For pipelined
+	// transactions the txn histogram measures through sequencing (the
+	// client-visible dequeue-to-ack path adds the durability wait).
+	histTxn  histRecorder
+	histView histRecorder
+	histPing histRecorder
+}
+
+// histRecorder is an obs.Hist that may be absent (NoMetrics).
+type histRecorder struct {
+	h interface{ Record(time.Duration) }
+}
+
+func (hr histRecorder) record(d time.Duration) {
+	if hr.h != nil {
+		hr.h.Record(d)
+	}
+}
+
+// Listen starts serving db on the given network address ("tcp",
+// "unix") and returns once the listener is bound. Close performs a
+// graceful drain.
+func Listen(db *oodb.Database, network, addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(db, ln, cfg), nil
+}
+
+// Serve starts serving db on an already-bound listener.
+func Serve(db *oodb.Database, ln net.Listener, cfg Config) *Server {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	s := &Server{db: db, ln: ln, cfg: cfg, sessions: make(map[*session]struct{})}
+	s.registerMetrics()
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// registerMetrics surfaces the serving layer through the database's
+// observability registry: conn/session/inflight gauges and per-command
+// latency histograms, alongside the engine's own series.
+func (s *Server) registerMetrics() {
+	reg := s.db.Metrics()
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("favserv_conns_active", "open client sessions", "", s.connsActive.Load)
+	reg.GaugeFunc("favserv_inflight_requests", "requests read but not yet responded to", "", s.inflight.Load)
+	reg.CounterFunc("favserv_sessions_total", "client sessions accepted", "", s.sessionsTotal.Load)
+	reg.CounterFunc("favserv_requests_total", "requests executed", "", s.requests.Load)
+	reg.CounterFunc("favserv_request_errors_total", "requests answered non-OK", "", s.errorsTotal.Load)
+	help := "server-side request latency (txn: through commit sequencing)"
+	s.histTxn.h = reg.Histogram("favserv_request_seconds", help, obs.Labels("op", "txn"), true)
+	s.histView.h = reg.Histogram("favserv_request_seconds", help, obs.Labels("op", "view"), true)
+	s.histPing.h = reg.Histogram("favserv_request_seconds", help, obs.Labels("op", "ping"), true)
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		SessionsTotal: s.sessionsTotal.Load(),
+		ConnsActive:   s.connsActive.Load(),
+		Inflight:      s.inflight.Load(),
+		Requests:      s.requests.Load(),
+		Txns:          s.txns.Load(),
+		Views:         s.views.Load(),
+		Errors:        s.errorsTotal.Load(),
+	}
+}
+
+// Close drains gracefully: stop accepting, unblock every session's
+// reader, finish executing and answering everything already received,
+// then close the connections. It does not close the database — callers
+// sequence `srv.Close(); db.Close()` so acked commits are flushed by
+// the database's own close.
+func (s *Server) Close() error {
+	if !s.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.acceptWG.Wait()
+	s.mu.Lock()
+	for sess := range s.sessions {
+		// Cut the blocking read; anything already read keeps executing.
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.sessWG.Wait()
+	return err
+}
+
+// Abort closes the listener and every connection immediately, without
+// draining. Crash-simulation tests use it; production uses Close.
+func (s *Server) Abort() {
+	s.closing.Store(true)
+	s.ln.Close()
+	s.acceptWG.Wait()
+	s.mu.Lock()
+	for sess := range s.sessions {
+		sess.conn.Close()
+	}
+	s.mu.Unlock()
+	s.sessWG.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !s.closing.Load() {
+				s.logf("serv: accept: %v", err)
+			}
+			return
+		}
+		if s.closing.Load() {
+			conn.Close()
+			return
+		}
+		sess := &session{
+			srv:  s,
+			conn: conn,
+			out:  make(chan *pending, pipelineDepth),
+		}
+		s.mu.Lock()
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.sessionsTotal.Add(1)
+		s.connsActive.Add(1)
+		s.sessWG.Add(2)
+		go sess.readLoop()
+		go sess.writeLoop()
+	}
+}
+
+// pipelineDepth bounds responses queued between a session's reader and
+// writer. Past it the reader stops consuming requests — natural
+// backpressure on a client that pipelines faster than fsync drains.
+const pipelineDepth = 256
+
+// pending is one request's response en route to the writer: the
+// already-encoded success payload and, for pipelined commits, the
+// durability future the writer must resolve before the bytes may be
+// acked to the client.
+type pending struct {
+	buf    []byte
+	id     uint64
+	fut    oodb.Future
+	hasFut bool
+}
+
+// session is one client connection: a reader goroutine that decodes and
+// executes requests in arrival order, and a writer goroutine that
+// resolves durability futures and writes responses in the same order.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	out  chan *pending
+}
+
+func (sess *session) readLoop() {
+	s := sess.srv
+	defer func() {
+		close(sess.out)
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		s.sessWG.Done()
+	}()
+	if err := ReadHandshake(sess.conn); err != nil {
+		s.logf("serv: %v", err)
+		return
+	}
+	if err := WriteHandshake(sess.conn); err != nil {
+		return
+	}
+	br := bufio.NewReaderSize(sess.conn, 64<<10)
+	var (
+		req  Request
+		buf  []byte
+		err  error
+		oids []oodb.OID // per-batch CmdNew results for target references
+	)
+	for {
+		buf, err = ReadFrame(br, s.cfg.MaxFrame, buf)
+		if err != nil {
+			if !s.closing.Load() && !isConnClosed(err) {
+				s.logf("serv: read: %v", err)
+			}
+			return
+		}
+		if err := DecodeRequest(buf, &req); err != nil {
+			s.logf("serv: %v", err)
+			return
+		}
+		s.inflight.Add(1)
+		p := &pending{id: req.ID}
+		oids = sess.execute(&req, p, oids)
+		sess.out <- p
+	}
+}
+
+func (sess *session) writeLoop() {
+	s := sess.srv
+	defer s.sessWG.Done()
+	bw := bufio.NewWriterSize(sess.conn, 64<<10)
+	var hdr [frameHeaderSize]byte
+	for p := range sess.out {
+		if p.hasFut {
+			if err := p.fut.Wait(); err != nil {
+				// The commit was acked by the engine but the log went
+				// fail-stop before hardening it: the client must not
+				// take the response as durable.
+				p.buf = appendErrResponse(p.buf[:0], p.id, err)
+			}
+		}
+		if err := WriteFrame(bw, &hdr, p.buf); err != nil {
+			sess.drainPendings()
+			s.connsActive.Add(-1)
+			sess.conn.Close()
+			return
+		}
+		s.inflight.Add(-1)
+		if len(sess.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				sess.drainPendings()
+				s.connsActive.Add(-1)
+				sess.conn.Close()
+				return
+			}
+		}
+	}
+	bw.Flush()
+	s.connsActive.Add(-1)
+	sess.conn.Close()
+}
+
+// drainPendings consumes the rest of the out queue after a write
+// failure, resolving futures so pooled commit tickets recycle.
+func (sess *session) drainPendings() {
+	for p := range sess.out {
+		if p.hasFut {
+			p.fut.Wait()
+		}
+		sess.srv.inflight.Add(-1)
+	}
+}
+
+func isConnClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}
+
+// appendErrResponse encodes a failure response carrying the error's
+// taxonomy code, so the client reconstructs an error satisfying the
+// same oodb.Is* predicates.
+func appendErrResponse(b []byte, id uint64, err error) []byte {
+	resp := Response{ID: id, Status: oodb.ErrorCode(err), Err: err.Error()}
+	if resp.Status == oodb.CodeOK {
+		resp.Status = oodb.CodeOther
+	}
+	b, _ = AppendResponse(b, &resp)
+	return b
+}
+
+// execute runs one decoded request and leaves the encoded response (or
+// the pipelined future plus pre-encoded success response) on p. It
+// returns the oids scratch for reuse.
+func (sess *session) execute(req *Request, p *pending, oids []oodb.OID) []oodb.OID {
+	s := sess.srv
+	start := time.Now()
+	s.requests.Add(1)
+	switch req.Op {
+	case OpPing:
+		p.buf, _ = AppendResponse(p.buf[:0], &Response{ID: req.ID})
+		s.histPing.record(time.Since(start))
+		return oids
+	case OpStats:
+		js, err := json.Marshal(s.Stats())
+		if err != nil {
+			p.buf = appendErrResponse(p.buf[:0], req.ID, err)
+			s.errorsTotal.Add(1)
+			return oids
+		}
+		p.buf, _ = AppendResponse(p.buf[:0], &Response{ID: req.ID, Stats: string(js)})
+		return oids
+	case OpTxn:
+	default:
+		s.errorsTotal.Add(1)
+		p.buf = appendErrResponse(p.buf[:0], req.ID, fmt.Errorf("serv: unknown op %d", req.Op))
+		return oids
+	}
+
+	ctx := context.Background()
+	if req.DeadlineMicro > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMicro)*time.Microsecond)
+		defer cancel()
+	}
+
+	results := make([]Result, 0, len(req.Cmds))
+	run := func(tx *oodb.Txn) error {
+		// The batch may rerun after a deadlock abort: results and the
+		// created-OID scratch reset per attempt.
+		results = results[:0]
+		oids = oids[:0]
+		for i := range req.Cmds {
+			c := &req.Cmds[i]
+			oids = append(oids, 0)
+			res := Result{Kind: c.Kind}
+			switch c.Kind {
+			case CmdSend:
+				oid, err := resolveTarget(c, oids)
+				if err != nil {
+					return err
+				}
+				out, err := tx.Send(oid, c.Method, valuesToGo(c.Args)...)
+				if err != nil {
+					return err
+				}
+				v, err := GoToValue(out)
+				if err != nil {
+					return err
+				}
+				res.Val = v
+			case CmdNew:
+				oid, err := tx.New(c.Class, valuesToGo(c.Args)...)
+				if err != nil {
+					return err
+				}
+				oids[i] = oid
+				res.OID = uint64(oid)
+			case CmdDelete:
+				oid, err := resolveTarget(c, oids)
+				if err != nil {
+					return err
+				}
+				if err := tx.Delete(oid); err != nil {
+					return err
+				}
+			case CmdScan:
+				n, err := tx.ScanSend(c.Class, c.Method, c.Hier, valuesToGo(c.Args)...)
+				if err != nil {
+					return err
+				}
+				res.Count = uint64(n)
+			}
+			results = append(results, res)
+		}
+		return nil
+	}
+
+	var err error
+	hist := s.histTxn
+	switch {
+	case req.Flags&FlagView != 0:
+		s.views.Add(1)
+		hist = s.histView
+		err = s.db.ViewCtx(ctx, run)
+	case req.Flags&FlagBlocking != 0:
+		s.txns.Add(1)
+		err = s.db.UpdateCtx(ctx, run)
+	default:
+		s.txns.Add(1)
+		var fut oodb.Future
+		fut, err = s.db.UpdateAsyncCtx(ctx, run)
+		if err == nil {
+			p.fut, p.hasFut = fut, true
+		}
+	}
+	hist.record(time.Since(start))
+	if err != nil {
+		s.errorsTotal.Add(1)
+		p.buf = appendErrResponse(p.buf[:0], req.ID, err)
+		return oids
+	}
+	p.buf, err = AppendResponse(p.buf[:0], &Response{ID: req.ID, Results: results})
+	if err != nil {
+		s.errorsTotal.Add(1)
+		p.buf = appendErrResponse(p.buf[:0], req.ID, err)
+	}
+	return oids
+}
+
+func resolveTarget(c *Cmd, oids []oodb.OID) (oodb.OID, error) {
+	if c.Ref < 0 {
+		return oodb.OID(c.OID), nil
+	}
+	if c.Ref >= len(oids) || oids[c.Ref] == 0 {
+		return 0, fmt.Errorf("serv: command references command %d, which created nothing", c.Ref)
+	}
+	return oids[c.Ref], nil
+}
+
+func valuesToGo(vals []storage.Value) []any {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		out[i] = ValueToGo(v)
+	}
+	return out
+}

@@ -1,0 +1,682 @@
+// Package serv is the network front-end of the database: a TCP /
+// unix-socket server speaking a length-prefixed binary protocol with
+// per-connection sessions and pipelined requests, plus the shared wire
+// codec the public oodb/client package reuses.
+//
+// # Frame layout
+//
+// Every message after the handshake travels in one frame, framed
+// exactly like a WAL record (length + CRC-32C over the payload,
+// little-endian):
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//
+// A frame whose length exceeds the negotiated bound or whose checksum
+// mismatches is a protocol error: the connection is closed (the server
+// never resynchronizes inside a byte stream it cannot trust).
+//
+// # Handshake
+//
+// The client opens with 8 bytes — "FAVS", a version byte, three
+// reserved zero bytes — and the server echoes its own 8 bytes back.
+// Either side closes on a magic or version mismatch.
+//
+// # Requests
+//
+// Request payload:
+//
+//	u64 requestID | u8 op | body
+//
+// Request IDs are chosen by the client (monotonic per connection) and
+// echoed verbatim in the response; responses to one connection's
+// requests are delivered in request order. Ops: OpTxn runs a command
+// batch in one transaction, OpPing is a no-op round trip, OpStats
+// returns a JSON snapshot of the server's counters.
+//
+// OpTxn body:
+//
+//	u8 flags | uvarint deadlineMicros | u8 ncmds | ncmds × cmd
+//
+// FlagView runs the batch read-only on the snapshot path; FlagBlocking
+// commits unpipelined (the response is written only after this
+// transaction's own fsync wait, instead of riding the pipelined
+// group-commit ack). deadlineMicros > 0 bounds the whole transaction —
+// lock waits, retry backoff, fsync wait — server-side via
+// context.WithTimeout.
+//
+// Commands (receivers of Send/Delete are either a literal OID or a
+// reference to the result of an earlier New in the same batch):
+//
+//	CmdSend:   u8 kind | target | str method | u8 nargs | nargs × value
+//	CmdNew:    u8 kind | str class | u8 nvals | nvals × value
+//	CmdDelete: u8 kind | target
+//	CmdScan:   u8 kind | str class | str method | u8 hier | u8 nargs | nargs × value
+//
+//	target: u8 idx — 0xFF followed by uvarint literalOID, or the
+//	        index of an earlier CmdNew whose created OID is the receiver
+//	str:    uvarint len | bytes
+//	value:  u8 kind | int: varint | bool: u8 | string: str | ref: uvarint
+//
+// # Responses
+//
+// Response payload:
+//
+//	u64 requestID | u8 status | rest
+//
+// status is the oodb.Code of the outcome (CodeOK = success). On
+// failure, rest is one str with the error message — the code travels
+// losslessly, so client-side errors satisfy the same oodb.Is*
+// predicates as embedded ones. On success, rest is the op's result: for
+// OpTxn, u8 nresults then one result per command (CmdSend: value;
+// CmdNew: uvarint OID; CmdDelete: nothing; CmdScan: uvarint count); for
+// OpPing nothing; for OpStats one str of JSON.
+package serv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/storage"
+	"repro/oodb"
+)
+
+// Protocol constants.
+const (
+	// Version is the protocol version carried in the handshake.
+	Version = 1
+
+	// DefaultMaxFrame bounds a frame's payload (requests and
+	// responses). Large enough for any sane command batch; small enough
+	// that a garbage length prefix cannot make a peer allocate gigabytes.
+	DefaultMaxFrame = 8 << 20
+
+	frameHeaderSize = 8
+	handshakeSize   = 8
+)
+
+// handshakeMagic is the first four bytes of the 8-byte hello.
+var handshakeMagic = [4]byte{'F', 'A', 'V', 'S'}
+
+// Ops.
+const (
+	OpTxn   = 1
+	OpPing  = 2
+	OpStats = 3
+)
+
+// OpTxn flags.
+const (
+	// FlagView runs the batch read-only (snapshot path; writes fail
+	// with CodeSnapshotWrite).
+	FlagView = 1 << 0
+	// FlagBlocking commits unpipelined: the transaction blocks on its
+	// own durability wait before the response is encoded.
+	FlagBlocking = 1 << 1
+)
+
+// Command kinds.
+const (
+	CmdSend   = 1
+	CmdNew    = 2
+	CmdDelete = 3
+	CmdScan   = 4
+)
+
+// refLiteral in a target byte means "a literal uvarint OID follows";
+// any other value is the index of an earlier CmdNew in the same batch.
+const refLiteral = 0xFF
+
+// MaxCmds bounds the commands in one batch (the count is a u8 and
+// refLiteral is reserved).
+const MaxCmds = 254
+
+// Wire value kinds (decoupled from storage's internal iota).
+const (
+	wireInt  = 0
+	wireBool = 1
+	wireStr  = 2
+	wireRef  = 3
+)
+
+var (
+	// ErrBadFrame is a framing-level protocol error (oversized length,
+	// checksum mismatch, truncated payload).
+	ErrBadFrame = errors.New("serv: bad frame")
+	// ErrBadHandshake is a magic or version mismatch on connect.
+	ErrBadHandshake = errors.New("serv: bad handshake")
+	// ErrBadPayload is a malformed payload inside a valid frame.
+	ErrBadPayload = errors.New("serv: bad payload")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Cmd is one decoded command of a transaction batch.
+type Cmd struct {
+	Kind   uint8
+	Ref    int    // CmdSend/CmdDelete: index of the CmdNew supplying the receiver, or -1
+	OID    uint64 // literal receiver when Ref < 0
+	Class  string // CmdNew, CmdScan
+	Method string // CmdSend, CmdScan
+	Hier   bool   // CmdScan
+	Args   []storage.Value
+}
+
+// Request is one decoded request.
+type Request struct {
+	ID            uint64
+	Op            uint8
+	Flags         uint8
+	DeadlineMicro uint64
+	Cmds          []Cmd
+}
+
+// Result is one command's result inside a successful OpTxn response.
+type Result struct {
+	Kind  uint8
+	Val   storage.Value // CmdSend
+	OID   uint64        // CmdNew
+	Count uint64        // CmdScan
+}
+
+// Response is one decoded response.
+type Response struct {
+	ID      uint64
+	Status  oodb.Code
+	Err     string
+	Results []Result
+	Stats   string // OpStats payload
+}
+
+// WriteHandshake writes the 8-byte hello.
+func WriteHandshake(w io.Writer) error {
+	var b [handshakeSize]byte
+	copy(b[:], handshakeMagic[:])
+	b[4] = Version
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadHandshake reads and validates the peer's hello.
+func ReadHandshake(r io.Reader) error {
+	var b [handshakeSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	if [4]byte(b[:4]) != handshakeMagic {
+		return fmt.Errorf("%w: magic %q", ErrBadHandshake, b[:4])
+	}
+	if b[4] != Version {
+		return fmt.Errorf("%w: peer version %d, want %d", ErrBadHandshake, b[4], Version)
+	}
+	return nil
+}
+
+// WriteFrame frames payload (length + CRC) onto w.
+func WriteFrame(w io.Writer, hdr *[frameHeaderSize]byte, payload []byte) error {
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame into buf (grown as needed) and returns the
+// validated payload, aliasing buf's storage.
+func ReadFrame(r *bufio.Reader, maxFrame int, buf []byte) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:])
+	if int64(n) > int64(maxFrame) {
+		return nil, fmt.Errorf("%w: %d-byte frame exceeds %d-byte bound", ErrBadFrame, n, maxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	if crc32.Checksum(buf, crcTable) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return buf, nil
+}
+
+// --- payload encoding ---
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v storage.Value) ([]byte, error) {
+	switch v.Kind {
+	case storage.KInt:
+		b = append(b, wireInt)
+		return binary.AppendVarint(b, v.I), nil
+	case storage.KBool:
+		b = append(b, wireBool)
+		if v.B {
+			return append(b, 1), nil
+		}
+		return append(b, 0), nil
+	case storage.KString:
+		b = append(b, wireStr)
+		return appendStr(b, v.S), nil
+	case storage.KRef:
+		b = append(b, wireRef)
+		return binary.AppendUvarint(b, uint64(v.R)), nil
+	}
+	return nil, fmt.Errorf("serv: unencodable value kind %d", v.Kind)
+}
+
+// AppendRequest appends the encoded request payload to b.
+func AppendRequest(b []byte, req *Request) ([]byte, error) {
+	b = binary.LittleEndian.AppendUint64(b, req.ID)
+	b = append(b, req.Op)
+	if req.Op != OpTxn {
+		return b, nil
+	}
+	if len(req.Cmds) > MaxCmds {
+		return nil, fmt.Errorf("serv: %d commands exceed the %d-command batch bound", len(req.Cmds), MaxCmds)
+	}
+	b = append(b, req.Flags)
+	b = binary.AppendUvarint(b, req.DeadlineMicro)
+	b = append(b, uint8(len(req.Cmds)))
+	for i := range req.Cmds {
+		c := &req.Cmds[i]
+		b = append(b, c.Kind)
+		var err error
+		switch c.Kind {
+		case CmdSend:
+			if b, err = appendTarget(b, c); err != nil {
+				return nil, err
+			}
+			b = appendStr(b, c.Method)
+			if b, err = appendArgs(b, c.Args); err != nil {
+				return nil, err
+			}
+		case CmdNew:
+			b = appendStr(b, c.Class)
+			if b, err = appendArgs(b, c.Args); err != nil {
+				return nil, err
+			}
+		case CmdDelete:
+			if b, err = appendTarget(b, c); err != nil {
+				return nil, err
+			}
+		case CmdScan:
+			b = appendStr(b, c.Class)
+			b = appendStr(b, c.Method)
+			if c.Hier {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			if b, err = appendArgs(b, c.Args); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("serv: unknown command kind %d", c.Kind)
+		}
+	}
+	return b, nil
+}
+
+func appendTarget(b []byte, c *Cmd) ([]byte, error) {
+	if c.Ref >= 0 {
+		if c.Ref >= MaxCmds {
+			return nil, fmt.Errorf("serv: command reference %d out of range", c.Ref)
+		}
+		return append(b, uint8(c.Ref)), nil
+	}
+	b = append(b, refLiteral)
+	return binary.AppendUvarint(b, c.OID), nil
+}
+
+func appendArgs(b []byte, args []storage.Value) ([]byte, error) {
+	if len(args) > 255 {
+		return nil, fmt.Errorf("serv: %d arguments exceed the 255-argument bound", len(args))
+	}
+	b = append(b, uint8(len(args)))
+	var err error
+	for _, a := range args {
+		if b, err = appendValue(b, a); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// AppendResponse appends the encoded response payload to b.
+func AppendResponse(b []byte, resp *Response) ([]byte, error) {
+	b = binary.LittleEndian.AppendUint64(b, resp.ID)
+	b = append(b, uint8(resp.Status))
+	if resp.Status != oodb.CodeOK {
+		return appendStr(b, resp.Err), nil
+	}
+	if resp.Stats != "" {
+		return appendStr(b, resp.Stats), nil
+	}
+	b = append(b, uint8(len(resp.Results)))
+	var err error
+	for i := range resp.Results {
+		r := &resp.Results[i]
+		b = append(b, r.Kind)
+		switch r.Kind {
+		case CmdSend:
+			if b, err = appendValue(b, r.Val); err != nil {
+				return nil, err
+			}
+		case CmdNew:
+			b = binary.AppendUvarint(b, r.OID)
+		case CmdDelete:
+		case CmdScan:
+			b = binary.AppendUvarint(b, r.Count)
+		default:
+			return nil, fmt.Errorf("serv: unknown result kind %d", r.Kind)
+		}
+	}
+	return b, nil
+}
+
+// --- payload decoding ---
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u8() (uint8, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrBadPayload
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, ErrBadPayload
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrBadPayload
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrBadPayload
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(r.b)-r.off) < n {
+		return "", ErrBadPayload
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) value() (storage.Value, error) {
+	k, err := r.u8()
+	if err != nil {
+		return storage.Value{}, err
+	}
+	switch k {
+	case wireInt:
+		i, err := r.varint()
+		return storage.IntV(i), err
+	case wireBool:
+		b, err := r.u8()
+		return storage.BoolV(b != 0), err
+	case wireStr:
+		s, err := r.str()
+		return storage.StrV(s), err
+	case wireRef:
+		o, err := r.uvarint()
+		return storage.RefV(storage.OID(o)), err
+	}
+	return storage.Value{}, fmt.Errorf("%w: value kind %d", ErrBadPayload, k)
+}
+
+func (r *reader) args(into []storage.Value) ([]storage.Value, error) {
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	into = into[:0]
+	for i := 0; i < int(n); i++ {
+		v, err := r.value()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, v)
+	}
+	return into, nil
+}
+
+func (r *reader) target(c *Cmd, idx int) error {
+	t, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if t == refLiteral {
+		o, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		c.Ref, c.OID = -1, o
+		return nil
+	}
+	if int(t) >= idx {
+		return fmt.Errorf("%w: command %d references later command %d", ErrBadPayload, idx, t)
+	}
+	c.Ref, c.OID = int(t), 0
+	return nil
+}
+
+// DecodeRequest decodes a request payload into req, reusing req's
+// command and argument storage. Strings are copied out of the payload.
+func DecodeRequest(payload []byte, req *Request) error {
+	r := reader{b: payload}
+	var err error
+	if req.ID, err = r.u64(); err != nil {
+		return err
+	}
+	if req.Op, err = r.u8(); err != nil {
+		return err
+	}
+	req.Flags, req.DeadlineMicro = 0, 0
+	req.Cmds = req.Cmds[:0]
+	if req.Op != OpTxn {
+		return nil
+	}
+	if req.Flags, err = r.u8(); err != nil {
+		return err
+	}
+	if req.DeadlineMicro, err = r.uvarint(); err != nil {
+		return err
+	}
+	ncmds, err := r.u8()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(ncmds); i++ {
+		if cap(req.Cmds) > i {
+			req.Cmds = req.Cmds[:i+1]
+		} else {
+			req.Cmds = append(req.Cmds, Cmd{})
+		}
+		c := &req.Cmds[i]
+		if c.Kind, err = r.u8(); err != nil {
+			return err
+		}
+		c.Class, c.Method, c.Hier = "", "", false
+		switch c.Kind {
+		case CmdSend:
+			if err = r.target(c, i); err != nil {
+				return err
+			}
+			if c.Method, err = r.str(); err != nil {
+				return err
+			}
+			if c.Args, err = r.args(c.Args); err != nil {
+				return err
+			}
+		case CmdNew:
+			c.Ref = -1
+			if c.Class, err = r.str(); err != nil {
+				return err
+			}
+			if c.Args, err = r.args(c.Args); err != nil {
+				return err
+			}
+		case CmdDelete:
+			if err = r.target(c, i); err != nil {
+				return err
+			}
+			c.Args = c.Args[:0]
+		case CmdScan:
+			c.Ref = -1
+			if c.Class, err = r.str(); err != nil {
+				return err
+			}
+			if c.Method, err = r.str(); err != nil {
+				return err
+			}
+			h, err2 := r.u8()
+			if err2 != nil {
+				return err2
+			}
+			c.Hier = h != 0
+			if c.Args, err = r.args(c.Args); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: command kind %d", ErrBadPayload, c.Kind)
+		}
+	}
+	if r.off != len(payload) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(payload)-r.off)
+	}
+	return nil
+}
+
+// DecodeResponse decodes a response payload into resp, reusing resp's
+// result storage. isStats selects the OpStats body shape (the response
+// itself does not carry the op).
+func DecodeResponse(payload []byte, resp *Response, isStats bool) error {
+	r := reader{b: payload}
+	var err error
+	if resp.ID, err = r.u64(); err != nil {
+		return err
+	}
+	st, err := r.u8()
+	if err != nil {
+		return err
+	}
+	resp.Status = oodb.Code(st)
+	resp.Err, resp.Stats = "", ""
+	resp.Results = resp.Results[:0]
+	if resp.Status != oodb.CodeOK {
+		resp.Err, err = r.str()
+		return err
+	}
+	if isStats {
+		resp.Stats, err = r.str()
+		return err
+	}
+	if r.off == len(payload) {
+		return nil // ping: empty success body
+	}
+	n, err := r.u8()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < int(n); i++ {
+		var res Result
+		if res.Kind, err = r.u8(); err != nil {
+			return err
+		}
+		switch res.Kind {
+		case CmdSend:
+			if res.Val, err = r.value(); err != nil {
+				return err
+			}
+		case CmdNew:
+			if res.OID, err = r.uvarint(); err != nil {
+				return err
+			}
+		case CmdDelete:
+		case CmdScan:
+			if res.Count, err = r.uvarint(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: result kind %d", ErrBadPayload, res.Kind)
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	return nil
+}
+
+// GoToValue converts a Go argument (int, int64, bool, string, oodb.OID)
+// into a wire value, mirroring the oodb facade's accepted kinds.
+func GoToValue(a any) (storage.Value, error) {
+	switch v := a.(type) {
+	case int:
+		return storage.IntV(int64(v)), nil
+	case int64:
+		return storage.IntV(v), nil
+	case bool:
+		return storage.BoolV(v), nil
+	case string:
+		return storage.StrV(v), nil
+	case oodb.OID:
+		return storage.RefV(v), nil
+	}
+	return storage.Value{}, fmt.Errorf("serv: unsupported argument type %T", a)
+}
+
+// ValueToGo converts a wire value into the Go value the oodb facade
+// would return (int64, bool, string or oodb.OID).
+func ValueToGo(v storage.Value) any {
+	switch v.Kind {
+	case storage.KInt:
+		return v.I
+	case storage.KBool:
+		return v.B
+	case storage.KString:
+		return v.S
+	case storage.KRef:
+		return v.R
+	}
+	return nil
+}

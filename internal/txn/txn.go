@@ -20,6 +20,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -141,6 +142,25 @@ type Txn struct {
 	trace       obs.TxnTrace
 	traceOn     bool
 	abortReason uint64
+
+	// done, when non-nil, is the caller's cancellation channel
+	// (context.Done): the engine threads it into every blocking lock
+	// acquire. Nil — the default, and what context.Background() yields —
+	// is free: a nil channel never wins a select, so the uncancellable
+	// path costs nothing and allocates nothing.
+	done <-chan struct{}
+}
+
+// Done returns the transaction's cancellation channel (nil when the
+// caller did not bind one).
+func (t *Txn) Done() <-chan struct{} { return t.done }
+
+// BindDone sets the transaction's cancellation channel and returns the
+// previous one, so scoped binds (a facade SendCtx) can restore it.
+func (t *Txn) BindDone(done <-chan struct{}) (prev <-chan struct{}) {
+	prev = t.done
+	t.done = done
+	return prev
 }
 
 // State returns the lifecycle state.
@@ -506,6 +526,17 @@ func (f Future) Wait() error {
 		return nil
 	}
 	return f.w.Wait()
+}
+
+// WaitDone is Wait bounded by a cancellation channel; like Wait, call
+// at most once. On cancellation it returns wal.ErrWaitCanceled — the
+// commit is sequenced and its effects visible, only the durability
+// confirmation was abandoned (a background drainer recycles the ticket).
+func (f Future) WaitDone(done <-chan struct{}) error {
+	if f.w == nil {
+		return nil
+	}
+	return f.w.WaitDone(done)
 }
 
 // CommitPipelined commits without waiting for the fsync: the commit
@@ -875,6 +906,7 @@ func (m *Manager) Begin() *Txn {
 	t.state = Active
 	t.snapshot = false
 	t.snapEpoch = 0
+	t.done = nil
 	t.traceOn = false
 	if fr := m.flight; fr != nil && fr.Enabled() {
 		t.traceOn = true
@@ -1021,6 +1053,138 @@ func (m *Manager) runWithRetry(fn func(*Txn) error, pipelined bool) (Future, err
 		}
 		m.retries.Add(1)
 		m.backoff(attempt)
+	}
+}
+
+// ErrUnackedCommit reports a commit whose durability acknowledgment was
+// abandoned on cancellation: the transaction committed — its effects
+// are visible and its record is sequenced in the log, so it will harden
+// with its batch — but the caller stopped waiting before the sync
+// policy's confirmation arrived. Callers that must know durability for
+// certain should follow up with a Sync barrier.
+var ErrUnackedCommit = errors.New("txn: commit sequenced but durability unconfirmed (wait canceled)")
+
+// RunWithRetryCtx is RunWithRetry honoring ctx at every blocking point:
+// before each attempt, during lock waits (the engine threads the
+// transaction's Done channel into every blocking acquire), across the
+// retry backoff, and at the fsync wait. A cancellation mid-attempt
+// aborts and rolls back the attempt; a cancellation during the
+// durability wait cannot un-sequence the record, so it returns
+// ErrUnackedCommit (wrapping ctx's error) with the commit applied. A
+// context that can never be canceled delegates to RunWithRetry and
+// costs nothing.
+func (m *Manager) RunWithRetryCtx(ctx context.Context, fn func(*Txn) error) error {
+	_, err := m.runWithRetryCtx(ctx, fn, false)
+	return err
+}
+
+// RunWithRetryPipelinedCtx is RunWithRetryPipelined honoring ctx before
+// each attempt, during lock waits and across the retry backoff. The
+// returned Future is not bound to ctx — bound the wait yourself with
+// Future.WaitDone(ctx.Done()).
+func (m *Manager) RunWithRetryPipelinedCtx(ctx context.Context, fn func(*Txn) error) (Future, error) {
+	return m.runWithRetryCtx(ctx, fn, true)
+}
+
+// RunReadOnlyCtx is RunReadOnly with an upfront ctx check and the
+// cancellation channel bound to the snapshot transaction. Snapshot
+// transactions take no locks, so the only in-flight cancellation points
+// are the ones fn itself observes via Txn.Done.
+func (m *Manager) RunReadOnlyCtx(ctx context.Context, fn func(*Txn) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := m.BeginSnapshot()
+	t.done = ctx.Done()
+	err := fn(t)
+	if t.state == Active {
+		t.endSnapshot()
+	}
+	m.Release(t)
+	return err
+}
+
+func (m *Manager) runWithRetryCtx(ctx context.Context, fn func(*Txn) error, pipelined bool) (Future, error) {
+	done := ctx.Done()
+	if done == nil {
+		return m.runWithRetry(fn, pipelined)
+	}
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Future{}, err
+		}
+		t := m.Begin()
+		t.done = done
+		err := fn(t)
+		if err == nil {
+			// Commit pipelined even in blocking mode: sequencing cannot
+			// be undone by cancellation, so the cancellable part is the
+			// durability wait on the future, bounded below.
+			fut, err := t.CommitPipelined()
+			m.Release(t)
+			if err != nil {
+				return Future{}, err // log-append failure; already rolled back
+			}
+			if pipelined {
+				return fut, nil
+			}
+			if err := fut.WaitDone(done); err != nil {
+				if errors.Is(err, wal.ErrWaitCanceled) {
+					return Future{}, fmt.Errorf("%w: %w", ErrUnackedCommit, ctx.Err())
+				}
+				return Future{}, err
+			}
+			return Future{}, nil
+		}
+		if t.traceOn {
+			switch {
+			case lock.IsDeadlock(err):
+				t.abortReason = obs.AbortDeadlock
+			case errors.Is(err, lock.ErrTimeout):
+				t.abortReason = obs.AbortTimeout
+			}
+		}
+		t.Abort()
+		m.Release(t)
+		if errors.Is(err, lock.ErrCanceled) {
+			// A canceled lock wait surfaces as the context's own error so
+			// callers can test errors.Is(err, context.DeadlineExceeded).
+			if cerr := ctx.Err(); cerr != nil {
+				return Future{}, fmt.Errorf("txn: attempt canceled: %w (%v)", cerr, err)
+			}
+			return Future{}, err
+		}
+		if !retryable(err) {
+			return Future{}, err
+		}
+		if attempt+1 >= m.MaxRetries {
+			return Future{}, fmt.Errorf("txn: giving up after %d contention retries: %w", attempt+1, err)
+		}
+		m.retries.Add(1)
+		if err := m.backoffCtx(ctx, attempt); err != nil {
+			return Future{}, err
+		}
+	}
+}
+
+// backoffCtx is backoff interruptible by ctx.
+func (m *Manager) backoffCtx(ctx context.Context, attempt int) error {
+	if m.RetryBackoff <= 0 {
+		return ctx.Err()
+	}
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	base := m.RetryBackoff << uint(shift)
+	jitter := time.Duration(m.nextRand() % uint64(base+1))
+	timer := time.NewTimer(base/2 + jitter)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -196,6 +196,42 @@ func (f *Future) Wait() error {
 	return err
 }
 
+// ErrWaitCanceled reports that a durability wait was abandoned before
+// the acknowledgment arrived. The commit itself is unaffected: it is
+// already sequenced in the log and will harden with its batch — only
+// the caller stopped waiting for the confirmation.
+var ErrWaitCanceled = errors.New("wal: durability wait canceled")
+
+// WaitDone is Wait bounded by a cancellation channel. Like Wait it may
+// be called exactly once. On cancellation it returns ErrWaitCanceled
+// and hands the ticket to a background drainer that recycles the commit
+// once the writer acknowledges it; the Future itself is dropped to the
+// garbage collector (cancellation is the cold path — pooling discipline
+// matters only on the ack path). A nil done is exactly Wait.
+func (f *Future) WaitDone(done <-chan struct{}) error {
+	c := f.c
+	if c == nil {
+		return nil
+	}
+	if done == nil {
+		return f.Wait()
+	}
+	f.c = nil
+	select {
+	case err := <-c.done:
+		l := c.l
+		c.Discard()
+		l.futures.Put(f)
+		return err
+	case <-done:
+		go func() {
+			<-c.done
+			c.Discard()
+		}()
+		return ErrWaitCanceled
+	}
+}
+
 // Log is an append-only redo log over numbered segment files in one
 // directory, written by a single dedicated goroutine that batches
 // concurrent commits into one buffered write + fsync (group commit).

@@ -1,0 +1,175 @@
+package oodb
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/lock"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Code classifies every error the database returns into the taxonomy
+// the Is* predicates test piecewise. Codes travel losslessly over the
+// wire protocol (internal/serv), so an error surfaced by the network
+// client satisfies the same predicates as the embedded original. The
+// numeric values are part of the wire format and must not be reordered.
+type Code uint8
+
+// The error taxonomy.
+const (
+	// CodeOK is the classification of a nil error.
+	CodeOK Code = iota
+	// CodeDeadlock: the transaction was chosen as a deadlock victim
+	// (IsDeadlock). Update/UpdateAsync retry these automatically.
+	CodeDeadlock
+	// CodeTimeout: a lock wait exceeded the configured timeout
+	// (IsTimeout). Retried like deadlocks.
+	CodeTimeout
+	// CodeReadOnly: a write was attempted on a database in degraded
+	// read-only mode (IsReadOnly).
+	CodeReadOnly
+	// CodeDiskFull: the degradation was out-of-space specifically
+	// (IsDiskFull; also satisfies IsReadOnly).
+	CodeDiskFull
+	// CodeSnapshotWrite: a write was attempted inside a View
+	// transaction (IsSnapshotWrite).
+	CodeSnapshotWrite
+	// CodeCanceled: the caller's context was canceled or its deadline
+	// exceeded before the operation completed (IsCanceled).
+	CodeCanceled
+	// CodeOther: an error outside the taxonomy (unknown class, bad
+	// argument, interpreter fault, ...).
+	CodeOther
+)
+
+// String names the code the way the wire protocol documentation does.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeDeadlock:
+		return "deadlock"
+	case CodeTimeout:
+		return "timeout"
+	case CodeReadOnly:
+		return "readonly"
+	case CodeDiskFull:
+		return "diskfull"
+	case CodeSnapshotWrite:
+		return "snapshotwrite"
+	case CodeCanceled:
+		return "canceled"
+	}
+	return "other"
+}
+
+// Error is a coded error: the form every database error takes after a
+// trip through the wire protocol. The Is* predicates and ErrorCode
+// recognise it wherever it appears in a wrap chain, so client-side
+// error handling is byte-for-byte the embedded error handling.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return "oodb: " + e.Code.String()
+	}
+	return e.Msg
+}
+
+// hasCode reports whether err carries a coded error with code c.
+func hasCode(err error, c Code) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Code == c
+}
+
+// ErrorCode classifies err under the taxonomy: the single switchable
+// answer the Is* predicates give piecewise. A coded error (one that
+// crossed the wire) reports its transported code; everything else is
+// classified by the same sentinel tests the predicates use. Ambiguity
+// resolves toward the most specific code: a disk-full failure is
+// CodeDiskFull even though it also satisfies IsReadOnly.
+func ErrorCode(err error) Code {
+	if err == nil {
+		return CodeOK
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	switch {
+	case IsDeadlock(err):
+		return CodeDeadlock
+	case IsTimeout(err):
+		return CodeTimeout
+	case IsSnapshotWrite(err):
+		return CodeSnapshotWrite
+	case IsDiskFull(err):
+		return CodeDiskFull
+	case IsReadOnly(err):
+		return CodeReadOnly
+	case IsCanceled(err):
+		return CodeCanceled
+	}
+	return CodeOther
+}
+
+// IsReadOnly reports whether err came from a write attempted (or a
+// commit acknowledged-then-failed) on a database in degraded read-only
+// mode. A disk-full degradation satisfies it too (the database is
+// read-only either way); test IsDiskFull for the narrower cause.
+func IsReadOnly(err error) bool {
+	return errors.Is(err, txn.ErrReadOnly) || errors.Is(err, wal.ErrLogFailed) ||
+		hasCode(err, CodeReadOnly) || hasCode(err, CodeDiskFull)
+}
+
+// IsDiskFull reports whether err traces back to the log running out of
+// disk space.
+func IsDiskFull(err error) bool {
+	return errors.Is(err, wal.ErrDiskFull) || hasCode(err, CodeDiskFull)
+}
+
+// IsDeadlock reports whether err is a deadlock-victim abort. Update and
+// UpdateAsync retry these automatically; Begin/Commit callers handle
+// them by retrying the whole transaction.
+func IsDeadlock(err error) bool {
+	return lock.IsDeadlock(err) || hasCode(err, CodeDeadlock)
+}
+
+// IsTimeout reports whether err is a lock-wait timeout — contention the
+// clock detected instead of the waits-for graph. Update and UpdateAsync
+// retry these exactly like deadlocks.
+func IsTimeout(err error) bool {
+	return errors.Is(err, lock.ErrTimeout) || hasCode(err, CodeTimeout)
+}
+
+// IsSnapshotWrite reports whether err came from a write attempted
+// inside a View transaction.
+func IsSnapshotWrite(err error) bool {
+	return errors.Is(err, txn.ErrSnapshotWrite) || hasCode(err, CodeSnapshotWrite)
+}
+
+// IsCanceled reports whether err came from the caller's context being
+// canceled (or its deadline exceeded) at one of the ctx-aware entry
+// points: before an attempt, during a lock wait, across the retry
+// backoff, or while waiting for the commit's durability acknowledgment.
+// In the last case the error also wraps txn.ErrUnackedCommit — the
+// commit is applied and sequenced, only its confirmation was abandoned.
+func IsCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, lock.ErrCanceled) || errors.Is(err, wal.ErrWaitCanceled) ||
+		hasCode(err, CodeCanceled)
+}
+
+// IsUnackedCommit reports whether err is a cancellation that struck
+// after the commit was sequenced: the transaction's effects are applied
+// and will harden with their batch, but the durability confirmation was
+// abandoned. Callers that must know for certain can follow up with
+// Database.Sync.
+func IsUnackedCommit(err error) bool {
+	return errors.Is(err, txn.ErrUnackedCommit)
+}

@@ -32,6 +32,7 @@
 package oodb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -40,7 +41,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
-	"repro/internal/lock"
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -290,14 +290,23 @@ func SyncEvery(d time.Duration) OpenOption {
 	return func(c *openConfig) { c.sync = wal.SyncEvery(d) }
 }
 
-// RelaxedSync acknowledges commits after the buffered OS write without
+// SyncNever acknowledges commits after the buffered OS write without
 // waiting for fsync (the log still fsyncs on checkpoint, Sync and
 // Close). A process crash loses nothing; an OS crash or power loss may
 // lose the most recent commits. The classic durability/throughput
-// trade-off knob; SyncEvery is the bounded-loss middle point.
-func RelaxedSync() OpenOption {
+// trade-off knob; SyncEvery is the bounded-loss middle point between
+// this and the full-sync default.
+func SyncNever() OpenOption {
 	return func(c *openConfig) { c.sync = wal.SyncNever }
 }
+
+// RelaxedSync is the historical name of the sync-never policy.
+//
+// Deprecated: use SyncNever (or Options.SyncNever via OpenWith), whose
+// name matches the wal.SyncPolicy it selects; SyncEvery is the
+// bounded-loss middle point. RelaxedSync remains as an alias and will
+// not change behavior.
+func RelaxedSync() OpenOption { return SyncNever() }
 
 // NoMetrics strips the observability registry: Metrics returns nil and
 // the instrumented hot paths reduce to a nil check. The default keeps
@@ -402,27 +411,6 @@ func (d *Database) Health() Health {
 	return Health{ReadOnly: true, DiskFull: errors.Is(err, wal.ErrDiskFull), Err: err}
 }
 
-// IsReadOnly reports whether err came from a write attempted (or a
-// commit acknowledged-then-failed) on a database in degraded read-only
-// mode.
-func IsReadOnly(err error) bool {
-	return errors.Is(err, txn.ErrReadOnly) || errors.Is(err, wal.ErrLogFailed)
-}
-
-// IsDiskFull reports whether err traces back to the log running out of
-// disk space.
-func IsDiskFull(err error) bool { return errors.Is(err, wal.ErrDiskFull) }
-
-// IsDeadlock reports whether err is a deadlock-victim abort. Update and
-// UpdateAsync retry these automatically; Begin/Commit callers handle
-// them by retrying the whole transaction.
-func IsDeadlock(err error) bool { return lock.IsDeadlock(err) }
-
-// IsTimeout reports whether err is a lock-wait timeout — contention the
-// clock detected instead of the waits-for graph. Update and UpdateAsync
-// retry these exactly like deadlocks.
-func IsTimeout(err error) bool { return errors.Is(err, lock.ErrTimeout) }
-
 // Txn is an open transaction bound to its database session.
 type Txn struct {
 	db *Database
@@ -448,6 +436,26 @@ func (d *Database) Update(fn func(*Txn) error) error {
 	})
 }
 
+// UpdateCtx is Update honoring ctx at every blocking point: before each
+// attempt, during lock waits (a cancellation withdraws the queued wait
+// and aborts the attempt), across the deadlock-retry backoff, and at
+// the commit's group-commit fsync wait. Cancellation surfaces as an
+// error satisfying IsCanceled and wrapping ctx's own error, so
+// errors.Is(err, context.DeadlineExceeded) works too.
+//
+// One asymmetry is inherent: once the commit record is sequenced in the
+// log it cannot be unsequenced, so a cancellation that strikes during
+// the durability wait returns an IsUnackedCommit error — the
+// transaction IS committed and its effects visible; only the caller
+// stopped waiting for the disk's confirmation. A context that can never
+// be canceled (context.Background()) makes UpdateCtx exactly Update,
+// at zero added cost on the hot path.
+func (d *Database) UpdateCtx(ctx context.Context, fn func(*Txn) error) error {
+	return d.db.RunWithRetryCtx(ctx, func(tx *txn.Txn) error {
+		return fn(&Txn{db: d, tx: tx})
+	})
+}
+
 // View runs fn in a read-only transaction. Under strategies with
 // snapshot-read support (all of the built-in ones) the transaction runs
 // on the lock-free multiversion read path: it takes no locks, never
@@ -465,9 +473,16 @@ func (d *Database) View(fn func(*Txn) error) error {
 	})
 }
 
-// IsSnapshotWrite reports whether err came from a write attempted
-// inside a View transaction.
-func IsSnapshotWrite(err error) bool { return errors.Is(err, txn.ErrSnapshotWrite) }
+// ViewCtx is View honoring ctx. On the snapshot path the transaction
+// never blocks, so the cancellation points are the check before begin
+// and whatever fn observes through SendCtx; under a strategy without
+// snapshot reads the locking fallback bounds its lock waits by ctx like
+// UpdateCtx.
+func (d *Database) ViewCtx(ctx context.Context, fn func(*Txn) error) error {
+	return d.db.RunReadOnlyCtx(ctx, func(tx *txn.Txn) error {
+		return fn(&Txn{db: d, tx: tx})
+	})
+}
 
 // Future is the durability ticket of an UpdateAsync commit. The zero
 // value — and the ticket of a read-only or volatile transaction — is
@@ -483,6 +498,18 @@ type Future struct {
 // ticket is pooled and recycled by its first Wait.
 func (f Future) Wait() error { return f.f.Wait() }
 
+// WaitCtx is Wait bounded by ctx; call at most once, like Wait. A
+// cancellation cannot unsequence the commit — it returns an
+// IsUnackedCommit error (the commit will still harden with its batch;
+// a background drainer recycles the ticket) wrapping ctx's error.
+func (f Future) WaitCtx(ctx context.Context) error {
+	err := f.f.WaitDone(ctx.Done())
+	if errors.Is(err, wal.ErrWaitCanceled) {
+		return fmt.Errorf("%w: %w", txn.ErrUnackedCommit, ctx.Err())
+	}
+	return err
+}
+
 // UpdateAsync is Update with a pipelined commit: it returns as soon as
 // the transaction's commit record is sequenced in the log — the session
 // can immediately run its next transaction while the group commit's
@@ -494,6 +521,20 @@ func (f Future) Wait() error { return f.f.Wait() }
 // Close, Sync and Checkpoint all drain outstanding futures.
 func (d *Database) UpdateAsync(fn func(*Txn) error) (Future, error) {
 	fut, err := d.db.RunWithRetryPipelined(func(tx *txn.Txn) error {
+		return fn(&Txn{db: d, tx: tx})
+	})
+	return Future{f: fut}, err
+}
+
+// UpdateAsyncCtx is UpdateAsync honoring ctx before each attempt,
+// during lock waits and across the retry backoff. The returned Future
+// is not bound to ctx — the commit is already sequenced when
+// UpdateAsyncCtx returns, so only the wait itself can still be bounded:
+// use Future.WaitCtx. This is the serving layer's workhorse: one
+// group-commit fsync amortizes across every session with a future in
+// flight.
+func (d *Database) UpdateAsyncCtx(ctx context.Context, fn func(*Txn) error) (Future, error) {
+	fut, err := d.db.RunWithRetryPipelinedCtx(ctx, func(tx *txn.Txn) error {
 		return fn(&Txn{db: d, tx: tx})
 	})
 	return Future{f: fut}, err
@@ -543,6 +584,24 @@ func (t *Txn) Send(oid OID, method string, args ...any) (any, error) {
 		return nil, err
 	}
 	return fromValue(out), nil
+}
+
+// SendCtx is Send honoring ctx for the duration of this one send: a
+// cancellation withdraws any queued lock wait and fails the send with
+// an error satisfying IsCanceled. The binding is scoped — it restores
+// the transaction's previous cancellation channel on return — so a
+// server can run one long transaction while bounding each command
+// individually. Note the failed send poisons the transaction the same
+// way any other send error does: the caller should abort (or, under
+// Update/UpdateCtx, return the error).
+func (t *Txn) SendCtx(ctx context.Context, oid OID, method string, args ...any) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prev := t.tx.BindDone(ctx.Done())
+	out, err := t.Send(oid, method, args...)
+	t.tx.BindDone(prev)
+	return out, err
 }
 
 // ScanSend delivers a message to the instances of the domain rooted at

@@ -1,0 +1,95 @@
+package oodb
+
+import (
+	"time"
+)
+
+// Options groups every open option into one plain struct, so a server
+// configuration (favserv's flags, a config file) maps 1:1 onto open
+// options instead of assembling a functional-option slice. The zero
+// value — what DefaultOptions returns — is a volatile database with
+// full-sync semantics (moot while volatile), metrics on, and the flight
+// recorder disarmed: exactly Open with no options.
+//
+// The sync policy is the tri-state the WAL implements:
+//
+//   - both SyncEvery and SyncNever unset (default): every acknowledged
+//     commit batch is fsynced before its transactions release locks; a
+//     crash at any point loses nothing acknowledged.
+//   - SyncEvery = d > 0: commits are acknowledged after the buffered OS
+//     write and the log fsyncs at most every d; power loss costs at
+//     most the last d of acknowledged commits.
+//   - SyncNever = true: acknowledged after the buffered write only (the
+//     policy the deprecated RelaxedSync selected); a process crash
+//     loses nothing, power loss may lose the most recent commits.
+//
+// Setting both SyncEvery and SyncNever is a configuration error.
+type Options struct {
+	// Dir, when non-empty, makes the database persistent under this
+	// directory (the Durable open option): Open recovers any existing
+	// checkpoint + redo-log tail and every later commit goes through
+	// the write-ahead log.
+	Dir string
+	// GroupCommitWindow is how long the log's writer goroutine waits
+	// for more concurrent commits to share one fsync (0: batch only
+	// what is already queued).
+	GroupCommitWindow time.Duration
+	// CheckpointEveryBytes auto-compacts the log whenever the live
+	// segment exceeds this size (0: only Database.Checkpoint compacts).
+	CheckpointEveryBytes int64
+	// SyncEvery bounds the durability loss window to d instead of
+	// paying an fsync per commit batch (see the policy table above).
+	SyncEvery time.Duration
+	// SyncNever acknowledges commits after the buffered OS write.
+	SyncNever bool
+	// NoMetrics strips the observability registry: Metrics returns nil
+	// and the instrumented hot paths reduce to a nil check.
+	NoMetrics bool
+	// SlowTxnThreshold arms the transaction flight recorder from the
+	// start (0: disarmed until SetSlowTxnThreshold).
+	SlowTxnThreshold time.Duration
+}
+
+// DefaultOptions returns the zero configuration Open uses with no
+// options: volatile, full sync, metrics on.
+func DefaultOptions() Options { return Options{} }
+
+// opts converts the struct into the equivalent OpenOption slice.
+func (o Options) opts() []OpenOption {
+	var out []OpenOption
+	if o.Dir != "" {
+		out = append(out, Durable(o.Dir))
+	}
+	if o.GroupCommitWindow > 0 {
+		out = append(out, GroupCommitWindow(o.GroupCommitWindow))
+	}
+	if o.CheckpointEveryBytes > 0 {
+		out = append(out, CheckpointEvery(o.CheckpointEveryBytes))
+	}
+	if o.SyncEvery > 0 {
+		out = append(out, SyncEvery(o.SyncEvery))
+	}
+	if o.SyncNever {
+		out = append(out, SyncNever())
+	}
+	if o.NoMetrics {
+		out = append(out, NoMetrics())
+	}
+	if o.SlowTxnThreshold > 0 {
+		out = append(out, SlowTxnThreshold(o.SlowTxnThreshold))
+	}
+	return out
+}
+
+// OpenWith is Open taking the grouped Options struct instead of
+// variadic options. The two forms are interchangeable; OpenWith is the
+// natural fit for configuration that arrives as data (favserv flags, a
+// config file).
+func OpenWith(s *Schema, strategy Strategy, o Options) (*Database, error) {
+	if o.SyncEvery > 0 && o.SyncNever {
+		return nil, errSyncConflict
+	}
+	return Open(s, strategy, o.opts()...)
+}
+
+var errSyncConflict = &Error{Code: CodeOther, Msg: "oodb: Options.SyncEvery and Options.SyncNever are mutually exclusive"}
